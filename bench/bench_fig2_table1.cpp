@@ -1,0 +1,74 @@
+// Reproduces Fig. 2 and Table I: the parasitic RC trade-off on the
+// common-source amplifier's drain net (Vout).
+//
+// Paper's observation: a narrow route (high R, low C) degrades Gm and gain;
+// a wide route (high C, low R) degrades UGF; the optimized width approaches
+// schematic performance. Table I shows the primitive-level metrics behind
+// the circuit-level numbers.
+
+#include <iostream>
+
+#include "circuits/experiments.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace olp;
+  set_log_level(LogLevel::kError);
+  const tech::Technology t = tech::make_default_finfet_tech();
+
+  circuits::FlowOptions options;
+  const circuits::CircuitExperiment ex = circuits::run_cs_amp(t, options);
+
+  {
+    TextTable table(
+        "Fig. 2: Common-source amplifier vs. Vout wire width\n"
+        "(paper: schematic 18.04dB/6.7GHz/291uW; narrow 17.90/6.6/290;\n"
+        " wide 18.03/5.3/290; optimized 18.02/6.6/290 -- shape: narrow\n"
+        " loses gain/Gm, wide loses UGF, optimized ~ schematic)");
+    table.set_header({"quantity", "schematic", "narrow", "wide", "optimized"});
+    auto row = [&](const std::string& label, const std::string& key,
+                   int decimals) {
+      std::vector<std::string> cells = {label};
+      for (const char* flavor : {"schematic", "narrow", "wide", "optimized"}) {
+        const auto& vals = ex.results.at(flavor);
+        cells.push_back(vals.count(key) ? fixed(vals.at(key), decimals)
+                                        : std::string("-"));
+      }
+      table.add_row(cells);
+    };
+    row("Gain (dB)", "gain_db", 2);
+    row("UGF (GHz)", "ugf_ghz", 2);
+    row("Power (uW)", "power_uw", 0);
+    std::cout << table << '\n';
+    std::cout << "Optimized width: "
+              << ex.results.at("optimized").at("wires")
+              << " parallel routes\n\n";
+  }
+
+  {
+    TextTable table(
+        "Table I: Primitive-level metrics, common-source amplifier\n"
+        "(paper: Gm 1.96->1.93(narrow)->1.96(wide)->1.95(opt) mA/V;\n"
+        " Ctotal 50.40->50.58->54.04->50.66 fF)");
+    table.set_header({"metric", "schematic", "narrow", "wide", "optimized"});
+    auto row = [&](const std::string& label, const std::string& key,
+                   double scale, int decimals) {
+      std::vector<std::string> cells = {label};
+      for (const char* flavor : {"schematic", "narrow", "wide", "optimized"}) {
+        const auto& vals = ex.results.at(std::string("tableI_") + flavor);
+        cells.push_back(vals.count(key)
+                            ? fixed(vals.at(key) * scale, decimals)
+                            : std::string("-"));
+      }
+      table.add_row(cells);
+    };
+    row("Gm,M1 (mA/V)", "gm_m1", 1e3, 3);
+    row("Rout,M1 (kOhm)", "rout_m1", 1e-3, 2);
+    row("Ctotal (fF)", "ctotal", 1e15, 2);
+    row("I,M2 (uA)", "i_m2", 1e6, 1);
+    std::cout << table;
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Two-stage Miller OTA composed from library primitives, with a MOM
+// capacitor primitive as the compensation element. Demonstrates composing
+// circuits directly from the primitive library (first stage: tail mirror +
+// DP + active mirror load; second stage: common-source + current-source
+// load; Miller cap across the second stage) and the effect of the extracted
+// parasitics on the compensated response.
+
+#include <iostream>
+
+#include "circuits/common.hpp"
+#include "pcell/capacitor.hpp"
+#include "pcell/generator.hpp"
+#include "spice/measure.hpp"
+#include "spice/simulator.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace olp;
+
+std::map<std::string, double> measure(const tech::Technology& t,
+                                      bool extracted) {
+  using circuits::InstanceSpec;
+
+  std::vector<InstanceSpec> instances;
+  {
+    InstanceSpec cm;
+    cm.name = "cmtail";
+    cm.netlist = pcell::make_current_mirror(1);
+    cm.fins = 256;
+    cm.port_nets = {{"ref", "iref"}, {"out", "tail"}, {"s", "vssa"}};
+    instances.push_back(cm);
+  }
+  {
+    InstanceSpec dp;
+    dp.name = "dp";
+    dp.netlist = pcell::make_diff_pair();
+    dp.fins = 192;
+    dp.port_nets = {{"da", "d1"},
+                    {"db", "o1"},
+                    {"ga", "vip"},
+                    {"gb", "vin"},
+                    {"s", "tail"}};
+    instances.push_back(dp);
+  }
+  {
+    InstanceSpec cl;
+    cl.name = "cmload";
+    cl.netlist = pcell::make_active_current_mirror();
+    cl.fins = 128;
+    cl.port_nets = {{"ref", "d1"}, {"out", "o1"}, {"vdd", "vdd"}};
+    instances.push_back(cl);
+  }
+  {
+    // Second stage: PMOS common-source driver (gate at o1).
+    InstanceSpec cs;
+    cs.name = "drv";
+    cs.netlist = pcell::make_current_source(spice::MosType::kPmos);
+    cs.fins = 256;
+    cs.port_nets = {{"out", "out"}, {"bias", "o1"}, {"s", "vdd"}};
+    instances.push_back(cs);
+  }
+  {
+    // Second-stage tail: NMOS mirror slaved to the same reference.
+    InstanceSpec cm2;
+    cm2.name = "cmtail2";
+    cm2.netlist = pcell::make_current_mirror(1);
+    cm2.fins = 256;
+    cm2.port_nets = {{"ref", "iref"}, {"out", "out"}, {"s", "vssa"}};
+    instances.push_back(cm2);
+  }
+
+  circuits::Realization real =
+      circuits::schematic_realization(instances, t);
+  real.ideal = !extracted;
+
+  circuits::BuildContext bc = circuits::make_build_context();
+  const spice::NodeId vdd = bc.net("vdd");
+  const spice::NodeId vssa = bc.net("vssa");
+  circuits::instantiate(bc, instances, real, t);
+  bc.ckt.add_vsource("vdd_src", vdd, 0, spice::Waveform::dc(t.vdd));
+  bc.ckt.add_vsource("vss_src", vssa, 0, spice::Waveform::dc(0.0));
+  bc.ckt.add_isource("iref_src", 0, bc.net("iref"),
+                     spice::Waveform::dc(300e-6));
+  bc.ckt.add_vsource("vip_src", bc.net("vip"), 0,
+                     spice::Waveform::dc(0.5), 0.5, 0.0);
+  bc.ckt.add_vsource("vin_src", bc.net("vin"), 0,
+                     spice::Waveform::dc(0.5), 0.5, M_PI);
+  bc.ckt.add_capacitor("cl", bc.net("out"), 0, 500e-15);
+
+  // Miller compensation: a MOM capacitor primitive across the second stage,
+  // including its series (comb) resistance, which conveniently acts as a
+  // nulling resistor.
+  const pcell::MomCapLayout cc =
+      pcell::generate_mom_cap(t, {40, 6e-6, tech::Layer::kM3});
+  const spice::NodeId cc_mid = bc.ckt.node("cc_mid");
+  bc.ckt.add_resistor("cc_rs", bc.net("o1"), cc_mid,
+                      std::max(cc.series_res, 1.0));
+  bc.ckt.add_capacitor("cc", cc_mid, bc.net("out"), cc.capacitance);
+
+  spice::Simulator sim(bc.ckt);
+  const spice::OpResult op = sim.op();
+  std::map<std::string, double> m;
+  if (!op.converged) return m;
+  m["cc_fF"] = cc.capacitance * 1e15;
+  m["current_ua"] = std::fabs(sim.vsource_current(op.x, "vdd_src")) * 1e6;
+
+  spice::AcOptions ac;
+  ac.frequencies = spice::log_frequencies(1e4, 1e11, 16);
+  const spice::AcResult r = sim.ac(op.x, ac);
+  const std::vector<double> mag =
+      spice::ac_magnitude(sim, r, bc.ckt.find_node("out"));
+  const std::vector<double> ph =
+      spice::ac_phase_deg(sim, r, bc.ckt.find_node("out"));
+  m["gain_db"] = spice::db(mag.front());
+  if (const auto ugf = spice::unity_gain_frequency(ac.frequencies, mag)) {
+    m["ugf_mhz"] = *ugf / 1e6;
+  }
+  if (const auto pm = spice::phase_margin_deg(ac.frequencies, mag, ph)) {
+    double margin = *pm;
+    while (margin > 180.0) margin -= 360.0;
+    while (margin < -180.0) margin += 360.0;
+    m["pm_deg"] = std::fabs(margin);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kError);
+  const tech::Technology t = tech::make_default_finfet_tech();
+
+  const auto sch = measure(t, false);
+  const auto ext = measure(t, true);
+
+  TextTable table(
+      "Two-stage Miller OTA from library primitives (MOM compensation cap)");
+  table.set_header({"metric", "schematic", "extracted"});
+  auto row = [&](const std::string& label, const std::string& key, int dec) {
+    auto cell = [&](const std::map<std::string, double>& m) {
+      const auto it = m.find(key);
+      return it == m.end() ? std::string("-") : fixed(it->second, dec);
+    };
+    table.add_row({label, cell(sch), cell(ext)});
+  };
+  row("Compensation cap (fF)", "cc_fF", 1);
+  row("Supply current (uA)", "current_ua", 0);
+  row("DC gain (dB)", "gain_db", 1);
+  row("UGF (MHz)", "ugf_mhz", 0);
+  row("Phase margin (deg)", "pm_deg", 1);
+  std::cout << table;
+  std::cout << "\nTwo gain stages compose to ~2x the single-stage dB gain;\n"
+               "the MOM primitive's comb resistance doubles as the nulling\n"
+               "resistor of the classic Miller compensation.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "circuits/assembly.hpp"
+
+#include <map>
+
+#include "route/realize.hpp"
+#include "util/error.hpp"
+
+namespace olp::circuits {
+
+geom::Layout assemble_layout(const tech::Technology& t,
+                             const std::vector<InstanceSpec>& instances,
+                             const Realization& realization,
+                             const FlowReport& report) {
+  OLP_CHECK(report.placed_instances.size() == instances.size() ||
+                !report.placed_instances.empty(),
+            "flow report carries no placement");
+  geom::Layout top("assembled");
+
+  // Index placement rows by instance name.
+  std::map<std::string, std::size_t> placed_index;
+  for (std::size_t i = 0; i < report.placed_instances.size(); ++i) {
+    placed_index[report.placed_instances[i]] = i;
+  }
+
+  for (const InstanceSpec& inst : instances) {
+    const auto lit = realization.layouts.find(inst.name);
+    OLP_CHECK(lit != realization.layouts.end(),
+              "realization missing layout for " + inst.name);
+    const auto pit = placed_index.find(inst.name);
+    OLP_CHECK(pit != placed_index.end(),
+              "placement missing instance " + inst.name);
+    const place::PlacedBlock& pb = report.placement.blocks[pit->second];
+    const geom::Rect bb = lit->second.geometry.bounding_box();
+    // Mirroring affects pin positions only at the abstraction level used by
+    // the router; for the merged picture a translation is sufficient.
+    top.merge(lit->second.geometry, geom::to_nm(pb.x) - bb.x_lo,
+              geom::to_nm(pb.y) - bb.y_lo, inst.name + ".");
+  }
+
+  std::map<std::string, int> wire_counts;
+  for (const core::NetWireDecision& d : report.decisions) {
+    wire_counts[d.circuit_net] = d.parallel_routes;
+  }
+  const geom::Layout routes =
+      route::realize_routes(t, report.routes, wire_counts);
+  top.merge(routes, 0, 0, "");
+  return top;
+}
+
+double assembled_area(const geom::Layout& layout) {
+  const geom::Rect bb = layout.bounding_box();
+  return geom::to_meters(bb.width()) * geom::to_meters(bb.height());
+}
+
+}  // namespace olp::circuits

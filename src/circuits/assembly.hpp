@@ -1,0 +1,23 @@
+#pragma once
+// Full-layout assembly: merges the placed primitive layouts and the realized
+// routes of a flow run into one flat Layout (for SVG export, area reporting,
+// and geometric checks). This corresponds to the final picture the paper's
+// flow produces once the detailed router honors the wire-count constraints.
+
+#include "circuits/flow.hpp"
+#include "geom/layout.hpp"
+
+namespace olp::circuits {
+
+/// Assembles the top-level layout from a flow result.
+/// `instances` must be the list the flow ran on; `realization` supplies the
+/// per-instance layouts, `report` the placement, routes and wire decisions.
+geom::Layout assemble_layout(const tech::Technology& t,
+                             const std::vector<InstanceSpec>& instances,
+                             const Realization& realization,
+                             const FlowReport& report);
+
+/// Total cell area of the assembled layout [m^2].
+double assembled_area(const geom::Layout& layout);
+
+}  // namespace olp::circuits

@@ -1,0 +1,181 @@
+#include "circuits/common.hpp"
+
+#include "util/error.hpp"
+
+namespace olp::circuits {
+
+spice::MosModel default_nmos() {
+  spice::MosModel m;
+  m.name = "nfet12";
+  m.type = spice::MosType::kNmos;
+  m.vth0 = 0.28;
+  m.nslope = 1.25;
+  m.kp = 380e-6;
+  m.lambda = 0.30;  // short-channel FinFET at L = lref: low intrinsic gain
+  m.lref = 14e-9;
+  m.cox = 0.030;
+  m.cov = 0.25e-9;
+  m.cj = 0.9e-3;
+  m.cjsw = 0.08e-9;
+  m.avt = 1.2e-9;
+  return m;
+}
+
+spice::MosModel default_pmos() {
+  spice::MosModel m;
+  m.name = "pfet12";
+  m.type = spice::MosType::kPmos;
+  m.vth0 = 0.26;
+  m.nslope = 1.3;
+  m.kp = 300e-6;  // FinFET PMOS drive is close to NMOS
+  m.lambda = 0.32;
+  m.lref = 14e-9;
+  m.cox = 0.030;
+  m.cov = 0.25e-9;
+  m.cj = 1.0e-3;
+  m.cjsw = 0.09e-9;
+  m.avt = 1.4e-9;
+  return m;
+}
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTT: return "TT";
+    case Corner::kSS: return "SS";
+    case Corner::kFF: return "FF";
+    case Corner::kSF: return "SF";
+    case Corner::kFS: return "FS";
+  }
+  return "?";
+}
+
+namespace {
+/// Applies a slow (+1) / fast (-1) skew: +-25 mV of Vth and -+6% mobility.
+spice::MosModel skew(spice::MosModel m, int direction) {
+  m.vth0 += 25e-3 * direction;
+  m.kp *= 1.0 - 0.06 * direction;
+  return m;
+}
+
+int nmos_skew(Corner c) {
+  switch (c) {
+    case Corner::kSS: case Corner::kSF: return 1;
+    case Corner::kFF: case Corner::kFS: return -1;
+    case Corner::kTT: return 0;
+  }
+  return 0;
+}
+
+int pmos_skew(Corner c) {
+  switch (c) {
+    case Corner::kSS: case Corner::kFS: return 1;
+    case Corner::kFF: case Corner::kSF: return -1;
+    case Corner::kTT: return 0;
+  }
+  return 0;
+}
+}  // namespace
+
+spice::MosModel corner_nmos(Corner corner) {
+  return skew(default_nmos(), nmos_skew(corner));
+}
+
+spice::MosModel corner_pmos(Corner corner) {
+  return skew(default_pmos(), pmos_skew(corner));
+}
+
+BuildContext make_build_context(Corner corner) {
+  BuildContext bc;
+  bc.nmos_model = bc.ckt.add_model(corner_nmos(corner));
+  bc.pmos_model = bc.ckt.add_model(corner_pmos(corner));
+  return bc;
+}
+
+std::map<std::string, int> net_pin_counts(
+    const std::vector<InstanceSpec>& instances) {
+  std::map<std::string, int> counts;
+  for (const InstanceSpec& inst : instances) {
+    for (const auto& [port, net] : inst.port_nets) {
+      (void)port;
+      counts[net] += 1;
+    }
+  }
+  return counts;
+}
+
+void instantiate(BuildContext& bc, const std::vector<InstanceSpec>& instances,
+                 const Realization& realization, const tech::Technology& tech,
+                 const std::string& nmos_bulk_net,
+                 const std::string& pmos_bulk_net,
+                 const std::set<std::string>& lump_circuit_nets) {
+  const std::map<std::string, int> pins = net_pin_counts(instances);
+  const spice::NodeId nmos_bulk =
+      nmos_bulk_net == "0" ? spice::kGround : bc.net(nmos_bulk_net);
+  const spice::NodeId pmos_bulk = bc.net(pmos_bulk_net);
+
+  for (const InstanceSpec& inst : instances) {
+    const auto lit = realization.layouts.find(inst.name);
+    OLP_CHECK(lit != realization.layouts.end(),
+              "realization missing layout for instance " + inst.name);
+
+    extract::AnnotateOptions opt;
+    opt.ideal = realization.ideal;
+    opt.nmos_model = bc.nmos_model;
+    opt.pmos_model = bc.pmos_model;
+    opt.nmos_bulk = nmos_bulk;
+    opt.pmos_bulk = pmos_bulk;
+    if (auto tit = realization.tunings.find(inst.name);
+        tit != realization.tunings.end()) {
+      opt.tuning = tit->second;
+    }
+
+    // Decide per port: direct bind to the circuit net, or a dedicated port
+    // node connected through its share of the net wire.
+    std::map<std::string, extract::WireRc> port_wires;
+    for (const auto& [port, net] : inst.port_nets) {
+      if (lump_circuit_nets.count(net)) opt.lump_nets.insert(port);
+    }
+    for (const auto& [port, net] : inst.port_nets) {
+      const auto wit = realization.net_wires.find(net);
+      if (wit == realization.net_wires.end() || realization.ideal) {
+        opt.port_mapping[port] = bc.net(net);
+      } else {
+        const int n = std::max(1, pins.at(net));
+        extract::WireRc share = wit->second;
+        share.resistance /= static_cast<double>(n);
+        share.capacitance /= static_cast<double>(n);
+        port_wires[port] = share;
+      }
+    }
+
+    const std::map<std::string, spice::NodeId> port_nodes =
+        annotate_primitive(bc.ckt, lit->second, tech, inst.name + ".", opt);
+
+    for (const auto& [port, wire] : port_wires) {
+      const auto pit = port_nodes.find(port);
+      OLP_CHECK(pit != port_nodes.end(),
+                "primitive has no port " + port + " on " + inst.name);
+      extract::add_wire_pi(bc.ckt, inst.name + ".Wnet." + port, pit->second,
+                           bc.net(inst.port_nets.at(port)), wire);
+    }
+  }
+}
+
+Realization schematic_realization(const std::vector<InstanceSpec>& instances,
+                                  const tech::Technology& tech) {
+  Realization real;
+  real.ideal = true;
+  const pcell::PrimitiveGenerator gen(tech);
+  for (const InstanceSpec& inst : instances) {
+    const std::vector<pcell::LayoutConfig> configs =
+        pcell::PrimitiveGenerator::enumerate_configs(
+            inst.fins, {pcell::PlacementPattern::kABBA});
+    OLP_CHECK(!configs.empty(),
+              "no layout configuration for instance " + inst.name);
+    real.layouts[inst.name] =
+        gen.generate(inst.netlist, configs[configs.size() / 2]);
+  }
+  return real;
+}
+
+}  // namespace olp::circuits

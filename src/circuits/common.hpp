@@ -1,0 +1,106 @@
+#pragma once
+// Shared infrastructure for the evaluation circuits (paper Sec. IV).
+//
+// A circuit is described as a set of primitive instances with
+// port-to-circuit-net connectivity. A `Realization` then says how each
+// instance is physically realized (layout configuration, strap tuning) and
+// what external wire RC sits on each circuit net; `instantiate` expands the
+// whole thing into a spice::Circuit ready for analysis.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "extract/annotate.hpp"
+#include "pcell/generator.hpp"
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::circuits {
+
+/// Canonical model cards of the synthetic FinFET technology.
+spice::MosModel default_nmos();
+spice::MosModel default_pmos();
+
+/// Process corners (paper Sec. III-A: "designers consider random variations
+/// during circuit sizing"). Slow corners raise Vth and lower mobility; fast
+/// corners do the opposite; the mixed corners skew the two flavors apart.
+enum class Corner { kTT, kSS, kFF, kSF, kFS };
+
+const char* corner_name(Corner corner);
+
+/// Model card for one flavor at a corner.
+spice::MosModel corner_nmos(Corner corner);
+spice::MosModel corner_pmos(Corner corner);
+
+/// One primitive instance within a circuit.
+struct InstanceSpec {
+  std::string name;  ///< instance name, e.g. "dp"
+  pcell::PrimitiveNetlist netlist;
+  int fins = 96;     ///< fins per unit-ratio-1 device
+  /// Primitive port -> circuit net name.
+  std::map<std::string, std::string> port_nets;
+  /// Bias/load context for the primitive testbenches; filled from the
+  /// circuit-level schematic simulation (Algorithm 1 line 3).
+  core::BiasContext bias;
+};
+
+/// Physical realization choices for a whole circuit.
+struct Realization {
+  /// Schematic mode: layouts are still needed (for device sizes) but
+  /// parasitics and LDEs are suppressed.
+  bool ideal = false;
+  /// Process corner used when the circuit is built for measurement.
+  Corner corner = Corner::kTT;
+  /// Realized layout per instance name; every instance must be present.
+  std::map<std::string, pcell::PrimitiveLayout> layouts;
+  /// Internal strap tuning per instance (primitive tuning result).
+  std::map<std::string, extract::TuningMap> tunings;
+  /// Full external wire RC per circuit net (global route at the chosen
+  /// parallel-route count); split equally across the net's pins.
+  std::map<std::string, extract::WireRc> net_wires;
+};
+
+/// A circuit under construction.
+struct BuildContext {
+  spice::Circuit ckt;
+  int nmos_model = 0;
+  int pmos_model = 0;
+  /// Circuit net name -> node.
+  std::map<std::string, spice::NodeId> nets;
+
+  spice::NodeId net(const std::string& name) {
+    auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    const spice::NodeId n = ckt.node(name);
+    nets[name] = n;
+    return n;
+  }
+};
+
+/// Creates a build context with the corner's models registered.
+BuildContext make_build_context(Corner corner = Corner::kTT);
+
+/// Instantiates all primitive instances into the context.
+///
+/// Ports on nets with a `net_wires` entry connect through their share of the
+/// wire (pi model); other ports bind directly to the circuit net node.
+/// `pmos_bulk_net`/`nmos_bulk_net` name the rails used as device bulks.
+void instantiate(BuildContext& bc, const std::vector<InstanceSpec>& instances,
+                 const Realization& realization, const tech::Technology& tech,
+                 const std::string& nmos_bulk_net = "0",
+                 const std::string& pmos_bulk_net = "vdd",
+                 const std::set<std::string>& lump_circuit_nets = {});
+
+/// Builds the default (schematic) realization: every instance realized with
+/// a mid-enumeration common-centroid configuration, ideal annotation.
+Realization schematic_realization(const std::vector<InstanceSpec>& instances,
+                                  const tech::Technology& tech);
+
+/// Counts pins of each circuit net across instances (for wire splitting).
+std::map<std::string, int> net_pin_counts(
+    const std::vector<InstanceSpec>& instances);
+
+}  // namespace olp::circuits

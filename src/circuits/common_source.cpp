@@ -1,0 +1,133 @@
+#include "circuits/common_source.hpp"
+
+#include <cmath>
+
+#include "spice/measure.hpp"
+#include "spice/simulator.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+
+CommonSourceAmp::CommonSourceAmp(const tech::Technology& technology)
+    : tech_(technology) {
+  {
+    InstanceSpec cs;
+    cs.name = "cs";
+    cs.netlist = pcell::make_common_source();
+    cs.fins = 96;
+    cs.port_nets = {{"in", "vin"}, {"out", "out"}, {"s", "vssa"}};
+    instances_.push_back(cs);
+  }
+  {
+    // Diode-connected replica of the input device generating its bias:
+    // common-mode LDE Vth shifts of the input device track the replica and
+    // cancel, as with any mirror-derived bias. The replica is the *same*
+    // primitive with the same size and bias signature, so the flow realizes
+    // both with the identical layout (replica cells copy the unit cell).
+    InstanceSpec nb;
+    nb.name = "nbias";
+    nb.netlist = pcell::make_common_source();
+    nb.fins = 96;
+    nb.port_nets = {{"in", "vbn"}, {"out", "vbn"}, {"s", "vssa"}};
+    instances_.push_back(nb);
+  }
+  {
+    // PMOS mirror load: the diode reference absorbs common-mode Vth shifts
+    // so the load current tracks the ideal reference (as in the paper, where
+    // I_M2 stays at its schematic value across layout variants).
+    InstanceSpec load;
+    load.name = "load";
+    load.netlist = pcell::make_active_current_mirror();
+    load.fins = 128;
+    load.port_nets = {{"ref", "biasd"}, {"out", "out"}, {"vdd", "vdd"}};
+    instances_.push_back(load);
+  }
+}
+
+spice::Circuit CommonSourceAmp::build(const Realization& realization) const {
+  BuildContext bc = make_build_context(realization.corner);
+  const spice::NodeId vdd = bc.net("vdd");
+  const spice::NodeId vssa = bc.net("vssa");
+  instantiate(bc, instances_, realization, tech_, "0", "vdd");
+  bc.ckt.add_vsource("vdd_src", vdd, spice::kGround,
+                     spice::Waveform::dc(tech_.vdd));
+  bc.ckt.add_vsource("vss_src", vssa, spice::kGround,
+                     spice::Waveform::dc(0.0));
+  // Ideal references (external bias generators, not counted against the
+  // amplifier supply): one pulled out of the PMOS diode, one pushed into the
+  // NMOS replica diode.
+  bc.ckt.add_isource("iref_src", bc.net("biasd"), spice::kGround,
+                     spice::Waveform::dc(target_current_));
+  bc.ckt.add_isource("irefn_src", spice::kGround, bc.net("vbn"),
+                     spice::Waveform::dc(target_current_));
+  // AC excitation rides on the replica bias through an ideal level shifter.
+  bc.ckt.add_vsource("vin_src", bc.net("vin"), bc.net("vbn"),
+                     spice::Waveform::dc(0.0), 1.0);
+  bc.ckt.add_capacitor("cl", bc.net("out"), spice::kGround, load_cap_);
+  return bc.ckt;
+}
+
+bool CommonSourceAmp::prepare() {
+  const Realization schem = schematic_realization(instances_, tech_);
+  spice::Circuit ckt = build(schem);
+  spice::Simulator sim(ckt);
+  const spice::OpResult op = sim.op();
+  if (!op.converged) {
+    OLP_ERROR << "CS amplifier schematic operating point failed";
+    return false;
+  }
+  const double vbn = sim.voltage(op.x, ckt.find_node("vbn"));
+  const double vout = sim.voltage(op.x, ckt.find_node("out"));
+  const double vbiasd = sim.voltage(op.x, ckt.find_node("biasd"));
+  vin_bias_ = vbn;
+  vbias_p_ = vbiasd;
+  OLP_INFO << "CS amp schematic: vbn=" << vbn << " vout=" << vout
+           << " vbiasd=" << vbiasd;
+
+  for (InstanceSpec& inst : instances_) {
+    inst.bias.vdd = tech_.vdd;
+    inst.bias.bias_current = target_current_;
+    if (inst.name == "cs" || inst.name == "nbias") {
+      // Identical bias signature so the flow dedups replica and amplifier
+      // onto the same optimized layout.
+      inst.bias.port_voltage = {{"in", vbn}, {"out", vout}, {"s", 0.0}};
+      inst.bias.port_load_cap = {{"out", load_cap_ + 8e-15}};
+    } else {
+      inst.bias.port_voltage = {{"ref", vbiasd}, {"out", vout}};
+      inst.bias.port_load_cap = {{"out", load_cap_ + 8e-15}};
+    }
+  }
+  return true;
+}
+
+std::map<std::string, double> CommonSourceAmp::measure(
+    const Realization& realization) const {
+  spice::Circuit ckt = build(realization);
+  spice::Simulator sim(ckt);
+  std::map<std::string, double> out;
+  const spice::OpResult op = sim.op();
+  if (!op.converged) {
+    OLP_WARN << "CS amp measurement OP failed";
+    return out;
+  }
+  out["power_uw"] =
+      std::fabs(sim.vsource_current(op.x, "vdd_src")) * tech_.vdd * 1e6;
+  out["current_ua"] = std::fabs(sim.vsource_current(op.x, "vdd_src")) * 1e6;
+
+  spice::AcOptions ac;
+  ac.frequencies = spice::log_frequencies(1e6, 1e11, 24);
+  const spice::AcResult acr = sim.ac(op.x, ac);
+  const std::vector<double> mag =
+      spice::ac_magnitude(sim, acr, ckt.find_node("out"));
+  out["gain_db"] = spice::db(mag.front());
+  if (const auto ugf = spice::unity_gain_frequency(ac.frequencies, mag)) {
+    out["ugf_ghz"] = *ugf / 1e9;
+  }
+  if (const auto f3 = spice::bandwidth_3db(ac.frequencies, mag)) {
+    out["f3db_mhz"] = *f3 / 1e6;
+  }
+  return out;
+}
+
+}  // namespace olp::circuits

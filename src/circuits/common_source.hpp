@@ -1,0 +1,52 @@
+#pragma once
+// Common-source amplifier with a current-source load (paper Fig. 2/Table I).
+//
+// Two primitives: the NMOS common-source input stage M1 and the PMOS
+// current-source load M2. The drain net (Vout) carries the RC trade-off the
+// paper's introduction illustrates: narrow wires cost resistance (Gm / Rout
+// degradation), wide wires cost capacitance (UGF degradation), an optimized
+// width recovers the schematic performance.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuits/common.hpp"
+
+namespace olp::circuits {
+
+class CommonSourceAmp {
+ public:
+  explicit CommonSourceAmp(const tech::Technology& technology);
+
+  /// Calibrates the load bias voltage to the target current and the input
+  /// bias to center the output, then fills the primitive bias contexts.
+  bool prepare();
+
+  const std::vector<InstanceSpec>& instances() const { return instances_; }
+  std::vector<InstanceSpec>& instances() { return instances_; }
+
+  /// Fig. 2 metrics: "gain_db", "ugf_ghz", "power_uw".
+  std::map<std::string, double> measure(const Realization& realization) const;
+
+  std::vector<std::string> routed_nets() const { return {"out"}; }
+
+  double target_current() const { return target_current_; }
+  double load_cap() const { return load_cap_; }
+  double input_bias() const { return vin_bias_; }
+  double pmos_bias() const { return vbias_p_; }
+  const tech::Technology& technology() const { return tech_; }
+
+ private:
+  spice::Circuit build(const Realization& realization) const;
+
+  const tech::Technology& tech_;
+  std::vector<InstanceSpec> instances_;
+  double target_current_ = 290e-6;
+  double load_cap_ = 100e-15;
+  double vin_bias_ = 0.42;   // calibrated by prepare()
+  double vbias_p_ = 0.45;    // calibrated by prepare()
+  double vout_target_ = 0.42;
+};
+
+}  // namespace olp::circuits

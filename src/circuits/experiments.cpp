@@ -1,0 +1,170 @@
+#include "circuits/experiments.hpp"
+
+#include "core/port_optimizer.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+
+CircuitExperiment run_ota(const tech::Technology& t,
+                          const FlowOptions& options, bool with_manual) {
+  Ota5T ota(t);
+  OLP_CHECK(ota.prepare(), "OTA schematic preparation failed");
+
+  CircuitExperiment ex;
+  ex.results["schematic"] =
+      ota.measure(schematic_realization(ota.instances(), t));
+
+  FlowEngine engine(t, options);
+  const Realization conv = engine.conventional(
+      ota.instances(), ota.routed_nets(), &ex.conventional_report);
+  ex.results["conventional"] = ota.measure(conv);
+
+  const Realization opt = engine.optimize(ota.instances(), ota.routed_nets(),
+                                          &ex.optimized_report);
+  ex.results["this_work"] = ota.measure(opt);
+
+  if (with_manual) {
+    const Realization manual = engine.manual_oracle(
+        ota.instances(), ota.routed_nets(), &ex.manual_report);
+    ex.results["manual"] = ota.measure(manual);
+  }
+  return ex;
+}
+
+CircuitExperiment run_strongarm(const tech::Technology& t,
+                                const FlowOptions& options, bool with_manual) {
+  StrongArmComparator sa(t);
+  OLP_CHECK(sa.prepare(), "StrongARM preparation failed");
+
+  CircuitExperiment ex;
+  ex.results["schematic"] =
+      sa.measure(schematic_realization(sa.instances(), t));
+
+  FlowEngine engine(t, options);
+  const Realization conv = engine.conventional(
+      sa.instances(), sa.routed_nets(), &ex.conventional_report);
+  ex.results["conventional"] = sa.measure(conv);
+
+  const Realization opt =
+      engine.optimize(sa.instances(), sa.routed_nets(), &ex.optimized_report);
+  ex.results["this_work"] = sa.measure(opt);
+
+  if (with_manual) {
+    const Realization manual = engine.manual_oracle(
+        sa.instances(), sa.routed_nets(), &ex.manual_report);
+    ex.results["manual"] = sa.measure(manual);
+  }
+  return ex;
+}
+
+CircuitExperiment run_vco(const tech::Technology& t,
+                          const FlowOptions& options,
+                          const std::vector<double>& vctrls) {
+  RoVco vco(t);
+  OLP_CHECK(vco.prepare(), "VCO preparation failed");
+
+  CircuitExperiment ex;
+  ex.results["schematic"] =
+      vco.measure(schematic_realization(vco.instances(), t), vctrls);
+
+  FlowEngine engine(t, options);
+  const Realization conv = engine.conventional(
+      vco.instances(), vco.routed_nets(), &ex.conventional_report);
+  ex.results["conventional"] = vco.measure(conv, vctrls);
+
+  const Realization opt =
+      engine.optimize(vco.instances(), vco.routed_nets(), &ex.optimized_report);
+  ex.results["this_work"] = vco.measure(opt, vctrls);
+  return ex;
+}
+
+CircuitExperiment run_cs_amp(const tech::Technology& t,
+                             const FlowOptions& options) {
+  CommonSourceAmp cs(t);
+  OLP_CHECK(cs.prepare(), "CS amplifier preparation failed");
+
+  CircuitExperiment ex;
+  ex.results["schematic"] =
+      cs.measure(schematic_realization(cs.instances(), t));
+
+  // Optimize the primitive layouts once (Algorithm 1); the sweep then only
+  // varies the width of the Vout route (paper Fig. 2).
+  FlowEngine engine(t, options);
+  FlowReport report;
+  Realization opt =
+      engine.optimize(cs.instances(), cs.routed_nets(), &report);
+  ex.optimized_report = report;
+
+  const auto rit = report.routes.find("out");
+  OLP_CHECK(rit != report.routes.end() && rit->second.routed,
+            "CS amplifier out net was not routed");
+  const route::NetRoute& out_route = rit->second;
+
+  int w_opt = 1;
+  for (const core::NetWireDecision& d : report.decisions) {
+    if (d.circuit_net == "out") w_opt = d.parallel_routes;
+  }
+
+  // Fig. 2 varies the width of everything carrying Vout: the external route
+  // AND the primitives' internal drain straps. `wires <= 0` keeps the flow's
+  // own tuning/port decision (the "optimized" column).
+  auto measure_width = [&](int wires) {
+    Realization r = opt;
+    if (wires > 0) {
+      r.net_wires["out"] = core::route_wire_rc(t, out_route, wires);
+      for (auto& [inst, tuning] : r.tunings) {
+        (void)inst;
+        tuning["out"] = wires;
+      }
+    }
+    return cs.measure(r);
+  };
+  ex.results["narrow"] = measure_width(1);
+  ex.results["wide"] = measure_width(options.max_port_wires);
+  ex.results["optimized"] = measure_width(0);
+  ex.results["optimized"]["wires"] = w_opt;
+
+  // Table I primitive-level metrics per flavor: evaluate the CS stage and
+  // the load with the out-route RC attached at their out ports.
+  auto primitive_metrics = [&](int wires, const std::string& tag) {
+    for (const InstanceSpec& inst : cs.instances()) {
+      core::PrimitiveEvaluator eval = engine.make_evaluator(inst);
+      core::EvalCondition cond;
+      cond.ideal = wires < 0;
+      if (wires >= 0) {
+        cond.tuning = opt.tunings.count(inst.name) ? opt.tunings.at(inst.name)
+                                                   : extract::TuningMap{};
+        const int route_wires = wires == 0 ? w_opt : wires;
+        if (wires > 0) cond.tuning["out"] = wires;  // narrow/wide strap too
+        extract::WireRc rc = core::route_wire_rc(t, out_route, route_wires);
+        rc.resistance /= 2.0;  // per-pin share of the two-pin net
+        rc.capacitance /= 2.0;
+        cond.port_wires["out"] = rc;
+      }
+      const core::MetricValues vals =
+          eval.evaluate(opt.layouts.at(inst.name), cond);
+      std::map<std::string, double>& row = ex.results["tableI_" + tag];
+      if (inst.name == "cs") {
+        if (vals.count(core::MetricKind::kGm)) {
+          row["gm_m1"] = vals.at(core::MetricKind::kGm);
+        }
+        if (vals.count(core::MetricKind::kRout)) {
+          row["rout_m1"] = vals.at(core::MetricKind::kRout);
+        }
+        if (vals.count(core::MetricKind::kCout)) {
+          row["ctotal"] = vals.at(core::MetricKind::kCout);
+        }
+      } else if (vals.count(core::MetricKind::kOutputCurrent)) {
+        row["i_m2"] = vals.at(core::MetricKind::kOutputCurrent);
+      }
+    }
+  };
+  primitive_metrics(-1, "schematic");
+  primitive_metrics(1, "narrow");
+  primitive_metrics(options.max_port_wires, "wide");
+  primitive_metrics(0, "optimized");
+  return ex;
+}
+
+}  // namespace olp::circuits

@@ -1,0 +1,54 @@
+#pragma once
+// The paper's evaluation experiments (Sec. IV), packaged so the benchmark
+// harnesses and examples can regenerate each table/figure.
+//
+//   Table I / Fig. 2  -> run_cs_amp()        (wire width sweep on Vout)
+//   Table VI          -> run_ota(), run_strongarm()
+//   Table VII         -> run_vco()
+//   Table VIII        -> the FlowReport::runtime_s of each run
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuits/common_source.hpp"
+#include "circuits/flow.hpp"
+#include "circuits/ota5t.hpp"
+#include "circuits/strongarm.hpp"
+#include "circuits/vco.hpp"
+
+namespace olp::circuits {
+
+/// Metric rows per flavor ("schematic", "conventional", "this_work",
+/// "manual"), plus the flow reports for runtime/constraint reporting.
+struct CircuitExperiment {
+  std::map<std::string, std::map<std::string, double>> results;
+  FlowReport conventional_report;
+  FlowReport optimized_report;
+  FlowReport manual_report;
+};
+
+/// Table VI, 5T OTA rows. `with_manual` also runs the exhaustive oracle.
+CircuitExperiment run_ota(const tech::Technology& t,
+                          const FlowOptions& options = {},
+                          bool with_manual = true);
+
+/// Table VI, StrongARM comparator rows.
+CircuitExperiment run_strongarm(const tech::Technology& t,
+                                const FlowOptions& options = {},
+                                bool with_manual = true);
+
+/// Table VII, eight-stage RO-VCO rows (schematic / conventional / this work).
+CircuitExperiment run_vco(const tech::Technology& t,
+                          const FlowOptions& options = {},
+                          const std::vector<double>& vctrls =
+                              RoVco::default_sweep());
+
+/// Fig. 2 / Table I: CS amplifier with narrow (1), wide (8), and optimized
+/// drain-wire widths. Results keyed "schematic", "narrow", "wide",
+/// "optimized"; also returns the primitive metrics of Table I under
+/// "tableI_<flavor>" keys: Gm (A/V), Rout (ohm), Ctotal (F), I (A).
+CircuitExperiment run_cs_amp(const tech::Technology& t,
+                             const FlowOptions& options = {});
+
+}  // namespace olp::circuits

@@ -1,0 +1,450 @@
+#include "circuits/flow.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+
+namespace {
+
+/// Signature for deduplicating identical primitive optimization problems
+/// (same netlist, size, and bias): the VCO's 16 inverters optimize once.
+std::string instance_signature(const InstanceSpec& inst) {
+  std::string sig = inst.netlist.name + "/" + std::to_string(inst.fins);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/%.4f/%.6g", inst.bias.vdd,
+                inst.bias.bias_current);
+  sig += buf;
+  for (const auto& [port, v] : inst.bias.port_voltage) {
+    std::snprintf(buf, sizeof buf, "/%s=%.3f", port.c_str(), v);
+    sig += buf;
+  }
+  return sig;
+}
+
+/// Equalizes the parallel-route counts of nets joined by a primitive's
+/// symmetric port pair (the detailed router keeps those routes symmetric, so
+/// they must share one width); takes the max so every w_min stays satisfied.
+void equalize_symmetric_nets(const std::vector<InstanceSpec>& instances,
+                             std::vector<core::NetWireDecision>& decisions) {
+  std::map<std::string, core::NetWireDecision*> by_net;
+  for (core::NetWireDecision& d : decisions) by_net[d.circuit_net] = &d;
+  for (const InstanceSpec& inst : instances) {
+    for (const auto& [pa, pb] : inst.netlist.symmetric_ports) {
+      const auto na = inst.port_nets.find(pa);
+      const auto nb = inst.port_nets.find(pb);
+      if (na == inst.port_nets.end() || nb == inst.port_nets.end()) continue;
+      if (na->second == nb->second) continue;
+      const auto da = by_net.find(na->second);
+      const auto db = by_net.find(nb->second);
+      if (da == by_net.end() || db == by_net.end()) continue;
+      const int w =
+          std::max(da->second->parallel_routes, db->second->parallel_routes);
+      da->second->parallel_routes = w;
+      db->second->parallel_routes = w;
+    }
+  }
+}
+
+}  // namespace
+
+FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
+    : tech_(technology), options_(options) {}
+
+core::PrimitiveEvaluator FlowEngine::make_evaluator(
+    const InstanceSpec& inst) const {
+  return core::PrimitiveEvaluator(tech_, default_nmos(), default_pmos(),
+                                  inst.bias);
+}
+
+void FlowEngine::place_and_route(
+    const std::vector<InstanceSpec>& instances,
+    const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
+    const std::vector<std::string>& routed_nets, FlowReport& report) const {
+  // Blocks and placement nets.
+  std::vector<place::Block> blocks;
+  std::map<std::string, int> block_index;
+  for (const InstanceSpec& inst : instances) {
+    const pcell::PrimitiveLayout* layout = layouts.at(inst.name);
+    place::Block b;
+    b.name = inst.name;
+    b.width = layout->width();
+    b.height = layout->height();
+    block_index[inst.name] = static_cast<int>(blocks.size());
+    blocks.push_back(b);
+    report.placed_instances.push_back(inst.name);
+  }
+  std::vector<place::PlacementNet> pnets;
+  for (const std::string& net : routed_nets) {
+    place::PlacementNet pn;
+    pn.name = net;
+    for (const InstanceSpec& inst : instances) {
+      for (const auto& [port, inet] : inst.port_nets) {
+        if (inet != net) continue;
+        const pcell::PrimitiveLayout* layout = layouts.at(inst.name);
+        place::PlacementNet::PinRef ref;
+        ref.block = block_index.at(inst.name);
+        if (layout->geometry.has_pin(port)) {
+          const geom::Pin& pin = layout->geometry.pin(port);
+          const geom::Rect bb = layout->geometry.bounding_box();
+          ref.dx = geom::to_meters(pin.rect.center().x - bb.x_lo);
+          ref.dy = geom::to_meters(pin.rect.center().y - bb.y_lo);
+        }
+        pn.pins.push_back(ref);
+      }
+    }
+    if (pn.pins.size() >= 2) pnets.push_back(pn);
+  }
+
+  place::PlacerOptions popt;
+  popt.iterations = options_.placer_iterations;
+  popt.seed = options_.seed;
+  const place::AnnealingPlacer placer(popt);
+  report.placement = placer.place(blocks, pnets, {});
+
+  // Global routing.
+  const geom::Rect region{
+      0, 0, geom::to_nm(report.placement.width),
+      geom::to_nm(report.placement.height)};
+  route::RouterOptions ropt;
+  route::GlobalRouter router(tech_, region, ropt);
+  for (const place::PlacementNet& pn : pnets) {
+    std::vector<geom::Point> pins;
+    for (const place::PlacementNet::PinRef& ref : pn.pins) {
+      const place::PlacedBlock& pb =
+          report.placement.blocks[static_cast<std::size_t>(ref.block)];
+      const place::Block& blk = blocks[static_cast<std::size_t>(ref.block)];
+      const double dx = pb.mirrored ? blk.width - ref.dx : ref.dx;
+      pins.push_back(geom::Point{geom::to_nm(pb.x + dx),
+                                 geom::to_nm(pb.y + ref.dy)});
+    }
+    route::NetRoute nr = router.route(pn.name, pins);
+    if (!nr.routed) {
+      OLP_WARN << "global routing failed for net " << pn.name;
+    }
+    report.routes[pn.name] = std::move(nr);
+  }
+}
+
+Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
+                                 const std::vector<std::string>& routed_nets,
+                                 FlowReport* report_out) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  FlowReport report;
+
+  // --- Step A: primitive layout optimization (Algorithm 1), deduplicated.
+  std::map<std::string, std::vector<core::LayoutCandidate>> by_signature;
+  std::vector<std::unique_ptr<core::PrimitiveEvaluator>> evaluators;
+  std::map<std::string, core::PrimitiveEvaluator*> eval_by_instance;
+  const pcell::PrimitiveGenerator generator(tech_);
+
+  for (const InstanceSpec& inst : instances) {
+    auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
+    eval_by_instance[inst.name] = eval.get();
+    const std::string sig = instance_signature(inst);
+    if (!by_signature.count(sig)) {
+      core::PrimitiveOptimizer optimizer(generator, *eval);
+      core::OptimizerOptions oopt;
+      oopt.bins = options_.bins;
+      oopt.max_tuning_wires = options_.max_tuning_wires;
+      by_signature[sig] =
+          optimizer.optimize(inst.netlist, inst.fins, oopt);
+    }
+    report.options[inst.name] = by_signature.at(sig);
+    evaluators.push_back(std::move(eval));
+  }
+
+  // --- Step B: choose one option per instance for the floorplan. With few
+  // combinations, trial-place each; otherwise take the min-cost option.
+  std::map<std::string, int> chosen;
+  long combos = 1;
+  for (const InstanceSpec& inst : instances) {
+    combos *= static_cast<long>(report.options[inst.name].size());
+    if (combos > 64) break;
+  }
+  if (combos > 1 && combos <= 64) {
+    double best_metric = std::numeric_limits<double>::infinity();
+    std::map<std::string, int> combo, best_combo;
+    for (const InstanceSpec& inst : instances) combo[inst.name] = 0;
+    bool done = false;
+    while (!done) {
+      // Quick placement trial of this combination.
+      std::map<std::string, const pcell::PrimitiveLayout*> layouts;
+      double cost_sum = 0.0;
+      for (const InstanceSpec& inst : instances) {
+        const core::LayoutCandidate& cand =
+            report.options[inst.name][static_cast<std::size_t>(
+                combo[inst.name])];
+        layouts[inst.name] = &cand.layout;
+        cost_sum += cand.cost.total;
+      }
+      FlowReport trial;
+      FlowOptions quick = options_;
+      quick.placer_iterations = options_.combo_place_iterations;
+      FlowEngine quick_engine(tech_, quick);
+      quick_engine.place_and_route(instances, layouts, routed_nets, trial);
+      const double area = trial.placement.width * trial.placement.height;
+      const double metric =
+          cost_sum * (1.0 + 0.2 * trial.placement.hpwl / 1e-6) +
+          area / 1e-12 * 0.01;
+      if (metric < best_metric) {
+        best_metric = metric;
+        best_combo = combo;
+      }
+      // Advance the combination counter.
+      done = true;
+      for (const InstanceSpec& inst : instances) {
+        int& idx = combo[inst.name];
+        if (++idx < static_cast<int>(report.options[inst.name].size())) {
+          done = false;
+          break;
+        }
+        idx = 0;
+      }
+    }
+    chosen = best_combo;
+  } else {
+    for (const InstanceSpec& inst : instances) chosen[inst.name] = 0;
+  }
+  report.chosen_option = chosen;
+
+  std::map<std::string, const pcell::PrimitiveLayout*> layouts;
+  for (const InstanceSpec& inst : instances) {
+    layouts[inst.name] =
+        &report.options[inst.name][static_cast<std::size_t>(
+                                       chosen[inst.name])]
+             .layout;
+  }
+
+  // --- Step C: placement + global routing of the chosen options.
+  place_and_route(instances, layouts, routed_nets, report);
+
+  // --- Step D: primitive port optimization (Algorithm 2).
+  core::PortOptimizerOptions popt;
+  popt.max_wires = options_.max_port_wires;
+  core::PortOptimizer port_opt(tech_, popt);
+  std::vector<core::PortOptPrimitive> pops;
+  for (const InstanceSpec& inst : instances) {
+    core::PortOptPrimitive pop;
+    pop.instance = inst.name;
+    pop.evaluator = eval_by_instance.at(inst.name);
+    pop.layout = layouts.at(inst.name);
+    pop.tuning = report.options[inst.name][static_cast<std::size_t>(
+                                               chosen[inst.name])]
+                     .tuning;
+    for (const auto& [port, net] : inst.port_nets) {
+      const auto rit = report.routes.find(net);
+      if (rit == report.routes.end() || !rit->second.routed) continue;
+      core::PortRoute pr;
+      pr.port = port;
+      pr.circuit_net = net;
+      pr.route = rit->second;
+      pop.routes.push_back(std::move(pr));
+    }
+    if (!pop.routes.empty()) pops.push_back(std::move(pop));
+  }
+  for (const core::PortOptPrimitive& pop : pops) {
+    std::vector<core::PortConstraint> pcs = port_opt.generate_constraints(pop);
+    report.constraints.insert(report.constraints.end(), pcs.begin(),
+                              pcs.end());
+  }
+  report.decisions = port_opt.reconcile(pops, report.constraints);
+  equalize_symmetric_nets(instances, report.decisions);
+
+  // --- Assemble the realization.
+  Realization real;
+  real.ideal = false;
+  for (const InstanceSpec& inst : instances) {
+    const core::LayoutCandidate& cand =
+        report.options[inst.name][static_cast<std::size_t>(
+            chosen[inst.name])];
+    real.layouts[inst.name] = cand.layout;
+    real.tunings[inst.name] = cand.tuning;
+  }
+  for (const core::NetWireDecision& d : report.decisions) {
+    const auto rit = report.routes.find(d.circuit_net);
+    if (rit == report.routes.end() || !rit->second.routed) continue;
+    real.net_wires[d.circuit_net] =
+        core::route_wire_rc(tech_, rit->second, d.parallel_routes);
+  }
+  // Routed nets without a decision (no constraints) still carry their wire.
+  for (const auto& [net, route] : report.routes) {
+    if (!route.routed || real.net_wires.count(net)) continue;
+    real.net_wires[net] = core::route_wire_rc(tech_, route, 1);
+  }
+
+  report.runtime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  long tb = 0;
+  for (const auto& e : evaluators) tb += e->stats().testbenches;
+  report.testbenches = tb;
+  if (report_out != nullptr) *report_out = std::move(report);
+  return real;
+}
+
+Realization FlowEngine::conventional(
+    const std::vector<InstanceSpec>& instances,
+    const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  FlowReport report;
+  const pcell::PrimitiveGenerator generator(tech_);
+
+  // Minimum-area interdigitated configuration, no dummies: geometric
+  // constraints are honored but nothing is optimized for parasitics or LDE.
+  Realization real;
+  real.ideal = false;
+  std::map<std::string, const pcell::PrimitiveLayout*> layouts;
+  for (const InstanceSpec& inst : instances) {
+    const bool matched = inst.netlist.devices.size() > 1 &&
+                         inst.netlist.devices.front().match_group >= 0;
+    // Conventional tools honor the matching constraint (common-centroid
+    // rows) but never look at parasitics or LDE.
+    std::vector<pcell::LayoutConfig> configs =
+        pcell::PrimitiveGenerator::enumerate_configs(
+            inst.fins, {pcell::PlacementPattern::kABBA});
+    (void)matched;
+    OLP_CHECK(!configs.empty(), "no configuration for " + inst.name);
+    // A conventional generator picks a compact, roughly square cell; it just
+    // never looks at parasitics or LDEs when doing so.
+    // Standard generators realize matched structures as 2-D common-centroid
+    // arrays, so prefer multi-row configurations when any exist.
+    bool has_multirow = false;
+    for (const pcell::LayoutConfig& cfg : configs) {
+      if (cfg.m >= 2) has_multirow = true;
+    }
+    double best_score = std::numeric_limits<double>::infinity();
+    pcell::PrimitiveLayout best;
+    for (pcell::LayoutConfig cfg : configs) {
+      if (has_multirow && cfg.m < 2) continue;
+      cfg.dummies = false;
+      pcell::PrimitiveLayout cand = generator.generate(inst.netlist, cfg);
+      const double squareness = std::fabs(std::log(cand.aspect_ratio()));
+      const double score = cand.area() * (1.0 + 2.0 * squareness);
+      if (score < best_score) {
+        best_score = score;
+        best = std::move(cand);
+      }
+    }
+    real.layouts[inst.name] = std::move(best);
+  }
+  for (const InstanceSpec& inst : instances) {
+    layouts[inst.name] = &real.layouts.at(inst.name);
+  }
+  place_and_route(instances, layouts, routed_nets, report);
+  // Conventional routing uses the PDK's default analog route width (two
+  // tracks) everywhere -- fixed, never optimized per net.
+  for (const auto& [net, route] : report.routes) {
+    if (!route.routed) continue;
+    real.net_wires[net] = core::route_wire_rc(tech_, route, 2);
+  }
+  report.runtime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  if (report_out != nullptr) *report_out = std::move(report);
+  return real;
+}
+
+Realization FlowEngine::manual_oracle(
+    const std::vector<InstanceSpec>& instances,
+    const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  FlowReport report;
+  const pcell::PrimitiveGenerator generator(tech_);
+
+  // Exhaustive per-primitive search: tune the five cheapest configurations
+  // and keep the global minimum (no aspect-ratio binning — the "manual"
+  // designer iterates as long as needed).
+  std::map<std::string, core::LayoutCandidate> chosen;
+  std::vector<std::unique_ptr<core::PrimitiveEvaluator>> evaluators;
+  std::map<std::string, core::PrimitiveEvaluator*> eval_by_instance;
+  std::map<std::string, std::string> sig_of;
+  std::map<std::string, core::LayoutCandidate> by_signature;
+
+  for (const InstanceSpec& inst : instances) {
+    auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
+    eval_by_instance[inst.name] = eval.get();
+    const std::string sig = instance_signature(inst);
+    sig_of[inst.name] = sig;
+    if (!by_signature.count(sig)) {
+      core::PrimitiveOptimizer optimizer(generator, *eval);
+      std::vector<core::LayoutCandidate> all =
+          optimizer.evaluate_all(inst.netlist, inst.fins);
+      std::sort(all.begin(), all.end(),
+                [](const core::LayoutCandidate& a,
+                   const core::LayoutCandidate& b) {
+                  return a.cost.total < b.cost.total;
+                });
+      const std::size_t try_n = std::min<std::size_t>(5, all.size());
+      core::LayoutCandidate best = all.front();
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < try_n; ++k) {
+        core::LayoutCandidate cand = all[k];
+        optimizer.tune(cand, options_.max_tuning_wires);
+        if (cand.cost.total < best_cost) {
+          best_cost = cand.cost.total;
+          best = cand;
+        }
+      }
+      by_signature[sig] = best;
+    }
+    chosen[inst.name] = by_signature.at(sig);
+    evaluators.push_back(std::move(eval));
+  }
+
+  std::map<std::string, const pcell::PrimitiveLayout*> layouts;
+  for (const InstanceSpec& inst : instances) {
+    layouts[inst.name] = &chosen.at(inst.name).layout;
+  }
+  place_and_route(instances, layouts, routed_nets, report);
+
+  // Exhaustive per-net wire count by total primitive cost.
+  Realization real;
+  real.ideal = false;
+  for (const InstanceSpec& inst : instances) {
+    real.layouts[inst.name] = chosen.at(inst.name).layout;
+    real.tunings[inst.name] = chosen.at(inst.name).tuning;
+  }
+  core::PortOptimizerOptions popt;
+  popt.max_wires = options_.max_port_wires;
+  core::PortOptimizer port_opt(tech_, popt);
+  std::vector<core::PortOptPrimitive> pops;
+  for (const InstanceSpec& inst : instances) {
+    core::PortOptPrimitive pop;
+    pop.instance = inst.name;
+    pop.evaluator = eval_by_instance.at(inst.name);
+    pop.layout = layouts.at(inst.name);
+    pop.tuning = chosen.at(inst.name).tuning;
+    for (const auto& [port, net] : inst.port_nets) {
+      const auto rit = report.routes.find(net);
+      if (rit == report.routes.end() || !rit->second.routed) continue;
+      pop.routes.push_back(core::PortRoute{port, net, rit->second});
+    }
+    if (!pop.routes.empty()) pops.push_back(std::move(pop));
+  }
+  report.decisions = port_opt.optimize(pops);
+  equalize_symmetric_nets(instances, report.decisions);
+  for (const core::NetWireDecision& d : report.decisions) {
+    const auto rit = report.routes.find(d.circuit_net);
+    if (rit == report.routes.end() || !rit->second.routed) continue;
+    real.net_wires[d.circuit_net] =
+        core::route_wire_rc(tech_, rit->second, d.parallel_routes);
+  }
+  for (const auto& [net, route] : report.routes) {
+    if (!route.routed || real.net_wires.count(net)) continue;
+    real.net_wires[net] = core::route_wire_rc(tech_, route, 1);
+  }
+
+  report.runtime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  if (report_out != nullptr) *report_out = std::move(report);
+  return real;
+}
+
+}  // namespace olp::circuits

@@ -1,0 +1,88 @@
+#pragma once
+// The hierarchical layout flow driver (paper Fig. 1 with the two inserted
+// optimization steps), plus the comparison baselines of Sec. IV.
+//
+//   optimize():      primitive selection + tuning (Algorithm 1), placement,
+//                    global routing, primitive port optimization
+//                    (Algorithm 2) -> full realization ("This work").
+//   conventional():  geometric constraints only — interdigitated min-area
+//                    primitives, no dummies, single wires, no parasitic/LDE
+//                    optimization (the [19]/[20]-style baseline).
+//   manual_oracle(): exhaustive configuration/tuning/wire search standing in
+//                    for expert manual layout.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/common.hpp"
+#include "core/optimizer.hpp"
+#include "core/port_optimizer.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+
+namespace olp::circuits {
+
+struct FlowOptions {
+  int bins = 3;
+  int max_tuning_wires = 8;
+  int max_port_wires = 8;
+  std::uint64_t seed = 1;
+  int placer_iterations = 8000;
+  int combo_place_iterations = 1500;  ///< quick placements during option choice
+};
+
+/// Everything the flow decided, for reporting and the paper's tables.
+struct FlowReport {
+  double runtime_s = 0.0;
+  long testbenches = 0;
+  place::PlacementResult placement;
+  std::vector<std::string> placed_instances;  ///< block order in `placement`
+  std::map<std::string, route::NetRoute> routes;  ///< circuit net -> route
+  std::vector<core::PortConstraint> constraints;
+  std::vector<core::NetWireDecision> decisions;
+  /// Candidates offered to the placer per instance (Algorithm 1 output).
+  std::map<std::string, std::vector<core::LayoutCandidate>> options;
+  /// Chosen option index per instance.
+  std::map<std::string, int> chosen_option;
+};
+
+class FlowEngine {
+ public:
+  FlowEngine(const tech::Technology& technology, FlowOptions options = {});
+
+  /// The paper's flow ("This work").
+  Realization optimize(const std::vector<InstanceSpec>& instances,
+                       const std::vector<std::string>& routed_nets,
+                       FlowReport* report = nullptr) const;
+
+  /// Conventional automated layout baseline.
+  Realization conventional(const std::vector<InstanceSpec>& instances,
+                           const std::vector<std::string>& routed_nets,
+                           FlowReport* report = nullptr) const;
+
+  /// Exhaustive oracle standing in for manual layout.
+  Realization manual_oracle(const std::vector<InstanceSpec>& instances,
+                            const std::vector<std::string>& routed_nets,
+                            FlowReport* report = nullptr) const;
+
+  /// Builds a per-instance evaluator from its bias context.
+  core::PrimitiveEvaluator make_evaluator(const InstanceSpec& inst) const;
+
+  const tech::Technology& technology() const { return tech_; }
+  const FlowOptions& options() const { return options_; }
+
+ private:
+  /// Places the chosen layouts and globally routes the given nets.
+  void place_and_route(
+      const std::vector<InstanceSpec>& instances,
+      const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
+      const std::vector<std::string>& routed_nets, FlowReport& report) const;
+
+  const tech::Technology& tech_;
+  FlowOptions options_;
+};
+
+}  // namespace olp::circuits

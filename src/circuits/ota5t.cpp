@@ -1,0 +1,155 @@
+#include "circuits/ota5t.hpp"
+
+#include <cmath>
+
+#include "spice/measure.hpp"
+#include "spice/simulator.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+
+Ota5T::Ota5T(const tech::Technology& technology) : tech_(technology) {
+  // Tail mirror: 1:1 NMOS mirror carrying the full tail current.
+  {
+    InstanceSpec cm;
+    cm.name = "cmtail";
+    cm.netlist = pcell::make_current_mirror(1);
+    cm.fins = 512;
+    cm.port_nets = {{"ref", "iref"}, {"out", "tail"}, {"s", "vssa"}};
+    instances_.push_back(cm);
+  }
+  // Input differential pair.
+  {
+    InstanceSpec dp;
+    dp.name = "dp";
+    dp.netlist = pcell::make_diff_pair();
+    dp.fins = 384;
+    dp.port_nets = {{"da", "d1"},
+                    {"db", "out"},
+                    {"ga", "vip"},
+                    {"gb", "vin"},
+                    {"s", "tail"}};
+    instances_.push_back(dp);
+  }
+  // PMOS active current-mirror load.
+  {
+    InstanceSpec cl;
+    cl.name = "cmload";
+    cl.netlist = pcell::make_active_current_mirror();
+    cl.fins = 256;
+    cl.port_nets = {{"ref", "d1"}, {"out", "out"}, {"vdd", "vdd"}};
+    instances_.push_back(cl);
+  }
+}
+
+spice::Circuit Ota5T::build(const Realization& realization) const {
+  BuildContext bc = make_build_context(realization.corner);
+  const spice::NodeId vdd = bc.net("vdd");
+  const spice::NodeId vssa = bc.net("vssa");
+  instantiate(bc, instances_, realization, tech_, "0", "vdd");
+
+  bc.ckt.add_vsource("vdd_src", vdd, spice::kGround,
+                     spice::Waveform::dc(tech_.vdd));
+  bc.ckt.add_vsource("vss_src", vssa, spice::kGround,
+                     spice::Waveform::dc(0.0));
+  // Ideal reference current into the diode node (the bias generator is
+  // external and not counted in the OTA's supply current).
+  bc.ckt.add_isource("iref_src", spice::kGround, bc.net("iref"),
+                     spice::Waveform::dc(iref_));
+  // Differential input drive (+/- half the AC magnitude).
+  bc.ckt.add_vsource("vip_src", bc.net("vip"), spice::kGround,
+                     spice::Waveform::dc(vcm_), 0.5, 0.0);
+  bc.ckt.add_vsource("vin_src", bc.net("vin"), spice::kGround,
+                     spice::Waveform::dc(vcm_), 0.5, M_PI);
+  bc.ckt.add_capacitor("cl", bc.net("out"), spice::kGround, load_cap_);
+  return bc.ckt;
+}
+
+bool Ota5T::prepare() {
+  const Realization schem = schematic_realization(instances_, tech_);
+  spice::Circuit ckt = build(schem);
+  spice::Simulator sim(ckt);
+  const spice::OpResult op = sim.op();
+  if (!op.converged) {
+    OLP_ERROR << "OTA schematic operating point failed";
+    return false;
+  }
+  auto v = [&](const std::string& net) {
+    return sim.voltage(op.x, ckt.find_node(net));
+  };
+  const double v_tail = v("tail");
+  const double v_d1 = v("d1");
+  const double v_out = v("out");
+  const double v_iref = v("iref");
+
+  for (InstanceSpec& inst : instances_) {
+    inst.bias.vdd = tech_.vdd;
+    if (inst.name == "cmtail") {
+      inst.bias.bias_current = iref_;
+      inst.bias.port_voltage = {{"ref", v_iref}, {"out", v_tail}, {"s", 0.0}};
+      // The mirror output sees the DP source: its schematic capacitance.
+      inst.bias.port_load_cap = {{"out", 10e-15}};
+    } else if (inst.name == "dp") {
+      inst.bias.bias_current = iref_;  // 1:1 tail mirror
+      inst.bias.port_voltage = {{"ga", vcm_},
+                                {"gb", vcm_},
+                                {"da", v_d1},
+                                {"db", v_out},
+                                {"s", v_tail}};
+      // Schematic-value external loads: the mirror diode at da, the mirror
+      // output plus the explicit load at db.
+      inst.bias.port_load_cap = {{"da", 25e-15}, {"db", load_cap_ + 10e-15}};
+    } else if (inst.name == "cmload") {
+      inst.bias.bias_current = iref_ / 2.0;
+      inst.bias.port_voltage = {{"ref", v_d1}, {"out", v_out}};
+      inst.bias.port_load_cap = {{"out", load_cap_}};
+    }
+  }
+  return true;
+}
+
+std::map<std::string, double> Ota5T::measure(
+    const Realization& realization) const {
+  spice::Circuit ckt = build(realization);
+  spice::Simulator sim(ckt);
+  const spice::OpResult op = sim.op();
+  std::map<std::string, double> out;
+  if (!op.converged) {
+    OLP_WARN << "OTA operating point failed in measurement";
+    return out;
+  }
+  out["current_ua"] = std::fabs(sim.vsource_current(op.x, "vdd_src")) * 1e6;
+
+  spice::AcOptions ac;
+  ac.frequencies = spice::log_frequencies(1e6, 1e11, 24);
+  const spice::AcResult acr = sim.ac(op.x, ac);
+  const spice::NodeId out_node = ckt.find_node("out");
+  const std::vector<double> mag = spice::ac_magnitude(sim, acr, out_node);
+  const std::vector<double> ph = spice::ac_phase_deg(sim, acr, out_node);
+
+  out["gain_db"] = spice::db(mag.front());
+  if (const auto ugf = spice::unity_gain_frequency(ac.frequencies, mag)) {
+    out["ugf_ghz"] = *ugf / 1e9;
+  }
+  if (const auto f3 = spice::bandwidth_3db(ac.frequencies, mag)) {
+    out["f3db_mhz"] = *f3 / 1e6;
+  }
+  if (const auto pm = spice::phase_margin_deg(ac.frequencies, mag, ph)) {
+    // The output inverts relative to vip; normalize the phase reference so
+    // the margin is reported against the differential excitation.
+    double margin = *pm;
+    while (margin > 180.0) margin -= 360.0;
+    while (margin < -180.0) margin += 360.0;
+    out["pm_deg"] = std::fabs(margin);
+  }
+  return out;
+}
+
+std::vector<std::string> Ota5T::routed_nets() const {
+  // iref is excluded: its only on-chip pin is the mirror diode (the
+  // reference generator is external), so there is nothing to route.
+  return {"tail", "d1", "out"};
+}
+
+}  // namespace olp::circuits

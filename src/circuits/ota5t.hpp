@@ -1,0 +1,52 @@
+#pragma once
+// High-frequency five-transistor OTA (paper Fig. 6(a), Table VI).
+//
+// Primitives: an NMOS tail current mirror (passive CM), the input
+// differential pair, and a PMOS active current-mirror load. The reference
+// current enters at net "iref"; the single-ended output drives a fixed load
+// capacitance. Power routing is manual in the paper's flow, so the supply
+// nets are excluded from inter-primitive routing and port optimization.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuits/common.hpp"
+
+namespace olp::circuits {
+
+class Ota5T {
+ public:
+  explicit Ota5T(const tech::Technology& technology);
+
+  /// Runs the circuit-level schematic simulation and fills every instance's
+  /// bias context (Algorithm 1 line 3). Returns false if the schematic
+  /// operating point fails to converge.
+  bool prepare();
+
+  const std::vector<InstanceSpec>& instances() const { return instances_; }
+  std::vector<InstanceSpec>& instances() { return instances_; }
+
+  /// Measures the Table VI row: keys "current_ua", "gain_db", "ugf_ghz",
+  /// "f3db_mhz", "pm_deg".
+  std::map<std::string, double> measure(const Realization& realization) const;
+
+  /// Circuit nets routed between primitives (supply nets excluded: power
+  /// routing is manual, as in the paper).
+  std::vector<std::string> routed_nets() const;
+
+  double load_cap() const { return load_cap_; }
+  double reference_current() const { return iref_; }
+  const tech::Technology& technology() const { return tech_; }
+
+ private:
+  spice::Circuit build(const Realization& realization) const;
+
+  const tech::Technology& tech_;
+  std::vector<InstanceSpec> instances_;
+  double load_cap_ = 200e-15;
+  double iref_ = 706e-6;
+  double vcm_ = 0.5;
+};
+
+}  // namespace olp::circuits

@@ -1,0 +1,112 @@
+#pragma once
+// Primitive testbench evaluation (paper Sec. II-B, Fig. 4).
+//
+// For each primitive family the evaluator builds a small SPICE testbench
+// around the (annotated) primitive — DC bias conditions come from the
+// circuit-level schematic simulation, external elements are ideal at their
+// schematic values — and measures the family's performance metrics through
+// cheap circuit simulation. The same testbench runs in schematic mode
+// (no parasitics/LDE) to produce the reference values x_sch.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "extract/annotate.hpp"
+#include "pcell/capacitor.hpp"
+#include "pcell/primitive.hpp"
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::core {
+
+/// DC bias conditions and external loads for a primitive, taken from the
+/// circuit-level schematic simulation (paper Algorithm 1 line 3).
+struct BiasContext {
+  double vdd = 0.8;
+  /// DC voltage at each primitive port (defaults to vdd/2 when absent).
+  std::map<std::string, double> port_voltage;
+  /// External load capacitance seen at a port, at its schematic value.
+  std::map<std::string, double> port_load_cap;
+  /// Tail / reference current where the primitive needs one [A].
+  double bias_current = 100e-6;
+};
+
+/// What to evaluate: schematic vs extracted, strap tuning, external wires.
+struct EvalCondition {
+  bool ideal = false;                 ///< schematic mode
+  extract::TuningMap tuning;          ///< internal strap parallel wires
+  /// External route RC attached at a port (primitive port optimization).
+  std::map<std::string, extract::WireRc> port_wires;
+  /// Per-device threshold perturbations (Monte Carlo mismatch sampling).
+  std::map<std::string, double> extra_dvth;
+};
+
+/// Counters for the paper's Table V (simulations per optimization step).
+struct EvalStats {
+  long testbenches = 0;  ///< testbench evaluations (Table V semantics)
+  void reset() { *this = EvalStats{}; }
+};
+
+/// Evaluates primitive performance metrics by simulation.
+class PrimitiveEvaluator {
+ public:
+  PrimitiveEvaluator(const tech::Technology& technology, spice::MosModel nmos,
+                     spice::MosModel pmos, BiasContext bias);
+
+  /// Testbench under construction (exposed for the free helper functions in
+  /// the implementation file).
+  struct Bench;
+
+  /// Runs the family's testbenches on the given realized layout.
+  MetricValues evaluate(const pcell::PrimitiveLayout& layout,
+                        const EvalCondition& condition) const;
+
+  /// One-sigma random (mismatch) input offset of a matched pair; the offset
+  /// spec is 10% of this value (paper Eq. 6 discussion).
+  double random_offset_sigma(const pcell::PrimitiveLayout& layout) const;
+
+  /// Monte Carlo mismatch analysis: samples per-device Vth perturbations
+  /// from the Pelgrom distribution and measures the offset testbench per
+  /// sample. Validates the analytic random_offset_sigma and exposes the
+  /// systematic + random distribution the paper's designers size against.
+  struct MonteCarloOffset {
+    double mean = 0.0;   ///< systematic component [V]
+    double sigma = 0.0;  ///< random component [V]
+    int samples = 0;
+  };
+  MonteCarloOffset monte_carlo_offset(const pcell::PrimitiveLayout& layout,
+                                      const EvalCondition& condition,
+                                      int samples, std::uint64_t seed) const;
+
+  const BiasContext& bias() const { return bias_; }
+  EvalStats& stats() const { return stats_; }
+
+ private:
+  MetricValues eval_diff_pair(const pcell::PrimitiveLayout& layout,
+                              const EvalCondition& c, bool cross) const;
+  MetricValues eval_current_mirror(const pcell::PrimitiveLayout& layout,
+                                   const EvalCondition& c, bool active) const;
+  MetricValues eval_current_source(const pcell::PrimitiveLayout& layout,
+                                   const EvalCondition& c) const;
+  MetricValues eval_common_source(const pcell::PrimitiveLayout& layout,
+                                  const EvalCondition& c) const;
+  MetricValues eval_starved_inverter(const pcell::PrimitiveLayout& layout,
+                                     const EvalCondition& c) const;
+  MetricValues eval_switch(const pcell::PrimitiveLayout& layout,
+                           const EvalCondition& c) const;
+
+  const tech::Technology& tech_;
+  spice::MosModel nmos_;
+  spice::MosModel pmos_;
+  BiasContext bias_;
+  mutable EvalStats stats_;
+};
+
+/// Metric evaluation for the passive MOM capacitor primitive.
+MetricValues evaluate_mom_cap(const tech::Technology& t,
+                              const pcell::MomCapLayout& cap,
+                              const EvalCondition& condition);
+
+}  // namespace olp::core

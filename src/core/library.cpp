@@ -1,0 +1,65 @@
+#include "core/library.hpp"
+
+#include "util/error.hpp"
+
+namespace olp::core {
+
+const PrimitiveLibrary& PrimitiveLibrary::standard() {
+  static const PrimitiveLibrary lib = [] {
+    PrimitiveLibrary l;
+    auto add = [&l](pcell::PrimitiveNetlist netlist, std::string desc) {
+      LibraryEntry e;
+      e.name = netlist.name;
+      e.metrics = metric_library(netlist.type);
+      e.netlist = std::move(netlist);
+      e.description = std::move(desc);
+      l.entries_.push_back(std::move(e));
+    };
+    add(pcell::make_diff_pair(),
+        "Input stage of OTAs, comparators and LNAs; offset-critical.");
+    add(pcell::make_cascode_diff_pair(),
+        "High-gain input stage (telescopic amplifiers).");
+    add(pcell::make_current_mirror(1),
+        "Passive bias mirror: tail and reference currents.");
+    add(pcell::make_cascode_current_mirror(1),
+        "High-output-impedance bias mirror.");
+    add(pcell::make_active_current_mirror(),
+        "Signal-path load mirror (differential-to-single-ended).");
+    add(pcell::make_current_source(),
+        "Single-device current source / tail device.");
+    {
+      pcell::PrimitiveNetlist p =
+          pcell::make_current_source(spice::MosType::kPmos);
+      p.name = "current_source_pmos";
+      add(std::move(p), "PMOS current-source load.");
+    }
+    add(pcell::make_common_source(),
+        "Gain stage; Gm/ro set gain and bandwidth.");
+    add(pcell::make_current_starved_inverter(),
+        "Delay cell of ring oscillators / VCOs.");
+    add(pcell::make_cross_coupled_pair(),
+        "Regenerative latch / negative-Gm cell.");
+    add(pcell::make_latch_pair(),
+        "Stacked latch pair (StrongARM comparators).");
+    add(pcell::make_switch(),
+        "Clocked pass device (comparator tails, precharge).");
+    return l;
+  }();
+  return lib;
+}
+
+const LibraryEntry& PrimitiveLibrary::find(const std::string& name) const {
+  for (const LibraryEntry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  throw InvalidArgumentError("no library primitive named '" + name + "'");
+}
+
+bool PrimitiveLibrary::contains(const std::string& name) const {
+  for (const LibraryEntry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace olp::core

@@ -1,0 +1,99 @@
+#include "core/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace olp::core {
+
+const char* metric_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kGm: return "Gm";
+    case MetricKind::kGmOverCtotal: return "Gm/Ctotal";
+    case MetricKind::kInputOffset: return "offset";
+    case MetricKind::kCurrentRatio: return "current_ratio";
+    case MetricKind::kOutputCurrent: return "current";
+    case MetricKind::kCout: return "Cout";
+    case MetricKind::kRout: return "ro";
+    case MetricKind::kDelay: return "delay";
+    case MetricKind::kGain: return "gain";
+    case MetricKind::kCapacitance: return "C";
+    case MetricKind::kCornerFreq: return "frequency";
+    case MetricKind::kResistance: return "R";
+  }
+  return "?";
+}
+
+MetricLibraryEntry metric_library(pcell::PrimitiveType type) {
+  MetricLibraryEntry e;
+  e.type = type;
+  switch (type) {
+    case pcell::PrimitiveType::kDiffPair:
+      // Table II: Gm (0.5), Gm/Cout (0.5), input offset (1); source/drain RC.
+      e.metrics = {{MetricKind::kGm, kWeightMedium, false},
+                   {MetricKind::kGmOverCtotal, kWeightMedium, false},
+                   {MetricKind::kInputOffset, kWeightHigh, true}};
+      e.tuning_terminals = {"s"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kCurrentMirror:
+      // Table II: output current (1), Cout (0.1); source/drain RC.
+      e.metrics = {{MetricKind::kCurrentRatio, kWeightHigh, false},
+                   {MetricKind::kCout, kWeightLow, false}};
+      e.tuning_terminals = {"s"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kActiveCurrentMirror:
+      // Active CM weights Cout medium (Sec. II-B).
+      e.metrics = {{MetricKind::kCurrentRatio, kWeightHigh, false},
+                   {MetricKind::kCout, kWeightMedium, false}};
+      e.tuning_terminals = {"vdd"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kCurrentSource:
+      // Table II: current (1), ro (0.5); source/drain RC.
+      e.metrics = {{MetricKind::kOutputCurrent, kWeightHigh, false},
+                   {MetricKind::kRout, kWeightMedium, false}};
+      e.tuning_terminals = {"s"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kCommonSource:
+      // Table II: Gm (1), ro (0.5); source/drain RC.
+      e.metrics = {{MetricKind::kGm, kWeightHigh, false},
+                   {MetricKind::kRout, kWeightMedium, false}};
+      e.tuning_terminals = {"s"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kCurrentStarvedInverter:
+      // Table II: delay (1), current (1), gain (0.5); source/drain RC.
+      // The starved supply straps (vdd/vss sides) interact through the
+      // switching threshold -> correlated.
+      e.metrics = {{MetricKind::kDelay, kWeightHigh, false},
+                   {MetricKind::kOutputCurrent, kWeightHigh, false},
+                   {MetricKind::kGain, kWeightMedium, false}};
+      e.tuning_terminals = {"vn", "vp"};
+      e.terminals_correlated = true;
+      break;
+    case pcell::PrimitiveType::kCrossCoupledPair:
+      e.metrics = {{MetricKind::kGm, kWeightHigh, false},
+                   {MetricKind::kCout, kWeightMedium, false}};
+      e.tuning_terminals = {"s"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kSwitch:
+      e.metrics = {{MetricKind::kOutputCurrent, kWeightHigh, false},
+                   {MetricKind::kCout, kWeightLow, false}};
+      e.tuning_terminals = {"a"};
+      e.terminals_correlated = false;
+      break;
+    case pcell::PrimitiveType::kCapacitor:
+      // Table II: C (1), frequency (0.1); RC at terminals.
+      e.metrics = {{MetricKind::kCapacitance, kWeightHigh, false},
+                   {MetricKind::kCornerFreq, kWeightLow, false}};
+      e.tuning_terminals = {"a", "b"};
+      e.terminals_correlated = true;
+      break;
+  }
+  OLP_ASSERT(!e.metrics.empty(), "metric library entry has no metrics");
+  return e;
+}
+
+}  // namespace olp::core

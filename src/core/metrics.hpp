@@ -1,0 +1,70 @@
+#pragma once
+// Primitive performance metrics, weights and tuning terminals (paper Sec. II,
+// Table II).
+//
+// Each primitive family carries: the metrics that matter for its circuit-level
+// use, a weight per metric (high 1.0 / medium 0.5 / low 0.1), the tuning
+// terminals whose RC can be traded off, and whether those terminals are
+// correlated (must be optimized jointly). These annotations are
+// topology-dependent and technology-independent (Sec. II-B).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pcell/primitive.hpp"
+
+namespace olp::core {
+
+/// Metric identifiers; names follow the paper's Table II.
+enum class MetricKind {
+  kGm,            ///< effective transconductance
+  kGmOverCtotal,  ///< bandwidth proxy Gm / C_total
+  kInputOffset,   ///< systematic input-referred offset [V]
+  kCurrentRatio,  ///< mirror output/reference current ratio
+  kOutputCurrent, ///< output current [A]
+  kCout,          ///< output capacitance [F]
+  kRout,          ///< output resistance [ohm]
+  kDelay,         ///< propagation delay [s]
+  kGain,          ///< small-signal voltage gain (absolute)
+  kCapacitance,   ///< passive capacitance value [F]
+  kCornerFreq,    ///< passive RC corner frequency [Hz]
+  kResistance,    ///< passive resistance value [ohm]
+};
+
+const char* metric_name(MetricKind kind);
+
+/// Measured metric values of one evaluation.
+using MetricValues = std::map<MetricKind, double>;
+
+/// Weight levels from the paper: high = 1, medium = 0.5, low = 0.1.
+inline constexpr double kWeightHigh = 1.0;
+inline constexpr double kWeightMedium = 0.5;
+inline constexpr double kWeightLow = 0.1;
+
+struct MetricSpec {
+  MetricKind kind = MetricKind::kGm;
+  double weight = kWeightHigh;
+  /// When the schematic value is zero (e.g. systematic offset), the
+  /// deviation is measured against a spec value instead (Eq. 6 second case);
+  /// `spec_is_offset_fraction` marks metrics whose spec is derived as 10% of
+  /// the random mismatch at evaluation time.
+  bool spec_is_offset_fraction = false;
+};
+
+/// Library entry: metrics + tuning terminals for one primitive family.
+struct MetricLibraryEntry {
+  pcell::PrimitiveType type = pcell::PrimitiveType::kDiffPair;
+  std::vector<MetricSpec> metrics;
+  /// Primitive net names whose internal strap is a tuning terminal.
+  std::vector<std::string> tuning_terminals;
+  /// True when the tuning terminals interact and must be swept jointly
+  /// (paper Algorithm 1 lines 9-13).
+  bool terminals_correlated = false;
+};
+
+/// Returns the Table II entry for a primitive family. The tuning terminal
+/// names are resolved against the canonical netlists from pcell/primitive.hpp.
+MetricLibraryEntry metric_library(pcell::PrimitiveType type);
+
+}  // namespace olp::core

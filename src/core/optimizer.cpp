@@ -1,0 +1,191 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/curvature.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace olp::core {
+
+std::vector<int> assign_aspect_bins(const std::vector<double>& aspect_ratios,
+                                    int bins) {
+  OLP_CHECK(bins >= 1, "need at least one bin");
+  OLP_CHECK(!aspect_ratios.empty(), "no aspect ratios to bin");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double ar : aspect_ratios) {
+    OLP_CHECK(ar > 0, "aspect ratio must be positive");
+    lo = std::min(lo, std::log(ar));
+    hi = std::max(hi, std::log(ar));
+  }
+  std::vector<int> out(aspect_ratios.size(), 0);
+  if (hi - lo < 1e-12) return out;  // all identical -> single bin
+  for (std::size_t i = 0; i < aspect_ratios.size(); ++i) {
+    const double frac = (std::log(aspect_ratios[i]) - lo) / (hi - lo);
+    out[i] = std::min(bins - 1, static_cast<int>(frac * bins));
+  }
+  return out;
+}
+
+MetricValues PrimitiveOptimizer::schematic_reference(
+    const pcell::PrimitiveNetlist& netlist, int fins_per_device) const {
+  // Any configuration works in ideal mode (parasitics/LDE ignored); use a
+  // canonical mid-size one.
+  const std::vector<pcell::LayoutConfig> configs =
+      pcell::PrimitiveGenerator::enumerate_configs(
+          fins_per_device, {pcell::PlacementPattern::kABBA});
+  OLP_CHECK(!configs.empty(), "no layout configuration for the device size");
+  const pcell::PrimitiveLayout layout =
+      generator_.generate(netlist, configs[configs.size() / 2]);
+  EvalCondition cond;
+  cond.ideal = true;
+  return evaluator_.evaluate(layout, cond);
+}
+
+double PrimitiveOptimizer::offset_spec(
+    const pcell::PrimitiveLayout& layout) const {
+  return 0.1 * evaluator_.random_offset_sigma(layout);
+}
+
+CostBreakdown PrimitiveOptimizer::cost_of(
+    const pcell::PrimitiveLayout& layout, const extract::TuningMap& tuning,
+    const MetricValues& reference, MetricValues* values_out) const {
+  EvalCondition cond;
+  cond.ideal = false;
+  cond.tuning = tuning;
+  const MetricValues values = evaluator_.evaluate(layout, cond);
+  if (values_out != nullptr) *values_out = values;
+  const MetricLibraryEntry lib = metric_library(layout.netlist.type);
+  return compute_cost(lib.metrics, reference, values, offset_spec(layout));
+}
+
+std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
+    const pcell::PrimitiveNetlist& netlist, int fins_per_device,
+    const OptimizerOptions& options) const {
+  std::vector<pcell::LayoutConfig> configs = options.configs;
+  if (configs.empty()) {
+    const bool matched = netlist.devices.size() > 1 &&
+                         netlist.devices.front().match_group >= 0;
+    configs = pcell::PrimitiveGenerator::enumerate_configs(
+        fins_per_device,
+        matched ? std::vector<pcell::PlacementPattern>{
+                      pcell::PlacementPattern::kABBA,
+                      pcell::PlacementPattern::kABAB,
+                      pcell::PlacementPattern::kAABB}
+                : std::vector<pcell::PlacementPattern>{
+                      pcell::PlacementPattern::kABBA});
+  }
+  OLP_CHECK(!configs.empty(), "no layout configurations to evaluate");
+
+  const MetricValues reference =
+      schematic_reference(netlist, fins_per_device);
+
+  std::vector<LayoutCandidate> candidates;
+  std::vector<double> aspects;
+  for (const pcell::LayoutConfig& config : configs) {
+    LayoutCandidate cand;
+    cand.layout = generator_.generate(netlist, config);
+    cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
+    aspects.push_back(cand.layout.aspect_ratio());
+    candidates.push_back(std::move(cand));
+  }
+  const std::vector<int> bins = assign_aspect_bins(aspects, options.bins);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].bin = bins[i];
+  }
+  return candidates;
+}
+
+void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
+                              int max_wires) const {
+  const MetricLibraryEntry lib = metric_library(candidate.layout.netlist.type);
+  if (lib.tuning_terminals.empty()) return;
+  const MetricValues reference = schematic_reference(
+      candidate.layout.netlist, candidate.layout.config.fins_per_device());
+
+  auto cost_at = [&](const extract::TuningMap& tuning) {
+    MetricValues values;
+    const CostBreakdown cb =
+        cost_of(candidate.layout, tuning, reference, &values);
+    return std::pair<double, MetricValues>(cb.total, values);
+  };
+
+  if (!lib.terminals_correlated || lib.tuning_terminals.size() == 1) {
+    // Optimize terminals separately (Algorithm 1 line 10).
+    for (const std::string& terminal : lib.tuning_terminals) {
+      std::vector<double> curve;
+      for (int w = 1; w <= max_wires; ++w) {
+        extract::TuningMap tuning = candidate.tuning;
+        tuning[terminal] = w;
+        curve.push_back(cost_at(tuning).first);
+      }
+      const std::size_t stop = tuning_stop_index(curve);
+      candidate.tuning[terminal] = static_cast<int>(stop) + 1;
+    }
+  } else {
+    // Correlated terminals: enumerate combinations (Algorithm 1 line 12).
+    // Practically at most two terminals are correlated (paper Sec. III-A3).
+    OLP_CHECK(lib.tuning_terminals.size() == 2,
+              "joint tuning supports exactly two correlated terminals");
+    double best = std::numeric_limits<double>::infinity();
+    extract::TuningMap best_tuning = candidate.tuning;
+    for (int w0 = 1; w0 <= max_wires; ++w0) {
+      for (int w1 = 1; w1 <= max_wires; ++w1) {
+        extract::TuningMap tuning = candidate.tuning;
+        tuning[lib.tuning_terminals[0]] = w0;
+        tuning[lib.tuning_terminals[1]] = w1;
+        const double c = cost_at(tuning).first;
+        if (c < best) {
+          best = c;
+          best_tuning = tuning;
+        }
+      }
+    }
+    candidate.tuning = best_tuning;
+  }
+
+  // Refresh the candidate's measured values and cost at the final tuning.
+  auto [final_cost, final_values] = cost_at(candidate.tuning);
+  candidate.values = final_values;
+  candidate.cost =
+      compute_cost(lib.metrics, reference, final_values,
+                   offset_spec(candidate.layout));
+  (void)final_cost;
+}
+
+std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
+    const pcell::PrimitiveNetlist& netlist, int fins_per_device,
+    const OptimizerOptions& options) const {
+  std::vector<LayoutCandidate> all =
+      evaluate_all(netlist, fins_per_device, options);
+
+  // Select the cheapest candidate per bin (Algorithm 1 lines 6-7).
+  std::vector<int> best_in_bin(static_cast<std::size_t>(options.bins), -1);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    int& best = best_in_bin[static_cast<std::size_t>(all[i].bin)];
+    if (best < 0 ||
+        all[i].cost.total < all[static_cast<std::size_t>(best)].cost.total) {
+      best = static_cast<int>(i);
+    }
+  }
+  std::vector<LayoutCandidate> selected;
+  for (int idx : best_in_bin) {
+    if (idx >= 0) selected.push_back(all[static_cast<std::size_t>(idx)]);
+  }
+  OLP_ASSERT(!selected.empty(), "selection produced no candidates");
+
+  // Tune each selected candidate (Algorithm 1 lines 8-15).
+  for (LayoutCandidate& cand : selected) {
+    tune(cand, options.max_tuning_wires);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const LayoutCandidate& a, const LayoutCandidate& b) {
+              return a.cost.total < b.cost.total;
+            });
+  return selected;
+}
+
+}  // namespace olp::core

@@ -1,0 +1,82 @@
+#pragma once
+// Parasitic extraction / netlist back-annotation.
+//
+// Turns a generated primitive layout into simulator devices:
+//   * each primitive net gets a port node "<prefix><net>" and, in extracted
+//     mode, an internal node "<prefix><net>.x" behind the strap resistance,
+//     with the strap capacitance split half/half (pi model),
+//   * each MOSFET carries its sharing-aware junction geometry and LDE
+//     annotations (delta_vth / mobility multiplier),
+//   * in schematic mode no wire parasitics or LDEs are added and junction
+//     geometry takes nominal fully-shared values, reproducing what the
+//     schematic designer simulates against.
+//
+// The number of parallel strap wires per net (primitive tuning, paper
+// Sec. III-A2) and per-port external route RC (port optimization, Sec. III-B)
+// are inputs here.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "pcell/primitive.hpp"
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::extract {
+
+/// Parallel-wire count per primitive net (absent = 1).
+using TuningMap = std::map<std::string, int>;
+
+/// How to annotate a primitive into a circuit.
+struct AnnotateOptions {
+  /// Schematic mode: no wire parasitics, no LDE, nominal junctions.
+  bool ideal = false;
+  /// Net -> parallel wires on the internal strap.
+  TuningMap tuning;
+  /// Model indices in the destination circuit.
+  int nmos_model = 0;
+  int pmos_model = 0;
+  /// Bulk nodes (NMOS bulk usually ground, PMOS bulk the supply).
+  spice::NodeId nmos_bulk = spice::kGround;
+  spice::NodeId pmos_bulk = spice::kGround;
+  /// Optional pre-existing circuit nodes to use for specific ports instead
+  /// of creating "<prefix><net>" (used when wiring primitives into a larger
+  /// circuit without intervening elements).
+  std::map<std::string, spice::NodeId> port_mapping;
+  /// Additional per-device threshold shifts (keyed by LogicalDevice::name),
+  /// applied on top of the LDE annotations. Used for Monte Carlo mismatch
+  /// sampling.
+  std::map<std::string, double> extra_dvth;
+  /// Primitive nets whose strap is lumped (capacitance kept at the port, the
+  /// small series resistance dropped, no internal node created). Used for
+  /// supply/bias nets in full-circuit builds to bound the MNA size.
+  std::set<std::string> lump_nets;
+};
+
+/// Instantiates the primitive into `ckt` with node names "<prefix><net>".
+/// Returns the map from primitive net name to its port node.
+std::map<std::string, spice::NodeId> annotate_primitive(
+    spice::Circuit& ckt, const pcell::PrimitiveLayout& layout,
+    const tech::Technology& t, const std::string& prefix,
+    const AnnotateOptions& options);
+
+/// A lumped wire: series R with total C split at both ends (pi model).
+struct WireRc {
+  double resistance = 0.0;   ///< [ohm]
+  double capacitance = 0.0;  ///< [F]
+};
+
+/// Adds a pi-model wire between two existing nodes. A zero-resistance wire
+/// degenerates to a small bridging resistance to keep MNA well-posed.
+void add_wire_pi(spice::Circuit& ckt, const std::string& name,
+                 spice::NodeId a, spice::NodeId b, const WireRc& rc);
+
+/// RC of a routed segment on a metal layer with `parallel` tracks.
+WireRc wire_rc(const tech::Technology& t, tech::Layer layer, double length,
+               int parallel = 1);
+
+/// Combines wire segments in series (R adds, C adds).
+WireRc series(const WireRc& a, const WireRc& b);
+
+}  // namespace olp::extract

@@ -1,0 +1,96 @@
+#pragma once
+// Planar geometry primitives for layout: integer-nanometer rectangles.
+//
+// Layout coordinates are stored in integer nanometers to keep geometry exact
+// on the manufacturing grid (the paper honors gridded FinFET design rules).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace olp::geom {
+
+/// Integer nanometer coordinate.
+using Coord = std::int64_t;
+
+inline constexpr double kNmPerMeter = 1e9;
+
+/// Converts meters to integer nanometers (round to nearest).
+inline Coord to_nm(double meters) {
+  return static_cast<Coord>(meters * kNmPerMeter + (meters >= 0 ? 0.5 : -0.5));
+}
+/// Converts integer nanometers to meters.
+inline double to_meters(Coord nm) {
+  return static_cast<double>(nm) / kNmPerMeter;
+}
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned rectangle, half-open semantics not required: lo/hi inclusive
+/// bounds with hi >= lo. A zero-area rect (hi == lo) is a point/edge marker.
+struct Rect {
+  Coord x_lo = 0, y_lo = 0, x_hi = 0, y_hi = 0;
+
+  Rect() = default;
+  Rect(Coord xl, Coord yl, Coord xh, Coord yh)
+      : x_lo(xl), y_lo(yl), x_hi(xh), y_hi(yh) {
+    OLP_CHECK(xh >= xl && yh >= yl, "rect corners out of order");
+  }
+
+  Coord width() const { return x_hi - x_lo; }
+  Coord height() const { return y_hi - y_lo; }
+  /// Area in nm^2.
+  double area() const {
+    return static_cast<double>(width()) * static_cast<double>(height());
+  }
+  Point center() const { return {(x_lo + x_hi) / 2, (y_lo + y_hi) / 2}; }
+
+  bool contains(Point p) const {
+    return p.x >= x_lo && p.x <= x_hi && p.y >= y_lo && p.y <= y_hi;
+  }
+  bool intersects(const Rect& o) const {
+    return x_lo <= o.x_hi && o.x_lo <= x_hi && y_lo <= o.y_hi &&
+           o.y_lo <= y_hi;
+  }
+
+  Rect translated(Coord dx, Coord dy) const {
+    return Rect{x_lo + dx, y_lo + dy, x_hi + dx, y_hi + dy};
+  }
+  /// Smallest rect covering both.
+  Rect united(const Rect& o) const {
+    return Rect{std::min(x_lo, o.x_lo), std::min(y_lo, o.y_lo),
+                std::max(x_hi, o.x_hi), std::max(y_hi, o.y_hi)};
+  }
+
+  /// Aspect ratio width/height; throws for a degenerate (zero-height) rect.
+  double aspect_ratio() const {
+    OLP_CHECK(height() > 0, "aspect ratio of zero-height rect");
+    return static_cast<double>(width()) / static_cast<double>(height());
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Bounding box of a set of rectangles; throws on an empty set.
+inline Rect bounding_box(const std::vector<Rect>& rects) {
+  OLP_CHECK(!rects.empty(), "bounding box of empty set");
+  Rect bb = rects.front();
+  for (const Rect& r : rects) bb = bb.united(r);
+  return bb;
+}
+
+/// Manhattan distance between two points.
+inline Coord manhattan(Point a, Point b) {
+  const Coord dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+}  // namespace olp::geom

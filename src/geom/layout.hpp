@@ -1,0 +1,78 @@
+#pragma once
+// Layout database: shapes on layers, pins, and the cell abstract handed to
+// the placer.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::geom {
+
+/// One rectangle of geometry on a layer, optionally tagged with its net.
+struct Shape {
+  tech::Layer layer = tech::Layer::kM1;
+  Rect rect;
+  std::string net;  ///< empty for unconnected geometry (fins, dummies)
+};
+
+/// An externally connectable terminal of a cell.
+struct Pin {
+  std::string name;  ///< port name, e.g. "d1", "s", "gate_a"
+  tech::Layer layer = tech::Layer::kM1;
+  Rect rect;
+};
+
+/// A flat layout: geometry plus pins. Primitive generators produce one of
+/// these per configuration; the placer works on its abstract.
+class Layout {
+ public:
+  explicit Layout(std::string name = "") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add_shape(tech::Layer layer, Rect rect, std::string net = "") {
+    shapes_.push_back(Shape{layer, rect, std::move(net)});
+  }
+  void add_pin(std::string pin_name, tech::Layer layer, Rect rect) {
+    pins_.push_back(Pin{std::move(pin_name), layer, rect});
+  }
+
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+
+  /// Finds a pin by name; throws when absent.
+  const Pin& pin(const std::string& pin_name) const;
+  bool has_pin(const std::string& pin_name) const;
+
+  /// Bounding box of all shapes (pins included); throws when empty.
+  Rect bounding_box() const;
+  /// Bounding-box aspect ratio (width / height).
+  double aspect_ratio() const { return bounding_box().aspect_ratio(); }
+
+  /// Merges another layout translated by (dx, dy); pins are prefixed with
+  /// `pin_prefix` when non-empty (used when assembling blocks).
+  void merge(const Layout& other, Coord dx, Coord dy,
+             const std::string& pin_prefix = "");
+
+ private:
+  std::string name_;
+  std::vector<Shape> shapes_;
+  std::vector<Pin> pins_;
+};
+
+/// Placement-time view of a cell: footprint plus pin locations.
+struct CellAbstract {
+  std::string name;
+  Rect bbox;
+  std::vector<Pin> pins;
+};
+
+/// Builds the abstract of a layout (bbox normalized to origin).
+CellAbstract make_abstract(const Layout& layout);
+
+}  // namespace olp::geom

@@ -1,0 +1,110 @@
+#pragma once
+// LU factorization with partial pivoting and the linear solves built on it.
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+
+namespace olp::linalg {
+
+/// In-place LU factorization with row partial pivoting.
+///
+/// Stores L (unit diagonal, below) and U (on/above the diagonal) packed in a
+/// single matrix, plus the row permutation. `ok()` is false when a pivot
+/// smaller than the singularity threshold was encountered, which in MNA terms
+/// means a floating node or an ill-posed circuit.
+template <typename T>
+class Lu {
+ public:
+  explicit Lu(Matrix<T> a, double singular_tol = 1e-13)
+      : lu_(std::move(a)), perm_(lu_.rows()) {
+    OLP_CHECK(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+    const std::size_t n = lu_.rows();
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+    // Scale tolerance by the largest matrix entry so conductance units do not
+    // change the notion of "singular".
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        max_abs = std::max(max_abs, std::abs(lu_(i, j)));
+      }
+    }
+    const double tol = singular_tol * std::max(max_abs, 1.0);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Pivot selection.
+      std::size_t pivot = k;
+      double pivot_mag = std::abs(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double mag = std::abs(lu_(i, k));
+        if (mag > pivot_mag) {
+          pivot_mag = mag;
+          pivot = i;
+        }
+      }
+      if (pivot_mag <= tol) {
+        ok_ = false;
+        return;
+      }
+      if (pivot != k) {
+        std::swap(perm_[k], perm_[pivot]);
+        for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      }
+      // Elimination.
+      const T pivot_val = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T factor = lu_(i, k) / pivot_val;
+        lu_(i, k) = factor;
+        if (factor == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j) {
+          lu_(i, j) -= factor * lu_(k, j);
+        }
+      }
+    }
+  }
+
+  bool ok() const noexcept { return ok_; }
+
+  /// Solves A x = b. Requires ok().
+  std::vector<T> solve(const std::vector<T>& b) const {
+    OLP_CHECK(ok_, "solve on a singular factorization");
+    const std::size_t n = lu_.rows();
+    OLP_CHECK(b.size() == n, "rhs dimension mismatch");
+    std::vector<T> x(n);
+    // Apply permutation and forward-substitute L y = P b.
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Back-substitute U x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  bool ok_ = true;
+};
+
+/// Convenience one-shot solve; returns false (and leaves x untouched) when the
+/// matrix is numerically singular.
+template <typename T>
+bool solve(Matrix<T> a, const std::vector<T>& b, std::vector<T>& x) {
+  Lu<T> lu(std::move(a));
+  if (!lu.ok()) return false;
+  x = lu.solve(b);
+  return true;
+}
+
+}  // namespace olp::linalg

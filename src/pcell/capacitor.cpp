@@ -1,0 +1,82 @@
+#include "pcell/capacitor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace olp::pcell {
+
+namespace {
+/// Sidewall coupling per unit length between adjacent min-spaced fingers on
+/// one layer; with the layer above mirrored this roughly doubles.
+double coupling_per_length(const tech::Technology& t, tech::Layer layer) {
+  // Dominated by the lateral component of the routing capacitance.
+  return 0.65 * t.metal(layer).cap_per_length;
+}
+}  // namespace
+
+MomCapLayout generate_mom_cap(const tech::Technology& t,
+                              const MomCapConfig& config) {
+  OLP_CHECK(config.fingers >= 2, "MOM cap needs at least 2 fingers");
+  OLP_CHECK(config.finger_length > 0, "MOM cap needs positive finger length");
+  const tech::MetalLayerInfo& m = t.metal(config.layer);
+
+  MomCapLayout out;
+  out.config = config;
+  out.geometry.set_name("mom_cap");
+
+  const double pitch = m.pitch;
+  const int gaps = config.fingers - 1;
+  // Two stacked layers of interdigitation double the sidewall coupling.
+  out.capacitance =
+      2.0 * coupling_per_length(t, config.layer) * config.finger_length *
+      static_cast<double>(gaps);
+  // Each plate's comb resistance: half the fingers in parallel, each a
+  // finger_length run, plus the spine.
+  const double finger_res = t.wire_res(config.layer, config.finger_length);
+  const double fingers_per_plate = std::max(1, config.fingers / 2);
+  out.series_res = finger_res / fingers_per_plate +
+                   t.wire_res(config.layer, gaps * pitch) * 0.5;
+  // Bottom-plate parasitic to substrate: the full comb footprint area term.
+  out.plate_cap = 0.10 * out.capacitance;
+
+  using geom::Rect;
+  using geom::to_nm;
+  for (int f = 0; f < config.fingers; ++f) {
+    const double x = f * pitch;
+    const char* net = (f % 2 == 0) ? "a" : "b";
+    out.geometry.add_shape(
+        config.layer,
+        Rect{to_nm(x), 0, to_nm(x + m.min_width), to_nm(config.finger_length)},
+        net);
+  }
+  const double width = gaps * pitch + m.min_width;
+  out.geometry.add_pin("a", config.layer,
+                       Rect{0, 0, to_nm(m.min_width), to_nm(m.min_width)});
+  out.geometry.add_pin("b", config.layer,
+                       Rect{to_nm(width - m.min_width),
+                            to_nm(config.finger_length - m.min_width),
+                            to_nm(width), to_nm(config.finger_length)});
+  return out;
+}
+
+std::vector<MomCapConfig> enumerate_mom_configs(const tech::Technology& t,
+                                                double target,
+                                                double tolerance) {
+  OLP_CHECK(target > 0, "target capacitance must be positive");
+  std::vector<MomCapConfig> configs;
+  for (int fingers = 4; fingers <= 64; fingers += 2) {
+    for (double len = 0.5e-6; len <= 8e-6; len += 0.5e-6) {
+      MomCapConfig c;
+      c.fingers = fingers;
+      c.finger_length = len;
+      const MomCapLayout trial = generate_mom_cap(t, c);
+      if (std::fabs(trial.capacitance - target) <= tolerance * target) {
+        configs.push_back(c);
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace olp::pcell

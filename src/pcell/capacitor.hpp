@@ -1,0 +1,39 @@
+#pragma once
+// Passive primitive: interdigitated metal-oxide-metal (MOM) capacitor.
+//
+// The paper's primitive taxonomy includes passives (Sec. II-A, Table II:
+// capacitor metrics C (alpha = 1) and frequency (alpha = 0.1), tuned via the
+// RC at the terminals). The MOM generator produces finger capacitors on an
+// adjacent metal-layer pair with a computable capacitance, series resistance
+// (which sets the self-resonance / frequency metric), and plate parasitics.
+
+#include "geom/layout.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::pcell {
+
+struct MomCapConfig {
+  int fingers = 8;          ///< interdigitated fingers per plate
+  double finger_length = 2e-6;  ///< [m]
+  tech::Layer layer = tech::Layer::kM3;  ///< lower layer of the stack pair
+};
+
+struct MomCapLayout {
+  MomCapConfig config;
+  geom::Layout geometry;
+  double capacitance = 0.0;   ///< plate-to-plate [F]
+  double series_res = 0.0;    ///< effective series resistance [ohm]
+  double plate_cap = 0.0;     ///< each plate to substrate [F]
+};
+
+/// Generates a MOM capacitor with the given configuration.
+MomCapLayout generate_mom_cap(const tech::Technology& t,
+                              const MomCapConfig& config);
+
+/// Enumerates MOM configurations (finger count / length trade-offs) whose
+/// capacitance approximates `target` within `tolerance` (relative).
+std::vector<MomCapConfig> enumerate_mom_configs(const tech::Technology& t,
+                                                double target,
+                                                double tolerance = 0.1);
+
+}  // namespace olp::pcell

@@ -1,0 +1,593 @@
+#include "pcell/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace olp::pcell {
+
+namespace {
+
+/// Proportional (Bresenham-style) interleave of device labels: device i
+/// appears counts[i] times, spread as evenly as possible.
+std::vector<int> proportional_interleave(const std::vector<int>& counts) {
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  std::vector<double> err(counts.size(), 0.0);
+  std::vector<int> placed(counts.size(), 0);
+  std::vector<int> seq;
+  seq.reserve(static_cast<std::size_t>(total));
+  for (int slot = 0; slot < total; ++slot) {
+    // Pick the device with the largest deficit relative to its quota.
+    int best = -1;
+    double best_deficit = -1e300;
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      if (placed[d] >= counts[d]) continue;
+      const double quota =
+          static_cast<double>(counts[d]) * (slot + 1) / total;
+      const double deficit = quota - placed[d];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = static_cast<int>(d);
+      }
+    }
+    OLP_ASSERT(best >= 0, "interleave ran out of devices");
+    seq.push_back(best);
+    placed[static_cast<std::size_t>(best)]++;
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::vector<int> build_row_sequence(const std::vector<int>& counts,
+                                    PlacementPattern pattern) {
+  OLP_CHECK(!counts.empty(), "row sequence needs at least one device");
+  for (int c : counts) OLP_CHECK(c >= 0, "negative finger count");
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  OLP_CHECK(total > 0, "row sequence needs at least one finger");
+
+  switch (pattern) {
+    case PlacementPattern::kAABB: {
+      // Split halves: all of device 0, then all of device 1, ...
+      std::vector<int> seq;
+      seq.reserve(static_cast<std::size_t>(total));
+      for (std::size_t d = 0; d < counts.size(); ++d) {
+        seq.insert(seq.end(), static_cast<std::size_t>(counts[d]),
+                   static_cast<int>(d));
+      }
+      return seq;
+    }
+    case PlacementPattern::kABAB:
+      return proportional_interleave(counts);
+    case PlacementPattern::kABBA: {
+      // Common centroid. For a balanced pair, repeat the ABBA block: the
+      // pairwise-mirrored order A B B A A B B A ... keeps the centroids
+      // matched AND every diffusion boundary shareable (source at A|B and
+      // B|A boundaries, drain at A|A and B|B boundaries).
+      if (counts.size() == 2 && counts[0] == counts[1]) {
+        std::vector<int> seq;
+        seq.reserve(static_cast<std::size_t>(total));
+        for (int k = 0; k < counts[0]; ++k) {
+          if (k % 2 == 0) {
+            seq.push_back(0);
+            seq.push_back(1);
+          } else {
+            seq.push_back(1);
+            seq.push_back(0);
+          }
+        }
+        return seq;
+      }
+      // General case: interleave half the fingers, then mirror. Odd
+      // remainders go in the middle (their centroid error is minimal there).
+      std::vector<int> half_counts(counts.size());
+      std::vector<int> odd;
+      for (std::size_t d = 0; d < counts.size(); ++d) {
+        half_counts[d] = counts[d] / 2;
+        if (counts[d] % 2 != 0) odd.push_back(static_cast<int>(d));
+      }
+      std::vector<int> first = proportional_interleave(half_counts);
+      std::vector<int> seq = first;
+      seq.insert(seq.end(), odd.begin(), odd.end());
+      seq.insert(seq.end(), first.rbegin(), first.rend());
+      return seq;
+    }
+  }
+  throw InternalError("unknown placement pattern");
+}
+
+std::vector<LayoutConfig> PrimitiveGenerator::enumerate_configs(
+    int fins_per_device, const std::vector<PlacementPattern>& patterns) {
+  OLP_CHECK(fins_per_device >= 4, "too few fins to enumerate configurations");
+  static constexpr int kNfinChoices[] = {4, 6, 8, 12, 16, 20, 24, 32};
+  std::vector<LayoutConfig> configs;
+  for (int nfin : kNfinChoices) {
+    if (fins_per_device % nfin != 0) continue;
+    const int rest = fins_per_device / nfin;
+    for (int m = 1; m <= 12; ++m) {
+      if (rest % m != 0) continue;
+      const int nf = rest / m;
+      if (nf < 2 || nf > 64) continue;
+      for (PlacementPattern p : patterns) {
+        LayoutConfig c;
+        c.nfin = nfin;
+        c.nf = nf;
+        c.m = m;
+        c.pattern = p;
+        configs.push_back(c);
+      }
+    }
+  }
+  return configs;
+}
+
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+using geom::to_nm;
+
+/// One finger in a row: which device it belongs to and its S/D orientation.
+struct Finger {
+  int device = 0;    ///< index into the section's device list
+  bool src_left = true;  ///< source on the left side
+  int run_id = 0;    ///< contiguous diffusion run the finger belongs to
+  int pos_in_run = 0;
+  int x_index = 0;   ///< finger slot index within the row (incl. dummies)
+};
+
+/// A diffusion region between/beside gates.
+struct DiffRegion {
+  std::string net;
+  /// (device index, true=source/false=drain) terminals attached.
+  std::vector<std::pair<int, bool>> terminals;
+  bool inner = false;  ///< shared-pitch region (vs. run-end extension)
+  int x_index = 0;     ///< slot position
+};
+
+struct RowPlan {
+  std::vector<Finger> fingers;
+  std::vector<DiffRegion> regions;
+  int n_runs = 1;
+  int n_slots = 0;  ///< total horizontal slots incl. dummies and breaks
+};
+
+/// Walks the row sequence assigning orientations to maximize diffusion
+/// sharing and collecting diffusion regions.
+RowPlan plan_row(const std::vector<int>& seq,
+                 const std::vector<const LogicalDevice*>& devices,
+                 bool dummies) {
+  RowPlan plan;
+  int run_id = 0;
+  int pos_in_run = 0;
+  int x_index = 0;
+  std::string open_net;  // net of the currently open (right-side) diffusion
+
+  auto net_of = [&](int dev, bool source) -> const std::string& {
+    return source ? devices[static_cast<std::size_t>(dev)]->source_net
+                  : devices[static_cast<std::size_t>(dev)]->drain_net;
+  };
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const int dev = seq[i];
+    const std::string& s_net = net_of(dev, true);
+    const std::string& d_net = net_of(dev, false);
+
+    bool share = false;
+    bool src_left = true;
+    if (i > 0) {
+      if (open_net == s_net) {
+        share = true;
+        src_left = true;
+      } else if (open_net == d_net) {
+        share = true;
+        src_left = false;
+      }
+    }
+
+    if (i == 0 || !share) {
+      // Start a new run: optional dummy finger on the left, then the left
+      // edge diffusion region.
+      if (i > 0) {
+        ++run_id;
+        pos_in_run = 0;
+        if (dummies) ++x_index;  // right dummy of the previous run
+        ++x_index;               // break gap
+      }
+      if (dummies) ++x_index;  // leading dummy of the run
+      // Orient the run's first finger so its right terminal can share with
+      // the next finger (this is what makes ABBA rows fully
+      // diffusion-shared: A(D,S) B(S,D) B(D,S) A(S,D) ...).
+      src_left = true;
+      if (i + 1 < seq.size()) {
+        const std::string& next_s = net_of(seq[i + 1], true);
+        const std::string& next_d = net_of(seq[i + 1], false);
+        if (d_net == next_s || d_net == next_d) {
+          src_left = true;  // drain on the right shares with the next finger
+        } else if (s_net == next_s || s_net == next_d) {
+          src_left = false;  // source on the right shares
+        }
+      }
+      DiffRegion left;
+      left.net = src_left ? s_net : d_net;
+      left.terminals = {{dev, src_left}};
+      left.inner = dummies;  // a dummy converts the edge into a shared pitch
+      left.x_index = x_index;
+      plan.regions.push_back(left);
+    } else {
+      // Shared: attach this finger's matching terminal to the open region.
+      plan.regions.back().terminals.push_back({dev, src_left});
+    }
+
+    Finger f;
+    f.device = dev;
+    f.src_left = src_left;
+    f.run_id = run_id;
+    f.pos_in_run = pos_in_run++;
+    f.x_index = ++x_index;
+    plan.fingers.push_back(f);
+
+    // Open the right-side region of this finger.
+    const std::string& right_net = src_left ? d_net : s_net;
+    DiffRegion right;
+    right.net = right_net;
+    right.terminals = {{dev, !src_left}};
+    right.inner = true;  // provisional; fixed up below for run ends
+    right.x_index = x_index + 1;
+    plan.regions.push_back(right);
+    open_net = right_net;
+  }
+  if (dummies) ++x_index;  // trailing dummy
+  plan.n_runs = run_id + 1;
+  plan.n_slots = x_index + 1;
+
+  // Fix pos_in_run relative distances: compute run lengths.
+  std::map<int, int> run_len;
+  for (const Finger& f : plan.fingers) {
+    run_len[f.run_id] = std::max(run_len[f.run_id], f.pos_in_run + 1);
+  }
+  // Mark the first and last region of each run as outer (full diffusion
+  // extension) unless dummies absorb the edge. Regions appear in order and
+  // each run of length `len` contributes exactly len + 1 regions.
+  if (!dummies) {
+    std::size_t r = 0;
+    for (int run = 0; run < plan.n_runs; ++run) {
+      const std::size_t first_region = r;
+      r += static_cast<std::size_t>(run_len[run]) + 1;
+      OLP_ASSERT(r <= plan.regions.size(), "region bookkeeping error");
+      plan.regions[first_region].inner = false;
+      plan.regions[r - 1].inner = false;
+    }
+    OLP_ASSERT(r == plan.regions.size(), "region bookkeeping error");
+  }
+  return plan;
+}
+
+}  // namespace
+
+PrimitiveLayout PrimitiveGenerator::generate(const PrimitiveNetlist& netlist,
+                                             const LayoutConfig& config) const {
+  OLP_CHECK(!netlist.devices.empty(), "primitive has no devices");
+  OLP_CHECK(config.nfin >= 1 && config.nf >= 1 && config.m >= 1,
+            "invalid layout configuration");
+
+  PrimitiveLayout out;
+  out.netlist = netlist;
+  out.config = config;
+  out.geometry.set_name(netlist.name + "/" + config.to_string());
+
+  // Group devices into sections: matched groups share rows, unmatched
+  // devices stack their own rows.
+  std::vector<std::vector<int>> sections;
+  {
+    std::map<int, std::size_t> group_to_section;
+    for (std::size_t d = 0; d < netlist.devices.size(); ++d) {
+      const int g = netlist.devices[d].match_group;
+      if (g < 0) {
+        sections.push_back({static_cast<int>(d)});
+      } else if (auto it = group_to_section.find(g);
+                 it != group_to_section.end()) {
+        sections[it->second].push_back(static_cast<int>(d));
+      } else {
+        group_to_section[g] = sections.size();
+        sections.push_back({static_cast<int>(d)});
+      }
+    }
+  }
+
+  const tech::Technology& t = tech_;
+  const double poly_pitch = t.poly_pitch;
+  const double fin_pitch = t.fin_pitch;
+  const double gate_l = t.gate_length;
+  const double row_fin_height = config.nfin * fin_pitch;
+  const double strap_band = 4.0 * t.metals[0].pitch;
+  const double row_height = row_fin_height + strap_band;
+  const double row_gap = 40e-9;
+  const double edge_margin = 100e-9;  // well/guard enclosure
+
+  double y_cursor = edge_margin;
+  double max_row_width = 0.0;
+
+  struct DeviceAccum {
+    double sum_dvth = 0.0;
+    double sum_mob = 0.0;
+    double sum_x = 0.0;  // finger-position sums for the gradient centroid
+    double sum_y = 0.0;
+    int fingers = 0;  // total across all rows
+    double as = 0.0, ad = 0.0, ps = 0.0, pd = 0.0;
+  };
+  std::vector<DeviceAccum> acc(netlist.devices.size());
+
+  struct NetAccum {
+    double min_x = 1e300, max_x = -1e300;
+    int contacts = 0;         // total contact stacks, all rows
+    double contact_res = 0;   // representative single-contact resistance
+    bool carries_sd = false;  // touched by a source/drain terminal
+  };
+  std::map<std::string, NetAccum> net_acc;
+  auto touch_net = [&](const std::string& net, double x, double contact_res,
+                       bool is_sd) {
+    NetAccum& na = net_acc[net];
+    na.min_x = std::min(na.min_x, x);
+    na.max_x = std::max(na.max_x, x);
+    na.contacts += 1;
+    na.contact_res = na.contact_res == 0.0
+                         ? contact_res
+                         : std::min(na.contact_res, contact_res);
+    na.carries_sd = na.carries_sd || is_sd;
+  };
+
+  for (const std::vector<int>& section : sections) {
+    std::vector<const LogicalDevice*> devs;
+    std::vector<int> counts;
+    for (int d : section) {
+      devs.push_back(&netlist.devices[static_cast<std::size_t>(d)]);
+      counts.push_back(config.nf *
+                       netlist.devices[static_cast<std::size_t>(d)].unit_ratio);
+    }
+
+    // Per-row finger sequences. For most patterns every row is identical;
+    // the non-common-centroid AABB pattern splits at ROW level when the
+    // configuration has multiple rows (device A in the top rows, device B in
+    // the bottom rows) - that is what "split halves" means for a multi-row
+    // structure, and it is what makes its systematic offset grow with the
+    // configuration's height.
+    std::vector<std::vector<int>> row_seqs;
+    if (config.pattern == PlacementPattern::kAABB && config.m >= 2 &&
+        counts.size() == 2 && counts[0] == counts[1]) {
+      const int per_row = counts[0] + counts[1];
+      const int full_rows_each = config.m / 2;
+      for (int r = 0; r < full_rows_each; ++r) {
+        row_seqs.emplace_back(static_cast<std::size_t>(per_row), 0);
+      }
+      if (config.m % 2 != 0) {
+        std::vector<int> mid(static_cast<std::size_t>(per_row), 0);
+        for (int k = counts[0]; k < per_row; ++k) {
+          mid[static_cast<std::size_t>(k)] = 1;
+        }
+        row_seqs.push_back(std::move(mid));
+      }
+      for (int r = 0; r < full_rows_each; ++r) {
+        row_seqs.emplace_back(static_cast<std::size_t>(per_row), 1);
+      }
+    } else {
+      const std::vector<int> seq = build_row_sequence(counts, config.pattern);
+      row_seqs.assign(static_cast<std::size_t>(config.m), seq);
+      // 2-D common centroid for the matched patterns: odd rows use the
+      // device-complemented sequence, so run-edge LOD/WPE exposure
+      // alternates between the devices and cancels across row pairs.
+      if (config.pattern != PlacementPattern::kAABB && counts.size() == 2 &&
+          counts[0] == counts[1]) {
+        for (std::size_t r = 1; r < row_seqs.size(); r += 2) {
+          for (int& dev : row_seqs[r]) dev = 1 - dev;
+        }
+      }
+    }
+
+    const double lde_l2 = gate_l * 0.5;
+    for (int row = 0; row < config.m; ++row) {
+      const std::vector<int>& seq = row_seqs[static_cast<std::size_t>(row)];
+      const RowPlan plan = plan_row(seq, devs, config.dummies);
+
+      const double row_width = 2.0 * edge_margin + plan.n_slots * poly_pitch;
+      max_row_width = std::max(max_row_width, row_width);
+
+      std::map<int, int> run_len;
+      for (const Finger& f : plan.fingers) {
+        run_len[f.run_id] = std::max(run_len[f.run_id], f.pos_in_run + 1);
+      }
+
+      const double row_y = y_cursor + row * (row_height + row_gap);
+      const double diff_y0 = row_y + strap_band * 0.5;
+      const double diff_y1 = diff_y0 + row_fin_height;
+      const double row_y_center = 0.5 * (diff_y0 + diff_y1);
+
+      // Geometry: fins, diffusion regions, poly fingers.
+      out.geometry.add_shape(
+          tech::Layer::kFin,
+          Rect{to_nm(edge_margin), to_nm(diff_y0),
+               to_nm(edge_margin + plan.n_slots * poly_pitch),
+               to_nm(diff_y1)});
+      for (const DiffRegion& region : plan.regions) {
+        const double x0 = edge_margin + region.x_index * poly_pitch;
+        const double w_region =
+            region.inner ? (poly_pitch - gate_l) : t.diff_extension;
+        out.geometry.add_shape(
+            tech::Layer::kDiffusion,
+            Rect{to_nm(x0), to_nm(diff_y0), to_nm(x0 + w_region),
+                 to_nm(diff_y1)},
+            region.net);
+      }
+      for (const Finger& f : plan.fingers) {
+        const double xg = edge_margin + f.x_index * poly_pitch - gate_l * 0.5;
+        out.geometry.add_shape(
+            tech::Layer::kPoly,
+            Rect{to_nm(xg), to_nm(diff_y0 - 30e-9), to_nm(xg + gate_l),
+                 to_nm(diff_y1 + 30e-9)},
+            devs[static_cast<std::size_t>(f.device)]->gate_net);
+      }
+
+      // LDE accumulation per finger.
+      for (const Finger& f : plan.fingers) {
+        const int global_dev = section[static_cast<std::size_t>(f.device)];
+        DeviceAccum& a = acc[static_cast<std::size_t>(global_dev)];
+        const int len = run_len[f.run_id];
+        // Diffusion extents to the ends of the run; dummies protect by one
+        // extra pitch.
+        const double extra = config.dummies ? poly_pitch : 0.0;
+        const double sa = (f.pos_in_run + 0.5) * poly_pitch + extra;
+        const double sb = (len - f.pos_in_run - 0.5) * poly_pitch + extra;
+        const double lod_term = 1.0 / (sa + lde_l2) + 1.0 / (sb + lde_l2) -
+                                2.0 / (t.lde.sa_ref + lde_l2);
+        const double x_pos = edge_margin + f.x_index * poly_pitch;
+        const double sc = std::min(x_pos, row_width - x_pos) + t.lde.sc_offset;
+        const double dvth_lod = t.lde.k_lod_vth * lod_term;
+        const double dvth_wpe = t.lde.k_wpe_vth / sc;
+        a.sum_dvth += dvth_lod + dvth_wpe;
+        a.sum_mob += 1.0 + t.lde.k_lod_mob * lod_term;
+        a.sum_x += x_pos;
+        a.sum_y += row_y_center;
+        a.fingers += 1;
+        touch_net(devs[static_cast<std::size_t>(f.device)]->gate_net, x_pos,
+                  t.via_res, false);
+      }
+
+      // Junction geometry per diffusion region.
+      for (const DiffRegion& region : plan.regions) {
+        const double w_region =
+            region.inner ? (poly_pitch - gate_l) : t.diff_extension;
+        const double area = w_region * row_fin_height;
+        const double perim = 2.0 * (w_region + row_fin_height);
+        const double x_pos = edge_margin + region.x_index * poly_pitch;
+        const double share = 1.0 / static_cast<double>(region.terminals.size());
+        for (const auto& [dev_local, is_source] : region.terminals) {
+          const int global_dev = section[static_cast<std::size_t>(dev_local)];
+          DeviceAccum& a = acc[static_cast<std::size_t>(global_dev)];
+          const LogicalDevice* ld = devs[static_cast<std::size_t>(dev_local)];
+          if (is_source) {
+            a.as += area * share;
+            a.ps += perim * share;
+            touch_net(ld->source_net, x_pos, t.diff_cont_res, true);
+          } else {
+            a.ad += area * share;
+            a.pd += perim * share;
+            touch_net(ld->drain_net, x_pos, t.diff_cont_res, true);
+          }
+        }
+      }
+    }
+
+    // M1 strap bars per section net (one per row per net, for the geometry
+    // view; the electrical mesh model lives in InternalNet).
+    std::set<std::string> section_nets;
+    for (const LogicalDevice* d : devs) {
+      section_nets.insert(d->source_net);
+      section_nets.insert(d->drain_net);
+      section_nets.insert(d->gate_net);
+    }
+    int strap_track = 0;
+    for (const std::string& net : section_nets) {
+      for (int row = 0; row < config.m; ++row) {
+        const double row_y = y_cursor + row * (row_height + row_gap);
+        const double y_bar = row_y + strap_track * t.metals[0].pitch;
+        out.geometry.add_shape(
+            tech::Layer::kM1,
+            Rect{to_nm(edge_margin), to_nm(y_bar),
+                 to_nm(edge_margin +
+                       row_seqs[static_cast<std::size_t>(row)].size() *
+                           poly_pitch),
+                 to_nm(y_bar + t.metals[0].min_width)},
+            net);
+      }
+      ++strap_track;
+    }
+
+    y_cursor += config.m * (row_height + row_gap) + row_gap;
+  }
+
+  const double cell_width = max_row_width;
+  const double cell_height = y_cursor + edge_margin;
+
+  // Port pins on M2 along the cell boundary.
+  {
+    int k = 0;
+    for (const std::string& port : netlist.ports) {
+      const double x = edge_margin + k * 3.0 * t.metals[1].pitch;
+      out.geometry.add_pin(
+          port, tech::Layer::kM2,
+          Rect{to_nm(x), to_nm(cell_height - edge_margin), to_nm(x + 40e-9),
+               to_nm(cell_height - edge_margin + 40e-9)});
+      ++k;
+    }
+  }
+  // Boundary markers so the bbox reflects the full cell outline.
+  out.geometry.add_shape(tech::Layer::kDiffusion,
+                         Rect{0, 0, to_nm(cell_width), 0});
+  out.geometry.add_shape(tech::Layer::kDiffusion,
+                         Rect{0, to_nm(cell_height), to_nm(cell_width),
+                              to_nm(cell_height)});
+
+  // Finalize per-device physicals (accumulators already cover all rows).
+  // The systematic process gradient is referenced to the cell centroid: the
+  // absolute die position is unknowable at primitive level, so only the
+  // *relative* centroid displacement between devices is meaningful (it is
+  // what placement patterns cancel or fail to cancel).
+  double cx = 0.0, cy = 0.0;
+  {
+    long total_fingers = 0;
+    for (const DeviceAccum& a : acc) {
+      cx += a.sum_x;
+      cy += a.sum_y;
+      total_fingers += a.fingers;
+    }
+    OLP_ASSERT(total_fingers > 0, "no fingers generated");
+    cx /= static_cast<double>(total_fingers);
+    cy /= static_cast<double>(total_fingers);
+  }
+  const double trunk_len = (config.m - 1) * (row_height + row_gap);
+  for (std::size_t d = 0; d < netlist.devices.size(); ++d) {
+    const LogicalDevice& ld = netlist.devices[d];
+    const DeviceAccum& a = acc[d];
+    OLP_ASSERT(a.fingers > 0, "device generated no fingers");
+    DevicePhysical phys;
+    phys.w = t.fin_width_eff * config.nfin * a.fingers;
+    phys.l = gate_l;
+    phys.as = a.as;
+    phys.ad = a.ad;
+    phys.ps = a.ps;
+    phys.pd = a.pd;
+    // LDE shifts are Vth-magnitude increases for both flavors; under the
+    // simulator's sign mapping that is a positive delta in each case.
+    const double dx = a.sum_x / a.fingers - cx;
+    const double dy = a.sum_y / a.fingers - cy;
+    phys.delta_vth =
+        a.sum_dvth / a.fingers + t.lde.grad_vth * (dx + dy);
+    phys.mobility_mult = a.sum_mob / a.fingers;
+    out.devices[ld.name] = phys;
+  }
+
+  // Per-net internal mesh straps.
+  for (const auto& [net_name, na] : net_acc) {
+    InternalNet net;
+    net.layer = tech::Layer::kM1;
+    net.span_length =
+        na.max_x > na.min_x ? (na.max_x - na.min_x) : poly_pitch;
+    net.bar_length = row_fin_height + 0.5 * strap_band;
+    net.trunk_length = trunk_len;
+    net.rows = config.m;
+    net.n_contacts = std::max(1, na.contacts);
+    net.contact_res = na.contact_res;
+    // Source/drain buses are drawn two tracks wide (current carrying);
+    // gate-only straps are a single track.
+    net.base_tracks = na.carries_sd ? 2 : 1;
+    out.nets[net_name] = net;
+  }
+  return out;
+}
+
+}  // namespace olp::pcell

@@ -1,0 +1,61 @@
+#pragma once
+// Parameterized primitive layout generation (the "cell generator" box of the
+// paper's Fig. 1, in the style of ALIGN's primitive generators).
+//
+// For a primitive netlist and a layout configuration (nfin, nf, m, pattern,
+// dummies) the generator:
+//   1. builds the per-row finger sequence implied by the placement pattern
+//      (finger-level ABBA / ABAB / AABB interleaving of matched devices),
+//   2. walks the sequence choosing source/drain orientations that maximize
+//      diffusion sharing, inserting diffusion breaks where adjacent nets are
+//      incompatible,
+//   3. derives sharing-aware junction geometry (AS/AD/PS/PD),
+//   4. evaluates layout-dependent effects per finger (LOD from the contiguous
+//      diffusion run, WPE from the well edge distance, and the systematic
+//      process gradient) and averages them per logical device,
+//   5. sizes the internal source/drain/gate straps (mesh routing) so the
+//      optimizer can trade their R against C by adding parallel wires,
+//   6. emits the actual rectangles (diffusion, fins, poly, M1 bars, M2
+//      straps) and the port pins.
+
+#include <vector>
+
+#include "pcell/primitive.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::pcell {
+
+/// Generates primitive layouts for a technology.
+class PrimitiveGenerator {
+ public:
+  explicit PrimitiveGenerator(const tech::Technology& technology)
+      : tech_(technology) {}
+
+  /// Realizes `netlist` in configuration `config`. The configuration's
+  /// fins_per_device() applies to unit_ratio == 1 devices; a device with
+  /// unit_ratio k gets k times the fingers.
+  PrimitiveLayout generate(const PrimitiveNetlist& netlist,
+                           const LayoutConfig& config) const;
+
+  /// Enumerates layout configurations realizing `fins_per_device` total fins,
+  /// one per valid (nfin, nf, m) divisor triple and placement pattern.
+  /// `patterns` restricts the patterns (useful for unmatched primitives).
+  static std::vector<LayoutConfig> enumerate_configs(
+      int fins_per_device,
+      const std::vector<PlacementPattern>& patterns = {
+          PlacementPattern::kABBA, PlacementPattern::kABAB,
+          PlacementPattern::kAABB});
+
+  const tech::Technology& technology() const { return tech_; }
+
+ private:
+  const tech::Technology& tech_;
+};
+
+/// Builds one row's device-label sequence for a matched group.
+/// `counts[i]` fingers of device i per row; the pattern controls interleaving.
+/// Exposed for unit testing.
+std::vector<int> build_row_sequence(const std::vector<int>& counts,
+                                    PlacementPattern pattern);
+
+}  // namespace olp::pcell

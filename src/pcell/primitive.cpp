@@ -1,0 +1,222 @@
+#include "pcell/primitive.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace olp::pcell {
+
+const char* primitive_type_name(PrimitiveType type) {
+  switch (type) {
+    case PrimitiveType::kDiffPair: return "diff_pair";
+    case PrimitiveType::kCurrentMirror: return "current_mirror";
+    case PrimitiveType::kActiveCurrentMirror: return "active_current_mirror";
+    case PrimitiveType::kCurrentSource: return "current_source";
+    case PrimitiveType::kCommonSource: return "common_source";
+    case PrimitiveType::kCurrentStarvedInverter:
+      return "current_starved_inverter";
+    case PrimitiveType::kCrossCoupledPair: return "cross_coupled_pair";
+    case PrimitiveType::kSwitch: return "switch";
+    case PrimitiveType::kCapacitor: return "capacitor";
+  }
+  return "?";
+}
+
+const char* pattern_name(PlacementPattern pattern) {
+  switch (pattern) {
+    case PlacementPattern::kABBA: return "ABBA";
+    case PlacementPattern::kABAB: return "ABAB";
+    case PlacementPattern::kAABB: return "AABB";
+  }
+  return "?";
+}
+
+std::string LayoutConfig::to_string() const {
+  std::ostringstream os;
+  os << "nfin=" << nfin << ";nf=" << nf << ";m=" << m << ";"
+     << pattern_name(pattern) << (dummies ? ";dum" : "");
+  return os.str();
+}
+
+double InternalNet::resistance(const tech::Technology& t, int parallel) const {
+  OLP_CHECK(parallel >= 1, "strap width multiplier must be >= 1");
+  const int tracks = base_tracks * parallel;
+  // Contact bars: one short vertical bar plus contact stack per contacted
+  // region, all in parallel. Current injects distributedly along the bar
+  // (one fin per fin pitch), so the effective bar resistance is a third of
+  // its end-to-end value.
+  const double bar =
+      (t.wire_res(layer, bar_length, 1) / 3.0 + contact_res) /
+      static_cast<double>(std::max(1, n_contacts));
+  // Row buses: distributed collection, rows in parallel, plus one via per
+  // row joining the via ladder. Long buses get periodic relief taps to the
+  // next metal level (one ladder per ~1.5 um of span), which bounds the
+  // worst-case collection resistance of wide single-row cells.
+  const int taps = 1 + static_cast<int>(span_length / 1.5e-6);
+  const double bus =
+      (kBusDistribution * t.wire_res(layer, span_length, tracks) /
+           static_cast<double>(taps) +
+       t.via_res) /
+      static_cast<double>(std::max(1, rows));
+  return bar + bus;
+}
+
+double InternalNet::capacitance(const tech::Technology& t, int parallel) const {
+  OLP_CHECK(parallel >= 1, "strap width multiplier must be >= 1");
+  const int tracks = base_tracks * parallel;
+  const double bus = t.wire_cap(layer, span_length, tracks) *
+                     static_cast<double>(std::max(1, rows));
+  const double bars = t.wire_cap(layer, bar_length, 1) *
+                      static_cast<double>(std::max(1, n_contacts));
+  const double trunk = t.wire_cap(layer, trunk_length, 1) +
+                       t.via_cap * static_cast<double>(std::max(1, rows));
+  return bus + bars + trunk;
+}
+
+PrimitiveNetlist make_diff_pair() {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kDiffPair;
+  p.name = "diff_pair";
+  p.devices = {
+      {"MA", spice::MosType::kNmos, "da", "ga", "s", 1, 0},
+      {"MB", spice::MosType::kNmos, "db", "gb", "s", 1, 0},
+  };
+  p.ports = {"da", "db", "ga", "gb", "s"};
+  p.symmetric_ports = {{"da", "db"}, {"ga", "gb"}};
+  return p;
+}
+
+PrimitiveNetlist make_current_mirror(int ratio) {
+  OLP_CHECK(ratio >= 1, "mirror ratio must be >= 1");
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCurrentMirror;
+  p.name = "current_mirror";
+  p.devices = {
+      {"MREF", spice::MosType::kNmos, "ref", "ref", "s", 1, 0},
+      {"MOUT", spice::MosType::kNmos, "out", "ref", "s", ratio, 0},
+  };
+  p.ports = {"ref", "out", "s"};
+  return p;
+}
+
+PrimitiveNetlist make_cascode_current_mirror(int ratio) {
+  OLP_CHECK(ratio >= 1, "mirror ratio must be >= 1");
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCurrentMirror;
+  p.name = "cascode_current_mirror";
+  // Bottom mirror pair (diode at x1) and stacked cascode pair (diode at
+  // ref): the classic fully-cascoded mirror. Each pair is its own matching
+  // group and occupies its own common-centroid row section.
+  p.devices = {
+      {"MREF", spice::MosType::kNmos, "x1", "x1", "s", 1, 0},
+      {"MOUT", spice::MosType::kNmos, "x2", "x1", "s", ratio, 0},
+      {"MCREF", spice::MosType::kNmos, "ref", "ref", "x1", 1, 1},
+      {"MCOUT", spice::MosType::kNmos, "out", "ref", "x2", ratio, 1},
+  };
+  p.ports = {"ref", "out", "s"};
+  return p;
+}
+
+PrimitiveNetlist make_cascode_diff_pair() {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kDiffPair;
+  p.name = "cascode_diff_pair";
+  p.devices = {
+      {"MA", spice::MosType::kNmos, "xa", "ga", "s", 1, 0},
+      {"MB", spice::MosType::kNmos, "xb", "gb", "s", 1, 0},
+      {"MCA", spice::MosType::kNmos, "da", "vcasc", "xa", 1, 1},
+      {"MCB", spice::MosType::kNmos, "db", "vcasc", "xb", 1, 1},
+  };
+  p.ports = {"da", "db", "ga", "gb", "vcasc", "s"};
+  p.symmetric_ports = {{"da", "db"}, {"ga", "gb"}};
+  return p;
+}
+
+PrimitiveNetlist make_active_current_mirror() {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kActiveCurrentMirror;
+  p.name = "active_current_mirror";
+  p.devices = {
+      {"MREF", spice::MosType::kPmos, "ref", "ref", "vdd", 1, 0},
+      {"MOUT", spice::MosType::kPmos, "out", "ref", "vdd", 1, 0},
+  };
+  p.ports = {"ref", "out", "vdd"};
+  return p;
+}
+
+PrimitiveNetlist make_current_source(spice::MosType type) {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCurrentSource;
+  p.name = "current_source";
+  p.devices = {
+      {"M0", type, "out", "bias", "s", 1, -1},
+  };
+  p.ports = {"out", "bias", "s"};
+  return p;
+}
+
+PrimitiveNetlist make_common_source() {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCommonSource;
+  p.name = "common_source";
+  p.devices = {
+      {"M0", spice::MosType::kNmos, "out", "in", "s", 1, -1},
+  };
+  p.ports = {"out", "in", "s"};
+  return p;
+}
+
+PrimitiveNetlist make_current_starved_inverter(double starve_vth_offset) {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCurrentStarvedInverter;
+  p.name = "current_starved_inverter";
+  // Stack: vdd - MPS - vp - MPI - out - MNI - vn - MNS - vss.
+  p.devices = {
+      {"MPS", spice::MosType::kPmos, "vp", "vbp", "vdd", 1, -1,
+       starve_vth_offset},
+      {"MPI", spice::MosType::kPmos, "out", "in", "vp", 1, -1, 0.0},
+      {"MNI", spice::MosType::kNmos, "out", "in", "vn", 1, -1, 0.0},
+      {"MNS", spice::MosType::kNmos, "vn", "vbn", "vss", 1, -1,
+       starve_vth_offset},
+  };
+  p.ports = {"in", "out", "vbp", "vbn", "vdd", "vss"};
+  return p;
+}
+
+PrimitiveNetlist make_cross_coupled_pair(spice::MosType type) {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCrossCoupledPair;
+  p.name = "cross_coupled_pair";
+  p.devices = {
+      {"MA", type, "da", "db", "s", 1, 0},
+      {"MB", type, "db", "da", "s", 1, 0},
+  };
+  p.ports = {"da", "db", "s"};
+  p.symmetric_ports = {{"da", "db"}};
+  return p;
+}
+
+PrimitiveNetlist make_latch_pair(spice::MosType type) {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kCrossCoupledPair;
+  p.name = "latch_pair";
+  p.devices = {
+      {"MA", type, "da", "db", "sa", 1, 0},
+      {"MB", type, "db", "da", "sb", 1, 0},
+  };
+  p.ports = {"da", "db", "sa", "sb"};
+  p.symmetric_ports = {{"da", "db"}, {"sa", "sb"}};
+  return p;
+}
+
+PrimitiveNetlist make_switch(spice::MosType type) {
+  PrimitiveNetlist p;
+  p.type = PrimitiveType::kSwitch;
+  p.name = "switch";
+  p.devices = {
+      {"M0", type, "a", "clk", "b", 1, -1},
+  };
+  p.ports = {"a", "b", "clk"};
+  return p;
+}
+
+}  // namespace olp::pcell

@@ -1,0 +1,91 @@
+#include "pcell/resistor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace olp::pcell {
+
+double PolyResLayout::corner_freq() const {
+  // Distributed RC line: first pole at ~1/(2 pi R C / 2).
+  const double rc = resistance * shunt_cap * 0.5;
+  return rc > 0 ? 1.0 / (2.0 * M_PI * rc) : 1e18;
+}
+
+PolyResLayout generate_poly_resistor(const tech::Technology& t,
+                                     const PolyResConfig& config) {
+  OLP_CHECK(config.segments >= 1, "resistor needs at least one segment");
+  OLP_CHECK(config.segment_length > 0 && config.width > 0,
+            "resistor needs positive geometry");
+
+  PolyResLayout out;
+  out.config = config;
+  out.geometry.set_name("poly_res");
+
+  const double pitch = 2.0 * config.width;  // bar + equal gap
+  const double squares_per_seg = config.segment_length / config.width;
+  // Each fold adds roughly two corner squares (the standard 0.56/corner
+  // refinement is below the synthetic model's accuracy).
+  const double corner_squares = 2.0 * (config.segments - 1);
+  out.resistance =
+      t.poly_res_sheet * (config.segments * squares_per_seg + corner_squares) +
+      2.0 * t.diff_cont_res;  // head contacts
+  out.shunt_cap = t.poly_res_cap * config.segments * config.segment_length *
+                  config.width;
+
+  using geom::Rect;
+  using geom::to_nm;
+  for (int s = 0; s < config.segments; ++s) {
+    const double x = s * pitch;
+    out.geometry.add_shape(
+        tech::Layer::kPoly,
+        Rect{to_nm(x), 0, to_nm(x + config.width),
+             to_nm(config.segment_length)},
+        "body");
+    if (s + 1 < config.segments) {
+      // Fold link at alternating ends.
+      const double y = (s % 2 == 0) ? config.segment_length : 0.0;
+      out.geometry.add_shape(
+          tech::Layer::kPoly,
+          Rect{to_nm(x), to_nm(y - (s % 2 == 0 ? config.width : 0)),
+               to_nm(x + pitch + config.width),
+               to_nm(y + (s % 2 == 0 ? 0 : config.width))},
+          "body");
+    }
+  }
+  out.geometry.add_pin("a", tech::Layer::kM1,
+                       Rect{0, 0, to_nm(config.width), to_nm(config.width)});
+  const double x_last = (config.segments - 1) * pitch;
+  const double y_last =
+      (config.segments % 2 == 1) ? config.segment_length - config.width : 0.0;
+  out.geometry.add_pin("b", tech::Layer::kM1,
+                       Rect{to_nm(x_last), to_nm(y_last),
+                            to_nm(x_last + config.width),
+                            to_nm(y_last + config.width)});
+  return out;
+}
+
+std::vector<PolyResConfig> enumerate_poly_res_configs(
+    const tech::Technology& t, double target, double tolerance) {
+  OLP_CHECK(target > 0, "target resistance must be positive");
+  std::vector<PolyResConfig> configs;
+  for (int segments : {1, 2, 4, 6, 8, 12, 16}) {
+    PolyResConfig c;
+    c.segments = segments;
+    // Solve the segment length for the target.
+    const double corner_squares = 2.0 * (segments - 1);
+    const double body = target - 2.0 * t.diff_cont_res -
+                        t.poly_res_sheet * corner_squares;
+    if (body <= 0) continue;
+    c.segment_length =
+        body / t.poly_res_sheet / segments * c.width;
+    if (c.segment_length < 4 * c.width || c.segment_length > 50e-6) continue;
+    const PolyResLayout trial = generate_poly_resistor(t, c);
+    if (std::fabs(trial.resistance - target) <= tolerance * target) {
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+}  // namespace olp::pcell

@@ -1,0 +1,41 @@
+#pragma once
+// Passive primitive: serpentine unsilicided-poly precision resistor
+// (paper Sec. II-A lists resistors among the library's passives).
+//
+// The serpentine folds `segments` poly bars of `segment_length`; resistance
+// follows the square count, and the distributed poly-to-substrate
+// capacitance sets the passive's RC corner. Matched resistor pairs
+// interdigitate the fingers of the two units, mirroring the transistor
+// patterns' common-centroid idea.
+
+#include "geom/layout.hpp"
+#include "tech/technology.hpp"
+
+namespace olp::pcell {
+
+struct PolyResConfig {
+  int segments = 4;             ///< serpentine bars
+  double segment_length = 2e-6; ///< bar length [m]
+  double width = 0.2e-6;        ///< bar width [m]
+};
+
+struct PolyResLayout {
+  PolyResConfig config;
+  geom::Layout geometry;
+  double resistance = 0.0;   ///< end-to-end [ohm]
+  double shunt_cap = 0.0;    ///< total distributed capacitance [F]
+  /// RC corner frequency of the distributed line (pi-equivalent).
+  double corner_freq() const;
+};
+
+/// Generates one serpentine resistor.
+PolyResLayout generate_poly_resistor(const tech::Technology& t,
+                                     const PolyResConfig& config);
+
+/// Enumerates configurations realizing `target` ohms within `tolerance`
+/// (relative), across fold counts (different aspect ratios, as the paper's
+/// aspect-ratio bins require).
+std::vector<PolyResConfig> enumerate_poly_res_configs(
+    const tech::Technology& t, double target, double tolerance = 0.05);
+
+}  // namespace olp::pcell

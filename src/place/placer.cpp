@@ -1,0 +1,256 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace olp::place {
+
+std::vector<PlacedBlock> pack_sequence_pair(const std::vector<Block>& blocks,
+                                            const std::vector<int>& pos,
+                                            const std::vector<int>& neg) {
+  const std::size_t n = blocks.size();
+  OLP_CHECK(pos.size() == n && neg.size() == n,
+            "sequence pair size mismatch");
+  // match[b] = index of block b in each sequence.
+  std::vector<std::size_t> in_pos(n), in_neg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_pos[static_cast<std::size_t>(pos[i])] = i;
+    in_neg[static_cast<std::size_t>(neg[i])] = i;
+  }
+  // Block a is left of b iff a precedes b in both sequences;
+  // a is below b iff a follows b in pos and precedes it in neg.
+  std::vector<PlacedBlock> placed(n);
+  // Longest-path x coordinates in pos order restricted to the left-of
+  // relation; O(n^2) is fine for block counts in the tens.
+  for (std::size_t i = 0; i < n; ++i) placed[i] = PlacedBlock{};
+  // Process blocks in an order compatible with "left of": pos order works
+  // for x (all left-neighbors precede in pos).
+  for (std::size_t pi = 0; pi < n; ++pi) {
+    const std::size_t b = static_cast<std::size_t>(pos[pi]);
+    double x = 0.0;
+    for (std::size_t pj = 0; pj < pi; ++pj) {
+      const std::size_t a = static_cast<std::size_t>(pos[pj]);
+      if (in_neg[a] < in_neg[b]) {
+        x = std::max(x, placed[a].x + blocks[a].width);
+      }
+    }
+    placed[b].x = x;
+  }
+  // y: process in neg order; a below b iff in_pos[a] > in_pos[b] and
+  // in_neg[a] < in_neg[b].
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    const std::size_t b = static_cast<std::size_t>(neg[ni]);
+    double y = 0.0;
+    for (std::size_t nj = 0; nj < ni; ++nj) {
+      const std::size_t a = static_cast<std::size_t>(neg[nj]);
+      if (in_pos[a] > in_pos[b]) {
+        y = std::max(y, placed[a].y + blocks[a].height);
+      }
+    }
+    placed[b].y = y;
+  }
+  return placed;
+}
+
+namespace {
+
+struct Candidate {
+  std::vector<PlacedBlock> placed;
+  double width = 0.0;
+  double height = 0.0;
+  double hpwl = 0.0;
+  double sym_penalty = 0.0;
+  double cost = 0.0;
+};
+
+double compute_hpwl(const std::vector<Block>& blocks,
+                    const std::vector<PlacementNet>& nets,
+                    const std::vector<PlacedBlock>& placed) {
+  double total = 0.0;
+  for (const PlacementNet& net : nets) {
+    if (net.pins.size() < 2) continue;
+    double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+    for (const PlacementNet::PinRef& pin : net.pins) {
+      const std::size_t b = static_cast<std::size_t>(pin.block);
+      const double dx =
+          placed[b].mirrored ? blocks[b].width - pin.dx : pin.dx;
+      const double px = placed[b].x + dx;
+      const double py = placed[b].y + pin.dy;
+      x_lo = std::min(x_lo, px);
+      x_hi = std::max(x_hi, px);
+      y_lo = std::min(y_lo, py);
+      y_hi = std::max(y_hi, py);
+    }
+    total += (x_hi - x_lo) + (y_hi - y_lo);
+  }
+  return total;
+}
+
+Candidate evaluate(const std::vector<Block>& blocks,
+                   const std::vector<PlacementNet>& nets,
+                   const std::vector<SymmetryPair>& symmetry,
+                   const std::vector<int>& pos, const std::vector<int>& neg,
+                   const std::vector<bool>& mirrored,
+                   const PlacerOptions& opt) {
+  Candidate c;
+  c.placed = pack_sequence_pair(blocks, pos, neg);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    c.placed[b].mirrored = mirrored[b];
+    c.width = std::max(c.width, c.placed[b].x + blocks[b].width);
+    c.height = std::max(c.height, c.placed[b].y + blocks[b].height);
+  }
+  c.hpwl = compute_hpwl(blocks, nets, c.placed);
+  for (const SymmetryPair& sp : symmetry) {
+    const std::size_t a = static_cast<std::size_t>(sp.a);
+    const std::size_t b = static_cast<std::size_t>(sp.b);
+    c.sym_penalty += std::fabs(c.placed[a].y - c.placed[b].y);
+    // Widths are equal for true symmetry pairs; penalize center misalignment
+    // asymmetry about their mutual axis only through y here, x is free (the
+    // axis is wherever their midpoint falls), but overlapping pairs are
+    // already prevented by the sequence pair.
+  }
+  const double norm = std::sqrt(std::max(c.width * c.height, 1e-18));
+  c.cost = opt.area_weight * c.width * c.height +
+           opt.hpwl_weight * c.hpwl * norm +
+           opt.symmetry_weight * c.sym_penalty * norm;
+  return c;
+}
+
+/// Snaps symmetry pairs exactly: equal y, mirrored pin orientation, and
+/// horizontal positions symmetric about their common center.
+void snap_symmetry(const std::vector<Block>& blocks,
+                   const std::vector<SymmetryPair>& symmetry,
+                   std::vector<PlacedBlock>& placed) {
+  for (const SymmetryPair& sp : symmetry) {
+    const std::size_t a = static_cast<std::size_t>(sp.a);
+    const std::size_t b = static_cast<std::size_t>(sp.b);
+    const double y = 0.5 * (placed[a].y + placed[b].y);
+    placed[a].y = y;
+    placed[b].y = y;
+    // Mirror the right block of the pair so matched pins face each other.
+    if (placed[a].x <= placed[b].x) {
+      placed[b].mirrored = !placed[a].mirrored;
+    } else {
+      placed[a].mirrored = !placed[b].mirrored;
+    }
+    (void)blocks;
+  }
+}
+
+bool overlaps(const std::vector<Block>& blocks,
+              const std::vector<PlacedBlock>& placed) {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      const bool sep = placed[i].x + blocks[i].width <= placed[j].x + 1e-12 ||
+                       placed[j].x + blocks[j].width <= placed[i].x + 1e-12 ||
+                       placed[i].y + blocks[i].height <= placed[j].y + 1e-12 ||
+                       placed[j].y + blocks[j].height <= placed[i].y + 1e-12;
+      if (!sep) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PlacementResult AnnealingPlacer::place(
+    const std::vector<Block>& blocks, const std::vector<PlacementNet>& nets,
+    const std::vector<SymmetryPair>& symmetry) const {
+  OLP_CHECK(!blocks.empty(), "nothing to place");
+  for (const PlacementNet& net : nets) {
+    for (const PlacementNet::PinRef& pin : net.pins) {
+      OLP_CHECK(pin.block >= 0 &&
+                    pin.block < static_cast<int>(blocks.size()),
+                "net references unknown block");
+    }
+  }
+  for (const SymmetryPair& sp : symmetry) {
+    OLP_CHECK(sp.a != sp.b && sp.a >= 0 && sp.b >= 0 &&
+                  sp.a < static_cast<int>(blocks.size()) &&
+                  sp.b < static_cast<int>(blocks.size()),
+              "bad symmetry pair");
+  }
+
+  const std::size_t n = blocks.size();
+  Rng rng(options_.seed);
+  std::vector<int> pos(n), neg(n);
+  std::iota(pos.begin(), pos.end(), 0);
+  std::iota(neg.begin(), neg.end(), 0);
+  std::vector<bool> mirrored(n, false);
+
+  Candidate current =
+      evaluate(blocks, nets, symmetry, pos, neg, mirrored, options_);
+  Candidate best = current;
+  std::vector<int> best_pos = pos, best_neg = neg;
+  std::vector<bool> best_mirror = mirrored;
+
+  double temp = options_.initial_temp *
+                std::max(current.cost, 1e-18);
+  for (int it = 0; it < options_.iterations; ++it) {
+    std::vector<int> new_pos = pos, new_neg = neg;
+    std::vector<bool> new_mirror = mirrored;
+    const int move = rng.uniform_int(0, 2);
+    const int i = rng.uniform_int(0, static_cast<int>(n) - 1);
+    int j = rng.uniform_int(0, static_cast<int>(n) - 1);
+    if (j == i) j = (j + 1) % static_cast<int>(n);
+    switch (move) {
+      case 0:
+        std::swap(new_pos[static_cast<std::size_t>(i)],
+                  new_pos[static_cast<std::size_t>(j)]);
+        break;
+      case 1:
+        std::swap(new_pos[static_cast<std::size_t>(i)],
+                  new_pos[static_cast<std::size_t>(j)]);
+        std::swap(new_neg[static_cast<std::size_t>(i)],
+                  new_neg[static_cast<std::size_t>(j)]);
+        break;
+      case 2:
+        new_mirror[static_cast<std::size_t>(i)] =
+            !new_mirror[static_cast<std::size_t>(i)];
+        break;
+      default:
+        break;
+    }
+    const Candidate cand = evaluate(blocks, nets, symmetry, new_pos, new_neg,
+                                    new_mirror, options_);
+    const double delta = cand.cost - current.cost;
+    if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temp, 1e-30))) {
+      pos = std::move(new_pos);
+      neg = std::move(new_neg);
+      mirrored = std::move(new_mirror);
+      current = cand;
+      if (current.cost < best.cost) {
+        best = current;
+        best_pos = pos;
+        best_neg = neg;
+        best_mirror = mirrored;
+      }
+    }
+    temp *= options_.cooling;
+  }
+
+  PlacementResult result;
+  result.blocks = best.placed;
+  snap_symmetry(blocks, symmetry, result.blocks);
+  result.legal = !overlaps(blocks, result.blocks);
+  if (!result.legal) {
+    // Fall back to the unsnapped (guaranteed legal) packing.
+    result.blocks = best.placed;
+    result.legal = !overlaps(blocks, result.blocks);
+  }
+  result.width = 0.0;
+  result.height = 0.0;
+  for (std::size_t b = 0; b < n; ++b) {
+    result.width = std::max(result.width, result.blocks[b].x + blocks[b].width);
+    result.height =
+        std::max(result.height, result.blocks[b].y + blocks[b].height);
+  }
+  result.hpwl = compute_hpwl(blocks, nets, result.blocks);
+  result.cost = best.cost;
+  return result;
+}
+
+}  // namespace olp::place

@@ -1,0 +1,241 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace olp::route {
+
+double NetRoute::length_on(tech::Layer layer) const {
+  double total = 0.0;
+  for (const RouteSegment& s : segments) {
+    if (s.layer == layer) total += s.length();
+  }
+  return total;
+}
+
+double NetRoute::total_length() const {
+  double total = 0.0;
+  for (const RouteSegment& s : segments) total += s.length();
+  return total;
+}
+
+tech::Layer NetRoute::dominant_layer() const {
+  double best_len = -1.0;
+  tech::Layer best = tech::Layer::kM3;
+  for (int l = 0; l < tech::kNumRoutingLayers; ++l) {
+    const tech::Layer layer = tech::metal_layer(l);
+    const double len = length_on(layer);
+    if (len > best_len && len > 0) {
+      best_len = len;
+      best = layer;
+    }
+  }
+  return best;
+}
+
+GlobalRouter::GlobalRouter(const tech::Technology& technology,
+                           geom::Rect region, RouterOptions options)
+    : tech_(technology), opt_(options), region_(region) {
+  OLP_CHECK(opt_.gcell_size > 0, "gcell size must be positive");
+  OLP_CHECK(opt_.min_layer >= 0 && opt_.max_layer < tech::kNumRoutingLayers &&
+                opt_.min_layer <= opt_.max_layer,
+            "bad layer range");
+  const geom::Coord halo = geom::to_nm(opt_.gcell_size);
+  region_ = geom::Rect{region.x_lo - halo, region.y_lo - halo,
+                       region.x_hi + halo, region.y_hi + halo};
+  const double w = geom::to_meters(region_.width());
+  const double h = geom::to_meters(region_.height());
+  nx_ = std::max(2, static_cast<int>(std::ceil(w / opt_.gcell_size)) + 1);
+  ny_ = std::max(2, static_cast<int>(std::ceil(h / opt_.gcell_size)) + 1);
+  nl_ = tech::kNumRoutingLayers;
+  usage_x_.assign(static_cast<std::size_t>(nx_ * ny_ * nl_), 0);
+  usage_y_.assign(static_cast<std::size_t>(nx_ * ny_ * nl_), 0);
+}
+
+bool GlobalRouter::layer_horizontal(int l) const {
+  return tech_.metals[static_cast<std::size_t>(l)].horizontal;
+}
+
+NetRoute GlobalRouter::route(const std::string& net_name,
+                             const std::vector<geom::Point>& pins) {
+  NetRoute result;
+  result.net = net_name;
+  OLP_CHECK(pins.size() >= 2, "routing needs at least two pins");
+
+  auto snap = [&](geom::Point p) {
+    int gx = static_cast<int>(
+        std::llround(geom::to_meters(p.x - region_.x_lo) / opt_.gcell_size));
+    int gy = static_cast<int>(
+        std::llround(geom::to_meters(p.y - region_.y_lo) / opt_.gcell_size));
+    gx = std::clamp(gx, 0, nx_ - 1);
+    gy = std::clamp(gy, 0, ny_ - 1);
+    return std::pair<int, int>{gx, gy};
+  };
+  auto unsnap = [&](int gx, int gy) {
+    return geom::Point{
+        region_.x_lo + geom::to_nm(gx * opt_.gcell_size),
+        region_.y_lo + geom::to_nm(gy * opt_.gcell_size)};
+  };
+
+  const int total_nodes = nx_ * ny_ * nl_;
+  // Tree membership per (x,y,l) node.
+  std::vector<char> in_tree(static_cast<std::size_t>(total_nodes), 0);
+
+  // Seed the tree with the first pin on every allowed layer at its gcell
+  // (pins are block ports reachable through a via stack).
+  {
+    const auto [gx, gy] = snap(pins[0]);
+    for (int l = opt_.min_layer; l <= opt_.max_layer; ++l) {
+      in_tree[static_cast<std::size_t>(index(gx, gy, l))] = 1;
+    }
+  }
+
+  struct QEntry {
+    double cost;
+    int node;
+    bool operator<(const QEntry& o) const { return cost > o.cost; }
+  };
+
+  for (std::size_t p = 1; p < pins.size(); ++p) {
+    const auto [sx, sy] = snap(pins[p]);
+    // Dijkstra from the pin to any tree node.
+    std::vector<double> dist(static_cast<std::size_t>(total_nodes),
+                             std::numeric_limits<double>::infinity());
+    std::vector<int> prev(static_cast<std::size_t>(total_nodes), -1);
+    std::priority_queue<QEntry> queue;
+    for (int l = opt_.min_layer; l <= opt_.max_layer; ++l) {
+      const int nid = index(sx, sy, l);
+      dist[static_cast<std::size_t>(nid)] = 0.0;
+      queue.push({0.0, nid});
+    }
+
+    int reached = -1;
+    while (!queue.empty()) {
+      const QEntry top = queue.top();
+      queue.pop();
+      if (top.cost > dist[static_cast<std::size_t>(top.node)] + 1e-12) continue;
+      if (in_tree[static_cast<std::size_t>(top.node)]) {
+        reached = top.node;
+        break;
+      }
+      const int l = top.node / (nx_ * ny_);
+      const int rem = top.node % (nx_ * ny_);
+      const int y = rem / nx_;
+      const int x = rem % nx_;
+
+      auto relax = [&](int nid, double edge_cost) {
+        const double nd = top.cost + edge_cost;
+        if (nd < dist[static_cast<std::size_t>(nid)] - 1e-12) {
+          dist[static_cast<std::size_t>(nid)] = nd;
+          prev[static_cast<std::size_t>(nid)] = top.node;
+          queue.push({nd, nid});
+        }
+      };
+
+      // Mild preference for lower layers keeps short nets off the thick
+      // upper metals (and makes routes deterministic among equal-length
+      // alternatives).
+      const double layer_bias = 0.02 * l;
+      // Wire moves in the preferred direction of the layer.
+      if (layer_horizontal(l)) {
+        if (x + 1 < nx_) {
+          const int over = std::max(
+              0, usage_x_[static_cast<std::size_t>(top.node)] + 1 -
+                     opt_.edge_capacity);
+          relax(index(x + 1, y, l),
+                1.0 + layer_bias + opt_.congestion_cost * over);
+        }
+        if (x > 0) {
+          const int from = index(x - 1, y, l);
+          const int over = std::max(
+              0, usage_x_[static_cast<std::size_t>(from)] + 1 -
+                     opt_.edge_capacity);
+          relax(from, 1.0 + layer_bias + opt_.congestion_cost * over);
+        }
+      } else {
+        if (y + 1 < ny_) {
+          const int over = std::max(
+              0, usage_y_[static_cast<std::size_t>(top.node)] + 1 -
+                     opt_.edge_capacity);
+          relax(index(x, y + 1, l),
+                1.0 + layer_bias + opt_.congestion_cost * over);
+        }
+        if (y > 0) {
+          const int from = index(x, y - 1, l);
+          const int over = std::max(
+              0, usage_y_[static_cast<std::size_t>(from)] + 1 -
+                     opt_.edge_capacity);
+          relax(from, 1.0 + layer_bias + opt_.congestion_cost * over);
+        }
+      }
+      // Via moves.
+      if (l + 1 <= opt_.max_layer) relax(index(x, y, l + 1), opt_.via_cost);
+      if (l - 1 >= opt_.min_layer) relax(index(x, y, l - 1), opt_.via_cost);
+    }
+
+    if (reached < 0) {
+      result.routed = false;
+      return result;
+    }
+
+    // Trace back, emitting segments and marking tree membership + usage.
+    int node = reached;
+    while (node >= 0) {
+      in_tree[static_cast<std::size_t>(node)] = 1;
+      const int pnode = prev[static_cast<std::size_t>(node)];
+      if (pnode >= 0) {
+        const int l1 = node / (nx_ * ny_);
+        const int r1 = node % (nx_ * ny_);
+        const int l2 = pnode / (nx_ * ny_);
+        const int r2 = pnode % (nx_ * ny_);
+        const int y1 = r1 / nx_, x1 = r1 % nx_;
+        const int y2 = r2 / nx_, x2 = r2 % nx_;
+        if (l1 != l2) {
+          ++result.vias;
+        } else {
+          RouteSegment seg;
+          seg.layer = tech::metal_layer(l1);
+          seg.a = unsnap(x1, y1);
+          seg.b = unsnap(x2, y2);
+          result.segments.push_back(seg);
+          // Update usage on the traversed edge (stored at the lower node).
+          if (x1 != x2) {
+            const int lo = index(std::min(x1, x2), y1, l1);
+            usage_x_[static_cast<std::size_t>(lo)] += 1;
+          } else if (y1 != y2) {
+            const int lo = index(x1, std::min(y1, y2), l1);
+            usage_y_[static_cast<std::size_t>(lo)] += 1;
+          }
+        }
+      }
+      node = pnode;
+    }
+  }
+
+  // Each pin connects to the grid through a via stack; account one via per
+  // pin for the stack from the pin layer (M2) to the routing layer range.
+  result.vias += static_cast<int>(pins.size());
+  result.routed = true;
+  return result;
+}
+
+double GlobalRouter::congestion_ratio() const {
+  long over = 0;
+  long total = 0;
+  for (int v : usage_x_) {
+    total += 1;
+    if (v >= opt_.edge_capacity) ++over;
+  }
+  for (int v : usage_y_) {
+    total += 1;
+    if (v >= opt_.edge_capacity) ++over;
+  }
+  return total > 0 ? static_cast<double>(over) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace olp::route

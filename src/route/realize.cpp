@@ -1,0 +1,82 @@
+#include "route/realize.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace olp::route {
+
+void realize_net(const tech::Technology& t, const NetRoute& route, int wires,
+                 geom::Layout& out) {
+  OLP_CHECK(wires >= 1, "parallel-route count must be >= 1");
+  using geom::Coord;
+  using geom::Rect;
+
+  for (const RouteSegment& seg : route.segments) {
+    const tech::MetalLayerInfo& m = t.metal(seg.layer);
+    const Coord width = geom::to_nm(m.min_width);
+    const Coord pitch = geom::to_nm(m.pitch);
+    const bool horizontal = seg.a.y == seg.b.y;
+    const Coord x_lo = std::min(seg.a.x, seg.b.x);
+    const Coord x_hi = std::max(seg.a.x, seg.b.x);
+    const Coord y_lo = std::min(seg.a.y, seg.b.y);
+    const Coord y_hi = std::max(seg.a.y, seg.b.y);
+    // Center the track bundle on the route spine.
+    const Coord offset0 = -pitch * (wires - 1) / 2;
+    for (int w = 0; w < wires; ++w) {
+      const Coord off = offset0 + w * pitch;
+      if (horizontal) {
+        out.add_shape(seg.layer,
+                      Rect{x_lo, y_lo + off, x_hi, y_lo + off + width},
+                      route.net);
+      } else {
+        out.add_shape(seg.layer,
+                      Rect{x_lo + off, y_lo, x_lo + off + width, y_hi},
+                      route.net);
+      }
+    }
+  }
+
+  // Via arrays at layer changes: consecutive segments on different layers
+  // share an endpoint; drop a `wires`-cut array there.
+  for (std::size_t i = 1; i < route.segments.size(); ++i) {
+    const RouteSegment& a = route.segments[i - 1];
+    const RouteSegment& b = route.segments[i];
+    if (a.layer == b.layer) continue;
+    // The shared endpoint (segments are emitted as a connected walk).
+    geom::Point via = b.a;
+    if (a.a.x == b.a.x && a.a.y == b.a.y) via = a.a;
+    if (a.b.x == b.a.x && a.b.y == b.a.y) via = a.b;
+    const tech::MetalLayerInfo& m = t.metal(b.layer);
+    const Coord cut = geom::to_nm(m.min_width);
+    const Coord pitch = geom::to_nm(m.pitch);
+    const Coord offset0 = -pitch * (wires - 1) / 2;
+    for (int w = 0; w < wires; ++w) {
+      const Coord off = offset0 + w * pitch;
+      out.add_shape(
+          // Mark the via with the upper layer of the pair.
+          tech::metal_index(a.layer) > tech::metal_index(b.layer) ? a.layer
+                                                                  : b.layer,
+          geom::Rect{via.x + off, via.y + off, via.x + off + cut,
+                     via.y + off + cut},
+          route.net);
+    }
+  }
+}
+
+geom::Layout realize_routes(const tech::Technology& t,
+                            const std::map<std::string, NetRoute>& routes,
+                            const std::map<std::string, int>& wire_counts) {
+  geom::Layout out("routes");
+  for (const auto& [net, route] : routes) {
+    if (!route.routed) continue;
+    int wires = 1;
+    if (auto it = wire_counts.find(net); it != wire_counts.end()) {
+      wires = it->second;
+    }
+    realize_net(t, route, wires, out);
+  }
+  return out;
+}
+
+}  // namespace olp::route

@@ -1,0 +1,29 @@
+#pragma once
+// Route realization: converts global routes plus the port optimizer's
+// parallel-route decisions into actual wire geometry.
+//
+// The paper's flow hands the [w_min, w_max] constraints to a detailed router;
+// this realization step plays that role for visualization and geometric
+// verification: each global-route segment becomes `wires` parallel
+// minimum-width tracks at the layer pitch, and every layer change becomes a
+// via array of the same multiplicity (the gridded effective-width trick).
+
+#include <map>
+#include <string>
+
+#include "geom/layout.hpp"
+#include "route/global_router.hpp"
+
+namespace olp::route {
+
+/// Emits the geometry of one routed net into `out`.
+/// `wires` is the parallel-route count chosen by port optimization.
+void realize_net(const tech::Technology& t, const NetRoute& route, int wires,
+                 geom::Layout& out);
+
+/// Realizes a set of routes; `wire_counts` defaults absent nets to 1.
+geom::Layout realize_routes(const tech::Technology& t,
+                            const std::map<std::string, NetRoute>& routes,
+                            const std::map<std::string, int>& wire_counts);
+
+}  // namespace olp::route

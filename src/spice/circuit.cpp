@@ -1,0 +1,118 @@
+#include "spice/circuit.hpp"
+
+namespace olp::spice {
+
+Circuit::Circuit() {
+  node_names_.push_back("0");
+  node_index_["0"] = kGround;
+  node_index_["gnd"] = kGround;
+  node_index_["gnd!"] = kGround;
+}
+
+NodeId Circuit::node(const std::string& name) {
+  auto it = node_index_.find(name);
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_index_[name] = id;
+  return id;
+}
+
+NodeId Circuit::find_node(const std::string& name) const {
+  auto it = node_index_.find(name);
+  OLP_CHECK(it != node_index_.end(), "unknown node: " + name);
+  return it->second;
+}
+
+bool Circuit::has_node(const std::string& name) const {
+  return node_index_.count(name) > 0;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  OLP_CHECK(id >= 0 && id < node_count(), "node id out of range");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+int Circuit::add_model(MosModel model) {
+  models_.push_back(std::move(model));
+  return static_cast<int>(models_.size()) - 1;
+}
+
+int Circuit::find_model(const std::string& name) const {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].name == name) return static_cast<int>(i);
+  }
+  throw InvalidArgumentError("unknown model: " + name);
+}
+
+const MosModel& Circuit::model(int index) const {
+  OLP_CHECK(index >= 0 && index < static_cast<int>(models_.size()),
+            "model index out of range");
+  return models_[static_cast<std::size_t>(index)];
+}
+
+void Circuit::add_resistor(const std::string& name, NodeId a, NodeId b,
+                           double r) {
+  OLP_CHECK(r > 0.0, "resistor " + name + " needs positive resistance");
+  resistors_.push_back(Resistor{name, a, b, r});
+}
+
+void Circuit::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                            double c) {
+  OLP_CHECK(c >= 0.0, "capacitor " + name + " needs non-negative capacitance");
+  capacitors_.push_back(Capacitor{name, a, b, c, 0.0, false});
+}
+
+void Circuit::add_capacitor_ic(const std::string& name, NodeId a, NodeId b,
+                               double c, double ic) {
+  OLP_CHECK(c >= 0.0, "capacitor " + name + " needs non-negative capacitance");
+  capacitors_.push_back(Capacitor{name, a, b, c, ic, true});
+}
+
+void Circuit::add_vsource(const std::string& name, NodeId p, NodeId n,
+                          Waveform wave, double ac_mag, double ac_phase) {
+  vsources_.push_back(VSource{name, p, n, std::move(wave), ac_mag, ac_phase});
+}
+
+void Circuit::add_isource(const std::string& name, NodeId p, NodeId n,
+                          Waveform wave, double ac_mag, double ac_phase) {
+  isources_.push_back(ISource{name, p, n, std::move(wave), ac_mag, ac_phase});
+}
+
+void Circuit::add_vcvs(const std::string& name, NodeId p, NodeId n, NodeId cp,
+                       NodeId cn, double gain) {
+  vcvs_.push_back(Vcvs{name, p, n, cp, cn, gain});
+}
+
+void Circuit::add_vccs(const std::string& name, NodeId p, NodeId n, NodeId cp,
+                       NodeId cn, double gm) {
+  vccs_.push_back(Vccs{name, p, n, cp, cn, gm});
+}
+
+void Circuit::add_mosfet(Mosfet m) {
+  OLP_CHECK(m.model >= 0 && m.model < static_cast<int>(models_.size()),
+            "mosfet " + m.name + " references unknown model");
+  OLP_CHECK(m.w > 0 && m.l > 0, "mosfet " + m.name + " needs positive W, L");
+  mosfets_.push_back(std::move(m));
+}
+
+void Circuit::set_initial_condition(NodeId n, double value) {
+  OLP_CHECK(n > 0 && n < node_count(), "initial condition on invalid node");
+  ics_[n] = value;
+}
+
+int Circuit::find_vsource(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    if (vsources_[i].name == name) return static_cast<int>(i);
+  }
+  throw InvalidArgumentError("unknown voltage source: " + name);
+}
+
+int Circuit::find_mosfet(const std::string& name) const {
+  for (std::size_t i = 0; i < mosfets_.size(); ++i) {
+    if (mosfets_[i].name == name) return static_cast<int>(i);
+  }
+  throw InvalidArgumentError("unknown mosfet: " + name);
+}
+
+}  // namespace olp::spice

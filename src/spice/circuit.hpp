@@ -1,0 +1,180 @@
+#pragma once
+// In-memory netlist: nodes, device instances, and model cards.
+//
+// Circuits are built either programmatically (the primitive testbenches and
+// the evaluation circuits do this) or by the SPICE-dialect parser. Node 0 is
+// ground. Devices are stored by kind in plain vectors; the simulator stamps
+// them with tight loops rather than virtual dispatch, which matters because
+// the flow runs thousands of small simulations.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/model.hpp"
+#include "spice/waveform.hpp"
+#include "util/error.hpp"
+
+namespace olp::spice {
+
+/// Node handle; 0 is ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  std::string name;
+  NodeId a = 0, b = 0;
+  double r = 0.0;  ///< ohms, must be > 0
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a = 0, b = 0;
+  double c = 0.0;  ///< farads, must be >= 0
+  double ic = 0.0; ///< initial voltage across a->b when use_ic is set
+  bool use_ic = false;
+};
+
+/// Independent voltage source (adds one branch-current unknown).
+struct VSource {
+  std::string name;
+  NodeId p = 0, n = 0;
+  Waveform wave = Waveform::dc(0.0);
+  double ac_mag = 0.0;    ///< AC analysis magnitude [V]
+  double ac_phase = 0.0;  ///< AC analysis phase [radians]
+};
+
+/// Independent current source; positive current flows p -> n through the
+/// source (i.e. it pulls current out of node p), per SPICE convention.
+struct ISource {
+  std::string name;
+  NodeId p = 0, n = 0;
+  Waveform wave = Waveform::dc(0.0);
+  double ac_mag = 0.0;
+  double ac_phase = 0.0;
+};
+
+/// Voltage-controlled voltage source E: v(p,n) = gain * v(cp,cn).
+struct Vcvs {
+  std::string name;
+  NodeId p = 0, n = 0, cp = 0, cn = 0;
+  double gain = 1.0;
+};
+
+/// Voltage-controlled current source G: i(p->n) = gm * v(cp,cn).
+struct Vccs {
+  std::string name;
+  NodeId p = 0, n = 0, cp = 0, cn = 0;
+  double gm = 0.0;
+};
+
+/// A FinFET instance. Width is the total effective channel width (all fins,
+/// fingers and multiples); the primitive generators compute it together with
+/// the diffusion geometry (as/ad/ps/pd) that sets the junction capacitances.
+struct Mosfet {
+  std::string name;
+  NodeId d = 0, g = 0, s = 0, b = 0;
+  int model = 0;     ///< index into Circuit::models()
+  double w = 1e-6;   ///< total effective channel width [m]
+  double l = 14e-9;  ///< channel length [m]
+  double as = 0.0, ad = 0.0;  ///< source/drain diffusion areas [m^2]
+  double ps = 0.0, pd = 0.0;  ///< source/drain diffusion perimeters [m]
+  /// Layout-dependent-effect annotations (paper Sec. III-A: LOD + WPE).
+  double delta_vth = 0.0;     ///< additive Vth shift, NMOS convention [V]
+  double mobility_mult = 1.0; ///< multiplicative mobility factor
+};
+
+/// Whole-circuit netlist.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Returns (creating if needed) the node with the given name.
+  NodeId node(const std::string& name);
+  /// Returns the node id or throws if the name is unknown.
+  NodeId find_node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  const std::string& node_name(NodeId id) const;
+  /// Total node count including ground.
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+
+  /// Registers a model card; returns its index for Mosfet::model.
+  int add_model(MosModel model);
+  int find_model(const std::string& name) const;
+  const MosModel& model(int index) const;
+  const std::vector<MosModel>& models() const { return models_; }
+
+  void add_resistor(const std::string& name, NodeId a, NodeId b, double r);
+  void add_capacitor(const std::string& name, NodeId a, NodeId b, double c);
+  /// Adds a capacitor with an initial condition (voltage a->b) honored by
+  /// transient analysis when started with use_ic.
+  void add_capacitor_ic(const std::string& name, NodeId a, NodeId b, double c,
+                        double ic);
+  void add_vsource(const std::string& name, NodeId p, NodeId n, Waveform wave,
+                   double ac_mag = 0.0, double ac_phase = 0.0);
+  void add_isource(const std::string& name, NodeId p, NodeId n, Waveform wave,
+                   double ac_mag = 0.0, double ac_phase = 0.0);
+  void add_vcvs(const std::string& name, NodeId p, NodeId n, NodeId cp,
+                NodeId cn, double gain);
+  void add_vccs(const std::string& name, NodeId p, NodeId n, NodeId cp,
+                NodeId cn, double gm);
+  void add_mosfet(Mosfet m);
+
+  /// Sets a transient initial condition on a node (".ic v(node)=value").
+  void set_initial_condition(NodeId node, double value);
+  const std::map<NodeId, double>& initial_conditions() const { return ics_; }
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Vcvs>& vcvs() const { return vcvs_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  std::vector<Mosfet>& mosfets() { return mosfets_; }
+  std::vector<VSource>& vsources() { return vsources_; }
+  std::vector<Resistor>& resistors() { return resistors_; }
+  std::vector<Capacitor>& capacitors() { return capacitors_; }
+
+  /// Index of the named voltage source (for branch-current lookup).
+  int find_vsource(const std::string& name) const;
+  int find_mosfet(const std::string& name) const;
+
+  /// Unknown count for MNA: (nodes - 1) node voltages plus one branch current
+  /// per voltage source and per VCVS.
+  int unknown_count() const {
+    return node_count() - 1 +
+           static_cast<int>(vsources_.size() + vcvs_.size());
+  }
+
+  /// Branch-current unknown index of voltage source `vs_index` within the MNA
+  /// solution vector.
+  int vsource_branch_index(int vs_index) const {
+    OLP_CHECK(vs_index >= 0 && vs_index < static_cast<int>(vsources_.size()),
+              "vsource index out of range");
+    return node_count() - 1 + vs_index;
+  }
+
+  /// Total device count, useful for reporting.
+  std::size_t device_count() const {
+    return resistors_.size() + capacitors_.size() + vsources_.size() +
+           isources_.size() + vcvs_.size() + vccs_.size() + mosfets_.size();
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::map<std::string, NodeId> node_index_;
+  std::vector<MosModel> models_;
+  std::map<NodeId, double> ics_;
+
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Vcvs> vcvs_;
+  std::vector<Vccs> vccs_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace olp::spice

@@ -1,0 +1,34 @@
+#pragma once
+// Parser for a compact SPICE-style netlist dialect.
+//
+// Supported grammar (case-insensitive, '*' comments, '+' continuations):
+//
+//   Rname a b value
+//   Cname a b value [ic=v]
+//   Vname p n [dc v] [ac mag [phase_deg]] [pulse(v1 v2 td tr tf pw per)]
+//          [sin(off amp freq [td])] [pwl(t1 v1 t2 v2 ...)]
+//   Iname p n ... (same source syntax)
+//   Ename p n cp cn gain
+//   Gname p n cp cn gm
+//   Mname d g s b model [w=] [l=] [as=] [ad=] [ps=] [pd=] [dvth=] [mob=]
+//   .model name nmos|pmos [vth0=] [kp=] [nslope=] [lambda=] [cox=] [cov=]
+//          [cj=] [cjsw=] [avt=]
+//   .ic v(node)=value ...
+//   .end
+//
+// Engineering suffixes: f p n u m k meg g t (SPICE semantics: 'm' is milli,
+// 'meg' is 1e6).
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace olp::spice {
+
+/// Parses a netlist from text. Throws olp::ParseError on malformed input.
+Circuit parse_netlist(const std::string& text);
+
+/// Parses a single numeric token with SPICE engineering suffixes.
+double parse_spice_number(const std::string& token);
+
+}  // namespace olp::spice

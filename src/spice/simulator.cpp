@@ -1,0 +1,578 @@
+#include "spice/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/logging.hpp"
+
+namespace olp::spice {
+
+SimStats& SimStats::global() {
+  static SimStats stats;
+  return stats;
+}
+
+Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
+  caps_ = gather_caps();
+}
+
+double Simulator::voltage(const std::vector<double>& x, NodeId node) const {
+  if (node == kGround) return 0.0;
+  OLP_CHECK(node > 0 && node < circuit_.node_count(), "node out of range");
+  return x[static_cast<std::size_t>(node - 1)];
+}
+
+double Simulator::vsource_current(const std::vector<double>& x,
+                                  const std::string& name) const {
+  const int idx = circuit_.vsource_branch_index(circuit_.find_vsource(name));
+  return x[static_cast<std::size_t>(idx)];
+}
+
+std::complex<double> Simulator::ac_voltage(
+    const std::vector<std::complex<double>>& x, NodeId node) const {
+  if (node == kGround) return {0.0, 0.0};
+  OLP_CHECK(node > 0 && node < circuit_.node_count(), "node out of range");
+  return x[static_cast<std::size_t>(node - 1)];
+}
+
+std::complex<double> Simulator::ac_vsource_current(
+    const std::vector<std::complex<double>>& x, const std::string& name) const {
+  const int idx = circuit_.vsource_branch_index(circuit_.find_vsource(name));
+  return x[static_cast<std::size_t>(idx)];
+}
+
+std::vector<Simulator::LinearCap> Simulator::gather_caps() const {
+  std::vector<LinearCap> caps;
+  for (const Capacitor& c : circuit_.capacitors()) {
+    caps.push_back(LinearCap{c.a, c.b, c.c, c.ic, c.use_ic});
+  }
+  for (const Mosfet& m : circuit_.mosfets()) {
+    const MosModel& model = circuit_.model(m.model);
+    const double cgg = model.cox * m.w * m.l;
+    const double cov = model.cov * m.w;
+    // Saturation-flavored Meyer partition with constant (linear) caps: the
+    // flow only needs capacitances that scale correctly with geometry and
+    // diffusion sharing, not bias-dependent charge conservation.
+    const double cgs = (2.0 / 3.0) * cgg + cov;
+    const double cgd = cov;
+    const double cdb = model.cj * m.ad + model.cjsw * m.pd;
+    const double csb = model.cj * m.as + model.cjsw * m.ps;
+    if (cgs > 0) caps.push_back(LinearCap{m.g, m.s, cgs, 0.0, false});
+    if (cgd > 0) caps.push_back(LinearCap{m.g, m.d, cgd, 0.0, false});
+    if (cdb > 0) caps.push_back(LinearCap{m.d, m.b, cdb, 0.0, false});
+    if (csb > 0) caps.push_back(LinearCap{m.s, m.b, csb, 0.0, false});
+  }
+  return caps;
+}
+
+namespace {
+
+/// Adds a conductance g between nodes a and b of a real MNA matrix.
+void add_g(linalg::RealMatrix& m, NodeId a, NodeId b, double g) {
+  if (a > 0) m(static_cast<std::size_t>(a - 1), static_cast<std::size_t>(a - 1)) += g;
+  if (b > 0) m(static_cast<std::size_t>(b - 1), static_cast<std::size_t>(b - 1)) += g;
+  if (a > 0 && b > 0) {
+    m(static_cast<std::size_t>(a - 1), static_cast<std::size_t>(b - 1)) -= g;
+    m(static_cast<std::size_t>(b - 1), static_cast<std::size_t>(a - 1)) -= g;
+  }
+}
+
+void add_entry(linalg::RealMatrix& m, int row, int col, double v) {
+  if (row >= 0 && col >= 0) {
+    m(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+  }
+}
+
+void add_rhs(std::vector<double>& b, int row, double v) {
+  if (row >= 0) b[static_cast<std::size_t>(row)] += v;
+}
+
+}  // namespace
+
+void Simulator::stamp_linear(linalg::RealMatrix& a) const {
+  for (const Resistor& r : circuit_.resistors()) {
+    add_g(a, r.a, r.b, 1.0 / r.r);
+  }
+  for (const Vccs& g : circuit_.vccs()) {
+    const int p = g.p - 1, n = g.n - 1, cp = g.cp - 1, cn = g.cn - 1;
+    // Current gm * v(cp,cn) flows p -> n through the source.
+    add_entry(a, p, cp, g.gm);
+    add_entry(a, p, cn, -g.gm);
+    add_entry(a, n, cp, -g.gm);
+    add_entry(a, n, cn, g.gm);
+  }
+  const int nn = circuit_.node_count() - 1;
+  const int nvs = static_cast<int>(circuit_.vsources().size());
+  for (std::size_t k = 0; k < circuit_.vcvs().size(); ++k) {
+    const Vcvs& e = circuit_.vcvs()[k];
+    const int br = nn + nvs + static_cast<int>(k);
+    const int p = e.p - 1, n = e.n - 1, cp = e.cp - 1, cn = e.cn - 1;
+    // Branch current unknown flows p -> n.
+    add_entry(a, p, br, 1.0);
+    add_entry(a, n, br, -1.0);
+    // Branch equation: v(p) - v(n) - gain * (v(cp) - v(cn)) = 0.
+    add_entry(a, br, p, 1.0);
+    add_entry(a, br, n, -1.0);
+    add_entry(a, br, cp, -e.gain);
+    add_entry(a, br, cn, e.gain);
+  }
+}
+
+void Simulator::stamp_sources(linalg::RealMatrix& a, std::vector<double>& b,
+                              double t, double scale) const {
+  const int nn = circuit_.node_count() - 1;
+  for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+    const VSource& v = circuit_.vsources()[k];
+    const int br = nn + static_cast<int>(k);
+    const int p = v.p - 1, n = v.n - 1;
+    add_entry(a, p, br, 1.0);
+    add_entry(a, n, br, -1.0);
+    add_entry(a, br, p, 1.0);
+    add_entry(a, br, n, -1.0);
+    add_rhs(b, br, scale * v.wave.value(t));
+  }
+  for (const ISource& i : circuit_.isources()) {
+    const double val = scale * i.wave.value(t);
+    // Positive current flows p -> n through the source: out of p, into n.
+    add_rhs(b, i.p - 1, -val);
+    add_rhs(b, i.n - 1, val);
+  }
+}
+
+MosOperatingPoint Simulator::eval_mosfet(const Mosfet& m,
+                                         const std::vector<double>& x) const {
+  const MosModel& model = circuit_.model(m.model);
+  auto v = [&](NodeId n) { return voltage(x, n); };
+  const double vgs = v(m.g) - v(m.s);
+  const double vds = v(m.d) - v(m.s);
+  const double sigma = model.type == MosType::kNmos ? 1.0 : -1.0;
+  const MosEval e = mos_eval(model, sigma * vgs, sigma * vds, m.w, m.l,
+                             m.delta_vth, m.mobility_mult);
+  MosOperatingPoint op;
+  // Under the sign mapping the small-signal conductances are unchanged while
+  // the physical current into the drain picks up the sign.
+  op.id = sigma * e.id;
+  op.gm = e.gm;
+  op.gds = e.gds;
+  op.vgs = vgs;
+  op.vds = vds;
+  return op;
+}
+
+void Simulator::stamp_mosfets(linalg::RealMatrix& a, std::vector<double>& b,
+                              const std::vector<double>& x) const {
+  for (const Mosfet& m : circuit_.mosfets()) {
+    const MosOperatingPoint op = eval_mosfet(m, x);
+    const int d = m.d - 1, g = m.g - 1, s = m.s - 1;
+    // Linearized drain current into the drain node:
+    //   Id(v) = Id0 + gm (vgs - vgs0) + gds (vds - vds0)
+    add_entry(a, d, g, op.gm);
+    add_entry(a, d, d, op.gds);
+    add_entry(a, d, s, -(op.gm + op.gds));
+    add_entry(a, s, g, -op.gm);
+    add_entry(a, s, d, -op.gds);
+    add_entry(a, s, s, op.gm + op.gds);
+    const double ieq = op.id - op.gm * op.vgs - op.gds * op.vds;
+    add_rhs(b, d, -ieq);
+    add_rhs(b, s, ieq);
+  }
+}
+
+OpResult Simulator::newton_dc(const OpOptions& options, double gmin,
+                              double source_scale,
+                              const std::vector<double>& guess) const {
+  const int n = n_unknowns();
+  const int nn = circuit_.node_count() - 1;
+  std::vector<double> x = guess;
+  if (x.empty()) x.assign(static_cast<std::size_t>(n), 0.0);
+  OLP_CHECK(static_cast<int>(x.size()) == n, "bad initial guess size");
+
+  linalg::RealMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+
+  OpResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    a.set_zero();
+    std::fill(b.begin(), b.end(), 0.0);
+    stamp_linear(a);
+    stamp_sources(a, b, 0.0, source_scale);
+    stamp_mosfets(a, b, x);
+    for (int k = 0; k < nn; ++k) {
+      add_entry(a, k, k, gmin + options.gmin_floor);
+    }
+
+    std::vector<double> x_new;
+    if (!linalg::solve(a, b, x_new)) {
+      result.converged = false;
+      result.iterations = iter + 1;
+      result.x = std::move(x);
+      return result;
+    }
+
+    // Damped update on node voltages; branch currents move freely.
+    double max_dv = 0.0;
+    bool within_tol = true;
+    for (int k = 0; k < n; ++k) {
+      const std::size_t ks = static_cast<std::size_t>(k);
+      double delta = x_new[ks] - x[ks];
+      if (k < nn) {
+        delta = std::clamp(delta, -options.damping, options.damping);
+        max_dv = std::max(max_dv, std::fabs(delta));
+        if (std::fabs(delta) >
+            options.vtol_abs + options.vtol_rel * std::fabs(x[ks])) {
+          within_tol = false;
+        }
+      }
+      x[ks] += delta;
+    }
+    if (within_tol && iter > 0) {
+      result.converged = true;
+      result.iterations = iter + 1;
+      result.x = std::move(x);
+      return result;
+    }
+    (void)max_dv;
+  }
+  result.converged = false;
+  result.iterations = options.max_iterations;
+  result.x = std::move(x);
+  return result;
+}
+
+OpResult Simulator::op(const OpOptions& options) const {
+  SimStats::global().op_count++;
+
+  // Stage 1: plain Newton from the provided guess.
+  OpResult r = newton_dc(options, 0.0, 1.0, options.initial_guess);
+  if (r.converged) return r;
+
+  // Stage 2: gmin stepping — solve with a large conductance to ground, then
+  // relax it while warm-starting each solve from the previous one.
+  std::vector<double> warm = options.initial_guess;
+  bool chain_ok = true;
+  for (double gmin = 1e-3; gmin >= 1e-12; gmin *= 1e-2) {
+    OpResult stage = newton_dc(options, gmin, 1.0, warm);
+    if (!stage.converged) {
+      chain_ok = false;
+      break;
+    }
+    warm = stage.x;
+  }
+  if (chain_ok) {
+    OpResult final_stage = newton_dc(options, 0.0, 1.0, warm);
+    if (final_stage.converged) return final_stage;
+  }
+
+  // Stage 3: source stepping — ramp all independent sources from zero.
+  warm.assign(static_cast<std::size_t>(n_unknowns()), 0.0);
+  for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
+    OpResult stage = newton_dc(options, 1e-9, scale, warm);
+    if (!stage.converged) {
+      OLP_WARN << "source stepping failed at scale " << scale;
+      return stage;
+    }
+    warm = stage.x;
+  }
+  OpResult final_stage = newton_dc(options, 0.0, 1.0, warm);
+  return final_stage;
+}
+
+std::vector<std::vector<double>> Simulator::dc_sweep(
+    const std::string& vsource, const std::vector<double>& values,
+    const OpOptions& options) const {
+  const int vs_index = circuit_.find_vsource(vsource);
+  // The sweep mutates the source value; restore it afterwards so the
+  // circuit's owner sees no change.
+  VSource& src = const_cast<Circuit&>(circuit_)
+                     .vsources()[static_cast<std::size_t>(vs_index)];
+  const Waveform saved = src.wave;
+
+  std::vector<std::vector<double>> solutions;
+  solutions.reserve(values.size());
+  OpOptions opts = options;
+  for (double v : values) {
+    src.wave = Waveform::dc(v);
+    const OpResult op = this->op(opts);
+    if (op.converged) {
+      solutions.push_back(op.x);
+      opts.initial_guess = op.x;  // continuation
+    } else {
+      solutions.emplace_back();
+      opts.initial_guess.clear();
+    }
+  }
+  src.wave = saved;
+  return solutions;
+}
+
+std::vector<MosOperatingPoint> Simulator::mos_operating_points(
+    const std::vector<double>& x) const {
+  std::vector<MosOperatingPoint> ops;
+  ops.reserve(circuit_.mosfets().size());
+  for (const Mosfet& m : circuit_.mosfets()) {
+    ops.push_back(eval_mosfet(m, x));
+  }
+  return ops;
+}
+
+AcResult Simulator::ac(const std::vector<double>& op_x,
+                       const AcOptions& options) const {
+  SimStats::global().ac_count++;
+  const int n = n_unknowns();
+  const int nn = circuit_.node_count() - 1;
+  OLP_CHECK(static_cast<int>(op_x.size()) == n, "ac needs an OP solution");
+
+  using C = std::complex<double>;
+  auto addc = [&](linalg::ComplexMatrix& m, int row, int col, C v) {
+    if (row >= 0 && col >= 0) {
+      m(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+    }
+  };
+  auto addc_g = [&](linalg::ComplexMatrix& m, NodeId a, NodeId b, C g) {
+    addc(m, a - 1, a - 1, g);
+    addc(m, b - 1, b - 1, g);
+    addc(m, a - 1, b - 1, -g);
+    addc(m, b - 1, a - 1, -g);
+  };
+
+  // Small-signal MOS parameters are bias-only; compute them once.
+  const std::vector<MosOperatingPoint> mos_ops = mos_operating_points(op_x);
+
+  AcResult result;
+  result.frequencies = options.frequencies;
+  result.solutions.reserve(options.frequencies.size());
+
+  linalg::ComplexMatrix a(static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(n));
+  for (double freq : options.frequencies) {
+    OLP_CHECK(freq > 0.0, "AC frequency must be positive");
+    const double omega = 2.0 * M_PI * freq;
+    a.set_zero();
+    std::vector<C> b(static_cast<std::size_t>(n), C{});
+
+    for (const Resistor& r : circuit_.resistors()) {
+      addc_g(a, r.a, r.b, C{1.0 / r.r, 0.0});
+    }
+    for (const LinearCap& c : caps_) {
+      addc_g(a, c.a, c.b, C{0.0, omega * c.c});
+    }
+    for (const Vccs& g : circuit_.vccs()) {
+      addc(a, g.p - 1, g.cp - 1, C{g.gm, 0});
+      addc(a, g.p - 1, g.cn - 1, C{-g.gm, 0});
+      addc(a, g.n - 1, g.cp - 1, C{-g.gm, 0});
+      addc(a, g.n - 1, g.cn - 1, C{g.gm, 0});
+    }
+    for (std::size_t k = 0; k < circuit_.mosfets().size(); ++k) {
+      const Mosfet& m = circuit_.mosfets()[k];
+      const MosOperatingPoint& op = mos_ops[k];
+      addc(a, m.d - 1, m.g - 1, C{op.gm, 0});
+      addc(a, m.d - 1, m.d - 1, C{op.gds, 0});
+      addc(a, m.d - 1, m.s - 1, C{-(op.gm + op.gds), 0});
+      addc(a, m.s - 1, m.g - 1, C{-op.gm, 0});
+      addc(a, m.s - 1, m.d - 1, C{-op.gds, 0});
+      addc(a, m.s - 1, m.s - 1, C{op.gm + op.gds, 0});
+    }
+    for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+      const VSource& v = circuit_.vsources()[k];
+      const int br = nn + static_cast<int>(k);
+      addc(a, v.p - 1, br, C{1, 0});
+      addc(a, v.n - 1, br, C{-1, 0});
+      addc(a, br, v.p - 1, C{1, 0});
+      addc(a, br, v.n - 1, C{-1, 0});
+      if (v.ac_mag != 0.0) {
+        b[static_cast<std::size_t>(br)] =
+            std::polar(v.ac_mag, v.ac_phase);
+      }
+    }
+    for (const ISource& i : circuit_.isources()) {
+      if (i.ac_mag == 0.0) continue;
+      const C val = std::polar(i.ac_mag, i.ac_phase);
+      if (i.p > 0) b[static_cast<std::size_t>(i.p - 1)] -= val;
+      if (i.n > 0) b[static_cast<std::size_t>(i.n - 1)] += val;
+    }
+    const int nvs = static_cast<int>(circuit_.vsources().size());
+    for (std::size_t k = 0; k < circuit_.vcvs().size(); ++k) {
+      const Vcvs& e = circuit_.vcvs()[k];
+      const int br = nn + nvs + static_cast<int>(k);
+      addc(a, e.p - 1, br, C{1, 0});
+      addc(a, e.n - 1, br, C{-1, 0});
+      addc(a, br, e.p - 1, C{1, 0});
+      addc(a, br, e.n - 1, C{-1, 0});
+      addc(a, br, e.cp - 1, C{-e.gain, 0});
+      addc(a, br, e.cn - 1, C{e.gain, 0});
+    }
+    // Tiny conductance to ground keeps isolated internal nodes solvable.
+    for (int k = 0; k < nn; ++k) addc(a, k, k, C{1e-12, 0});
+
+    std::vector<C> x;
+    OLP_CHECK(linalg::solve(a, b, x), "AC system singular at f=" +
+                                           std::to_string(freq));
+    result.solutions.push_back(std::move(x));
+  }
+  return result;
+}
+
+TranResult Simulator::tran(const TranOptions& options) const {
+  SimStats::global().tran_count++;
+  OLP_CHECK(options.dt > 0 && options.tstop > options.dt,
+            "transient needs dt > 0 and tstop > dt");
+  const int n = n_unknowns();
+  const int nn = circuit_.node_count() - 1;
+
+  // Initial state.
+  std::vector<double> x;
+  if (options.start_from_op) {
+    OpResult op0 = op();
+    if (!op0.converged) {
+      OLP_WARN << "transient: t=0 operating point failed to converge";
+    }
+    x = std::move(op0.x);
+  } else {
+    x.assign(static_cast<std::size_t>(n), 0.0);
+  }
+  // Node initial conditions override the OP (ring-symmetry kick).
+  for (const auto& [node, value] : circuit_.initial_conditions()) {
+    x[static_cast<std::size_t>(node - 1)] = value;
+  }
+  for (const LinearCap& c : caps_) {
+    if (!c.use_ic) continue;
+    // Force v(a) - v(b) = ic by shifting node a when possible.
+    if (c.a > 0) {
+      const double vb = c.b > 0 ? x[static_cast<std::size_t>(c.b - 1)] : 0.0;
+      x[static_cast<std::size_t>(c.a - 1)] = vb + c.ic;
+    }
+  }
+
+  TranResult result;
+  result.times.push_back(0.0);
+  result.samples.push_back(x);
+
+  // Per-capacitor branch current state (for trapezoidal integration).
+  std::vector<double> icap(caps_.size(), 0.0);
+  auto cap_voltage = [&](const LinearCap& c, const std::vector<double>& v) {
+    const double va = c.a > 0 ? v[static_cast<std::size_t>(c.a - 1)] : 0.0;
+    const double vb = c.b > 0 ? v[static_cast<std::size_t>(c.b - 1)] : 0.0;
+    return va - vb;
+  };
+
+  linalg::RealMatrix a(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+
+  const double h = options.dt;
+  const long steps = static_cast<long>(std::ceil(options.tstop / h));
+
+  // One Newton solve of the companion system at time `t_at` with step
+  // `h_at`, integrating from `x_prev` (+ cap currents icap for trapezoidal).
+  auto newton_solve = [&](double t_at, double h_at, bool trapezoidal,
+                          const std::vector<double>& x_prev,
+                          std::vector<double>& x_out) -> bool {
+    x_out = x_prev;  // warm start
+    for (int iter = 0; iter < options.max_newton; ++iter) {
+      a.set_zero();
+      std::fill(b.begin(), b.end(), 0.0);
+      stamp_linear(a);
+      stamp_sources(a, b, t_at, 1.0);
+      stamp_mosfets(a, b, x_out);
+      for (std::size_t k = 0; k < caps_.size(); ++k) {
+        const LinearCap& c = caps_[k];
+        if (c.c <= 0) continue;
+        const double v_prev = cap_voltage(c, x_prev);
+        double geq, ieq_into_a;
+        if (trapezoidal) {
+          geq = 2.0 * c.c / h_at;
+          ieq_into_a = geq * v_prev + icap[k];
+        } else {
+          geq = c.c / h_at;
+          ieq_into_a = geq * v_prev;
+        }
+        add_g(a, c.a, c.b, geq);
+        add_rhs(b, c.a - 1, ieq_into_a);
+        add_rhs(b, c.b - 1, -ieq_into_a);
+      }
+      for (int k = 0; k < nn; ++k) add_entry(a, k, k, 1e-12);
+
+      std::vector<double> x_next;
+      if (!linalg::solve(a, b, x_next)) return false;
+
+      bool within_tol = true;
+      for (int k = 0; k < n; ++k) {
+        const std::size_t ks = static_cast<std::size_t>(k);
+        double delta = x_next[ks] - x_out[ks];
+        if (k < nn) {
+          delta = std::clamp(delta, -0.5, 0.5);
+          if (std::fabs(delta) > 1e-7 + 1e-5 * std::fabs(x_out[ks])) {
+            within_tol = false;
+          }
+        }
+        x_out[ks] += delta;
+      }
+      if (within_tol && iter > 0) return true;
+    }
+    return false;
+  };
+
+  auto update_icap = [&](bool trapezoidal, double h_at,
+                         const std::vector<double>& x_prev,
+                         const std::vector<double>& x_next) {
+    for (std::size_t k = 0; k < caps_.size(); ++k) {
+      const LinearCap& c = caps_[k];
+      if (c.c <= 0) continue;
+      const double dv = cap_voltage(c, x_next) - cap_voltage(c, x_prev);
+      if (trapezoidal) {
+        icap[k] = 2.0 * c.c / h_at * dv - icap[k];
+      } else {
+        icap[k] = c.c / h_at * dv;
+      }
+    }
+  };
+
+  long recorded = 0;
+  for (long step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    // First step uses backward Euler (no valid cap-current history yet).
+    const bool trapezoidal = !options.backward_euler && step > 1;
+
+    std::vector<double> x_new;
+    if (newton_solve(t, h, trapezoidal, x, x_new)) {
+      update_icap(trapezoidal, h, x, x_new);
+    } else if (newton_solve(t, h, false, x, x_new)) {
+      // Trapezoidal ringing: fall back to (damped) backward Euler.
+      update_icap(false, h, x, x_new);
+    } else {
+      // Stiff corner: subdivide the step with backward Euler.
+      constexpr int kSubsteps = 4;
+      const double hs = h / kSubsteps;
+      std::vector<double> x_sub = x;
+      bool ok = true;
+      for (int j = 1; j <= kSubsteps; ++j) {
+        const double tj = t - h + j * hs;
+        std::vector<double> x_tmp;
+        if (!newton_solve(tj, hs, false, x_sub, x_tmp)) {
+          ok = false;
+          break;
+        }
+        update_icap(false, hs, x_sub, x_tmp);
+        x_sub = std::move(x_tmp);
+      }
+      if (!ok) {
+        OLP_WARN << "transient Newton failed at t=" << t;
+        result.ok = false;
+        return result;
+      }
+      x_new = std::move(x_sub);
+    }
+
+    x = std::move(x_new);
+    ++recorded;
+    if (recorded % options.record_stride == 0 || step == steps) {
+      result.times.push_back(t);
+      result.samples.push_back(x);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace olp::spice

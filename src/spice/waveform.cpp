@@ -1,0 +1,38 @@
+#include "spice/waveform.hpp"
+
+#include <sstream>
+
+namespace olp::spice {
+
+std::string Waveform::to_spice() const {
+  std::ostringstream os;
+  os.precision(12);
+  switch (kind_) {
+    case Kind::kDc:
+      os << "DC " << dc_;
+      break;
+    case Kind::kPulse:
+      os << "PULSE(" << p_.v1 << ' ' << p_.v2 << ' ' << p_.delay << ' '
+         << p_.rise << ' ' << p_.fall << ' ' << p_.width << ' ' << p_.period
+         << ')';
+      break;
+    case Kind::kSin:
+      os << "SIN(" << s_.offset << ' ' << s_.amplitude << ' ' << s_.freq
+         << ' ' << s_.delay << ')';
+      break;
+    case Kind::kPwl: {
+      os << "PWL(";
+      bool first = true;
+      for (const auto& [t, v] : pwl_) {
+        if (!first) os << ' ';
+        os << t << ' ' << v;
+        first = false;
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace olp::spice

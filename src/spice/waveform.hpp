@@ -1,0 +1,119 @@
+#pragma once
+// Independent-source waveforms (DC, PULSE, SIN, PWL).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace olp::spice {
+
+/// A time-domain source waveform in the style of SPICE source specifications.
+class Waveform {
+ public:
+  /// Constant value (DC).
+  static Waveform dc(double value) {
+    Waveform w;
+    w.kind_ = Kind::kDc;
+    w.dc_ = value;
+    return w;
+  }
+
+  /// SPICE PULSE(v1 v2 td tr tf pw period).
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period) {
+    OLP_CHECK(rise > 0 && fall > 0, "pulse edges must have nonzero duration");
+    OLP_CHECK(period > 0 && width >= 0, "pulse needs positive period");
+    Waveform w;
+    w.kind_ = Kind::kPulse;
+    w.p_ = {v1, v2, delay, rise, fall, width, period};
+    return w;
+  }
+
+  /// SPICE SIN(offset amplitude freq delay).
+  static Waveform sine(double offset, double amplitude, double freq,
+                       double delay = 0.0) {
+    OLP_CHECK(freq > 0, "sine needs positive frequency");
+    Waveform w;
+    w.kind_ = Kind::kSin;
+    w.s_ = {offset, amplitude, freq, delay};
+    return w;
+  }
+
+  /// Piecewise-linear (t, v) samples; must be sorted by time.
+  static Waveform pwl(std::vector<std::pair<double, double>> points) {
+    OLP_CHECK(!points.empty(), "pwl needs at least one point");
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      OLP_CHECK(points[i].first >= points[i - 1].first,
+                "pwl points must be time-sorted");
+    }
+    Waveform w;
+    w.kind_ = Kind::kPwl;
+    w.pwl_ = std::move(points);
+    return w;
+  }
+
+  /// Instantaneous value at time t (>= 0).
+  double value(double t) const {
+    switch (kind_) {
+      case Kind::kDc:
+        return dc_;
+      case Kind::kPulse: {
+        if (t < p_.delay) return p_.v1;
+        const double tp = std::fmod(t - p_.delay, p_.period);
+        if (tp < p_.rise) return p_.v1 + (p_.v2 - p_.v1) * tp / p_.rise;
+        if (tp < p_.rise + p_.width) return p_.v2;
+        if (tp < p_.rise + p_.width + p_.fall) {
+          return p_.v2 +
+                 (p_.v1 - p_.v2) * (tp - p_.rise - p_.width) / p_.fall;
+        }
+        return p_.v1;
+      }
+      case Kind::kSin:
+        if (t < s_.delay) return s_.offset;
+        return s_.offset +
+               s_.amplitude *
+                   std::sin(2.0 * M_PI * s_.freq * (t - s_.delay));
+      case Kind::kPwl: {
+        if (t <= pwl_.front().first) return pwl_.front().second;
+        if (t >= pwl_.back().first) return pwl_.back().second;
+        for (std::size_t i = 1; i < pwl_.size(); ++i) {
+          if (t <= pwl_[i].first) {
+            const auto& [t0, v0] = pwl_[i - 1];
+            const auto& [t1, v1] = pwl_[i];
+            if (t1 == t0) return v1;
+            return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+          }
+        }
+        return pwl_.back().second;
+      }
+    }
+    return 0.0;
+  }
+
+  /// Value used for the DC operating point (time-0 value by convention).
+  double dc_value() const { return value(0.0); }
+
+  /// Serializes the waveform in SPICE source syntax ("DC 0.5",
+  /// "PULSE(0 0.8 ...)", ...). Parseable by parser.hpp.
+  std::string to_spice() const;
+
+ private:
+  enum class Kind { kDc, kPulse, kSin, kPwl };
+  struct Pulse {
+    double v1 = 0, v2 = 0, delay = 0, rise = 0, fall = 0, width = 0,
+           period = 0;
+  };
+  struct Sin {
+    double offset = 0, amplitude = 0, freq = 0, delay = 0;
+  };
+
+  Kind kind_ = Kind::kDc;
+  double dc_ = 0.0;
+  Pulse p_;
+  Sin s_;
+  std::vector<std::pair<double, double>> pwl_;
+};
+
+}  // namespace olp::spice

@@ -1,0 +1,154 @@
+#include "tech/technology.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace olp::tech {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kFin: return "fin";
+    case Layer::kDiffusion: return "diff";
+    case Layer::kPoly: return "poly";
+    case Layer::kM1: return "M1";
+    case Layer::kM2: return "M2";
+    case Layer::kM3: return "M3";
+    case Layer::kM4: return "M4";
+    case Layer::kM5: return "M5";
+    case Layer::kM6: return "M6";
+  }
+  return "?";
+}
+
+double Technology::wire_res(Layer layer, double length, int parallel) const {
+  OLP_CHECK(length >= 0, "negative wire length");
+  OLP_CHECK(parallel >= 1, "need at least one parallel track");
+  const MetalLayerInfo& m = metal(layer);
+  const double squares = length / m.min_width;
+  return m.sheet_res * squares / static_cast<double>(parallel);
+}
+
+double Technology::wire_cap(Layer layer, double length, int parallel) const {
+  OLP_CHECK(length >= 0, "negative wire length");
+  OLP_CHECK(parallel >= 1, "need at least one parallel track");
+  const MetalLayerInfo& m = metal(layer);
+  // Parallel minimum-width tracks each carry the full area+fringe load; the
+  // inner fringe overlap between adjacent tracks gives a mild sub-linear
+  // scaling (0.85 per additional track), matching the paper's observation
+  // that widening trades C for R at a diminishing rate.
+  const double tracks = 1.0 + 0.85 * (static_cast<double>(parallel) - 1.0);
+  return m.cap_per_length * length * tracks;
+}
+
+double Technology::via_stack_res(Layer from, Layer to, int cuts) const {
+  OLP_CHECK(cuts >= 1, "need at least one via cut");
+  const int a = metal_index(from);
+  const int b = metal_index(to);
+  OLP_CHECK(a >= 0 && b >= 0, "via stack endpoints must be routing metals");
+  const int levels = std::abs(a - b);
+  return via_res * static_cast<double>(levels) / static_cast<double>(cuts);
+}
+
+Technology make_default_finfet_tech() {
+  using namespace olp::units;
+  Technology t;
+  t.name = "olp-finfet12";
+
+  // Front end: 12 nm-class numbers. The per-fin effective width is chosen so
+  // the paper's running DP example (W/L = 46 um / 14 nm realized with
+  // nfin*nf*m = 960 fins) comes out exactly: 46 um / 960 = ~48 nm.
+  t.fin_pitch = 26 * nm;
+  t.poly_pitch = 54 * nm;
+  t.fin_width_eff = 48 * nm;
+  t.gate_length = 14 * nm;
+  t.diff_extension = 60 * nm;
+  t.row_height = 500 * nm;
+
+  t.diff_cont_res = 18.0;   // one contact stack, ohms
+  t.diff_sheet_res = 250.0; // ohm/sq; raw diffusion is very resistive
+
+  // Lower metals are thin and resistive (FinFET nodes: hundreds of
+  // milliohm/sq to several ohm/sq); upper metals are progressively thicker.
+  // Capacitance per length ~0.2 fF/um total at min width.
+  auto ml = [](double w_nm, double s_nm, double rsq, double cfl_af_per_um,
+               bool horiz) {
+    MetalLayerInfo m;
+    m.min_width = w_nm * nm;
+    m.min_spacing = s_nm * nm;
+    m.pitch = (w_nm + s_nm) * nm;
+    m.sheet_res = rsq;
+    m.cap_per_length = cfl_af_per_um * 1e-18 / um;
+    m.horizontal = horiz;
+    return m;
+  };
+  t.metals[0] = ml(18, 18, 9.0, 140, true);    // M1
+  t.metals[1] = ml(18, 18, 8.0, 140, false);   // M2
+  t.metals[2] = ml(22, 22, 5.0, 150, true);    // M3
+  t.metals[3] = ml(22, 22, 5.0, 150, false);   // M4
+  t.metals[4] = ml(40, 40, 1.6, 170, true);    // M5
+  t.metals[5] = ml(40, 40, 1.6, 170, false);   // M6
+
+  t.via_res = 22.0;
+  t.via_cap = 0.04 * fF;
+
+  // LDE coefficients tuned to give mV-scale Vth shifts for sub-um diffusion
+  // extents, consistent with the CICC'06/'19 observations cited in the paper.
+  t.lde = LdeCoefficients{};
+
+  t.vdd = 0.8;
+  return t;
+}
+
+Technology make_bulk_65nm_tech() {
+  using namespace olp::units;
+  Technology t;
+  t.name = "olp-bulk65";
+
+  // Planar bulk: the "fin" abstraction becomes a width quantum, so a device
+  // with nfin * nf * m = N realizes W = N * 0.28 um of planar width.
+  t.fin_pitch = 0.3 * um;        // vertical extent per width quantum
+  t.poly_pitch = 0.24 * um;      // contacted gate pitch
+  t.fin_width_eff = 0.28 * um;   // electrical width per quantum
+  t.gate_length = 60 * nm;
+  t.diff_extension = 0.2 * um;
+  t.row_height = 1.8 * um;
+
+  t.diff_cont_res = 10.0;
+  t.diff_sheet_res = 8.0;  // silicided bulk diffusion
+
+  auto ml = [](double w_nm, double s_nm, double rsq, double cfl_af_per_um,
+               bool horiz) {
+    MetalLayerInfo m;
+    m.min_width = w_nm * nm;
+    m.min_spacing = s_nm * nm;
+    m.pitch = (w_nm + s_nm) * nm;
+    m.sheet_res = rsq;
+    m.cap_per_length = cfl_af_per_um * 1e-18 / um;
+    m.horizontal = horiz;
+    return m;
+  };
+  t.metals[0] = ml(90, 90, 0.38, 180, true);    // M1
+  t.metals[1] = ml(100, 100, 0.21, 190, false); // M2
+  t.metals[2] = ml(100, 100, 0.21, 190, true);  // M3
+  t.metals[3] = ml(140, 140, 0.14, 200, false); // M4
+  t.metals[4] = ml(210, 210, 0.08, 210, true);  // M5
+  t.metals[5] = ml(210, 210, 0.08, 210, false); // M6
+
+  t.via_res = 4.0;
+  t.via_cap = 0.1 * fF;
+
+  // Bulk LDE: LOD (STI stress) and WPE are the classic bulk effects; the
+  // geometric scales are micron-class, so the reference extents relax.
+  t.lde.k_lod_vth = 3.0e-9;
+  t.lde.sa_ref = 5e-6;
+  t.lde.k_lod_mob = -3.0e-12;
+  t.lde.k_wpe_vth = 4.0e-9;
+  t.lde.sc_offset = 0.5e-6;
+  t.lde.grad_vth = 0.4e-3 / 1e-6;
+
+  t.vdd = 1.2;
+  return t;
+}
+
+}  // namespace olp::tech

@@ -1,0 +1,69 @@
+#pragma once
+// Discrete curve analysis used by primitive tuning and port optimization.
+//
+// The paper stops adding parallel wires either at the cost minimum or, for a
+// monotonically decreasing cost curve, at "the point of maximum curvature".
+// These helpers operate on cost samples taken at wire counts 1..n.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace olp {
+
+/// Returns the index (0-based) of the minimum value; ties break to the
+/// smallest index (fewest wires → lowest congestion).
+inline std::size_t argmin(const std::vector<double>& ys) {
+  OLP_CHECK(!ys.empty(), "argmin of empty curve");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (ys[i] < ys[best]) best = i;
+  }
+  return best;
+}
+
+/// True when the samples never increase (within tolerance `tol`).
+inline bool is_monotone_decreasing(const std::vector<double>& ys,
+                                   double tol = 1e-12) {
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    if (ys[i] > ys[i - 1] + tol) return false;
+  }
+  return true;
+}
+
+/// Index of maximum discrete curvature of a sampled curve (unit x-spacing).
+///
+/// Uses the second difference |y[i-1] - 2 y[i] + y[i+1]| normalized by the
+/// local arc length, evaluated at interior points; endpoints cannot be
+/// curvature maxima. For fewer than 3 samples the last index is returned
+/// (no interior point exists).
+inline std::size_t max_curvature_index(const std::vector<double>& ys) {
+  OLP_CHECK(!ys.empty(), "curvature of empty curve");
+  if (ys.size() < 3) return ys.size() - 1;
+  std::size_t best = 1;
+  double best_k = -1.0;
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) {
+    const double d1 = 0.5 * (ys[i + 1] - ys[i - 1]);
+    const double d2 = ys[i + 1] - 2.0 * ys[i] + ys[i - 1];
+    const double denom = 1.0 + d1 * d1;
+    const double k = (d2 < 0 ? -d2 : d2) / (denom * std::sqrt(denom));
+    if (k > best_k) {
+      best_k = k;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// The paper's stopping rule for a cost-vs-wire-count sweep: the minimum when
+/// the curve has one, otherwise the maximum-curvature point of the
+/// monotonically decreasing curve. Returns a 0-based index into `ys`.
+inline std::size_t tuning_stop_index(const std::vector<double>& ys) {
+  OLP_CHECK(!ys.empty(), "tuning_stop_index of empty curve");
+  if (!is_monotone_decreasing(ys)) return argmin(ys);
+  return max_curvature_index(ys);
+}
+
+}  // namespace olp

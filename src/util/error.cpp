@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace olp::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  throw InvalidArgumentError(msg + " [" + cond + " failed at " + file + ":" +
+                             std::to_string(line) + "]");
+}
+
+}  // namespace olp::detail

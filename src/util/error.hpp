@@ -1,0 +1,69 @@
+#pragma once
+// Error handling primitives for the olp library.
+//
+// The library reports unrecoverable misuse and internal inconsistencies via
+// exceptions derived from olp::Error. Recoverable conditions (e.g. a Newton
+// solve that fails to converge) are reported through status-carrying return
+// values local to the subsystem instead.
+
+#include <stdexcept>
+#include <string>
+
+namespace olp {
+
+/// Base class for all exceptions thrown by the olp library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing user-provided input (e.g. a SPICE deck) fails.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  /// 1-based line number of the offending input line.
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Thrown when an internal invariant is violated (a bug in the library).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace olp
+
+/// Precondition check: throws olp::InvalidArgumentError when `cond` is false.
+#define OLP_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::olp::detail::throw_check_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check: indicates a library bug when it fires.
+#define OLP_ASSERT(cond, msg)                                    \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      throw ::olp::InternalError(std::string(msg) + " [" #cond   \
+                                 " failed at " __FILE__ ":" +    \
+                                 std::to_string(__LINE__) + "]"); \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger. Output goes to stderr; the level is a process-wide
+// setting so benches can silence the flow's progress chatter.
+
+#include <sstream>
+#include <string>
+
+namespace olp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace olp
+
+#define OLP_LOG(level)                                  \
+  if (static_cast<int>(level) <                         \
+      static_cast<int>(::olp::log_level())) {           \
+  } else                                                \
+    ::olp::detail::LogLine(level)
+
+#define OLP_DEBUG OLP_LOG(::olp::LogLevel::kDebug)
+#define OLP_INFO OLP_LOG(::olp::LogLevel::kInfo)
+#define OLP_WARN OLP_LOG(::olp::LogLevel::kWarn)
+#define OLP_ERROR OLP_LOG(::olp::LogLevel::kError)

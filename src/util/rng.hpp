@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic parts of the flow (the simulated-annealing placer, process
+// gradient sampling, test fuzzers) draw from an olp::Rng seeded explicitly so
+// every run is reproducible.
+
+#include <cstdint>
+#include <random>
+
+namespace olp {
+
+/// A small, deterministic RNG wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample scaled by `sigma`.
+  double gaussian(double sigma = 1.0) {
+    return std::normal_distribution<double>(0.0, sigma)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace olp

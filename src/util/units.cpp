@@ -1,0 +1,46 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace olp::units {
+
+std::string eng(double value, const std::string& unit, int digits) {
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g%s", digits, value, unit.c_str());
+    return buf;
+  }
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 11> kPrefixes = {{
+      {1e12, "T"},
+      {1e9, "G"},
+      {1e6, "M"},
+      {1e3, "k"},
+      {1.0, ""},
+      {1e-3, "m"},
+      {1e-6, "u"},
+      {1e-9, "n"},
+      {1e-12, "p"},
+      {1e-15, "f"},
+      {1e-18, "a"},
+  }};
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes.back();
+  for (const Prefix& prefix : kPrefixes) {
+    if (mag >= prefix.scale) {
+      chosen = &prefix;
+      break;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g%s%s", digits, value / chosen->scale,
+                chosen->symbol, unit.c_str());
+  return buf;
+}
+
+}  // namespace olp::units

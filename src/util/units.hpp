@@ -1,0 +1,59 @@
+#pragma once
+// SI unit helpers and engineering-notation formatting.
+//
+// Internally the library uses plain SI base units everywhere: volts, amperes,
+// ohms, farads, seconds, hertz, meters. These helpers make literals readable
+// (e.g. `4.0 * units::um`) and format values for the bench tables.
+
+#include <string>
+
+namespace olp::units {
+
+// Multipliers for literals.
+inline constexpr double T = 1e12;
+inline constexpr double G = 1e9;
+inline constexpr double M = 1e6;
+inline constexpr double k = 1e3;
+inline constexpr double m = 1e-3;
+inline constexpr double u = 1e-6;
+inline constexpr double n = 1e-9;
+inline constexpr double p = 1e-12;
+inline constexpr double f = 1e-15;
+
+// Length literals (meters).
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Time literals (seconds).
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Frequency literals (hertz).
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Capacitance literals (farads).
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double aF = 1e-18;
+
+// Resistance literals (ohms).
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+
+// Current literals (amperes).
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+
+// Power literals (watts).
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+
+/// Formats `value` in engineering notation with an SI prefix, e.g.
+/// 2.2e-14 → "22.0f"; pass `unit` to append a unit symbol ("22.0fF").
+std::string eng(double value, const std::string& unit = "", int digits = 3);
+
+}  // namespace olp::units

@@ -1,0 +1,119 @@
+// Tests for the cascoded primitive variants (paper Sec. II-A lists cascoded
+// differential pairs and cascoded current-mirror structures in the library).
+
+#include <gtest/gtest.h>
+
+#include "circuits/common.hpp"
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+#include "pcell/generator.hpp"
+
+namespace olp {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+pcell::LayoutConfig cfg(int nfin, int nf, int m) {
+  pcell::LayoutConfig c;
+  c.nfin = nfin;
+  c.nf = nf;
+  c.m = m;
+  return c;
+}
+
+TEST(CascodeMirror, StructureHasTwoMatchGroups) {
+  const pcell::PrimitiveNetlist p = pcell::make_cascode_current_mirror(1);
+  ASSERT_EQ(p.devices.size(), 4u);
+  EXPECT_EQ(p.devices[0].match_group, 0);
+  EXPECT_EQ(p.devices[1].match_group, 0);
+  EXPECT_EQ(p.devices[2].match_group, 1);
+  EXPECT_EQ(p.devices[3].match_group, 1);
+  EXPECT_EQ(p.type, pcell::PrimitiveType::kCurrentMirror);
+}
+
+TEST(CascodeMirror, GeneratesTwoSections) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_cascode_current_mirror(1), cfg(8, 8, 2));
+  EXPECT_EQ(lay.devices.size(), 4u);
+  // Two stacked matched sections: taller than the simple mirror.
+  const pcell::PrimitiveLayout simple =
+      gen.generate(pcell::make_current_mirror(1), cfg(8, 8, 2));
+  EXPECT_GT(lay.height(), 1.5 * simple.height());
+  // Internal cascode nets got straps too.
+  EXPECT_TRUE(lay.nets.count("x1"));
+  EXPECT_TRUE(lay.nets.count("x2"));
+}
+
+TEST(CascodeMirror, MirrorsCurrentAndBoostsRout) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout casc =
+      gen.generate(pcell::make_cascode_current_mirror(1), cfg(8, 16, 2));
+  const pcell::PrimitiveLayout simple =
+      gen.generate(pcell::make_current_mirror(1), cfg(8, 16, 2));
+  core::BiasContext b;
+  b.vdd = t().vdd;
+  b.bias_current = 200e-6;
+  b.port_voltage = {{"out", 0.6}, {"s", 0.0}};
+  const core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                      circuits::default_pmos(), b);
+  core::EvalCondition ideal;
+  ideal.ideal = true;
+  const core::MetricValues vc = eval.evaluate(casc, ideal);
+  const core::MetricValues vs = eval.evaluate(simple, ideal);
+  EXPECT_NEAR(vc.at(core::MetricKind::kCurrentRatio), 1.0, 0.25);
+  // The whole point of the cascode: much higher output resistance.
+  EXPECT_GT(vc.at(core::MetricKind::kRout),
+            3.0 * vs.at(core::MetricKind::kRout));
+}
+
+TEST(CascodeMirror, RatioScales) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_cascode_current_mirror(2), cfg(8, 4, 2));
+  EXPECT_NEAR(lay.devices.at("MOUT").w / lay.devices.at("MREF").w, 2.0, 1e-9);
+  EXPECT_NEAR(lay.devices.at("MCOUT").w / lay.devices.at("MCREF").w, 2.0,
+              1e-9);
+}
+
+TEST(CascodeDiffPair, EvaluatesWithCascodeBias) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_cascode_diff_pair(), cfg(8, 10, 2));
+  core::BiasContext b;
+  b.vdd = t().vdd;
+  b.bias_current = 400e-6;
+  b.port_voltage = {{"ga", 0.5}, {"gb", 0.5},    {"da", 0.6},
+                    {"db", 0.6}, {"vcasc", 0.6}, {"s", 0.15}};
+  b.port_load_cap = {{"da", 15e-15}, {"db", 15e-15}};
+  const core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                      circuits::default_pmos(), b);
+  core::EvalCondition ideal;
+  ideal.ideal = true;
+  const core::MetricValues v = eval.evaluate(lay, ideal);
+  EXPECT_GT(v.at(core::MetricKind::kGm), 1e-3);
+  EXPECT_LT(std::fabs(v.at(core::MetricKind::kInputOffset)), 1e-5);
+}
+
+TEST(CascodeDiffPair, Algorithm1Runs) {
+  const pcell::PrimitiveGenerator gen(t());
+  core::BiasContext b;
+  b.vdd = t().vdd;
+  b.bias_current = 400e-6;
+  b.port_voltage = {{"ga", 0.5}, {"gb", 0.5},    {"da", 0.6},
+                    {"db", 0.6}, {"vcasc", 0.6}, {"s", 0.15}};
+  b.port_load_cap = {{"da", 15e-15}, {"db", 15e-15}};
+  const core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                      circuits::default_pmos(), b);
+  const core::PrimitiveOptimizer opt(gen, eval);
+  const std::vector<core::LayoutCandidate> sel =
+      opt.optimize(pcell::make_cascode_diff_pair(), 96);
+  ASSERT_FALSE(sel.empty());
+  EXPECT_LT(sel.front().cost.total, 100.0);
+}
+
+}  // namespace
+}  // namespace olp

@@ -1,0 +1,167 @@
+// Integration tests for the evaluation circuits in schematic mode and under
+// simple realizations.
+
+#include <gtest/gtest.h>
+
+#include "circuits/common_source.hpp"
+#include "circuits/ota5t.hpp"
+#include "circuits/strongarm.hpp"
+#include "circuits/vco.hpp"
+
+namespace olp::circuits {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+TEST(CommonSourceAmp, SchematicInExpectedRange) {
+  CommonSourceAmp cs(t());
+  ASSERT_TRUE(cs.prepare());
+  const auto m = cs.measure(schematic_realization(cs.instances(), t()));
+  ASSERT_TRUE(m.count("gain_db"));
+  EXPECT_GT(m.at("gain_db"), 15.0);
+  EXPECT_LT(m.at("gain_db"), 45.0);
+  ASSERT_TRUE(m.count("ugf_ghz"));
+  EXPECT_GT(m.at("ugf_ghz"), 2.0);
+  EXPECT_LT(m.at("ugf_ghz"), 20.0);
+}
+
+TEST(CommonSourceAmp, BiasCalibrationHitsTargetCurrent) {
+  CommonSourceAmp cs(t());
+  ASSERT_TRUE(cs.prepare());
+  const auto m = cs.measure(schematic_realization(cs.instances(), t()));
+  // Supply carries the mirror branch + amplifier branch (~2x target).
+  EXPECT_NEAR(m.at("current_ua"), 2.0 * cs.target_current() * 1e6, 80.0);
+}
+
+TEST(CommonSourceAmp, InstancesShareBiasSignature) {
+  CommonSourceAmp cs(t());
+  ASSERT_TRUE(cs.prepare());
+  const auto& insts = cs.instances();
+  ASSERT_EQ(insts.size(), 3u);
+  // cs and nbias replicate each other.
+  EXPECT_EQ(insts[0].bias.port_voltage.at("in"),
+            insts[1].bias.port_voltage.at("in"));
+}
+
+TEST(Ota5T, SchematicInExpectedRange) {
+  Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+  const auto m = ota.measure(schematic_realization(ota.instances(), t()));
+  EXPECT_NEAR(m.at("current_ua"), ota.reference_current() * 1e6, 120.0);
+  EXPECT_GT(m.at("gain_db"), 20.0);
+  EXPECT_GT(m.at("ugf_ghz"), 2.0);
+  EXPECT_LT(m.at("ugf_ghz"), 12.0);
+  EXPECT_GT(m.at("pm_deg"), 60.0);
+  EXPECT_GT(m.at("f3db_mhz"), 50.0);
+}
+
+TEST(Ota5T, BiasContextsFilledFromSchematic) {
+  Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+  for (const InstanceSpec& inst : ota.instances()) {
+    EXPECT_GT(inst.bias.bias_current, 0.0) << inst.name;
+    EXPECT_FALSE(inst.bias.port_voltage.empty()) << inst.name;
+  }
+  // The DP drain bias is an internal node voltage computed by the OP.
+  const InstanceSpec& dp = ota.instances()[1];
+  EXPECT_GT(dp.bias.port_voltage.at("da"), 0.1);
+  EXPECT_LT(dp.bias.port_voltage.at("da"), t().vdd);
+}
+
+TEST(Ota5T, RoutedNetsExcludeSupplies) {
+  Ota5T ota(t());
+  for (const std::string& net : ota.routed_nets()) {
+    EXPECT_NE(net, "vdd");
+    EXPECT_NE(net, "vssa");
+  }
+}
+
+TEST(StrongArm, SchematicResolvesAndMeasures) {
+  StrongArmComparator sa(t());
+  ASSERT_TRUE(sa.prepare());
+  const auto m = sa.measure(schematic_realization(sa.instances(), t()));
+  ASSERT_TRUE(m.count("delay_ps"));
+  EXPECT_GT(m.at("delay_ps"), 1.0);
+  EXPECT_LT(m.at("delay_ps"), 200.0);
+  ASSERT_TRUE(m.count("power_uw"));
+  EXPECT_GT(m.at("power_uw"), 1.0);
+}
+
+TEST(StrongArm, ExtractedSlowerThanSchematic) {
+  StrongArmComparator sa(t());
+  ASSERT_TRUE(sa.prepare());
+  const auto sch = sa.measure(schematic_realization(sa.instances(), t()));
+  // Extracted with the same layouts (parasitics + LDE on).
+  Realization real = schematic_realization(sa.instances(), t());
+  real.ideal = false;
+  const auto lay = sa.measure(real);
+  ASSERT_TRUE(lay.count("delay_ps"));
+  EXPECT_GT(lay.at("delay_ps"), sch.at("delay_ps"));
+}
+
+TEST(RoVco, OscillatesAtHighControl) {
+  RoVco vco(t());
+  ASSERT_TRUE(vco.prepare());
+  const Realization real = schematic_realization(vco.instances(), t());
+  const auto f = vco.frequency(real, 0.5);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_GT(*f, 1e9);
+  EXPECT_LT(*f, 100e9);
+}
+
+TEST(RoVco, FrequencyIncreasesWithControl) {
+  RoVco vco(t());
+  ASSERT_TRUE(vco.prepare());
+  const Realization real = schematic_realization(vco.instances(), t());
+  const auto f_low = vco.frequency(real, 0.3);
+  const auto f_high = vco.frequency(real, 0.5);
+  ASSERT_TRUE(f_low.has_value());
+  ASSERT_TRUE(f_high.has_value());
+  EXPECT_GT(*f_high, *f_low);
+}
+
+TEST(RoVco, MeasureAggregatesSweep) {
+  RoVco vco(t());
+  ASSERT_TRUE(vco.prepare());
+  const Realization real = schematic_realization(vco.instances(), t());
+  const auto m = vco.measure(real, {0.3, 0.5});
+  ASSERT_TRUE(m.count("fmax_ghz"));
+  EXPECT_GT(m.at("fmax_ghz"), m.at("fmin_ghz"));
+  EXPECT_DOUBLE_EQ(m.at("vrange_lo"), 0.3);
+  EXPECT_DOUBLE_EQ(m.at("vrange_hi"), 0.5);
+}
+
+TEST(RoVco, RepresentativeInstancesExpandPerStage) {
+  RoVco vco(t(), 8);
+  EXPECT_EQ(vco.stages(), 8);
+  // Representative set: drive inverter + weak cross inverter.
+  ASSERT_EQ(vco.instances().size(), 2u);
+  EXPECT_EQ(vco.instances()[0].name, "inv");
+  EXPECT_EQ(vco.instances()[1].name, "xinv");
+}
+
+TEST(RoVco, TooFewStagesRejected) {
+  EXPECT_THROW(RoVco(t(), 2), InvalidArgumentError);
+}
+
+TEST(SchematicRealization, CoversAllInstances) {
+  Ota5T ota(t());
+  const Realization real = schematic_realization(ota.instances(), t());
+  EXPECT_TRUE(real.ideal);
+  for (const InstanceSpec& inst : ota.instances()) {
+    EXPECT_TRUE(real.layouts.count(inst.name)) << inst.name;
+  }
+}
+
+TEST(NetPinCounts, CountsAcrossInstances) {
+  Ota5T ota(t());
+  const std::map<std::string, int> counts = net_pin_counts(ota.instances());
+  EXPECT_EQ(counts.at("tail"), 2);  // mirror out + DP source
+  EXPECT_EQ(counts.at("out"), 2);   // DP drain + load mirror out
+}
+
+}  // namespace
+}  // namespace olp::circuits

@@ -1,0 +1,82 @@
+// Tests for process-corner model cards and corner-aware circuit measurement.
+
+#include <gtest/gtest.h>
+
+#include "circuits/common.hpp"
+#include "circuits/common_source.hpp"
+#include "circuits/vco.hpp"
+
+namespace olp::circuits {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+TEST(Corners, TtEqualsDefaults) {
+  EXPECT_DOUBLE_EQ(corner_nmos(Corner::kTT).vth0, default_nmos().vth0);
+  EXPECT_DOUBLE_EQ(corner_pmos(Corner::kTT).kp, default_pmos().kp);
+}
+
+TEST(Corners, SlowRaisesVthLowersMobility) {
+  const spice::MosModel ss = corner_nmos(Corner::kSS);
+  EXPECT_GT(ss.vth0, default_nmos().vth0);
+  EXPECT_LT(ss.kp, default_nmos().kp);
+  const spice::MosModel ff = corner_nmos(Corner::kFF);
+  EXPECT_LT(ff.vth0, default_nmos().vth0);
+  EXPECT_GT(ff.kp, default_nmos().kp);
+}
+
+TEST(Corners, MixedCornersSkewFlavorsApart) {
+  // SF: slow NMOS, fast PMOS.
+  EXPECT_GT(corner_nmos(Corner::kSF).vth0, default_nmos().vth0);
+  EXPECT_LT(corner_pmos(Corner::kSF).vth0, default_pmos().vth0);
+  // FS: the opposite.
+  EXPECT_LT(corner_nmos(Corner::kFS).vth0, default_nmos().vth0);
+  EXPECT_GT(corner_pmos(Corner::kFS).vth0, default_pmos().vth0);
+}
+
+TEST(Corners, Names) {
+  EXPECT_STREQ(corner_name(Corner::kTT), "TT");
+  EXPECT_STREQ(corner_name(Corner::kSS), "SS");
+  EXPECT_STREQ(corner_name(Corner::kFS), "FS");
+}
+
+TEST(Corners, VcoFrequencyOrdersAcrossCorners) {
+  // The classic corner signature: FF rings faster than TT faster than SS.
+  RoVco vco(t());
+  ASSERT_TRUE(vco.prepare());
+  Realization real = schematic_realization(vco.instances(), t());
+  auto freq_at = [&](Corner c) {
+    real.corner = c;
+    const auto f = vco.frequency(real, 0.5);
+    return f.value_or(0.0);
+  };
+  const double f_ss = freq_at(Corner::kSS);
+  const double f_tt = freq_at(Corner::kTT);
+  const double f_ff = freq_at(Corner::kFF);
+  ASSERT_GT(f_ss, 0.0);
+  EXPECT_LT(f_ss, f_tt);
+  EXPECT_LT(f_tt, f_ff);
+}
+
+TEST(Corners, CsAmpCurrentTracksReferenceAcrossCorners) {
+  // Mirror biasing makes the supply current corner-insensitive (the whole
+  // point of reference-derived biasing).
+  CommonSourceAmp cs(t());
+  ASSERT_TRUE(cs.prepare());
+  Realization real = schematic_realization(cs.instances(), t());
+  std::map<Corner, double> current;
+  for (Corner c : {Corner::kTT, Corner::kSS, Corner::kFF}) {
+    real.corner = c;
+    current[c] = cs.measure(real).at("current_ua");
+  }
+  EXPECT_NEAR(current[Corner::kSS], current[Corner::kTT],
+              0.1 * current[Corner::kTT]);
+  EXPECT_NEAR(current[Corner::kFF], current[Corner::kTT],
+              0.1 * current[Corner::kTT]);
+}
+
+}  // namespace
+}  // namespace olp::circuits

@@ -1,0 +1,112 @@
+// Integration tests over the experiment runners: the paper-shape claims
+// recorded in EXPERIMENTS.md are asserted here so regressions that would
+// silently change the reproduced tables fail CI instead.
+
+#include <gtest/gtest.h>
+
+#include "circuits/experiments.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+class CsAmpExperiment : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kError);
+    ex_ = new CircuitExperiment(run_cs_amp(t(), {}));
+  }
+  static void TearDownTestSuite() {
+    delete ex_;
+    ex_ = nullptr;
+  }
+  static CircuitExperiment* ex_;
+};
+CircuitExperiment* CsAmpExperiment::ex_ = nullptr;
+
+TEST_F(CsAmpExperiment, AllFlavorsMeasured) {
+  for (const char* flavor : {"schematic", "narrow", "wide", "optimized"}) {
+    ASSERT_TRUE(ex_->results.count(flavor)) << flavor;
+    EXPECT_TRUE(ex_->results.at(flavor).count("ugf_ghz")) << flavor;
+  }
+}
+
+TEST_F(CsAmpExperiment, Fig2WireWidthShape) {
+  const auto& sch = ex_->results.at("schematic");
+  const auto& narrow = ex_->results.at("narrow");
+  const auto& wide = ex_->results.at("wide");
+  const auto& opt = ex_->results.at("optimized");
+  // Wide loses UGF relative to narrow (capacitance side), and the optimized
+  // width is at least as good as both.
+  EXPECT_LT(wide.at("ugf_ghz"), narrow.at("ugf_ghz"));
+  EXPECT_GE(opt.at("ugf_ghz"), wide.at("ugf_ghz"));
+  EXPECT_GE(opt.at("ugf_ghz") + 0.05, narrow.at("ugf_ghz"));
+  // Every layout stays below the schematic.
+  EXPECT_LT(opt.at("ugf_ghz"), sch.at("ugf_ghz"));
+}
+
+TEST_F(CsAmpExperiment, TableIMirrorCurrentIsWidthIndependent) {
+  const double i_sch = ex_->results.at("tableI_schematic").at("i_m2");
+  for (const char* flavor :
+       {"tableI_narrow", "tableI_wide", "tableI_optimized"}) {
+    EXPECT_NEAR(ex_->results.at(flavor).at("i_m2"), i_sch, 0.03 * i_sch)
+        << flavor;
+  }
+}
+
+TEST_F(CsAmpExperiment, TableICtotalPeaksForWide) {
+  const auto& rows = ex_->results;
+  EXPECT_GT(rows.at("tableI_wide").at("ctotal"),
+            rows.at("tableI_narrow").at("ctotal"));
+  EXPECT_GT(rows.at("tableI_wide").at("ctotal"),
+            rows.at("tableI_schematic").at("ctotal"));
+}
+
+TEST_F(CsAmpExperiment, TableIGmDipsForNarrow) {
+  const auto& rows = ex_->results;
+  EXPECT_LT(rows.at("tableI_narrow").at("gm_m1"),
+            rows.at("tableI_optimized").at("gm_m1"));
+  EXPECT_LT(rows.at("tableI_optimized").at("gm_m1"),
+            rows.at("tableI_schematic").at("gm_m1"));
+}
+
+TEST(OtaExperiment, TableVIOrdering) {
+  set_log_level(LogLevel::kError);
+  const CircuitExperiment ex = run_ota(t(), {}, /*with_manual=*/true);
+  const auto& sch = ex.results.at("schematic");
+  const auto& conv = ex.results.at("conventional");
+  const auto& work = ex.results.at("this_work");
+  const auto& manual = ex.results.at("manual");
+  // The paper's headline ordering on UGF and current.
+  EXPECT_LT(conv.at("ugf_ghz"), work.at("ugf_ghz"));
+  EXPECT_LT(work.at("ugf_ghz"), 1.05 * sch.at("ugf_ghz"));
+  EXPECT_LT(conv.at("current_ua"), work.at("current_ua"));
+  // "Competitive with manual layout": within 15% on UGF.
+  EXPECT_NEAR(work.at("ugf_ghz"), manual.at("ugf_ghz"),
+              0.15 * manual.at("ugf_ghz"));
+  // This work recovers at least half the conventional UGF loss.
+  const double loss_conv = sch.at("ugf_ghz") - conv.at("ugf_ghz");
+  const double loss_work = sch.at("ugf_ghz") - work.at("ugf_ghz");
+  EXPECT_LT(loss_work, 0.5 * loss_conv);
+  // Reports carry runtime + simulation counts (Table VIII inputs).
+  EXPECT_GT(ex.optimized_report.runtime_s, 0.0);
+  EXPECT_GT(ex.optimized_report.testbenches, 100);
+}
+
+TEST(StrongArmExperiment, TableVIDelayOrdering) {
+  set_log_level(LogLevel::kError);
+  const CircuitExperiment ex = run_strongarm(t(), {}, /*with_manual=*/false);
+  const auto& sch = ex.results.at("schematic");
+  const auto& conv = ex.results.at("conventional");
+  const auto& work = ex.results.at("this_work");
+  EXPECT_LT(sch.at("delay_ps"), work.at("delay_ps"));
+  EXPECT_LT(work.at("delay_ps"), conv.at("delay_ps"));
+}
+
+}  // namespace
+}  // namespace olp::circuits

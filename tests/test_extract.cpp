@@ -1,0 +1,209 @@
+// Tests for parasitic extraction / netlist back-annotation.
+
+#include <gtest/gtest.h>
+
+#include "circuits/common.hpp"
+#include "extract/annotate.hpp"
+#include "pcell/generator.hpp"
+#include "spice/simulator.hpp"
+
+namespace olp::extract {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+pcell::PrimitiveLayout dp_layout() {
+  const pcell::PrimitiveGenerator gen(t());
+  pcell::LayoutConfig cfg;
+  cfg.nfin = 8;
+  cfg.nf = 20;
+  cfg.m = 6;
+  return gen.generate(pcell::make_diff_pair(), cfg);
+}
+
+AnnotateOptions base_options(spice::Circuit& ckt) {
+  AnnotateOptions opt;
+  opt.nmos_model = ckt.add_model(circuits::default_nmos());
+  opt.pmos_model = ckt.add_model(circuits::default_pmos());
+  return opt;
+}
+
+TEST(Annotate, IdealModeHasNoParasitics) {
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  opt.ideal = true;
+  const auto ports = annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  EXPECT_EQ(ckt.resistors().size(), 0u);
+  EXPECT_EQ(ckt.capacitors().size(), 0u);
+  EXPECT_EQ(ckt.mosfets().size(), 2u);
+  EXPECT_EQ(ports.size(), 5u);
+  // No LDE annotations in schematic mode.
+  for (const spice::Mosfet& m : ckt.mosfets()) {
+    EXPECT_DOUBLE_EQ(m.delta_vth, 0.0);
+    EXPECT_DOUBLE_EQ(m.mobility_mult, 1.0);
+  }
+}
+
+TEST(Annotate, ExtractedModeAddsStraps) {
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  const auto ports = annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  // One strap resistor per net (5 nets), two half-caps each.
+  EXPECT_EQ(ckt.resistors().size(), 5u);
+  EXPECT_EQ(ckt.capacitors().size(), 10u);
+  // Internal nodes exist.
+  EXPECT_TRUE(ckt.has_node("x.s.x"));
+  EXPECT_TRUE(ckt.has_node("x.da.x"));
+  (void)ports;
+}
+
+TEST(Annotate, ExtractedModeCarriesLde) {
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  for (const spice::Mosfet& m : ckt.mosfets()) {
+    EXPECT_GT(m.delta_vth, 0.0);  // WPE/LOD shifts are positive here
+    EXPECT_GT(m.as, 0.0);
+    EXPECT_GT(m.ad, 0.0);
+  }
+}
+
+TEST(Annotate, TuningReducesStrapResistance) {
+  auto strap_res = [&](int wires) {
+    spice::Circuit ckt;
+    AnnotateOptions opt = base_options(ckt);
+    opt.tuning["s"] = wires;
+    annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+    for (const spice::Resistor& r : ckt.resistors()) {
+      if (r.name == "x.R.s") return r.r;
+    }
+    return -1.0;
+  };
+  EXPECT_LT(strap_res(4), strap_res(1));
+}
+
+TEST(Annotate, PortMappingBindsToExistingNodes) {
+  spice::Circuit ckt;
+  const spice::NodeId my_node = ckt.node("circuit_net");
+  AnnotateOptions opt = base_options(ckt);
+  opt.ideal = true;
+  opt.port_mapping["da"] = my_node;
+  const auto ports = annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  EXPECT_EQ(ports.at("da"), my_node);
+  EXPECT_FALSE(ckt.has_node("x.da"));
+}
+
+TEST(Annotate, LumpNetsSkipInternalNode) {
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  opt.lump_nets = {"s"};
+  annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  EXPECT_FALSE(ckt.has_node("x.s.x"));
+  EXPECT_EQ(ckt.resistors().size(), 4u);  // only the other four straps
+}
+
+TEST(Annotate, BulkNodesAssignedByFlavor) {
+  const pcell::PrimitiveGenerator gen(t());
+  pcell::LayoutConfig cfg;
+  cfg.nfin = 8;
+  cfg.nf = 4;
+  cfg.m = 1;
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_current_starved_inverter(), cfg);
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  const spice::NodeId bulk_p = ckt.node("nwell");
+  opt.pmos_bulk = bulk_p;
+  annotate_primitive(ckt, lay, t(), "x.", opt);
+  for (const spice::Mosfet& m : ckt.mosfets()) {
+    if (ckt.model(m.model).type == spice::MosType::kPmos) {
+      EXPECT_EQ(m.b, bulk_p);
+    } else {
+      EXPECT_EQ(m.b, spice::kGround);
+    }
+  }
+}
+
+TEST(Annotate, VthOffsetAppliesInBothModes) {
+  const pcell::PrimitiveGenerator gen(t());
+  pcell::LayoutConfig cfg;
+  cfg.nfin = 8;
+  cfg.nf = 4;
+  cfg.m = 1;
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_current_starved_inverter(-0.2), cfg);
+  for (bool ideal : {true, false}) {
+    spice::Circuit ckt;
+    AnnotateOptions opt = base_options(ckt);
+    opt.ideal = ideal;
+    annotate_primitive(ckt, lay, t(), "x.", opt);
+    const int mps = ckt.find_mosfet("x.MPS");
+    const int mpi = ckt.find_mosfet("x.MPI");
+    const double dv_starve =
+        ckt.mosfets()[static_cast<std::size_t>(mps)].delta_vth;
+    const double dv_inv =
+        ckt.mosfets()[static_cast<std::size_t>(mpi)].delta_vth;
+    EXPECT_LT(dv_starve, dv_inv - 0.15) << "ideal=" << ideal;
+  }
+}
+
+TEST(WireRc, PiModelTopology) {
+  spice::Circuit ckt;
+  const spice::NodeId a = ckt.node("a");
+  const spice::NodeId b = ckt.node("b");
+  add_wire_pi(ckt, "w", a, b, WireRc{100.0, 2e-15});
+  ASSERT_EQ(ckt.resistors().size(), 1u);
+  ASSERT_EQ(ckt.capacitors().size(), 2u);
+  EXPECT_DOUBLE_EQ(ckt.resistors()[0].r, 100.0);
+  EXPECT_DOUBLE_EQ(ckt.capacitors()[0].c, 1e-15);
+}
+
+TEST(WireRc, ZeroCapacitanceOmitsCaps) {
+  spice::Circuit ckt;
+  add_wire_pi(ckt, "w", ckt.node("a"), ckt.node("b"), WireRc{10.0, 0.0});
+  EXPECT_EQ(ckt.capacitors().size(), 0u);
+}
+
+TEST(WireRc, SameEndpointsThrow) {
+  spice::Circuit ckt;
+  const spice::NodeId a = ckt.node("a");
+  EXPECT_THROW(add_wire_pi(ckt, "w", a, a, WireRc{10.0, 1e-15}),
+               InvalidArgumentError);
+}
+
+TEST(WireRc, HelperScalesWithParallel) {
+  const WireRc w1 = wire_rc(t(), tech::Layer::kM3, 2e-6, 1);
+  const WireRc w4 = wire_rc(t(), tech::Layer::kM3, 2e-6, 4);
+  EXPECT_NEAR(w4.resistance, w1.resistance / 4, 1e-9);
+  EXPECT_GT(w4.capacitance, w1.capacitance);
+}
+
+TEST(WireRc, SeriesCombination) {
+  const WireRc s = series(WireRc{10, 1e-15}, WireRc{20, 2e-15});
+  EXPECT_DOUBLE_EQ(s.resistance, 30.0);
+  EXPECT_DOUBLE_EQ(s.capacitance, 3e-15);
+}
+
+TEST(Annotate, ExtractedPrimitiveSimulates) {
+  // End-to-end sanity: the annotated DP has a working operating point.
+  spice::Circuit ckt;
+  AnnotateOptions opt = base_options(ckt);
+  const auto ports = annotate_primitive(ckt, dp_layout(), t(), "x.", opt);
+  ckt.add_vsource("vga", ports.at("ga"), 0, spice::Waveform::dc(0.5));
+  ckt.add_vsource("vgb", ports.at("gb"), 0, spice::Waveform::dc(0.5));
+  ckt.add_vsource("vda", ports.at("da"), 0, spice::Waveform::dc(0.5));
+  ckt.add_vsource("vdb", ports.at("db"), 0, spice::Waveform::dc(0.5));
+  ckt.add_isource("it", ports.at("s"), 0, spice::Waveform::dc(500e-6));
+  spice::Simulator sim(ckt);
+  const spice::OpResult op = sim.op();
+  ASSERT_TRUE(op.converged);
+  // The tail splits evenly between the matched halves.
+  EXPECT_NEAR(sim.vsource_current(op.x, "vda"),
+              sim.vsource_current(op.x, "vdb"), 5e-6);
+}
+
+}  // namespace
+}  // namespace olp::extract

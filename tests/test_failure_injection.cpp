@@ -1,0 +1,160 @@
+// Failure-injection tests: pathological inputs must produce diagnosable
+// failures (clean non-convergence flags or typed exceptions), never crashes
+// or silent garbage.
+
+#include <gtest/gtest.h>
+
+#include "circuits/common.hpp"
+#include "circuits/strongarm.hpp"
+#include "core/evaluator.hpp"
+#include "pcell/generator.hpp"
+#include "place/placer.hpp"
+#include "route/global_router.hpp"
+#include "spice/simulator.hpp"
+#include "util/logging.hpp"
+
+namespace olp {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+TEST(FailureInjection, ConflictingVoltageSourcesDoNotCrash) {
+  // Two sources forcing different voltages on the same node: the MNA system
+  // is singular; op() must report non-convergence, not crash.
+  spice::Circuit c;
+  const spice::NodeId n = c.node("n");
+  c.add_vsource("v1", n, spice::kGround, spice::Waveform::dc(1.0));
+  c.add_vsource("v2", n, spice::kGround, spice::Waveform::dc(2.0));
+  spice::Simulator sim(c);
+  const spice::OpResult op = sim.op();
+  EXPECT_FALSE(op.converged);
+}
+
+TEST(FailureInjection, CurrentSourceIntoFloatingNodeConverges) {
+  // Only the gmin floor ties the node down; the solution is finite (I/gmin
+  // saturated by damping over the iteration budget) and flagged accordingly.
+  spice::Circuit c;
+  const spice::NodeId n = c.node("float");
+  c.add_isource("i1", spice::kGround, n, spice::Waveform::dc(1e-9));
+  spice::Simulator sim(c);
+  const spice::OpResult op = sim.op();
+  // 1 nA into 1e-12 S wants 1 kV; the damped Newton cannot reach it in the
+  // iteration budget. Either outcome is acceptable as long as it is flagged
+  // and finite.
+  ASSERT_FALSE(op.x.empty());
+  EXPECT_TRUE(std::isfinite(op.x[0]));
+}
+
+TEST(FailureInjection, ShortedSourceSurvives) {
+  // A voltage source with both terminals grounded: 0 V across, solvable.
+  spice::Circuit c;
+  c.add_vsource("v1", spice::kGround, spice::kGround, spice::Waveform::dc(1.0));
+  c.add_resistor("r", c.node("a"), spice::kGround, 1e3);
+  spice::Simulator sim(c);
+  EXPECT_NO_THROW(sim.op());
+}
+
+TEST(FailureInjection, TransientOnStiffCircuitFallsBackGracefully) {
+  // Huge conductance ratio (1 mohm against 1 Gohm) with a fast source: the
+  // transient must either complete or return ok=false, never throw.
+  spice::Circuit c;
+  const spice::NodeId a = c.node("a");
+  const spice::NodeId b = c.node("b");
+  c.add_vsource("v", a, spice::kGround,
+                spice::Waveform::pulse(0, 1, 1e-10, 1e-12, 1e-12, 1e-9, 2e-9));
+  c.add_resistor("r1", a, b, 1e-3);
+  c.add_resistor("r2", b, spice::kGround, 1e9);
+  c.add_capacitor("cc", b, spice::kGround, 1e-15);
+  spice::Simulator sim(c);
+  spice::TranOptions tr;
+  tr.tstop = 1e-9;
+  tr.dt = 50e-12;
+  EXPECT_NO_THROW({
+    const spice::TranResult res = sim.tran(tr);
+    (void)res;
+  });
+}
+
+TEST(FailureInjection, EvaluatorWithAbsurdBiasReturnsFiniteMetrics) {
+  // Bias far outside the operating region: metrics must be finite numbers
+  // (the optimizer turns them into a large-but-finite cost).
+  const pcell::PrimitiveGenerator gen(t());
+  pcell::LayoutConfig cfg;
+  cfg.nfin = 8;
+  cfg.nf = 8;
+  cfg.m = 1;
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_diff_pair(), cfg);
+  core::BiasContext bias;
+  bias.vdd = t().vdd;
+  bias.bias_current = 50e-3;  // 50 mA through a small pair
+  bias.port_voltage = {
+      {"ga", 0.0}, {"gb", 0.0}, {"da", 0.0}, {"db", 0.0}, {"s", 0.79}};
+  const core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                      circuits::default_pmos(), bias);
+  set_log_level(LogLevel::kOff);
+  const core::MetricValues v = eval.evaluate(lay, {});
+  set_log_level(LogLevel::kWarn);
+  for (const auto& [kind, value] : v) {
+    EXPECT_TRUE(std::isfinite(value)) << core::metric_name(kind);
+  }
+}
+
+TEST(FailureInjection, RouterWithUnreachableLayerRangeStillRoutes) {
+  // Restricting to one layer forces vialess detours in one direction only;
+  // a two-pin connection in the non-preferred direction must still resolve
+  // or cleanly report failure.
+  route::RouterOptions opt;
+  opt.min_layer = 2;
+  opt.max_layer = 2;  // M3 only (horizontal)
+  route::GlobalRouter router(
+      t(), geom::Rect{0, 0, geom::to_nm(5e-6), geom::to_nm(5e-6)}, opt);
+  const route::NetRoute nr = router.route(
+      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}});
+  // A vertical connection on a horizontal-only layer cannot route.
+  EXPECT_FALSE(nr.routed);
+}
+
+TEST(FailureInjection, PlacerRejectsDegenerateBlocks) {
+  place::AnnealingPlacer placer;
+  EXPECT_THROW(placer.place({}, {}, {}), InvalidArgumentError);
+}
+
+TEST(FailureInjection, GeneratorRejectsImpossibleBudget) {
+  EXPECT_THROW(pcell::PrimitiveGenerator::enumerate_configs(1),
+               InvalidArgumentError);
+}
+
+TEST(FailureInjection, ComparatorOffsetSaturatesOutsideRange) {
+  // With a tiny search window, the measured offset saturates at the window
+  // edge instead of looping forever.
+  set_log_level(LogLevel::kError);
+  circuits::StrongArmComparator sa(t());
+  ASSERT_TRUE(sa.prepare());
+  const circuits::Realization real =
+      circuits::schematic_realization(sa.instances(), t());
+  // A window of 0 forces equal endpoints -> saturated return.
+  const double off = sa.measure_offset(real, 0.0);
+  EXPECT_DOUBLE_EQ(off, 0.0);
+}
+
+TEST(FailureInjection, ComparatorOffsetSmallForMatchedLayouts) {
+  // The paper: offset is a function of matching nets and stays similar
+  // across flavors. Matched (ABBA) layouts keep it within a few mV.
+  set_log_level(LogLevel::kError);
+  circuits::StrongArmComparator sa(t());
+  ASSERT_TRUE(sa.prepare());
+  circuits::Realization real =
+      circuits::schematic_realization(sa.instances(), t());
+  const double off_sch = sa.measure_offset(real, 20e-3);
+  EXPECT_LT(std::fabs(off_sch), 2e-3);
+  real.ideal = false;  // extracted, same matched layouts
+  const double off_ext = sa.measure_offset(real, 20e-3);
+  EXPECT_LT(std::fabs(off_ext), 5e-3);
+}
+
+}  // namespace
+}  // namespace olp

@@ -1,0 +1,155 @@
+// Integration tests for the full flow (Fig. 1 with the paper's two inserted
+// optimization steps) and its baselines on the 5T OTA.
+
+#include <gtest/gtest.h>
+
+#include "circuits/flow.hpp"
+#include "circuits/ota5t.hpp"
+#include "util/logging.hpp"
+
+namespace olp::circuits {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+/// Shared fixture: prepare the OTA and run the flow variants once.
+class FlowOnOta : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kError);
+    ota_ = new Ota5T(t());
+    ASSERT_TRUE(ota_->prepare());
+    engine_ = new FlowEngine(t(), {});
+    optimized_ = new Realization(engine_->optimize(
+        ota_->instances(), ota_->routed_nets(), &opt_report_));
+    conventional_ = new Realization(engine_->conventional(
+        ota_->instances(), ota_->routed_nets(), &conv_report_));
+  }
+  static void TearDownTestSuite() {
+    delete optimized_;
+    delete conventional_;
+    delete engine_;
+    delete ota_;
+  }
+
+  static Ota5T* ota_;
+  static FlowEngine* engine_;
+  static Realization* optimized_;
+  static Realization* conventional_;
+  static FlowReport opt_report_;
+  static FlowReport conv_report_;
+};
+
+Ota5T* FlowOnOta::ota_ = nullptr;
+FlowEngine* FlowOnOta::engine_ = nullptr;
+Realization* FlowOnOta::optimized_ = nullptr;
+Realization* FlowOnOta::conventional_ = nullptr;
+FlowReport FlowOnOta::opt_report_;
+FlowReport FlowOnOta::conv_report_;
+
+TEST_F(FlowOnOta, RealizationsAreComplete) {
+  for (const Realization* real : {optimized_, conventional_}) {
+    EXPECT_FALSE(real->ideal);
+    for (const InstanceSpec& inst : ota_->instances()) {
+      EXPECT_TRUE(real->layouts.count(inst.name)) << inst.name;
+    }
+  }
+}
+
+TEST_F(FlowOnOta, EveryInstanceGotOptionsPerBin) {
+  for (const InstanceSpec& inst : ota_->instances()) {
+    const auto it = opt_report_.options.find(inst.name);
+    ASSERT_NE(it, opt_report_.options.end()) << inst.name;
+    EXPECT_GE(it->second.size(), 1u);
+    EXPECT_LE(it->second.size(), 3u);
+  }
+}
+
+TEST_F(FlowOnOta, PlacementIsLegalAndRoutesExist) {
+  EXPECT_TRUE(opt_report_.placement.legal);
+  EXPECT_GT(opt_report_.placement.width, 0.0);
+  for (const std::string& net : ota_->routed_nets()) {
+    const auto it = opt_report_.routes.find(net);
+    ASSERT_NE(it, opt_report_.routes.end()) << net;
+    EXPECT_TRUE(it->second.routed) << net;
+  }
+}
+
+TEST_F(FlowOnOta, ConstraintsAndDecisionsProduced) {
+  EXPECT_FALSE(opt_report_.constraints.empty());
+  EXPECT_FALSE(opt_report_.decisions.empty());
+  for (const core::NetWireDecision& d : opt_report_.decisions) {
+    EXPECT_GE(d.parallel_routes, 1);
+    EXPECT_LE(d.parallel_routes, engine_->options().max_port_wires);
+  }
+}
+
+TEST_F(FlowOnOta, SymmetricNetsShareWireCount) {
+  // The DP joins d1 and out through its symmetric drain ports: the final
+  // decisions must agree.
+  int w_d1 = -1, w_out = -1;
+  for (const core::NetWireDecision& d : opt_report_.decisions) {
+    if (d.circuit_net == "d1") w_d1 = d.parallel_routes;
+    if (d.circuit_net == "out") w_out = d.parallel_routes;
+  }
+  ASSERT_GT(w_d1, 0);
+  ASSERT_GT(w_out, 0);
+  EXPECT_EQ(w_d1, w_out);
+}
+
+TEST_F(FlowOnOta, OptimizedBeatsConventionalOnUgf) {
+  const auto conv = ota_->measure(*conventional_);
+  const auto opt = ota_->measure(*optimized_);
+  const auto sch =
+      ota_->measure(schematic_realization(ota_->instances(), t()));
+  ASSERT_TRUE(conv.count("ugf_ghz"));
+  ASSERT_TRUE(opt.count("ugf_ghz"));
+  // The paper's headline: this work recovers most of the conventional loss.
+  EXPECT_GT(opt.at("ugf_ghz"), conv.at("ugf_ghz"));
+  EXPECT_GT(opt.at("current_ua"), conv.at("current_ua"));
+  // And stays below/near the schematic.
+  EXPECT_LT(opt.at("ugf_ghz"), 1.1 * sch.at("ugf_ghz"));
+  // Within 25% of schematic current (paper: within 1%).
+  EXPECT_GT(opt.at("current_ua"), 0.75 * sch.at("current_ua"));
+}
+
+TEST_F(FlowOnOta, ConventionalUsesNoDummiesAndFixedWires) {
+  for (const auto& [name, lay] : conventional_->layouts) {
+    EXPECT_FALSE(lay.config.dummies) << name;
+  }
+  EXPECT_TRUE(conventional_->tunings.empty());
+}
+
+TEST_F(FlowOnOta, ReportCountsRuntimeAndSimulations) {
+  EXPECT_GT(opt_report_.runtime_s, 0.0);
+  EXPECT_GT(opt_report_.testbenches, 50);
+}
+
+TEST_F(FlowOnOta, IdenticalInstancesDeduplicated) {
+  // The two mirror instances have different bias signatures here, but the
+  // options map must still exist for each instance independently.
+  EXPECT_EQ(opt_report_.options.size(), ota_->instances().size());
+}
+
+TEST(FlowEngine, ManualOracleAtLeastAsGoodAsFlowOnCost) {
+  set_log_level(LogLevel::kError);
+  Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+  FlowEngine engine(t(), {});
+  const Realization opt =
+      engine.optimize(ota.instances(), ota.routed_nets(), nullptr);
+  const Realization manual =
+      engine.manual_oracle(ota.instances(), ota.routed_nets(), nullptr);
+  const auto m_opt = ota.measure(opt);
+  const auto m_man = ota.measure(manual);
+  // Both land in the same performance neighborhood (paper: "competitive
+  // with manual layout").
+  EXPECT_NEAR(m_man.at("ugf_ghz"), m_opt.at("ugf_ghz"),
+              0.3 * m_opt.at("ugf_ghz"));
+}
+
+}  // namespace
+}  // namespace olp::circuits

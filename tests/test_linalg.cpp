@@ -1,0 +1,182 @@
+// Unit and property tests for the dense matrix / LU solver.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace olp::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, IdentityProduct) {
+  const RealMatrix i = RealMatrix::identity(4);
+  RealMatrix a(4, 4);
+  Rng rng(5);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const RealMatrix ai = a.mul(i);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+    }
+  }
+}
+
+TEST(Matrix, MatVecDimensionMismatchThrows) {
+  RealMatrix a(3, 2);
+  EXPECT_THROW(a.mul(std::vector<double>{1.0, 2.0, 3.0}),
+               InvalidArgumentError);
+}
+
+TEST(Matrix, SetZero) {
+  RealMatrix a(2, 2, 3.0);
+  a.set_zero();
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 0.0);
+}
+
+TEST(Lu, SolvesDiagonalSystem) {
+  RealMatrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  a(2, 2) = 8.0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve(a, {2.0, 4.0, 8.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  ASSERT_TRUE(solve(a, {5.0, 11.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  RealMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve(a, {3.0, 7.0}, x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  std::vector<double> x;
+  EXPECT_FALSE(solve(a, {1.0, 2.0}, x));
+}
+
+TEST(Lu, DetectsZeroMatrix) {
+  RealMatrix a(3, 3);
+  std::vector<double> x;
+  EXPECT_FALSE(solve(a, {1.0, 1.0, 1.0}, x));
+}
+
+TEST(Lu, SolveOnSingularFactorizationThrows) {
+  RealMatrix a(2, 2);  // all zeros
+  Lu<double> lu(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_THROW(lu.solve({1.0, 2.0}), InvalidArgumentError);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = C{1, 1};
+  a(0, 1) = C{0, 0};
+  a(1, 0) = C{0, 0};
+  a(1, 1) = C{0, 2};
+  std::vector<C> x;
+  ASSERT_TRUE(solve(a, std::vector<C>{C{2, 0}, C{0, 4}}, x));
+  EXPECT_NEAR(std::abs(x[0] - C{1, -1}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - C{2, 0}), 0.0, 1e-12);
+}
+
+// Property: A * solve(A, b) == b for random well-conditioned systems.
+class LuRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRoundTrip, ResidualIsSmall) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(1234 + GetParam());
+  RealMatrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-10, 10);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += static_cast<double>(n);  // diagonal dominance
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(solve(a, b, x));
+  const std::vector<double> ax = a.mul(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-8) << "row " << i << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64, 128));
+
+// Property: complex round trip.
+class LuComplexRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuComplexRoundTrip, ResidualIsSmall) {
+  using C = std::complex<double>;
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  Rng rng(77 + GetParam());
+  ComplexMatrix a(n, n);
+  std::vector<C> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = C{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = C{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+    a(i, i) += C{static_cast<double>(n), 0};
+  }
+  std::vector<C> x;
+  ASSERT_TRUE(solve(a, b, x));
+  const std::vector<C> ax = a.mul(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(ax[i] - b[i]), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuComplexRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(InfNorm, RealAndComplex) {
+  EXPECT_DOUBLE_EQ(inf_norm(std::vector<double>{1.0, -3.0, 2.0}), 3.0);
+  using C = std::complex<double>;
+  EXPECT_DOUBLE_EQ(inf_norm(std::vector<C>{C{3, 4}, C{0, 1}}), 5.0);
+}
+
+}  // namespace
+}  // namespace olp::linalg

@@ -1,0 +1,159 @@
+// Tests for the metric library (Table II) and the cost function (Eqs. 5-6).
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/metrics.hpp"
+
+namespace olp::core {
+namespace {
+
+TEST(MetricLibrary, DiffPairEntryMatchesTableII) {
+  const MetricLibraryEntry e = metric_library(pcell::PrimitiveType::kDiffPair);
+  ASSERT_EQ(e.metrics.size(), 3u);
+  EXPECT_EQ(e.metrics[0].kind, MetricKind::kGm);
+  EXPECT_DOUBLE_EQ(e.metrics[0].weight, kWeightMedium);
+  EXPECT_EQ(e.metrics[1].kind, MetricKind::kGmOverCtotal);
+  EXPECT_DOUBLE_EQ(e.metrics[1].weight, kWeightMedium);
+  EXPECT_EQ(e.metrics[2].kind, MetricKind::kInputOffset);
+  EXPECT_DOUBLE_EQ(e.metrics[2].weight, kWeightHigh);
+  EXPECT_TRUE(e.metrics[2].spec_is_offset_fraction);
+  EXPECT_FALSE(e.terminals_correlated);
+  ASSERT_EQ(e.tuning_terminals.size(), 1u);
+  EXPECT_EQ(e.tuning_terminals[0], "s");
+}
+
+TEST(MetricLibrary, MirrorWeightsDifferByKind) {
+  // Passive CM: Cout low; active CM: Cout medium (paper Sec. II-B).
+  const MetricLibraryEntry passive =
+      metric_library(pcell::PrimitiveType::kCurrentMirror);
+  const MetricLibraryEntry active =
+      metric_library(pcell::PrimitiveType::kActiveCurrentMirror);
+  EXPECT_DOUBLE_EQ(passive.metrics[1].weight, kWeightLow);
+  EXPECT_DOUBLE_EQ(active.metrics[1].weight, kWeightMedium);
+}
+
+TEST(MetricLibrary, StarvedInverterIsCorrelated) {
+  const MetricLibraryEntry e =
+      metric_library(pcell::PrimitiveType::kCurrentStarvedInverter);
+  EXPECT_TRUE(e.terminals_correlated);
+  EXPECT_EQ(e.tuning_terminals.size(), 2u);
+  EXPECT_EQ(e.metrics.size(), 3u);
+}
+
+TEST(MetricLibrary, EveryTypeHasMetrics) {
+  using pcell::PrimitiveType;
+  for (PrimitiveType t :
+       {PrimitiveType::kDiffPair, PrimitiveType::kCurrentMirror,
+        PrimitiveType::kActiveCurrentMirror, PrimitiveType::kCurrentSource,
+        PrimitiveType::kCommonSource, PrimitiveType::kCurrentStarvedInverter,
+        PrimitiveType::kCrossCoupledPair, PrimitiveType::kSwitch,
+        PrimitiveType::kCapacitor}) {
+    const MetricLibraryEntry e = metric_library(t);
+    EXPECT_FALSE(e.metrics.empty());
+    for (const MetricSpec& spec : e.metrics) {
+      EXPECT_GT(spec.weight, 0.0);
+      EXPECT_LE(spec.weight, 1.0);
+    }
+  }
+}
+
+TEST(MetricName, AllNamed) {
+  EXPECT_STREQ(metric_name(MetricKind::kGm), "Gm");
+  EXPECT_STREQ(metric_name(MetricKind::kGmOverCtotal), "Gm/Ctotal");
+  EXPECT_STREQ(metric_name(MetricKind::kInputOffset), "offset");
+  EXPECT_STREQ(metric_name(MetricKind::kDelay), "delay");
+}
+
+// --- Eq. 6 -------------------------------------------------------------------
+
+TEST(Deviation, RelativeToSchematic) {
+  EXPECT_NEAR(metric_deviation(2.0, 1.9, 0.0), 0.05, 1e-12);
+  EXPECT_NEAR(metric_deviation(2.0, 2.1, 0.0), 0.05, 1e-12);
+  EXPECT_NEAR(metric_deviation(-2.0, -1.0, 0.0), 0.5, 1e-12);
+}
+
+TEST(Deviation, ZeroSchematicUsesSpec) {
+  // Below spec: no penalty (the max[0, .] clamp).
+  EXPECT_DOUBLE_EQ(metric_deviation(0.0, 0.5e-3, 1e-3), 0.0);
+  // Above spec: fractional excess.
+  EXPECT_NEAR(metric_deviation(0.0, 2e-3, 1e-3), 1.0, 1e-12);
+  EXPECT_NEAR(metric_deviation(0.0, -2e-3, 1e-3), 1.0, 1e-12);
+}
+
+TEST(Deviation, ZeroSchematicNeedsSpec) {
+  EXPECT_THROW(metric_deviation(0.0, 1.0, 0.0), InvalidArgumentError);
+}
+
+// --- Eq. 5 -------------------------------------------------------------------
+
+TEST(Cost, WeightedSumInPercent) {
+  const std::vector<MetricSpec> specs = {
+      {MetricKind::kGm, 0.5, false},
+      {MetricKind::kGmOverCtotal, 0.5, false},
+  };
+  MetricValues sch = {{MetricKind::kGm, 1.0}, {MetricKind::kGmOverCtotal, 10.0}};
+  MetricValues lay = {{MetricKind::kGm, 0.99},
+                      {MetricKind::kGmOverCtotal, 9.0}};
+  const CostBreakdown cb = compute_cost(specs, sch, lay, 1.0);
+  // 0.5 * 1% + 0.5 * 10% = 5.5 in percent units.
+  EXPECT_NEAR(cb.total, 5.5, 1e-9);
+  ASSERT_EQ(cb.terms.size(), 2u);
+  EXPECT_NEAR(cb.terms[0].deviation, 0.01, 1e-12);
+  EXPECT_NEAR(cb.terms[1].deviation, 0.10, 1e-12);
+}
+
+TEST(Cost, OffsetMetricRoutesThroughSpec) {
+  const std::vector<MetricSpec> specs = {
+      {MetricKind::kInputOffset, 1.0, true}};
+  MetricValues sch = {{MetricKind::kInputOffset, 0.0}};
+  MetricValues lay = {{MetricKind::kInputOffset, 3e-4}};
+  // Spec = 1e-4: deviation = (3e-4 - 1e-4)/1e-4 = 200%.
+  const CostBreakdown cb = compute_cost(specs, sch, lay, 1e-4);
+  EXPECT_NEAR(cb.total, 200.0, 1e-6);
+}
+
+TEST(Cost, OffsetBelowSpecIsFree) {
+  const std::vector<MetricSpec> specs = {
+      {MetricKind::kInputOffset, 1.0, true}};
+  MetricValues sch = {{MetricKind::kInputOffset, 0.0}};
+  MetricValues lay = {{MetricKind::kInputOffset, 0.5e-4}};
+  const CostBreakdown cb = compute_cost(specs, sch, lay, 1e-4);
+  EXPECT_DOUBLE_EQ(cb.total, 0.0);
+}
+
+TEST(Cost, MissingMetricThrows) {
+  const std::vector<MetricSpec> specs = {{MetricKind::kGm, 1.0, false}};
+  MetricValues sch = {{MetricKind::kGm, 1.0}};
+  MetricValues lay;  // missing Gm
+  EXPECT_THROW(compute_cost(specs, sch, lay, 1.0), InvalidArgumentError);
+}
+
+TEST(Cost, PerfectLayoutCostsNothing) {
+  const std::vector<MetricSpec> specs = {
+      {MetricKind::kGm, 1.0, false}, {MetricKind::kRout, 0.5, false}};
+  MetricValues vals = {{MetricKind::kGm, 2e-3}, {MetricKind::kRout, 1e4}};
+  const CostBreakdown cb = compute_cost(specs, vals, vals, 1.0);
+  EXPECT_DOUBLE_EQ(cb.total, 0.0);
+}
+
+// Property: cost is non-negative and monotone in the layout deviation.
+class CostMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostMonotone, GrowsWithDeviation) {
+  const double scale = GetParam();
+  const std::vector<MetricSpec> specs = {{MetricKind::kGm, 1.0, false}};
+  MetricValues sch = {{MetricKind::kGm, 1.0}};
+  MetricValues near_lay = {{MetricKind::kGm, 1.0 - 0.01 * scale}};
+  MetricValues far_lay = {{MetricKind::kGm, 1.0 - 0.02 * scale}};
+  const double c_near = compute_cost(specs, sch, near_lay, 1.0).total;
+  const double c_far = compute_cost(specs, sch, far_lay, 1.0).total;
+  EXPECT_GE(c_near, 0.0);
+  EXPECT_GT(c_far, c_near);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CostMonotone,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace olp::core

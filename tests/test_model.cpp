@@ -1,0 +1,174 @@
+// Unit and property tests for the EKV-style FinFET compact model: continuity,
+// derivative consistency, drain/source symmetry, and LDE parameter effects.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/model.hpp"
+#include "util/error.hpp"
+
+namespace olp::spice {
+namespace {
+
+MosModel test_model() {
+  MosModel m;
+  m.vth0 = 0.30;
+  m.nslope = 1.25;
+  m.kp = 400e-6;
+  m.lambda = 0.2;
+  m.lref = 14e-9;
+  return m;
+}
+
+constexpr double kW = 1e-6;
+constexpr double kL = 14e-9;
+
+TEST(EkvF, PositiveAndMonotone) {
+  double prev = ekv_f(-20.0);
+  for (double u = -19.0; u < 60.0; u += 0.5) {
+    const double f = ekv_f(u);
+    EXPECT_GE(f, 0.0);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(EkvF, DerivativeMatchesFiniteDifference) {
+  for (double u = -10.0; u < 40.0; u += 1.7) {
+    const double h = 1e-6;
+    const double fd = (ekv_f(u + h) - ekv_f(u - h)) / (2 * h);
+    EXPECT_NEAR(ekv_df(u), fd, 1e-5 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+TEST(EkvF, StrongInversionAsymptote) {
+  // F(u) -> (u/2)^2 for large u.
+  EXPECT_NEAR(ekv_f(80.0), 1600.0, 1.0);
+}
+
+TEST(MosEval, CutoffCurrentIsTiny) {
+  const MosEval e = mos_eval(test_model(), 0.0, 0.4, kW, kL, 0.0, 1.0);
+  EXPECT_GT(e.id, 0.0);  // subthreshold leakage exists
+  EXPECT_LT(e.id, 1e-6);
+}
+
+TEST(MosEval, SaturationCurrentScalesWithWidth) {
+  const MosEval e1 = mos_eval(test_model(), 0.6, 0.5, kW, kL, 0.0, 1.0);
+  const MosEval e2 = mos_eval(test_model(), 0.6, 0.5, 2 * kW, kL, 0.0, 1.0);
+  EXPECT_NEAR(e2.id / e1.id, 2.0, 1e-9);
+}
+
+TEST(MosEval, ZeroVdsGivesZeroCurrent) {
+  const MosEval e = mos_eval(test_model(), 0.6, 0.0, kW, kL, 0.0, 1.0);
+  EXPECT_NEAR(e.id, 0.0, 1e-15);
+}
+
+TEST(MosEval, ReverseVdsFlipsSign) {
+  const MosEval fwd = mos_eval(test_model(), 0.6, 0.05, kW, kL, 0.0, 1.0);
+  // With vds negated AND vgs referenced to the new source (old drain), the
+  // device is exactly mirrored; at small vds the simple negation is nearly
+  // symmetric already.
+  const MosEval rev = mos_eval(test_model(), 0.6, -0.05, kW, kL, 0.0, 1.0);
+  EXPECT_GT(fwd.id, 0.0);
+  EXPECT_LT(rev.id, 0.0);
+}
+
+TEST(MosEval, PositiveVthShiftReducesCurrent) {
+  const MosEval base = mos_eval(test_model(), 0.5, 0.4, kW, kL, 0.0, 1.0);
+  const MosEval shifted =
+      mos_eval(test_model(), 0.5, 0.4, kW, kL, 20e-3, 1.0);
+  EXPECT_LT(shifted.id, base.id);
+  // ~ gm * dVth to first order.
+  EXPECT_NEAR(base.id - shifted.id, base.gm * 20e-3,
+              0.1 * base.gm * 20e-3);
+}
+
+TEST(MosEval, MobilityMultiplierScalesCurrent) {
+  const MosEval base = mos_eval(test_model(), 0.5, 0.4, kW, kL, 0.0, 1.0);
+  const MosEval deg = mos_eval(test_model(), 0.5, 0.4, kW, kL, 0.0, 0.9);
+  EXPECT_NEAR(deg.id / base.id, 0.9, 1e-9);
+}
+
+TEST(MosEval, ChannelLengthModulationRaisesCurrentWithVds) {
+  const MosEval a = mos_eval(test_model(), 0.6, 0.4, kW, kL, 0.0, 1.0);
+  const MosEval b = mos_eval(test_model(), 0.6, 0.6, kW, kL, 0.0, 1.0);
+  EXPECT_GT(b.id, a.id);
+  EXPECT_GT(a.gds, 0.0);
+}
+
+TEST(MosEval, LongerChannelReducesLambdaEffect) {
+  const MosEval short_l = mos_eval(test_model(), 0.6, 0.5, kW, kL, 0.0, 1.0);
+  const MosEval long_l =
+      mos_eval(test_model(), 0.6, 0.5, kW, 4 * kL, 0.0, 1.0);
+  // Normalized output conductance gds/id falls with length.
+  EXPECT_LT(long_l.gds / long_l.id, short_l.gds / short_l.id);
+}
+
+TEST(MosEval, InvalidGeometryThrows) {
+  EXPECT_THROW(mos_eval(test_model(), 0.5, 0.5, 0.0, kL, 0, 1),
+               InvalidArgumentError);
+  EXPECT_THROW(mos_eval(test_model(), 0.5, 0.5, kW, -1e-9, 0, 1),
+               InvalidArgumentError);
+}
+
+// Property sweep: analytic gm/gds match finite differences over a bias grid.
+struct BiasPoint {
+  double vgs;
+  double vds;
+};
+
+class MosDerivatives : public ::testing::TestWithParam<BiasPoint> {};
+
+TEST_P(MosDerivatives, GmMatchesFiniteDifference) {
+  const auto [vgs, vds] = GetParam();
+  const MosModel m = test_model();
+  const double h = 1e-7;
+  const MosEval e = mos_eval(m, vgs, vds, kW, kL, 0.0, 1.0);
+  const double fd_gm = (mos_eval(m, vgs + h, vds, kW, kL, 0, 1).id -
+                        mos_eval(m, vgs - h, vds, kW, kL, 0, 1).id) /
+                       (2 * h);
+  EXPECT_NEAR(e.gm, fd_gm, 1e-5 * std::max(std::fabs(fd_gm), 1e-9))
+      << "vgs=" << vgs << " vds=" << vds;
+}
+
+TEST_P(MosDerivatives, GdsMatchesFiniteDifference) {
+  const auto [vgs, vds] = GetParam();
+  const MosModel m = test_model();
+  const double h = 1e-7;
+  const MosEval e = mos_eval(m, vgs, vds, kW, kL, 0.0, 1.0);
+  const double fd_gds = (mos_eval(m, vgs, vds + h, kW, kL, 0, 1).id -
+                         mos_eval(m, vgs, vds - h, kW, kL, 0, 1).id) /
+                        (2 * h);
+  EXPECT_NEAR(e.gds, fd_gds, 2e-4 * std::max(std::fabs(fd_gds), 1e-9))
+      << "vgs=" << vgs << " vds=" << vds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosDerivatives,
+    ::testing::Values(BiasPoint{0.1, 0.05}, BiasPoint{0.1, 0.5},
+                      BiasPoint{0.3, 0.02}, BiasPoint{0.3, 0.3},
+                      BiasPoint{0.45, 0.1}, BiasPoint{0.45, 0.7},
+                      BiasPoint{0.6, 0.05}, BiasPoint{0.6, 0.4},
+                      BiasPoint{0.8, 0.8}, BiasPoint{0.5, -0.2},
+                      BiasPoint{0.7, -0.05}));
+
+// Property: Id is continuous and increasing in vgs at fixed vds.
+class MosMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosMonotone, CurrentIncreasesWithVgs) {
+  const double vds = GetParam();
+  const MosModel m = test_model();
+  double prev = mos_eval(m, -0.2, vds, kW, kL, 0, 1).id;
+  for (double vgs = -0.18; vgs <= 0.9; vgs += 0.02) {
+    const double id = mos_eval(m, vgs, vds, kW, kL, 0, 1).id;
+    EXPECT_GE(id, prev) << "vgs=" << vgs << " vds=" << vds;
+    prev = id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsGrid, MosMonotone,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.8));
+
+}  // namespace
+}  // namespace olp::spice

@@ -1,0 +1,127 @@
+// Tests for the Monte Carlo mismatch analysis.
+
+#include <gtest/gtest.h>
+
+#include "circuits/common.hpp"
+#include "core/evaluator.hpp"
+#include "pcell/generator.hpp"
+
+namespace olp::core {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+struct Fixture {
+  pcell::PrimitiveGenerator gen{t()};
+  PrimitiveEvaluator eval;
+  pcell::PrimitiveLayout layout;
+
+  explicit Fixture(pcell::PlacementPattern pattern)
+      : eval(t(), circuits::default_nmos(), circuits::default_pmos(), [] {
+          BiasContext b;
+          b.vdd = t().vdd;
+          b.bias_current = 400e-6;
+          b.port_voltage = {{"ga", 0.5},
+                            {"gb", 0.5},
+                            {"da", 0.5},
+                            {"db", 0.5},
+                            {"s", 0.2}};
+          return b;
+        }()) {
+    pcell::LayoutConfig c;
+    c.nfin = 8;
+    c.nf = 10;
+    c.m = 2;
+    c.pattern = pattern;
+    layout = gen.generate(pcell::make_diff_pair(), c);
+  }
+};
+
+TEST(MonteCarlo, SigmaMatchesPelgromPrediction) {
+  Fixture fx(pcell::PlacementPattern::kABBA);
+  EvalCondition ideal;
+  ideal.ideal = true;
+  const auto mc = fx.eval.monte_carlo_offset(fx.layout, ideal, 40, 7);
+  const double predicted = fx.eval.random_offset_sigma(fx.layout);
+  EXPECT_EQ(mc.samples, 40);
+  // 40 samples: sigma estimate within ~40% of the Pelgrom value.
+  EXPECT_GT(mc.sigma, 0.6 * predicted);
+  EXPECT_LT(mc.sigma, 1.5 * predicted);
+  // Ideal layout: no systematic component.
+  EXPECT_LT(std::fabs(mc.mean), 0.5 * predicted);
+}
+
+TEST(MonteCarlo, SystematicComponentShowsForAabb) {
+  // Paired comparison: identical seeds draw identical mismatch samples for
+  // both layouts (same device sizes), so the difference of the Monte Carlo
+  // means isolates the systematic (gradient) component exactly.
+  Fixture abba(pcell::PlacementPattern::kABBA);
+  Fixture aabb(pcell::PlacementPattern::kAABB);
+  EvalCondition extracted;  // LDE + gradient on
+  const auto mc_abba =
+      abba.eval.monte_carlo_offset(abba.layout, extracted, 16, 3);
+  const auto mc_aabb =
+      aabb.eval.monte_carlo_offset(aabb.layout, extracted, 16, 3);
+  const double systematic_delta = std::fabs(mc_aabb.mean - mc_abba.mean);
+  // The deterministic (sample-free) offsets predict the same delta.
+  const double det_abba = std::fabs(
+      abba.eval.evaluate(abba.layout, extracted).at(MetricKind::kInputOffset));
+  const double det_aabb = std::fabs(
+      aabb.eval.evaluate(aabb.layout, extracted).at(MetricKind::kInputOffset));
+  EXPECT_GT(det_aabb, 5.0 * det_abba);  // AABB's gradient does not cancel
+  EXPECT_NEAR(systematic_delta, det_aabb - det_abba,
+              0.3 * (det_aabb - det_abba) + 1e-4);
+}
+
+TEST(MonteCarlo, Deterministic) {
+  Fixture fx(pcell::PlacementPattern::kABBA);
+  EvalCondition ideal;
+  ideal.ideal = true;
+  const auto a = fx.eval.monte_carlo_offset(fx.layout, ideal, 10, 42);
+  const auto b = fx.eval.monte_carlo_offset(fx.layout, ideal, 10, 42);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer) {
+  Fixture fx(pcell::PlacementPattern::kABBA);
+  EvalCondition ideal;
+  ideal.ideal = true;
+  const auto a = fx.eval.monte_carlo_offset(fx.layout, ideal, 10, 1);
+  const auto b = fx.eval.monte_carlo_offset(fx.layout, ideal, 10, 2);
+  EXPECT_NE(a.mean, b.mean);
+}
+
+TEST(MonteCarlo, Validation) {
+  Fixture fx(pcell::PlacementPattern::kABBA);
+  EvalCondition ideal;
+  ideal.ideal = true;
+  EXPECT_THROW(fx.eval.monte_carlo_offset(fx.layout, ideal, 1, 1),
+               InvalidArgumentError);
+  // Non-pair primitives are rejected.
+  pcell::LayoutConfig c;
+  c.nfin = 8;
+  c.nf = 4;
+  c.m = 1;
+  const pcell::PrimitiveLayout cs =
+      fx.gen.generate(pcell::make_common_source(), c);
+  EXPECT_THROW(fx.eval.monte_carlo_offset(cs, ideal, 8, 1),
+               InvalidArgumentError);
+}
+
+TEST(MonteCarlo, ExtraDvthShiftsDevices) {
+  // Direct check of the plumbing: a forced +10 mV on MA shows up as an
+  // input-referred offset of roughly that size.
+  Fixture fx(pcell::PlacementPattern::kABBA);
+  EvalCondition cond;
+  cond.ideal = true;
+  cond.extra_dvth["MA"] = 10e-3;
+  const MetricValues v = fx.eval.evaluate(fx.layout, cond);
+  EXPECT_NEAR(std::fabs(v.at(MetricKind::kInputOffset)), 10e-3, 2.5e-3);
+}
+
+}  // namespace
+}  // namespace olp::core

@@ -1,0 +1,186 @@
+// Unit tests for the SPICE-dialect netlist parser.
+
+#include <gtest/gtest.h>
+
+#include "spice/parser.hpp"
+
+namespace olp::spice {
+namespace {
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-1.5e-9"), -1.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3.3"), 3.3);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10k"), 10e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2u"), 2.2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100p"), 100e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3f"), 3e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7m"), 7e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2t"), 2e12);
+}
+
+TEST(SpiceNumber, UnitDecorationIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5kohm"), 5e3);
+}
+
+TEST(SpiceNumber, RejectsNonNumbers) {
+  EXPECT_THROW(parse_spice_number("abc"), InvalidArgumentError);
+  EXPECT_THROW(parse_spice_number(""), InvalidArgumentError);
+}
+
+TEST(Parser, ResistorDivider) {
+  const Circuit c = parse_netlist(R"(
+* simple divider
+V1 in 0 DC 1.0
+R1 in mid 1k
+R2 mid 0 1k
+.end
+)");
+  EXPECT_EQ(c.resistors().size(), 2u);
+  EXPECT_EQ(c.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.resistors()[0].r, 1000.0);
+  EXPECT_TRUE(c.has_node("mid"));
+}
+
+TEST(Parser, CapacitorWithInitialCondition) {
+  const Circuit c = parse_netlist("C1 a 0 10f ic=0.5\n");
+  ASSERT_EQ(c.capacitors().size(), 1u);
+  EXPECT_TRUE(c.capacitors()[0].use_ic);
+  EXPECT_DOUBLE_EQ(c.capacitors()[0].ic, 0.5);
+  EXPECT_DOUBLE_EQ(c.capacitors()[0].c, 10e-15);
+}
+
+TEST(Parser, PulseSource) {
+  const Circuit c =
+      parse_netlist("Vclk clk 0 PULSE(0 0.8 1n 0.02n 0.02n 0.5n 1n)\n");
+  ASSERT_EQ(c.vsources().size(), 1u);
+  const Waveform& w = c.vsources()[0].wave;
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(1.3e-9), 0.8);
+  EXPECT_DOUBLE_EQ(w.value(1.8e-9), 0.0);
+}
+
+TEST(Parser, SinSourceWithDelay) {
+  const Circuit c = parse_netlist("vs a 0 SIN(0.4 0.1 1g 2n)\n");
+  const Waveform& w = c.vsources()[0].wave;
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 0.4);
+  EXPECT_NEAR(w.value(2e-9 + 0.25e-9), 0.5, 1e-9);
+}
+
+TEST(Parser, AcMagnitudeAndPhase) {
+  const Circuit c = parse_netlist("V1 in 0 DC 0.5 AC 1.0 90\n");
+  EXPECT_DOUBLE_EQ(c.vsources()[0].ac_mag, 1.0);
+  EXPECT_NEAR(c.vsources()[0].ac_phase, M_PI / 2, 1e-12);
+}
+
+TEST(Parser, PwlSource) {
+  const Circuit c = parse_netlist("I1 a 0 PWL(0 0 1n 1u 2n 0)\n");
+  ASSERT_EQ(c.isources().size(), 1u);
+  EXPECT_NEAR(c.isources()[0].wave.value(0.5e-9), 0.5e-6, 1e-15);
+}
+
+TEST(Parser, BareValueIsDc) {
+  const Circuit c = parse_netlist("V1 a 0 0.8\n");
+  EXPECT_DOUBLE_EQ(c.vsources()[0].wave.dc_value(), 0.8);
+}
+
+TEST(Parser, ControlledSources) {
+  const Circuit c = parse_netlist(R"(
+E1 out 0 inp inn 10
+G1 out 0 inp inn 2m
+)");
+  ASSERT_EQ(c.vcvs().size(), 1u);
+  ASSERT_EQ(c.vccs().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.vcvs()[0].gain, 10.0);
+  EXPECT_DOUBLE_EQ(c.vccs()[0].gm, 2e-3);
+}
+
+TEST(Parser, MosfetWithModelAndGeometry) {
+  const Circuit c = parse_netlist(R"(
+.model nfet nmos vth0=0.3 kp=400u
+M1 d g s 0 nfet w=2u l=14n as=0.1p ad=0.1p dvth=5m mob=0.98
+)");
+  ASSERT_EQ(c.mosfets().size(), 1u);
+  const Mosfet& m = c.mosfets()[0];
+  EXPECT_DOUBLE_EQ(m.w, 2e-6);
+  EXPECT_DOUBLE_EQ(m.l, 14e-9);
+  EXPECT_DOUBLE_EQ(m.delta_vth, 5e-3);
+  EXPECT_DOUBLE_EQ(m.mobility_mult, 0.98);
+  EXPECT_DOUBLE_EQ(c.model(m.model).vth0, 0.3);
+}
+
+TEST(Parser, PmosModel) {
+  const Circuit c = parse_netlist(R"(
+.model pfet pmos vth0=0.25
+M1 d g s b pfet w=1u l=14n
+)");
+  EXPECT_EQ(c.model(c.mosfets()[0].model).type, MosType::kPmos);
+}
+
+TEST(Parser, ContinuationLines) {
+  const Circuit c = parse_netlist(
+      "Vclk clk 0 PULSE(0 0.8\n+ 1n 0.02n 0.02n\n+ 0.5n 1n)\n");
+  EXPECT_DOUBLE_EQ(c.vsources()[0].wave.value(1.3e-9), 0.8);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const Circuit c = parse_netlist(R"(
+* header comment
+R1 a b 1k ; trailing comment
+
+* another
+R2 b 0 2k
+)");
+  EXPECT_EQ(c.resistors().size(), 2u);
+}
+
+TEST(Parser, InitialConditions) {
+  const Circuit c = parse_netlist(".ic v(osc)=0.8\nR1 osc 0 1k\n");
+  EXPECT_EQ(c.initial_conditions().size(), 1u);
+}
+
+TEST(Parser, GroundAliases) {
+  const Circuit c = parse_netlist("R1 a gnd 1k\nR2 a 0 1k\n");
+  EXPECT_EQ(c.resistors()[0].b, kGround);
+  EXPECT_EQ(c.resistors()[1].b, kGround);
+}
+
+TEST(Parser, UnknownModelThrows) {
+  EXPECT_THROW(parse_netlist("M1 d g s 0 nosuch w=1u l=14n\n"), ParseError);
+}
+
+TEST(Parser, UnknownElementThrows) {
+  EXPECT_THROW(parse_netlist("X1 a b c\n"), ParseError);
+}
+
+TEST(Parser, UnsupportedDirectiveThrows) {
+  EXPECT_THROW(parse_netlist(".tran 1n 10n\n"), ParseError);
+}
+
+TEST(Parser, ErrorCarriesLineNumber) {
+  try {
+    parse_netlist("R1 a b 1k\nR2 a\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Parser, DotEndStopsParsing) {
+  const Circuit c = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 2k\n");
+  EXPECT_EQ(c.resistors().size(), 1u);
+}
+
+TEST(Parser, NegativeResistanceRejected) {
+  EXPECT_THROW(parse_netlist("R1 a 0 -5\n"), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace olp::spice

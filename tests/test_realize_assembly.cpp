@@ -1,0 +1,137 @@
+// Tests for route realization (global routes -> parallel-track geometry) and
+// full-layout assembly.
+
+#include <gtest/gtest.h>
+
+#include "circuits/assembly.hpp"
+#include "circuits/ota5t.hpp"
+#include "route/realize.hpp"
+#include "util/logging.hpp"
+
+namespace olp {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+route::NetRoute l_route() {
+  route::NetRoute nr;
+  nr.net = "sig";
+  nr.routed = true;
+  nr.vias = 3;
+  nr.segments.push_back(route::RouteSegment{
+      tech::Layer::kM3, geom::Point{0, 0}, geom::Point{geom::to_nm(2e-6), 0}});
+  nr.segments.push_back(route::RouteSegment{
+      tech::Layer::kM4, geom::Point{geom::to_nm(2e-6), 0},
+      geom::Point{geom::to_nm(2e-6), geom::to_nm(1e-6)}});
+  return nr;
+}
+
+TEST(Realize, SingleWireEmitsOneTrackPerSegment) {
+  geom::Layout out("r");
+  route::realize_net(t(), l_route(), 1, out);
+  int m3 = 0, m4 = 0;
+  for (const geom::Shape& s : out.shapes()) {
+    if (s.layer == tech::Layer::kM3 && s.rect.width() > s.rect.height()) ++m3;
+    if (s.layer == tech::Layer::kM4 && s.rect.height() > s.rect.width()) ++m4;
+  }
+  EXPECT_EQ(m3, 1);
+  EXPECT_EQ(m4, 1);
+  // Every emitted shape is tagged with the net.
+  for (const geom::Shape& s : out.shapes()) EXPECT_EQ(s.net, "sig");
+}
+
+TEST(Realize, ParallelWiresMultiplyTracks) {
+  geom::Layout one("a"), four("b");
+  route::realize_net(t(), l_route(), 1, one);
+  route::realize_net(t(), l_route(), 4, four);
+  EXPECT_EQ(four.shapes().size(), 4 * one.shapes().size());
+}
+
+TEST(Realize, TracksAreAtLayerPitch) {
+  geom::Layout out("r");
+  route::realize_net(t(), l_route(), 3, out);
+  std::vector<geom::Coord> y_los;
+  for (const geom::Shape& s : out.shapes()) {
+    if (s.layer == tech::Layer::kM3 && s.rect.width() > s.rect.height()) {
+      y_los.push_back(s.rect.y_lo);
+    }
+  }
+  ASSERT_EQ(y_los.size(), 3u);
+  std::sort(y_los.begin(), y_los.end());
+  const geom::Coord pitch = geom::to_nm(t().metal(tech::Layer::kM3).pitch);
+  EXPECT_EQ(y_los[1] - y_los[0], pitch);
+  EXPECT_EQ(y_los[2] - y_los[1], pitch);
+}
+
+TEST(Realize, TrackWidthIsMinWidth) {
+  geom::Layout out("r");
+  route::realize_net(t(), l_route(), 1, out);
+  for (const geom::Shape& s : out.shapes()) {
+    if (s.layer == tech::Layer::kM3 && s.rect.width() > s.rect.height()) {
+      EXPECT_EQ(s.rect.height(),
+                geom::to_nm(t().metal(tech::Layer::kM3).min_width));
+    }
+  }
+}
+
+TEST(Realize, ViaArrayAtLayerChange) {
+  geom::Layout out("r");
+  route::realize_net(t(), l_route(), 2, out);
+  // Two cut squares at the M3/M4 corner (marked on the upper layer).
+  int cuts = 0;
+  for (const geom::Shape& s : out.shapes()) {
+    if (s.layer == tech::Layer::kM4 && s.rect.width() == s.rect.height()) {
+      ++cuts;
+    }
+  }
+  EXPECT_EQ(cuts, 2);
+}
+
+TEST(Realize, MapHelperSkipsUnroutedNets) {
+  std::map<std::string, route::NetRoute> routes;
+  routes["ok"] = l_route();
+  route::NetRoute bad;
+  bad.net = "bad";
+  bad.routed = false;
+  routes["bad"] = bad;
+  const geom::Layout out =
+      route::realize_routes(t(), routes, {{"ok", 2}});
+  for (const geom::Shape& s : out.shapes()) EXPECT_EQ(s.net, "sig");
+  EXPECT_FALSE(out.shapes().empty());
+}
+
+TEST(Realize, RejectsZeroWires) {
+  geom::Layout out("r");
+  EXPECT_THROW(route::realize_net(t(), l_route(), 0, out),
+               InvalidArgumentError);
+}
+
+TEST(Assembly, OtaAssembles) {
+  set_log_level(LogLevel::kError);
+  circuits::Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+  circuits::FlowEngine engine(t(), {});
+  circuits::FlowReport report;
+  const circuits::Realization real =
+      engine.optimize(ota.instances(), ota.routed_nets(), &report);
+  const geom::Layout top =
+      circuits::assemble_layout(t(), ota.instances(), real, report);
+  // Pins of every instance are present with the instance prefix.
+  EXPECT_TRUE(top.has_pin("dp.da"));
+  EXPECT_TRUE(top.has_pin("cmtail.out"));
+  EXPECT_TRUE(top.has_pin("cmload.ref"));
+  // The assembled area at least covers the placed block area.
+  double block_area = 0.0;
+  for (const auto& [name, lay] : real.layouts) {
+    (void)name;
+    block_area += lay.area();
+  }
+  EXPECT_GE(circuits::assembled_area(top), block_area);
+  EXPECT_GT(top.shapes().size(), 100u);
+}
+
+}  // namespace
+}  // namespace olp

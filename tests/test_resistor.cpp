@@ -1,0 +1,95 @@
+// Tests for the serpentine poly resistor passive primitive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcell/resistor.hpp"
+
+namespace olp::pcell {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+TEST(PolyResistor, ResistanceFollowsSquareCount) {
+  PolyResConfig c;
+  c.segments = 1;
+  c.segment_length = 2e-6;
+  c.width = 0.2e-6;
+  const PolyResLayout lay = generate_poly_resistor(t(), c);
+  // 10 squares of 300 ohm/sq plus two head contacts.
+  EXPECT_NEAR(lay.resistance, 300.0 * 10 + 2 * t().diff_cont_res, 1.0);
+}
+
+TEST(PolyResistor, FoldingAddsCornerSquares) {
+  PolyResConfig one;
+  one.segments = 1;
+  one.segment_length = 8e-6;
+  PolyResConfig four;
+  four.segments = 4;
+  four.segment_length = 2e-6;
+  const double r1 = generate_poly_resistor(t(), one).resistance;
+  const double r4 = generate_poly_resistor(t(), four).resistance;
+  // Same body squares; the folded version carries 6 extra corner squares.
+  EXPECT_NEAR(r4 - r1, 6 * t().poly_res_sheet, 1.0);
+}
+
+TEST(PolyResistor, FoldedAspectIsSquarer) {
+  PolyResConfig one;
+  one.segments = 1;
+  one.segment_length = 8e-6;
+  PolyResConfig eight;
+  eight.segments = 8;
+  eight.segment_length = 1e-6;
+  const double ar1 = generate_poly_resistor(t(), one).geometry.aspect_ratio();
+  const double ar8 =
+      generate_poly_resistor(t(), eight).geometry.aspect_ratio();
+  EXPECT_LT(std::fabs(std::log(ar8)), std::fabs(std::log(ar1)));
+}
+
+TEST(PolyResistor, CornerFrequencyDropsWithSize) {
+  PolyResConfig small;
+  small.segments = 2;
+  small.segment_length = 1e-6;
+  PolyResConfig big;
+  big.segments = 8;
+  big.segment_length = 4e-6;
+  EXPECT_GT(generate_poly_resistor(t(), small).corner_freq(),
+            generate_poly_resistor(t(), big).corner_freq());
+}
+
+TEST(PolyResistor, EnumerationHitsTarget) {
+  const double target = 20e3;
+  const std::vector<PolyResConfig> configs =
+      enumerate_poly_res_configs(t(), target);
+  ASSERT_FALSE(configs.empty());
+  // Multiple fold counts -> multiple aspect ratios (the bins' raw material).
+  EXPECT_GE(configs.size(), 2u);
+  for (const PolyResConfig& c : configs) {
+    EXPECT_NEAR(generate_poly_resistor(t(), c).resistance, target,
+                0.05 * target);
+  }
+}
+
+TEST(PolyResistor, PinsAndGeometryPresent) {
+  PolyResConfig c;
+  c.segments = 4;
+  c.segment_length = 2e-6;
+  const PolyResLayout lay = generate_poly_resistor(t(), c);
+  EXPECT_TRUE(lay.geometry.has_pin("a"));
+  EXPECT_TRUE(lay.geometry.has_pin("b"));
+  EXPECT_GE(lay.geometry.shapes().size(), 4u);
+}
+
+TEST(PolyResistor, Validation) {
+  PolyResConfig bad;
+  bad.segments = 0;
+  EXPECT_THROW(generate_poly_resistor(t(), bad), InvalidArgumentError);
+  EXPECT_THROW(enumerate_poly_res_configs(t(), -5.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace olp::pcell

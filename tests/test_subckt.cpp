@@ -1,0 +1,129 @@
+// Tests for hierarchical netlists (.subckt / .ends / X instances).
+
+#include <gtest/gtest.h>
+
+#include "spice/parser.hpp"
+#include "spice/simulator.hpp"
+
+namespace olp::spice {
+namespace {
+
+TEST(Subckt, FlattensSingleInstance) {
+  const Circuit c = parse_netlist(R"(
+.subckt divider top bot mid
+R1 top mid 1k
+R2 mid bot 1k
+.ends
+V1 in 0 DC 2.0
+X1 in 0 tap divider
+)");
+  EXPECT_EQ(c.resistors().size(), 2u);
+  EXPECT_TRUE(c.has_node("tap"));
+  Simulator sim(c);
+  const OpResult op = sim.op();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(sim.voltage(op.x, c.find_node("tap")), 1.0, 1e-6);
+}
+
+TEST(Subckt, InternalNodesArePrefixed) {
+  const Circuit c = parse_netlist(R"(
+.subckt chain a b
+R1 a x 1k
+R2 x b 1k
+.ends
+X1 p 0 chain
+X2 p 0 chain
+R0 p 0 1k
+)");
+  EXPECT_TRUE(c.has_node("X1.x"));
+  EXPECT_TRUE(c.has_node("X2.x"));
+  EXPECT_EQ(c.resistors().size(), 5u);
+}
+
+TEST(Subckt, ElementNamesArePrefixed) {
+  const Circuit c = parse_netlist(R"(
+.subckt cell a
+R1 a 0 1k
+.ends
+Xu top cell
+)");
+  ASSERT_EQ(c.resistors().size(), 1u);
+  EXPECT_EQ(c.resistors()[0].name, "Xu.R1");
+}
+
+TEST(Subckt, NestedInstancesFlatten) {
+  const Circuit c = parse_netlist(R"(
+.subckt leaf a b
+R1 a b 2k
+.ends
+.subckt pair p q
+X1 p m leaf
+X2 m q leaf
+.ends
+V1 in 0 DC 1.0
+Xtop in 0 pair
+)");
+  EXPECT_EQ(c.resistors().size(), 2u);
+  EXPECT_TRUE(c.has_node("Xtop.m"));
+  Simulator sim(c);
+  const OpResult op = sim.op();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(sim.voltage(op.x, c.find_node("Xtop.m")), 0.5, 1e-6);
+}
+
+TEST(Subckt, GroundPassesThroughUnprefixed) {
+  const Circuit c = parse_netlist(R"(
+.subckt grounded a
+R1 a 0 1k
+C1 a gnd 1f
+.ends
+X1 n grounded
+)");
+  EXPECT_EQ(c.resistors()[0].b, kGround);
+  EXPECT_EQ(c.capacitors()[0].b, kGround);
+}
+
+TEST(Subckt, SubcktWithMosfetAndSources) {
+  const Circuit c = parse_netlist(R"(
+.model nfet nmos vth0=0.3 kp=400u
+.subckt stage in out vdd
+M1 out in 0 0 nfet w=1u l=14n
+R1 vdd out 5k
+.ends
+Vdd vdd 0 DC 0.8
+Vin in 0 DC 0.45
+X1 in out vdd stage
+)");
+  ASSERT_EQ(c.mosfets().size(), 1u);
+  EXPECT_EQ(c.mosfets()[0].name, "X1.M1");
+  Simulator sim(c);
+  const OpResult op = sim.op();
+  ASSERT_TRUE(op.converged);
+  const double vout = sim.voltage(op.x, c.find_node("out"));
+  EXPECT_GT(vout, 0.0);
+  EXPECT_LT(vout, 0.8);
+}
+
+TEST(Subckt, Errors) {
+  EXPECT_THROW(parse_netlist("X1 a b nosuch\n"), ParseError);
+  EXPECT_THROW(parse_netlist(".subckt s a\nR1 a 0 1k\n"), ParseError);
+  EXPECT_THROW(parse_netlist(".ends\n"), ParseError);
+  EXPECT_THROW(parse_netlist(R"(
+.subckt s a b
+R1 a b 1k
+.ends
+X1 onlyone s
+)"),
+               ParseError);
+  // Self-recursive subcircuit hits the depth guard.
+  EXPECT_THROW(parse_netlist(R"(
+.subckt rec a
+X1 a rec
+.ends
+X0 n rec
+)"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace olp::spice

@@ -1,0 +1,170 @@
+// Tests for the synthetic technology and the geometry layer.
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+#include "geom/layout.hpp"
+#include "tech/technology.hpp"
+#include "util/units.hpp"
+
+namespace olp {
+namespace {
+
+using namespace units;
+
+// --- technology --------------------------------------------------------------
+
+TEST(Technology, DefaultIsSelfConsistent) {
+  const tech::Technology t = tech::make_default_finfet_tech();
+  EXPECT_GT(t.fin_pitch, 0.0);
+  EXPECT_GT(t.poly_pitch, t.gate_length);
+  EXPECT_GT(t.vdd, 0.5);
+  for (const tech::MetalLayerInfo& m : t.metals) {
+    EXPECT_GT(m.min_width, 0.0);
+    EXPECT_GT(m.sheet_res, 0.0);
+    EXPECT_GT(m.cap_per_length, 0.0);
+    EXPECT_NEAR(m.pitch, m.min_width + m.min_spacing, 1e-15);
+  }
+  // Preferred directions alternate.
+  for (int l = 1; l < tech::kNumRoutingLayers; ++l) {
+    EXPECT_NE(t.metals[static_cast<std::size_t>(l)].horizontal,
+              t.metals[static_cast<std::size_t>(l - 1)].horizontal);
+  }
+}
+
+TEST(Technology, PaperDpExampleSizing) {
+  // W/L = 46 um / 14 nm realized with 960 fins (paper Sec. III-A).
+  const tech::Technology t = tech::make_default_finfet_tech();
+  EXPECT_NEAR(960.0 * t.fin_width_eff, 46e-6, 0.5e-6);
+  EXPECT_NEAR(t.gate_length, 14e-9, 1e-12);
+}
+
+TEST(Technology, WireResScalesWithLengthAndParallel) {
+  const tech::Technology t = tech::make_default_finfet_tech();
+  const double r1 = t.wire_res(tech::Layer::kM3, 2 * um, 1);
+  EXPECT_NEAR(t.wire_res(tech::Layer::kM3, 4 * um, 1), 2 * r1, 1e-9);
+  EXPECT_NEAR(t.wire_res(tech::Layer::kM3, 2 * um, 2), r1 / 2, 1e-9);
+}
+
+TEST(Technology, WireCapGrowsSubLinearlyWithTracks) {
+  const tech::Technology t = tech::make_default_finfet_tech();
+  const double c1 = t.wire_cap(tech::Layer::kM3, 2 * um, 1);
+  const double c2 = t.wire_cap(tech::Layer::kM3, 2 * um, 2);
+  const double c4 = t.wire_cap(tech::Layer::kM3, 2 * um, 4);
+  EXPECT_GT(c2, c1);
+  EXPECT_GT(c4, c2);
+  EXPECT_LT(c4, 4 * c1);  // inner-fringe sharing
+}
+
+TEST(Technology, ViaStackResistance) {
+  const tech::Technology t = tech::make_default_finfet_tech();
+  const double r13 = t.via_stack_res(tech::Layer::kM1, tech::Layer::kM3);
+  EXPECT_NEAR(r13, 2 * t.via_res, 1e-12);
+  EXPECT_NEAR(t.via_stack_res(tech::Layer::kM1, tech::Layer::kM3, 2),
+              r13 / 2, 1e-12);
+  EXPECT_NEAR(t.via_stack_res(tech::Layer::kM2, tech::Layer::kM2), 0.0,
+              1e-12);
+}
+
+TEST(Technology, MetalIndexMapping) {
+  EXPECT_EQ(tech::metal_index(tech::Layer::kM1), 0);
+  EXPECT_EQ(tech::metal_index(tech::Layer::kM6), 5);
+  EXPECT_EQ(tech::metal_index(tech::Layer::kPoly), -1);
+  EXPECT_EQ(tech::metal_layer(2), tech::Layer::kM3);
+  EXPECT_THROW(tech::metal_layer(6), InvalidArgumentError);
+}
+
+TEST(Technology, NonMetalWireResThrows) {
+  const tech::Technology t = tech::make_default_finfet_tech();
+  EXPECT_THROW(t.wire_res(tech::Layer::kPoly, 1 * um), InvalidArgumentError);
+}
+
+// --- geometry ----------------------------------------------------------------
+
+TEST(Geometry, CoordinateConversionRoundTrips) {
+  EXPECT_EQ(geom::to_nm(1.5e-6), 1500);
+  EXPECT_DOUBLE_EQ(geom::to_meters(1500), 1.5e-6);
+  EXPECT_EQ(geom::to_nm(-2e-9), -2);
+}
+
+TEST(Geometry, RectBasics) {
+  const geom::Rect r{0, 0, 100, 50};
+  EXPECT_EQ(r.width(), 100);
+  EXPECT_EQ(r.height(), 50);
+  EXPECT_DOUBLE_EQ(r.area(), 5000.0);
+  EXPECT_DOUBLE_EQ(r.aspect_ratio(), 2.0);
+  EXPECT_TRUE(r.contains({50, 25}));
+  EXPECT_FALSE(r.contains({150, 25}));
+}
+
+TEST(Geometry, RectOrderingEnforced) {
+  EXPECT_THROW((geom::Rect{10, 0, 0, 5}), InvalidArgumentError);
+}
+
+TEST(Geometry, RectIntersectionAndUnion) {
+  const geom::Rect a{0, 0, 10, 10};
+  const geom::Rect b{5, 5, 15, 15};
+  const geom::Rect c{20, 20, 30, 30};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  const geom::Rect u = a.united(c);
+  EXPECT_EQ(u, (geom::Rect{0, 0, 30, 30}));
+}
+
+TEST(Geometry, Translation) {
+  const geom::Rect r = geom::Rect{0, 0, 10, 10}.translated(5, -3);
+  EXPECT_EQ(r, (geom::Rect{5, -3, 15, 7}));
+}
+
+TEST(Geometry, BoundingBoxOfSet) {
+  const geom::Rect bb = geom::bounding_box(
+      {{0, 0, 5, 5}, {10, -2, 12, 3}, {-1, 1, 2, 8}});
+  EXPECT_EQ(bb, (geom::Rect{-1, -2, 12, 8}));
+  EXPECT_THROW(geom::bounding_box({}), InvalidArgumentError);
+}
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_EQ(geom::manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(geom::manhattan({5, 5}, {2, 9}), 7);
+}
+
+TEST(Layout, ShapesAndPins) {
+  geom::Layout l("cell");
+  l.add_shape(tech::Layer::kM1, {0, 0, 100, 20}, "net1");
+  l.add_pin("a", tech::Layer::kM2, {10, 10, 20, 20});
+  EXPECT_EQ(l.shapes().size(), 1u);
+  EXPECT_TRUE(l.has_pin("a"));
+  EXPECT_FALSE(l.has_pin("b"));
+  EXPECT_EQ(l.pin("a").layer, tech::Layer::kM2);
+  EXPECT_THROW(l.pin("missing"), InvalidArgumentError);
+}
+
+TEST(Layout, BoundingBoxCoversShapesAndPins) {
+  geom::Layout l("cell");
+  l.add_shape(tech::Layer::kM1, {0, 0, 100, 20});
+  l.add_pin("p", tech::Layer::kM2, {150, 30, 160, 40});
+  EXPECT_EQ(l.bounding_box(), (geom::Rect{0, 0, 160, 40}));
+  EXPECT_THROW(geom::Layout("empty").bounding_box(), InvalidArgumentError);
+}
+
+TEST(Layout, MergeTranslatesAndPrefixes) {
+  geom::Layout a("a");
+  a.add_shape(tech::Layer::kM1, {0, 0, 10, 10}, "x");
+  geom::Layout b("b");
+  b.add_pin("p", tech::Layer::kM1, {0, 0, 5, 5});
+  a.merge(b, 100, 200, "b.");
+  EXPECT_TRUE(a.has_pin("b.p"));
+  EXPECT_EQ(a.pin("b.p").rect, (geom::Rect{100, 200, 105, 205}));
+}
+
+TEST(Layout, AbstractNormalizesToOrigin) {
+  geom::Layout l("cell");
+  l.add_shape(tech::Layer::kM1, {50, 60, 150, 160});
+  l.add_pin("p", tech::Layer::kM2, {60, 70, 70, 80});
+  const geom::CellAbstract abs = geom::make_abstract(l);
+  EXPECT_EQ(abs.bbox, (geom::Rect{0, 0, 100, 100}));
+  EXPECT_EQ(abs.pins[0].rect, (geom::Rect{10, 10, 20, 20}));
+}
+
+}  // namespace
+}  // namespace olp

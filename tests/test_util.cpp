@@ -1,0 +1,216 @@
+// Unit tests for src/util: errors, intervals, curvature, units, tables, RNG.
+
+#include <gtest/gtest.h>
+
+#include "util/curvature.hpp"
+#include "util/error.hpp"
+#include "util/interval.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace olp {
+namespace {
+
+// --- error ------------------------------------------------------------------
+
+TEST(Error, CheckMacroThrowsInvalidArgument) {
+  EXPECT_THROW(OLP_CHECK(false, "boom"), InvalidArgumentError);
+  EXPECT_NO_THROW(OLP_CHECK(true, "fine"));
+}
+
+TEST(Error, CheckMessageContainsContext) {
+  try {
+    OLP_CHECK(1 == 2, "my message");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("my message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(OLP_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  ParseError e("bad token", 42);
+  EXPECT_EQ(e.line(), 42);
+  EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+}
+
+// --- interval ---------------------------------------------------------------
+
+TEST(WireInterval, ContainsBounded) {
+  WireInterval iv{2, 5};
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(6));
+}
+
+TEST(WireInterval, ContainsUnbounded) {
+  WireInterval iv{3, std::nullopt};
+  EXPECT_FALSE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(3));
+  EXPECT_TRUE(iv.contains(1000));
+  EXPECT_FALSE(iv.bounded());
+}
+
+TEST(WireInterval, ToString) {
+  EXPECT_EQ((WireInterval{2, 5}.to_string()), "[2, 5]");
+  EXPECT_EQ((WireInterval{1, std::nullopt}.to_string()), "[1, inf]");
+}
+
+TEST(Reconcile, OverlappingTakesMaxLowerBound) {
+  // Paper Sec. III-B2: overlapping intervals choose max(w_min,i).
+  const IntervalReconciliation r =
+      reconcile({WireInterval{1, 5}, WireInterval{3, 6}});
+  EXPECT_TRUE(r.overlap);
+  EXPECT_EQ(r.chosen, 3);
+}
+
+TEST(Reconcile, UnboundedAlwaysOverlaps) {
+  // Paper example: net 3 with w_min 1 (DP) and 4 (CM), no upper bound.
+  const IntervalReconciliation r = reconcile(
+      {WireInterval{1, std::nullopt}, WireInterval{4, std::nullopt}});
+  EXPECT_TRUE(r.overlap);
+  EXPECT_EQ(r.chosen, 4);
+}
+
+TEST(Reconcile, DisjointYieldsGapRange) {
+  // [min(w_max,i), max(w_min,i)] must be re-simulated.
+  const IntervalReconciliation r =
+      reconcile({WireInterval{1, 2}, WireInterval{5, 8}});
+  EXPECT_FALSE(r.overlap);
+  EXPECT_EQ(r.gap_lo, 2);
+  EXPECT_EQ(r.gap_hi, 5);
+}
+
+TEST(Reconcile, SingleInterval) {
+  const IntervalReconciliation r = reconcile({WireInterval{4, 7}});
+  EXPECT_TRUE(r.overlap);
+  EXPECT_EQ(r.chosen, 4);
+}
+
+TEST(Reconcile, ThreeWayOverlap) {
+  const IntervalReconciliation r = reconcile(
+      {WireInterval{2, 8}, WireInterval{3, 9}, WireInterval{1, 7}});
+  EXPECT_TRUE(r.overlap);
+  EXPECT_EQ(r.chosen, 3);
+}
+
+TEST(Reconcile, EmptyThrows) {
+  EXPECT_THROW(reconcile({}), InvalidArgumentError);
+}
+
+TEST(Reconcile, BadIntervalThrows) {
+  EXPECT_THROW(reconcile({WireInterval{0, 3}}), InvalidArgumentError);
+  EXPECT_THROW(reconcile({WireInterval{5, 3}}), InvalidArgumentError);
+}
+
+// --- curvature / tuning stop ------------------------------------------------
+
+TEST(Curvature, ArgminFindsMinimum) {
+  EXPECT_EQ(argmin({5.0, 4.0, 4.2, 4.1}), 1u);
+}
+
+TEST(Curvature, ArgminTieBreaksToFewestWires) {
+  EXPECT_EQ(argmin({5.0, 4.0, 4.0, 4.0}), 1u);
+}
+
+TEST(Curvature, MonotoneDetection) {
+  EXPECT_TRUE(is_monotone_decreasing({5, 4, 3, 3, 2.5}));
+  EXPECT_FALSE(is_monotone_decreasing({5, 4, 4.5, 3}));
+}
+
+TEST(Curvature, TuningStopUsesMinimumForUShapedCurve) {
+  // Paper Table IV DP costs: minimum at w = 4 (index 3).
+  const std::vector<double> costs = {5.17, 4.40, 4.23, 4.21, 4.25, 4.33, 4.42};
+  EXPECT_EQ(tuning_stop_index(costs), 3u);
+}
+
+TEST(Curvature, TuningStopUsesKneeForMonotoneCurve) {
+  // Exponential-style saturation: the knee is early, not at the end.
+  const std::vector<double> costs = {29.3, 8.3, 4.1, 3.5, 3.2, 3.1, 3.0};
+  const std::size_t stop = tuning_stop_index(costs);
+  EXPECT_GE(stop, 1u);
+  EXPECT_LE(stop, 3u);
+}
+
+TEST(Curvature, ShortCurves) {
+  EXPECT_EQ(tuning_stop_index({1.0}), 0u);
+  EXPECT_EQ(tuning_stop_index({2.0, 1.0}), 1u);
+  EXPECT_THROW(tuning_stop_index({}), InvalidArgumentError);
+}
+
+// --- units ------------------------------------------------------------------
+
+TEST(Units, EngineeringNotation) {
+  EXPECT_EQ(units::eng(2.2e-14, "F"), "22fF");
+  EXPECT_EQ(units::eng(5.1e9, "Hz"), "5.1GHz");
+  EXPECT_EQ(units::eng(0.0), "0");
+  EXPECT_EQ(units::eng(1.0, "V"), "1V");
+  EXPECT_EQ(units::eng(-3.3e-3, "A"), "-3.3mA");
+}
+
+TEST(Units, LiteralsAreConsistent) {
+  EXPECT_DOUBLE_EQ(units::um, 1e-6);
+  EXPECT_DOUBLE_EQ(units::nm, 1e-9);
+  EXPECT_DOUBLE_EQ(3.0 * units::fF, 3e-15);
+  EXPECT_DOUBLE_EQ(2.0 * units::GHz, 2e9);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable t("title");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(TextTable, ColumnCountEnforced) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(TextTable, FixedAndPct) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.067), "6.7%");
+  EXPECT_EQ(pct(1.217, 0), "122%");
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace olp

@@ -1,0 +1,79 @@
+// Unit tests for source waveforms (DC / PULSE / SIN / PWL).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/waveform.hpp"
+
+namespace olp::spice {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(1.5);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.value(1e-3), 1.5);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 1.5);
+}
+
+TEST(Waveform, PulseBeforeDelayIsV1) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 1e-9, 4e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.99e-9), 0.0);
+}
+
+TEST(Waveform, PulseEdgesInterpolate) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 2e-9, 8e-9);
+  EXPECT_NEAR(w.value(0.5e-9), 0.5, 1e-12);   // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(2e-9), 1.0);       // plateau
+  EXPECT_NEAR(w.value(3.5e-9), 0.5, 1e-12);   // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.0);       // low
+}
+
+TEST(Waveform, PulseIsPeriodic) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 0.0, 1e-10, 1e-10, 1e-9, 4e-9);
+  EXPECT_NEAR(w.value(0.5e-9), w.value(0.5e-9 + 4e-9), 1e-12);
+  EXPECT_NEAR(w.value(2.3e-9), w.value(2.3e-9 + 8e-9), 1e-12);
+}
+
+TEST(Waveform, PulseValidation) {
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 0.0, 1e-10, 1e-9, 4e-9),
+               InvalidArgumentError);
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 1e-10, 1e-10, 1e-9, 0.0),
+               InvalidArgumentError);
+}
+
+TEST(Waveform, SineValueAndDelay) {
+  const Waveform w = Waveform::sine(0.5, 0.2, 1e9, 1e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 0.5);  // before delay: offset
+  // Quarter period past the delay: peak.
+  EXPECT_NEAR(w.value(1e-9 + 0.25e-9), 0.7, 1e-9);
+  EXPECT_NEAR(w.value(1e-9 + 0.75e-9), 0.3, 1e-9);
+}
+
+TEST(Waveform, SineValidation) {
+  EXPECT_THROW(Waveform::sine(0, 1, 0.0), InvalidArgumentError);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1e-9, 1.0}, {2e-9, 0.5}});
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(0.5e-9), 0.5, 1e-12);
+  EXPECT_NEAR(w.value(1.5e-9), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.5);  // clamps to last value
+}
+
+TEST(Waveform, PwlValidation) {
+  EXPECT_THROW(Waveform::pwl({}), InvalidArgumentError);
+  EXPECT_THROW(Waveform::pwl({{1e-9, 1.0}, {0.5e-9, 0.0}}),
+               InvalidArgumentError);
+}
+
+TEST(Waveform, DcValueUsesTimeZero) {
+  const Waveform p =
+      Waveform::pulse(0.3, 1.0, 1e-9, 1e-10, 1e-10, 1e-9, 4e-9);
+  EXPECT_DOUBLE_EQ(p.dc_value(), 0.3);
+}
+
+}  // namespace
+}  // namespace olp::spice
