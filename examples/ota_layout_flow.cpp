@@ -92,5 +92,16 @@ int main() {
   std::cout << table;
   std::cout << "\nFlow runtime: " << fixed(report.runtime_s, 3) << " s, "
             << report.testbenches << " primitive testbench simulations\n";
+
+  // Resilience summary: a healthy run reports no diagnostics.
+  if (report.degraded) {
+    std::cout << "\nFlow DEGRADED — " << report.diagnostics.size()
+              << " diagnostic(s):\n";
+    for (const Diagnostic& d : report.diagnostics) {
+      std::cout << "  " << d.to_string() << "\n";
+    }
+  } else {
+    std::cout << "Flow completed clean (no diagnostics)\n";
+  }
   return 0;
 }

@@ -51,6 +51,28 @@ void equalize_symmetric_nets(const std::vector<InstanceSpec>& instances,
   }
 }
 
+/// Finalizes a report's resilience fields from the sink: moves the records
+/// out and derives the degraded flag.
+void finish_diagnostics(DiagnosticsSink& sink, FlowReport& report) {
+  report.degraded = sink.has_at_least(DiagSeverity::kWarning);
+  report.diagnostics = sink.take();
+}
+
+/// Reports every requested net that ended up unrouted (the realization falls
+/// back to schematic-net parasitics for it).
+void report_unrouted_nets(DiagnosticsSink& sink,
+                          const std::vector<std::string>& routed_nets,
+                          const FlowReport& report) {
+  for (const std::string& net : routed_nets) {
+    const auto it = report.routes.find(net);
+    // Nets with fewer than two placed pins are never handed to the router;
+    // that is not a failure.
+    if (it == report.routes.end() || it->second.routed) continue;
+    sink.report(DiagSeverity::kWarning, "flow", net,
+                "net unrouted; degrading to schematic-net parasitics");
+  }
+}
+
 }  // namespace
 
 FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
@@ -65,7 +87,8 @@ core::PrimitiveEvaluator FlowEngine::make_evaluator(
 void FlowEngine::place_and_route(
     const std::vector<InstanceSpec>& instances,
     const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
-    const std::vector<std::string>& routed_nets, FlowReport& report) const {
+    const std::vector<std::string>& routed_nets, FlowReport& report,
+    DiagnosticsSink* diag) const {
   // Blocks and placement nets.
   std::vector<place::Block> blocks;
   std::map<std::string, int> block_index;
@@ -106,6 +129,10 @@ void FlowEngine::place_and_route(
   popt.seed = options_.seed;
   const place::AnnealingPlacer placer(popt);
   report.placement = placer.place(blocks, pnets, {});
+  if (!report.placement.legal && diag != nullptr) {
+    diag->report(DiagSeverity::kWarning, "placer", "placement",
+                 "annealing result has residual overlaps (legal=false)");
+  }
 
   // Global routing.
   const geom::Rect region{
@@ -113,6 +140,7 @@ void FlowEngine::place_and_route(
       geom::to_nm(report.placement.height)};
   route::RouterOptions ropt;
   route::GlobalRouter router(tech_, region, ropt);
+  router.set_diagnostics(diag);
   for (const place::PlacementNet& pn : pnets) {
     std::vector<geom::Point> pins;
     for (const place::PlacementNet::PinRef& ref : pn.pins) {
@@ -123,7 +151,7 @@ void FlowEngine::place_and_route(
       pins.push_back(geom::Point{geom::to_nm(pb.x + dx),
                                  geom::to_nm(pb.y + ref.dy)});
     }
-    route::NetRoute nr = router.route(pn.name, pins);
+    route::NetRoute nr = router.route_with_fallback(pn.name, pins);
     if (!nr.routed) {
       OLP_WARN << "global routing failed for net " << pn.name;
     }
@@ -136,6 +164,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
                                  FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
   FlowReport report;
+  DiagnosticsSink sink;
 
   // --- Step A: primitive layout optimization (Algorithm 1), deduplicated.
   std::map<std::string, std::vector<core::LayoutCandidate>> by_signature;
@@ -145,10 +174,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
 
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
+    eval->set_diagnostics(&sink);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink);
       core::OptimizerOptions oopt;
       oopt.bins = options_.bins;
       oopt.max_tuning_wires = options_.max_tuning_wires;
@@ -187,7 +217,10 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
       FlowOptions quick = options_;
       quick.placer_iterations = options_.combo_place_iterations;
       FlowEngine quick_engine(tech_, quick);
-      quick_engine.place_and_route(instances, layouts, routed_nets, trial);
+      // The trial report is discarded, but its diagnostics must not be:
+      // sharing the sink keeps the per-fault accounting exact.
+      quick_engine.place_and_route(instances, layouts, routed_nets, trial,
+                                   &sink);
       const double area = trial.placement.width * trial.placement.height;
       const double metric =
           cost_sum * (1.0 + 0.2 * trial.placement.hpwl / 1e-6) +
@@ -222,7 +255,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
 
   // --- Step C: placement + global routing of the chosen options.
-  place_and_route(instances, layouts, routed_nets, report);
+  place_and_route(instances, layouts, routed_nets, report, &sink);
+  report_unrouted_nets(sink, routed_nets, report);
 
   // --- Step D: primitive port optimization (Algorithm 2).
   core::PortOptimizerOptions popt;
@@ -284,6 +318,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   long tb = 0;
   for (const auto& e : evaluators) tb += e->stats().testbenches;
   report.testbenches = tb;
+  finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }
@@ -293,6 +328,7 @@ Realization FlowEngine::conventional(
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
   FlowReport report;
+  DiagnosticsSink sink;
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Minimum-area interdigitated configuration, no dummies: geometric
@@ -336,7 +372,8 @@ Realization FlowEngine::conventional(
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &real.layouts.at(inst.name);
   }
-  place_and_route(instances, layouts, routed_nets, report);
+  place_and_route(instances, layouts, routed_nets, report, &sink);
+  report_unrouted_nets(sink, routed_nets, report);
   // Conventional routing uses the PDK's default analog route width (two
   // tracks) everywhere -- fixed, never optimized per net.
   for (const auto& [net, route] : report.routes) {
@@ -346,6 +383,7 @@ Realization FlowEngine::conventional(
   report.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }
@@ -355,6 +393,7 @@ Realization FlowEngine::manual_oracle(
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
   FlowReport report;
+  DiagnosticsSink sink;
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Exhaustive per-primitive search: tune the five cheapest configurations
@@ -368,11 +407,12 @@ Realization FlowEngine::manual_oracle(
 
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
+    eval->set_diagnostics(&sink);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     sig_of[inst.name] = sig;
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink);
       std::vector<core::LayoutCandidate> all =
           optimizer.evaluate_all(inst.netlist, inst.fins);
       std::sort(all.begin(), all.end(),
@@ -401,7 +441,8 @@ Realization FlowEngine::manual_oracle(
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &chosen.at(inst.name).layout;
   }
-  place_and_route(instances, layouts, routed_nets, report);
+  place_and_route(instances, layouts, routed_nets, report, &sink);
+  report_unrouted_nets(sink, routed_nets, report);
 
   // Exhaustive per-net wire count by total primitive cost.
   Realization real;
@@ -443,6 +484,7 @@ Realization FlowEngine::manual_oracle(
   report.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }

@@ -22,6 +22,7 @@
 #include "core/port_optimizer.hpp"
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
+#include "util/diag.hpp"
 
 namespace olp::circuits {
 
@@ -47,6 +48,12 @@ struct FlowReport {
   std::map<std::string, std::vector<core::LayoutCandidate>> options;
   /// Chosen option index per instance.
   std::map<std::string, int> chosen_option;
+  /// Structured records of every recoverable failure and engaged fallback
+  /// (simulator retries, quarantined candidates, router fallbacks, ...).
+  std::vector<Diagnostic> diagnostics;
+  /// True when any diagnostic at warning severity or above was reported:
+  /// the flow completed, but some subsystem degraded along the way.
+  bool degraded = false;
 };
 
 class FlowEngine {
@@ -75,11 +82,13 @@ class FlowEngine {
   const FlowOptions& options() const { return options_; }
 
  private:
-  /// Places the chosen layouts and globally routes the given nets.
+  /// Places the chosen layouts and globally routes the given nets. `diag`
+  /// (may be null) receives placer/router diagnostics.
   void place_and_route(
       const std::vector<InstanceSpec>& instances,
       const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
-      const std::vector<std::string>& routed_nets, FlowReport& report) const;
+      const std::vector<std::string>& routed_nets, FlowReport& report,
+      DiagnosticsSink* diag = nullptr) const;
 
   const tech::Technology& tech_;
   FlowOptions options_;

@@ -1,10 +1,13 @@
 #include "core/evaluator.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
+#include "util/faults.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -95,6 +98,32 @@ double port_load(const BiasContext& b, const std::string& port) {
 
 MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
                                           const EvalCondition& c) const {
+  MetricValues out = evaluate_impl(layout, c);
+  if (!out.empty() &&
+      FaultInjector::global().should_fail(FaultSite::kNanMetric)) {
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "chaos",
+                    fault_site_name(FaultSite::kNanMetric),
+                    "injected NaN metric on " + layout.config.to_string());
+    }
+    out.begin()->second = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Quarantine: never let a non-finite metric escape into cost arithmetic.
+  for (auto& [kind, value] : out) {
+    if (std::isfinite(value)) continue;
+    ++stats_.quarantined;
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "evaluator", metric_name(kind),
+                    std::string("non-finite metric quarantined for ") +
+                        layout.config.to_string());
+    }
+    value = 0.0;
+  }
+  return out;
+}
+
+MetricValues PrimitiveEvaluator::evaluate_impl(
+    const pcell::PrimitiveLayout& layout, const EvalCondition& c) const {
   switch (layout.netlist.type) {
     case pcell::PrimitiveType::kDiffPair:
       return eval_diff_pair(layout, c, /*cross=*/false);
@@ -263,7 +292,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     attach_pair_tail(b, bias_);
     bias_remaining_ports(b, bias_, layout.netlist,
                          {"da", "db", "ga", "gb", "s", "sa", "sb"});
-    spice::Simulator sim(b.ckt);
+    spice::Simulator sim(b.ckt, diag_);
     const spice::OpResult op = sim.op();
     if (!op.converged) {
       OLP_WARN << "DP Gm testbench OP failed for "
@@ -300,7 +329,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     attach_pair_tail(b, bias_);
     bias_remaining_ports(b, bias_, layout.netlist,
                          {"da", "db", "ga", "gb", "s", "sa", "sb"});
-    spice::Simulator sim(b.ckt);
+    spice::Simulator sim(b.ckt, diag_);
     const spice::OpResult op = sim.op();
     const std::complex<double> y =
         driven_admittance(sim, op.x, "vda", kCapFreq);
@@ -337,7 +366,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     auto imbalance = [&](double dv) {
       b.ckt.vsources()[static_cast<std::size_t>(ia)].wave =
           spice::Waveform::dc(vcm + dv);
-      spice::Simulator sim(b.ckt);
+      spice::Simulator sim(b.ckt, diag_);
       const spice::OpResult op = sim.op();
       return sim.vsource_current(op.x, "vda") -
              sim.vsource_current(op.x, "vdb");
@@ -388,7 +417,7 @@ MetricValues PrimitiveEvaluator::eval_current_mirror(
   b.ckt.add_vsource("vout", b.ext.at("out"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "out")), 1.0);
 
-  spice::Simulator sim(b.ckt);
+  spice::Simulator sim(b.ckt, diag_);
   const spice::OpResult op = sim.op();
   if (!op.converged) {
     OLP_WARN << "CM testbench OP failed for " << layout.config.to_string();
@@ -426,7 +455,7 @@ MetricValues PrimitiveEvaluator::eval_current_source(
   b.ckt.add_vsource("vout", b.ext.at("out"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "out")), 1.0);
 
-  spice::Simulator sim(b.ckt);
+  spice::Simulator sim(b.ckt, diag_);
   const spice::OpResult op = sim.op();
   out[MetricKind::kOutputCurrent] =
       std::fabs(sim.vsource_current(op.x, "vout"));
@@ -457,7 +486,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
   // current from the circuit-level schematic simulation); servo the gate to
   // that current so the Gm measurement reflects wire/LDE effects at the
   // operating point rather than bias drift the surrounding mirrors absorb.
-  spice::Simulator sim(b.ckt);
+  spice::Simulator sim(b.ckt, diag_);
   const int vin_idx = b.ckt.find_vsource("vin");
   double vg = port_v(bias_, "in");
   spice::OpResult op = sim.op();
@@ -494,7 +523,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
                        spice::Waveform::dc(vg));  // servoed bias point
     b2.ckt.add_vsource("vout", b2.ext.at("out"), spice::kGround,
                        spice::Waveform::dc(port_v(bias_, "out")), 1.0);
-    spice::Simulator sim2(b2.ckt);
+    spice::Simulator sim2(b2.ckt, diag_);
     const spice::OpResult op2 = sim2.op();
     const std::complex<double> y2 =
         driven_admittance(sim2, op2.x, "vout", kRoutFreq);
@@ -525,7 +554,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
                       spice::Waveform::dc(port_v(bias_, "vbn")));
     b.ckt.add_vsource("vin", b.ext.at("in"), spice::kGround,
                       spice::Waveform::dc(0.5 * bias_.vdd), 1.0);
-    spice::Simulator sim(b.ckt);
+    spice::Simulator sim(b.ckt, diag_);
     const spice::OpResult op = sim.op();
     out[MetricKind::kOutputCurrent] =
         std::fabs(sim.vsource_current(op.x, "vdd"));
@@ -553,7 +582,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
         "vin", b.ext.at("in"), spice::kGround,
         spice::Waveform::pulse(0.0, bias_.vdd, 50e-12, 10e-12, 10e-12,
                                2e-9, 4e-9));
-    spice::Simulator sim(b.ckt);
+    spice::Simulator sim(b.ckt, diag_);
     spice::TranOptions tr;
     tr.tstop = 1.2e-9;
     tr.dt = 1e-12;
@@ -583,7 +612,7 @@ MetricValues PrimitiveEvaluator::eval_switch(
                     spice::Waveform::dc(port_v(bias_, "a")), 1.0);
   b.ckt.add_vsource("vb", b.ext.at("b"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "b")));
-  spice::Simulator sim(b.ckt);
+  spice::Simulator sim(b.ckt, diag_);
   const spice::OpResult op = sim.op();
   out[MetricKind::kOutputCurrent] = std::fabs(sim.vsource_current(op.x, "va"));
   const std::complex<double> y = driven_admittance(sim, op.x, "va", kCapFreq);

@@ -19,6 +19,10 @@
 #include "spice/circuit.hpp"
 #include "tech/technology.hpp"
 
+namespace olp {
+class DiagnosticsSink;
+}
+
 namespace olp::core {
 
 /// DC bias conditions and external loads for a primitive, taken from the
@@ -46,6 +50,9 @@ struct EvalCondition {
 /// Counters for the paper's Table V (simulations per optimization step).
 struct EvalStats {
   long testbenches = 0;  ///< testbench evaluations (Table V semantics)
+  /// Non-finite metrics sanitized to 0; the optimizer clamps the affected
+  /// candidate's cost to a large-but-finite penalty instead.
+  long quarantined = 0;
   void reset() { *this = EvalStats{}; }
 };
 
@@ -59,9 +66,16 @@ class PrimitiveEvaluator {
   /// the implementation file).
   struct Bench;
 
-  /// Runs the family's testbenches on the given realized layout.
+  /// Runs the family's testbenches on the given realized layout. Non-finite
+  /// metric values are quarantined: sanitized to 0.0, counted in
+  /// stats().quarantined, and reported to the diagnostics sink — NaN never
+  /// propagates into downstream cost arithmetic.
   MetricValues evaluate(const pcell::PrimitiveLayout& layout,
                         const EvalCondition& condition) const;
+
+  /// Attaches a diagnostics sink (may be null to detach); the sink must
+  /// outlive the evaluator. Forwarded to every internal simulator.
+  void set_diagnostics(DiagnosticsSink* sink) { diag_ = sink; }
 
   /// One-sigma random (mismatch) input offset of a matched pair; the offset
   /// spec is 10% of this value (paper Eq. 6 discussion).
@@ -84,6 +98,8 @@ class PrimitiveEvaluator {
   EvalStats& stats() const { return stats_; }
 
  private:
+  MetricValues evaluate_impl(const pcell::PrimitiveLayout& layout,
+                             const EvalCondition& condition) const;
   MetricValues eval_diff_pair(const pcell::PrimitiveLayout& layout,
                               const EvalCondition& c, bool cross) const;
   MetricValues eval_current_mirror(const pcell::PrimitiveLayout& layout,
@@ -102,6 +118,7 @@ class PrimitiveEvaluator {
   spice::MosModel pmos_;
   BiasContext bias_;
   mutable EvalStats stats_;
+  DiagnosticsSink* diag_ = nullptr;
 };
 
 /// Metric evaluation for the passive MOM capacitor primitive.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/curvature.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -56,10 +57,20 @@ CostBreakdown PrimitiveOptimizer::cost_of(
   EvalCondition cond;
   cond.ideal = false;
   cond.tuning = tuning;
+  const long quarantined_before = evaluator_.stats().quarantined;
   const MetricValues values = evaluator_.evaluate(layout, cond);
   if (values_out != nullptr) *values_out = values;
   const MetricLibraryEntry lib = metric_library(layout.netlist.type);
-  return compute_cost(lib.metrics, reference, values, offset_spec(layout));
+  CostBreakdown cb =
+      compute_cost(lib.metrics, reference, values, offset_spec(layout));
+  // Quarantine clamp: an evaluation that sanitized a non-finite metric (or a
+  // cost that is itself non-finite, e.g. a zero schematic reference) gets a
+  // large-but-finite penalty so it loses cleanly instead of poisoning sorts.
+  if (evaluator_.stats().quarantined > quarantined_before ||
+      !std::isfinite(cb.total)) {
+    cb.total = kQuarantineCost;
+  }
+  return cb;
 }
 
 std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
@@ -89,6 +100,7 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
     LayoutCandidate cand;
     cand.layout = generator_.generate(netlist, config);
     cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
+    cand.quarantined = cand.cost.total >= kQuarantineCost;
     aspects.push_back(cand.layout.aspect_ratio());
     candidates.push_back(std::move(cand));
   }
@@ -148,12 +160,14 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
   }
 
   // Refresh the candidate's measured values and cost at the final tuning.
-  auto [final_cost, final_values] = cost_at(candidate.tuning);
+  // Uses cost_of directly so the quarantine clamp survives into the stored
+  // cost (recomputing from the raw values would lose it).
+  MetricValues final_values;
+  const CostBreakdown final_cost =
+      cost_of(candidate.layout, candidate.tuning, reference, &final_values);
   candidate.values = final_values;
-  candidate.cost =
-      compute_cost(lib.metrics, reference, final_values,
-                   offset_spec(candidate.layout));
-  (void)final_cost;
+  candidate.cost = final_cost;
+  candidate.quarantined = final_cost.total >= kQuarantineCost;
 }
 
 std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
@@ -162,20 +176,55 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
   std::vector<LayoutCandidate> all =
       evaluate_all(netlist, fins_per_device, options);
 
-  // Select the cheapest candidate per bin (Algorithm 1 lines 6-7).
+  // Select the cheapest healthy candidate per bin (Algorithm 1 lines 6-7);
+  // quarantined candidates never win a bin.
   std::vector<int> best_in_bin(static_cast<std::size_t>(options.bins), -1);
+  std::vector<int> bin_total(static_cast<std::size_t>(options.bins), 0);
+  std::vector<int> bin_quarantined(static_cast<std::size_t>(options.bins), 0);
   for (std::size_t i = 0; i < all.size(); ++i) {
-    int& best = best_in_bin[static_cast<std::size_t>(all[i].bin)];
+    const std::size_t b = static_cast<std::size_t>(all[i].bin);
+    ++bin_total[b];
+    if (all[i].quarantined) {
+      ++bin_quarantined[b];
+      continue;
+    }
+    int& best = best_in_bin[b];
     if (best < 0 ||
         all[i].cost.total < all[static_cast<std::size_t>(best)].cost.total) {
       best = static_cast<int>(i);
+    }
+  }
+  for (std::size_t b = 0; b < best_in_bin.size(); ++b) {
+    if (bin_total[b] > 0 && bin_quarantined[b] == bin_total[b] && diag_) {
+      diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
+                    "all " + std::to_string(bin_total[b]) +
+                        " candidates in aspect bin " + std::to_string(b) +
+                        " quarantined; bin dropped");
     }
   }
   std::vector<LayoutCandidate> selected;
   for (int idx : best_in_bin) {
     if (idx >= 0) selected.push_back(all[static_cast<std::size_t>(idx)]);
   }
-  OLP_ASSERT(!selected.empty(), "selection produced no candidates");
+
+  if (selected.empty()) {
+    // Graceful degradation: every candidate was quarantined. Hand back the
+    // minimum-area configuration untuned so the flow can still place and
+    // route something structurally valid.
+    std::size_t best_area = 0;
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      if (all[i].layout.area() < all[best_area].layout.area()) best_area = i;
+    }
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
+                    "all candidates failed evaluation; falling back to the "
+                    "min-area configuration " +
+                        all[best_area].layout.config.to_string());
+    }
+    OLP_WARN << "optimizer: all candidates for " << netlist.name
+             << " quarantined; min-area fallback";
+    return {all[best_area]};
+  }
 
   // Tune each selected candidate (Algorithm 1 lines 8-15).
   for (LayoutCandidate& cand : selected) {

@@ -19,7 +19,16 @@
 #include "core/evaluator.hpp"
 #include "pcell/generator.hpp"
 
+namespace olp {
+class DiagnosticsSink;
+}
+
 namespace olp::core {
+
+/// Cost assigned to a candidate whose evaluation produced a quarantined
+/// (non-finite) metric: large enough to lose against any healthy candidate,
+/// finite so sorting and downstream arithmetic stay well-defined.
+inline constexpr double kQuarantineCost = 1e12;
 
 /// One evaluated (and possibly tuned) layout option.
 struct LayoutCandidate {
@@ -28,6 +37,8 @@ struct LayoutCandidate {
   MetricValues values;         ///< measured at the current tuning
   CostBreakdown cost;
   int bin = -1;                ///< aspect-ratio bin index
+  /// Evaluation hit a non-finite metric; cost.total == kQuarantineCost.
+  bool quarantined = false;
 };
 
 struct OptimizerOptions {
@@ -40,9 +51,12 @@ struct OptimizerOptions {
 /// Runs Algorithm 1 for one primitive.
 class PrimitiveOptimizer {
  public:
+  /// `diagnostics` (optional, may be null) receives records for quarantined
+  /// candidates and fallback selections; the sink must outlive the optimizer.
   PrimitiveOptimizer(const pcell::PrimitiveGenerator& generator,
-                     const PrimitiveEvaluator& evaluator)
-      : generator_(generator), evaluator_(evaluator) {}
+                     const PrimitiveEvaluator& evaluator,
+                     DiagnosticsSink* diagnostics = nullptr)
+      : generator_(generator), evaluator_(evaluator), diag_(diagnostics) {}
 
   /// Step 1 only: evaluate every configuration and assign bins. Returned in
   /// enumeration order; used directly by the Table III bench.
@@ -51,7 +65,10 @@ class PrimitiveOptimizer {
       const OptimizerOptions& options = {}) const;
 
   /// Full Algorithm 1: selection + tuning; returns one tuned candidate per
-  /// non-empty bin, cheapest first.
+  /// non-empty bin, cheapest first. Quarantined candidates are skipped during
+  /// selection; when every candidate is quarantined the optimizer degrades to
+  /// the minimum-area configuration (with a warning diagnostic) rather than
+  /// failing.
   std::vector<LayoutCandidate> optimize(const pcell::PrimitiveNetlist& netlist,
                                         int fins_per_device,
                                         const OptimizerOptions& options = {}) const;
@@ -74,6 +91,7 @@ class PrimitiveOptimizer {
 
   const pcell::PrimitiveGenerator& generator_;
   const PrimitiveEvaluator& evaluator_;
+  DiagnosticsSink* diag_ = nullptr;
 };
 
 /// Assigns aspect-ratio bins: the log-aspect range of the candidates is cut

@@ -5,7 +5,10 @@
 #include <limits>
 #include <queue>
 
+#include "util/diag.hpp"
 #include "util/error.hpp"
+#include "util/faults.hpp"
+#include "util/logging.hpp"
 
 namespace olp::route {
 
@@ -39,7 +42,8 @@ tech::Layer NetRoute::dominant_layer() const {
 
 GlobalRouter::GlobalRouter(const tech::Technology& technology,
                            geom::Rect region, RouterOptions options)
-    : tech_(technology), opt_(options), region_(region) {
+    : tech_(technology), opt_(options), region_(region),
+      input_region_(region) {
   OLP_CHECK(opt_.gcell_size > 0, "gcell size must be positive");
   OLP_CHECK(opt_.min_layer >= 0 && opt_.max_layer < tech::kNumRoutingLayers &&
                 opt_.min_layer <= opt_.max_layer,
@@ -60,11 +64,25 @@ bool GlobalRouter::layer_horizontal(int l) const {
   return tech_.metals[static_cast<std::size_t>(l)].horizontal;
 }
 
+void GlobalRouter::set_diagnostics(DiagnosticsSink* sink) {
+  diag_ = sink;
+  if (fallback_) fallback_->set_diagnostics(sink);
+}
+
 NetRoute GlobalRouter::route(const std::string& net_name,
                              const std::vector<geom::Point>& pins) {
   NetRoute result;
   result.net = net_name;
   OLP_CHECK(pins.size() >= 2, "routing needs at least two pins");
+  if (FaultInjector::global().should_fail(FaultSite::kRouteFailure)) {
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "chaos",
+                    fault_site_name(FaultSite::kRouteFailure),
+                    "injected route failure on net " + net_name);
+    }
+    result.routed = false;
+    return result;
+  }
 
   auto snap = [&](geom::Point p) {
     int gx = static_cast<int>(
@@ -178,6 +196,12 @@ NetRoute GlobalRouter::route(const std::string& net_name,
     }
 
     if (reached < 0) {
+      if (diag_) {
+        diag_->report(DiagSeverity::kWarning, "router", net_name,
+                      "no path to pin " + std::to_string(p) + " within layers [" +
+                          std::to_string(opt_.min_layer) + ", " +
+                          std::to_string(opt_.max_layer) + "]");
+      }
       result.routed = false;
       return result;
     }
@@ -221,6 +245,47 @@ NetRoute GlobalRouter::route(const std::string& net_name,
   result.vias += static_cast<int>(pins.size());
   result.routed = true;
   return result;
+}
+
+NetRoute GlobalRouter::route_with_fallback(const std::string& net_name,
+                                           const std::vector<geom::Point>& pins) {
+  NetRoute primary = route(net_name, pins);
+  if (primary.routed) return primary;
+
+  const bool window_maximal =
+      opt_.min_layer == 0 && opt_.max_layer == tech::kNumRoutingLayers - 1;
+  if (window_maximal) {
+    if (diag_) {
+      diag_->report(DiagSeverity::kError, "router", net_name,
+                    "unrouted and layer window already maximal; giving up");
+    }
+    return primary;
+  }
+
+  if (!fallback_) {
+    RouterOptions widened = opt_;
+    widened.min_layer = 0;
+    widened.max_layer = tech::kNumRoutingLayers - 1;
+    // Built from the pre-halo region so the fallback grid covers the same
+    // area (the ctor re-applies the halo).
+    fallback_ = std::make_unique<GlobalRouter>(tech_, input_region_, widened);
+    fallback_->set_diagnostics(diag_);
+  }
+  if (diag_) {
+    diag_->report(DiagSeverity::kWarning, "router", net_name,
+                  "unrouted in layers [" + std::to_string(opt_.min_layer) +
+                      ", " + std::to_string(opt_.max_layer) +
+                      "]; retrying with widened layer window [0, " +
+                      std::to_string(tech::kNumRoutingLayers - 1) + "]");
+  }
+  OLP_WARN << "router: net " << net_name
+           << " unrouted; retrying with widened layer window";
+  NetRoute widened = fallback_->route(net_name, pins);
+  if (!widened.routed && diag_) {
+    diag_->report(DiagSeverity::kError, "router", net_name,
+                  "unrouted even with widened layer window; giving up");
+  }
+  return widened;
 }
 
 double GlobalRouter::congestion_ratio() const {

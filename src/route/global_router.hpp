@@ -13,11 +13,16 @@
 // router").
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "geom/geometry.hpp"
 #include "tech/technology.hpp"
+
+namespace olp {
+class DiagnosticsSink;
+}
 
 namespace olp::route {
 
@@ -69,6 +74,17 @@ class GlobalRouter {
   NetRoute route(const std::string& net_name,
                  const std::vector<geom::Point>& pins);
 
+  /// route() plus one bounded retry: when the primary attempt fails and the
+  /// layer window is not already maximal, retries once on a fallback grid
+  /// widened to every routing layer (with a warning diagnostic). A net that
+  /// still fails is returned with routed=false and an error diagnostic.
+  NetRoute route_with_fallback(const std::string& net_name,
+                               const std::vector<geom::Point>& pins);
+
+  /// Attaches a diagnostics sink (may be null to detach); the sink must
+  /// outlive the router.
+  void set_diagnostics(DiagnosticsSink* sink);
+
   /// Fraction of edges at or above capacity.
   double congestion_ratio() const;
 
@@ -86,11 +102,17 @@ class GlobalRouter {
   const tech::Technology& tech_;
   RouterOptions opt_;
   geom::Rect region_;
+  /// The caller's region before halo expansion (seed for the fallback grid,
+  /// which must not apply the halo twice).
+  geom::Rect input_region_;
   int nx_ = 0, ny_ = 0, nl_ = 0;
   /// Usage per directed grid edge, stored per node per direction
   /// (0:+x, 1:+y); via usage is not capacity-limited.
   std::vector<int> usage_x_;
   std::vector<int> usage_y_;
+  DiagnosticsSink* diag_ = nullptr;
+  /// Lazily created widened-layer-window router for route_with_fallback.
+  std::unique_ptr<GlobalRouter> fallback_;
 };
 
 }  // namespace olp::route

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/lu.hpp"
+#include "util/diag.hpp"
+#include "util/faults.hpp"
 #include "util/logging.hpp"
 
 namespace olp::spice {
@@ -13,19 +15,24 @@ SimStats& SimStats::global() {
   return stats;
 }
 
-Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
+Simulator::Simulator(const Circuit& circuit, DiagnosticsSink* diagnostics)
+    : circuit_(circuit), diag_(diagnostics) {
   caps_ = gather_caps();
 }
 
 double Simulator::voltage(const std::vector<double>& x, NodeId node) const {
   if (node == kGround) return 0.0;
   OLP_CHECK(node > 0 && node < circuit_.node_count(), "node out of range");
+  OLP_CHECK(static_cast<int>(x.size()) == circuit_.unknown_count(),
+            "solution vector size mismatch (non-converged sweep point?)");
   return x[static_cast<std::size_t>(node - 1)];
 }
 
 double Simulator::vsource_current(const std::vector<double>& x,
                                   const std::string& name) const {
   const int idx = circuit_.vsource_branch_index(circuit_.find_vsource(name));
+  OLP_CHECK(static_cast<int>(x.size()) == circuit_.unknown_count(),
+            "solution vector size mismatch (non-converged sweep point?)");
   return x[static_cast<std::size_t>(idx)];
 }
 
@@ -33,12 +40,16 @@ std::complex<double> Simulator::ac_voltage(
     const std::vector<std::complex<double>>& x, NodeId node) const {
   if (node == kGround) return {0.0, 0.0};
   OLP_CHECK(node > 0 && node < circuit_.node_count(), "node out of range");
+  OLP_CHECK(static_cast<int>(x.size()) == circuit_.unknown_count(),
+            "solution vector size mismatch (non-converged sweep point?)");
   return x[static_cast<std::size_t>(node - 1)];
 }
 
 std::complex<double> Simulator::ac_vsource_current(
     const std::vector<std::complex<double>>& x, const std::string& name) const {
   const int idx = circuit_.vsource_branch_index(circuit_.find_vsource(name));
+  OLP_CHECK(static_cast<int>(x.size()) == circuit_.unknown_count(),
+            "solution vector size mismatch (non-converged sweep point?)");
   return x[static_cast<std::size_t>(idx)];
 }
 
@@ -242,6 +253,17 @@ OpResult Simulator::newton_dc(const OpOptions& options, double gmin,
 
 OpResult Simulator::op(const OpOptions& options) const {
   SimStats::global().op_count++;
+  if (FaultInjector::global().should_fail(FaultSite::kOpNonConvergence)) {
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "chaos",
+                    fault_site_name(FaultSite::kOpNonConvergence),
+                    "injected operating-point non-convergence");
+    }
+    OpResult injected;
+    injected.converged = false;
+    injected.x.assign(static_cast<std::size_t>(n_unknowns()), 0.0);
+    return injected;
+  }
 
   // Stage 1: plain Newton from the provided guess.
   OpResult r = newton_dc(options, 0.0, 1.0, options.initial_guess);
@@ -406,17 +428,65 @@ AcResult Simulator::ac(const std::vector<double>& op_x,
     for (int k = 0; k < nn; ++k) addc(a, k, k, C{1e-12, 0});
 
     std::vector<C> x;
-    OLP_CHECK(linalg::solve(a, b, x), "AC system singular at f=" +
-                                           std::to_string(freq));
+    if (!linalg::solve(a, b, x)) {
+      // Recoverable: report and emit a zero solution at this frequency so
+      // callers see a degraded (not aborted) sweep.
+      OLP_WARN << "AC system singular at f=" << freq;
+      if (diag_) {
+        diag_->report(DiagSeverity::kError, "simulator", "ac",
+                      "AC system singular at f=" + std::to_string(freq) +
+                          "; emitting zero solution");
+      }
+      x.assign(static_cast<std::size_t>(n), C{});
+    }
     result.solutions.push_back(std::move(x));
   }
   return result;
 }
 
 TranResult Simulator::tran(const TranOptions& options) const {
+  TranResult r = tran_attempt(options);
+  if (r.ok) return r;
+
+  // Retry ladder: backward Euler (maximum damping) with a halved timestep on
+  // each attempt. Engages only when an attempt reports ok=false, so flows
+  // whose transients converge first try are unaffected.
+  TranOptions retry = options;
+  for (int attempt = 1; attempt <= options.max_retries && !r.ok; ++attempt) {
+    retry.backward_euler = true;
+    retry.dt *= 0.5;
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "simulator", "tran",
+                    "transient attempt " + std::to_string(attempt) +
+                        " failed; retrying with backward Euler, dt=" +
+                        std::to_string(retry.dt));
+    }
+    r = tran_attempt(retry);
+  }
+  if (!r.ok && diag_) {
+    diag_->report(DiagSeverity::kError, "simulator", "tran",
+                  "transient failed after " +
+                      std::to_string(options.max_retries) + " retries");
+  }
+  return r;
+}
+
+TranResult Simulator::tran_attempt(const TranOptions& options) const {
   SimStats::global().tran_count++;
   OLP_CHECK(options.dt > 0 && options.tstop > options.dt,
             "transient needs dt > 0 and tstop > dt");
+  if (FaultInjector::global().should_fail(FaultSite::kTranNonConvergence)) {
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "chaos",
+                    fault_site_name(FaultSite::kTranNonConvergence),
+                    "injected transient non-convergence");
+    }
+    TranResult injected;
+    injected.ok = false;
+    injected.times.push_back(0.0);
+    injected.samples.emplace_back(static_cast<std::size_t>(n_unknowns()), 0.0);
+    return injected;
+  }
   const int n = n_unknowns();
   const int nn = circuit_.node_count() - 1;
 
@@ -558,6 +628,10 @@ TranResult Simulator::tran(const TranOptions& options) const {
       }
       if (!ok) {
         OLP_WARN << "transient Newton failed at t=" << t;
+        if (diag_) {
+          diag_->report(DiagSeverity::kWarning, "simulator", "tran",
+                        "transient Newton failed at t=" + std::to_string(t));
+        }
         result.ok = false;
         return result;
       }

@@ -15,6 +15,10 @@
 #include "linalg/matrix.hpp"
 #include "spice/circuit.hpp"
 
+namespace olp {
+class DiagnosticsSink;
+}
+
 namespace olp::spice {
 
 /// Options for the DC operating-point solve.
@@ -66,6 +70,9 @@ struct TranOptions {
   int max_newton = 80;
   /// Use backward Euler throughout instead of trapezoidal (more damping).
   bool backward_euler = false;
+  /// On ok=false, retry this many times with backward Euler and halved dt
+  /// before giving up (0 disables the ladder).
+  int max_retries = 2;
 };
 
 struct TranResult {
@@ -90,7 +97,11 @@ struct SimStats {
 /// (changing device *values* and re-running is allowed and cheap).
 class Simulator {
  public:
-  explicit Simulator(const Circuit& circuit);
+  /// `diagnostics` (optional, may be null) receives structured records for
+  /// recoverable failures and engaged fallbacks; the sink must outlive the
+  /// simulator.
+  explicit Simulator(const Circuit& circuit,
+                     DiagnosticsSink* diagnostics = nullptr);
 
   /// DC operating point with robust continuation (plain Newton, then gmin
   /// stepping, then source stepping).
@@ -120,7 +131,10 @@ class Simulator {
   /// Small-signal AC sweep around the operating point `op_x` (run op() first).
   AcResult ac(const std::vector<double>& op_x, const AcOptions& options) const;
 
-  /// Transient analysis.
+  /// Transient analysis. On non-convergence, retries up to
+  /// `options.max_retries` times with backward Euler and a halved timestep
+  /// (each retry is reported to the diagnostics sink) before returning
+  /// ok=false.
   TranResult tran(const TranOptions& options) const;
 
   const Circuit& circuit() const { return circuit_; }
@@ -135,6 +149,9 @@ class Simulator {
 
   int n_unknowns() const { return circuit_.unknown_count(); }
   int node_index(NodeId n) const { return n - 1; }  // valid for n > 0
+
+  /// One transient attempt with the given options (no retry ladder).
+  TranResult tran_attempt(const TranOptions& options) const;
 
   /// One Newton solve of the DC system with sources scaled by `source_scale`
   /// and `gmin` to ground on every node. Returns convergence and iterations.
@@ -160,6 +177,7 @@ class Simulator {
 
   const Circuit& circuit_;
   std::vector<LinearCap> caps_;
+  DiagnosticsSink* diag_ = nullptr;
 };
 
 }  // namespace olp::spice

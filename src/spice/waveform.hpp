@@ -25,6 +25,9 @@ class Waveform {
                         double fall, double width, double period) {
     OLP_CHECK(rise > 0 && fall > 0, "pulse edges must have nonzero duration");
     OLP_CHECK(period > 0 && width >= 0, "pulse needs positive period");
+    OLP_CHECK(delay >= 0, "pulse delay must be non-negative");
+    OLP_CHECK(rise + width + fall <= period,
+              "pulse rise+width+fall must fit within one period");
     Waveform w;
     w.kind_ = Kind::kPulse;
     w.p_ = {v1, v2, delay, rise, fall, width, period};

@@ -1,0 +1,67 @@
+#include "util/diag.hpp"
+
+#include "util/logging.hpp"
+
+namespace olp {
+
+const char* diag_severity_name(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kInfo:
+      return "info";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  return std::string("[") + diag_severity_name(severity) + "] " + stage + "/" +
+         subject + ": " + message;
+}
+
+void DiagnosticsSink::report(DiagSeverity severity, std::string stage,
+                             std::string subject, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.stage = std::move(stage);
+  d.subject = std::move(subject);
+  d.message = std::move(message);
+  // Mirror into the logger at debug level so interactive runs can watch the
+  // recovery ladder without changing default output.
+  OLP_DEBUG << d.to_string();
+  records_.push_back(std::move(d));
+}
+
+std::size_t DiagnosticsSink::count(const std::string& stage) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : records_) {
+    if (d.stage == stage) ++n;
+  }
+  return n;
+}
+
+std::size_t DiagnosticsSink::count(const std::string& stage,
+                                   const std::string& subject) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : records_) {
+    if (d.stage == stage && d.subject == subject) ++n;
+  }
+  return n;
+}
+
+bool DiagnosticsSink::has_at_least(DiagSeverity severity) const {
+  for (const Diagnostic& d : records_) {
+    if (static_cast<int>(d.severity) >= static_cast<int>(severity)) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> DiagnosticsSink::take() {
+  std::vector<Diagnostic> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+}  // namespace olp

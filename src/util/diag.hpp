@@ -1,0 +1,66 @@
+#pragma once
+// Structured diagnostics for resilient flow execution.
+//
+// Subsystems (simulator, evaluator, optimizer, router, placer, flow) report
+// recoverable failures and engaged fallbacks into a DiagnosticsSink instead
+// of free-text logging alone. FlowReport carries the collected records so
+// callers, tests and benches can see exactly what was recovered and what was
+// degraded — the flow itself never throws on a recoverable subsystem failure.
+//
+// Severity taxonomy:
+//   kInfo    — noteworthy but harmless (e.g. a retry that succeeded cheaply).
+//   kWarning — a fallback or degradation engaged; results are still usable
+//              but differ from the fully-converged path.
+//   kError   — a subsystem exhausted its fallback ladder; the flow degraded
+//              the affected result (e.g. a net kept schematic parasitics).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace olp {
+
+enum class DiagSeverity { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// Short lowercase name ("info", "warning", "error").
+const char* diag_severity_name(DiagSeverity severity);
+
+/// One structured diagnostic record.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kInfo;
+  std::string stage;    ///< reporting subsystem: "simulator", "router", ...
+  std::string subject;  ///< what it concerns: a net, instance, bench, config
+  std::string message;  ///< human-readable description
+
+  /// "[warning] router/net_out: ..." — for logs and report dumps.
+  std::string to_string() const;
+};
+
+/// Collects Diagnostic records. Subsystems hold a nullable pointer to a sink;
+/// a null sink disables reporting. Not thread-safe (the flow is
+/// single-threaded per engine).
+class DiagnosticsSink {
+ public:
+  void report(DiagSeverity severity, std::string stage, std::string subject,
+              std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Number of records from one stage (optionally restricted to a subject).
+  std::size_t count(const std::string& stage) const;
+  std::size_t count(const std::string& stage, const std::string& subject) const;
+
+  /// True when any record is at or above the given severity.
+  bool has_at_least(DiagSeverity severity) const;
+
+  /// Moves the collected records out, leaving the sink empty.
+  std::vector<Diagnostic> take();
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Diagnostic> records_;
+};
+
+}  // namespace olp

@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic chaos fault injection.
+//
+// A process-global FaultInjector lets tests force recoverable failures at
+// well-known sites (op/tran non-convergence, route failure, NaN metric)
+// without patching subsystem code. Draws are derived from a counter hash, so
+// a given (seed, rates) configuration fires the exact same faults on every
+// run — chaos tests are reproducible and can assert exact accounting.
+//
+// The injector is disabled by default and costs one branch per site when
+// disabled; production flows with injection off are bit-identical to a build
+// without this header.
+
+#include <array>
+#include <cstdint>
+
+namespace olp {
+
+enum class FaultSite : int {
+  kOpNonConvergence = 0,   ///< Simulator::op reports converged=false
+  kTranNonConvergence = 1, ///< Simulator::tran attempt reports ok=false
+  kRouteFailure = 2,       ///< GlobalRouter::route reports routed=false
+  kNanMetric = 3,          ///< PrimitiveEvaluator emits a NaN metric
+};
+
+inline constexpr int kNumFaultSites = 4;
+
+/// Short site name: "op", "tran", "route", "nan_metric".
+const char* fault_site_name(FaultSite site);
+
+/// Per-site fault probabilities plus determinism controls.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double op_rate = 0.0;
+  double tran_rate = 0.0;
+  double route_rate = 0.0;
+  double nan_metric_rate = 0.0;
+  /// Stop firing after this many total faults (-1 = unlimited).
+  long max_total_fires = -1;
+  /// The first N draws at each site never fire — lets a test skip reference
+  /// evaluations and target a specific later call.
+  long skip_draws = 0;
+
+  double rate(FaultSite site) const;
+};
+
+/// Process-global deterministic fault injector. Not thread-safe; the flow is
+/// single-threaded and chaos tests enable it around one flow call.
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  void enable(const FaultConfig& config);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// One deterministic draw at the given site. Returns true when the fault
+  /// should fire; bumps per-site draw/fire counters.
+  bool should_fail(FaultSite site);
+
+  long fired(FaultSite site) const;
+  long draws(FaultSite site) const;
+  long total_fired() const;
+
+ private:
+  FaultInjector() = default;
+
+  bool enabled_ = false;
+  FaultConfig config_;
+  long total_draws_ = 0;
+  std::array<long, kNumFaultSites> site_draws_{};
+  std::array<long, kNumFaultSites> site_fires_{};
+};
+
+/// RAII scope: enables the global injector on construction (resetting its
+/// counters), disables it on destruction. Fired counts remain readable after
+/// the scope ends, until the next enable().
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    FaultInjector::global().enable(config);
+  }
+  ~ScopedFaultInjection() { FaultInjector::global().disable(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace olp

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Chaos smoke run: build the fault-injection tests under
+# AddressSanitizer + UBSan and execute them.
+#
+# Usage: tests/run_chaos.sh [build-dir]
+# The build directory defaults to build-chaos-asan next to the source tree.
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+src_dir="$(dirname "${script_dir}")"
+build_dir="${1:-${src_dir}/build-chaos-asan}"
+
+cmake -B "${build_dir}" -S "${src_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOLP_SANITIZE="address;undefined" \
+  -DOLP_BUILD_BENCH=OFF \
+  -DOLP_BUILD_EXAMPLES=OFF
+cmake --build "${build_dir}" -j --target test_chaos test_failure_injection
+
+echo "== chaos tests (ASan+UBSan) =="
+"${build_dir}/tests/test_chaos"
+echo "== failure-injection tests (ASan+UBSan) =="
+"${build_dir}/tests/test_failure_injection"
+echo "chaos smoke run passed"

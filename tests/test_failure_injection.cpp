@@ -4,13 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "circuits/common.hpp"
 #include "circuits/strongarm.hpp"
 #include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
 #include "pcell/generator.hpp"
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
 #include "spice/simulator.hpp"
+#include "util/curvature.hpp"
+#include "util/diag.hpp"
+#include "util/faults.hpp"
 #include "util/logging.hpp"
 
 namespace olp {
@@ -154,6 +161,178 @@ TEST(FailureInjection, ComparatorOffsetSmallForMatchedLayouts) {
   real.ideal = false;  // extracted, same matched layouts
   const double off_ext = sa.measure_offset(real, 20e-3);
   EXPECT_LT(std::fabs(off_ext), 5e-3);
+}
+
+// --- Retry/fallback ladder coverage (deterministic fault injection) --------
+
+core::BiasContext dp_bias() {
+  core::BiasContext b;
+  b.vdd = t().vdd;
+  b.bias_current = 500e-6;
+  b.port_voltage = {
+      {"ga", 0.5}, {"gb", 0.5}, {"da", 0.5}, {"db", 0.5}, {"s", 0.2}};
+  b.port_load_cap = {{"da", 20e-15}, {"db", 20e-15}};
+  return b;
+}
+
+TEST(FailureInjection, TranBackwardEulerFallbackEngages) {
+  // An injected first-attempt transient failure must trigger the retry ladder
+  // (backward Euler, halved dt) and still deliver a successful result.
+  set_log_level(LogLevel::kOff);
+  spice::Circuit c;
+  const spice::NodeId a = c.node("a");
+  const spice::NodeId b = c.node("b");
+  c.add_vsource("v", a, spice::kGround,
+                spice::Waveform::pulse(0, 1, 1e-10, 1e-11, 1e-11, 1e-9, 4e-9));
+  c.add_resistor("r", a, b, 1e3);
+  c.add_capacitor("cl", b, spice::kGround, 1e-13);
+  DiagnosticsSink sink;
+  spice::Simulator sim(c, &sink);
+  spice::TranOptions tr;
+  tr.tstop = 1e-9;
+  tr.dt = 1e-11;
+  FaultConfig config;
+  config.tran_rate = 1.0;
+  config.max_total_fires = 1;  // only the first attempt fails
+  spice::TranResult res;
+  {
+    ScopedFaultInjection chaos(config);
+    res = sim.tran(tr);
+  }
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(FaultInjector::global().fired(FaultSite::kTranNonConvergence), 1);
+  EXPECT_EQ(sink.count("chaos", "tran"), 1u);
+  // The ladder announced the backward-Euler retry.
+  EXPECT_GE(sink.count("simulator", "tran"), 1u);
+  EXPECT_FALSE(sink.has_at_least(DiagSeverity::kError));
+}
+
+TEST(FailureInjection, QuarantinedCandidateExcludedFromSelection) {
+  // One injected NaN metric (the first candidate evaluation; the schematic
+  // reference draw is skipped) quarantines that candidate. Selection must
+  // skip it and return only healthy, finite-cost options.
+  set_log_level(LogLevel::kOff);
+  const pcell::PrimitiveGenerator gen(t());
+  core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                circuits::default_pmos(), dp_bias());
+  DiagnosticsSink sink;
+  eval.set_diagnostics(&sink);
+  const core::PrimitiveOptimizer opt(gen, eval, &sink);
+  FaultConfig config;
+  config.nan_metric_rate = 1.0;
+  config.skip_draws = 1;       // spare the schematic reference evaluation
+  config.max_total_fires = 1;  // poison exactly one candidate
+  std::vector<core::LayoutCandidate> sel;
+  {
+    ScopedFaultInjection chaos(config);
+    sel = opt.optimize(pcell::make_diff_pair(), 16);
+  }
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(FaultInjector::global().fired(FaultSite::kNanMetric), 1);
+  EXPECT_EQ(sink.count("chaos", "nan_metric"), 1u);
+  EXPECT_GE(sink.count("evaluator"), 1u);  // the quarantine record
+  ASSERT_FALSE(sel.empty());
+  for (const core::LayoutCandidate& cand : sel) {
+    EXPECT_FALSE(cand.quarantined);
+    EXPECT_TRUE(std::isfinite(cand.cost.total));
+    EXPECT_LT(cand.cost.total, core::kQuarantineCost);
+  }
+}
+
+TEST(FailureInjection, AllCandidatesQuarantinedFallsBackToMinArea) {
+  // When every candidate evaluation is poisoned the optimizer must degrade
+  // to the minimum-area configuration instead of asserting out.
+  set_log_level(LogLevel::kOff);
+  const pcell::PrimitiveGenerator gen(t());
+  core::PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                                circuits::default_pmos(), dp_bias());
+  DiagnosticsSink sink;
+  eval.set_diagnostics(&sink);
+  const core::PrimitiveOptimizer opt(gen, eval, &sink);
+  const pcell::PrimitiveNetlist dp = pcell::make_diff_pair();
+  FaultConfig config;
+  config.nan_metric_rate = 1.0;
+  config.skip_draws = 1;  // reference clean, every candidate poisoned
+  std::vector<core::LayoutCandidate> sel;
+  {
+    ScopedFaultInjection chaos(config);
+    sel = opt.optimize(dp, 16);
+  }
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_TRUE(sel[0].quarantined);
+  EXPECT_DOUBLE_EQ(sel[0].cost.total, core::kQuarantineCost);
+  // The fallback picked the minimum-area configuration over the full
+  // enumeration (recomputed independently here).
+  double min_area = std::numeric_limits<double>::infinity();
+  for (const pcell::LayoutConfig& cfg :
+       pcell::PrimitiveGenerator::enumerate_configs(16)) {
+    min_area = std::min(min_area, gen.generate(dp, cfg).area());
+  }
+  EXPECT_DOUBLE_EQ(sel[0].layout.area(), min_area);
+  EXPECT_GE(sink.count("optimizer", dp.name), 1u);
+}
+
+TEST(FailureInjection, RouterWidenedWindowRetryRecoversVerticalNet) {
+  // A vertical two-pin net on a horizontal-only window fails the primary
+  // attempt; route_with_fallback must recover it on the widened window and
+  // leave warning (not error) diagnostics behind.
+  set_log_level(LogLevel::kOff);
+  route::RouterOptions opt;
+  opt.min_layer = 2;
+  opt.max_layer = 2;  // M3 only (horizontal)
+  route::GlobalRouter router(
+      t(), geom::Rect{0, 0, geom::to_nm(5e-6), geom::to_nm(5e-6)}, opt);
+  DiagnosticsSink sink;
+  router.set_diagnostics(&sink);
+  const route::NetRoute nr = router.route_with_fallback(
+      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}});
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(nr.routed);
+  // Primary failure notice plus the widened-window retry notice.
+  EXPECT_GE(sink.count("router", "n"), 2u);
+  EXPECT_FALSE(sink.has_at_least(DiagSeverity::kError));
+}
+
+TEST(FailureInjection, InjectedRouteFailureRecoversViaFallback) {
+  // An injected primary-route failure on an otherwise routable net must be
+  // absorbed by the widened-window retry.
+  set_log_level(LogLevel::kOff);
+  route::GlobalRouter router(
+      t(), geom::Rect{0, 0, geom::to_nm(5e-6), geom::to_nm(5e-6)}, {});
+  DiagnosticsSink sink;
+  router.set_diagnostics(&sink);
+  FaultConfig config;
+  config.route_rate = 1.0;
+  config.max_total_fires = 1;  // fallback attempt draws clean
+  route::NetRoute nr;
+  {
+    ScopedFaultInjection chaos(config);
+    nr = router.route_with_fallback(
+        "net", {geom::Point{0, 0}, geom::Point{geom::to_nm(4e-6), 0}});
+  }
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(nr.routed);
+  EXPECT_EQ(FaultInjector::global().fired(FaultSite::kRouteFailure), 1);
+  EXPECT_EQ(sink.count("chaos", "route"), 1u);
+  EXPECT_FALSE(sink.has_at_least(DiagSeverity::kError));
+}
+
+// --- Small-sample edge cases ----------------------------------------------
+
+TEST(FailureInjection, AspectBinsIdenticalAspectsCollapseToBinZero) {
+  const std::vector<int> bins =
+      core::assign_aspect_bins({1.5, 1.5, 1.5, 1.5}, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  for (int b : bins) EXPECT_EQ(b, 0);
+}
+
+TEST(FailureInjection, MaxCurvatureIndexHandlesTinyCurves) {
+  // Fewer than three samples has no interior point: the last index wins.
+  EXPECT_EQ(max_curvature_index({5.0}), 0u);
+  EXPECT_EQ(max_curvature_index({5.0, 4.0}), 1u);
+  EXPECT_THROW(max_curvature_index({}), InvalidArgumentError);
 }
 
 }  // namespace

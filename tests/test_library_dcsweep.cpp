@@ -5,6 +5,7 @@
 #include "circuits/common.hpp"
 #include "core/library.hpp"
 #include "spice/simulator.hpp"
+#include "util/logging.hpp"
 
 namespace olp {
 namespace {
@@ -122,6 +123,24 @@ TEST(DcSweep, InverterTransferCurveIsMonotoneFalling) {
     prev = vo;
   }
   EXPECT_EQ(crossings, 1);  // a single switching threshold
+}
+
+TEST(DcSweep, NonConvergedPointYieldsEmptySolutionAndGuardedAccess) {
+  // Two sources fighting over one node: every sweep point is singular, so
+  // dc_sweep records an empty solution vector per point. The accessors must
+  // reject those placeholders instead of indexing out of bounds.
+  spice::Circuit c;
+  const spice::NodeId n = c.node("n");
+  c.add_vsource("v1", n, spice::kGround, spice::Waveform::dc(1.0));
+  c.add_vsource("v2", n, spice::kGround, spice::Waveform::dc(2.0));
+  const spice::Simulator sim(c);
+  set_log_level(LogLevel::kOff);
+  const auto sols = sim.dc_sweep("v1", {0.0, 1.0});
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(sols.size(), 2u);
+  for (const auto& s : sols) EXPECT_TRUE(s.empty());
+  EXPECT_THROW(sim.voltage(sols[0], n), InvalidArgumentError);
+  EXPECT_THROW(sim.vsource_current(sols[0], "v1"), InvalidArgumentError);
 }
 
 TEST(DcSweep, UnknownSourceThrows) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "util/curvature.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
+#include "util/faults.hpp"
 #include "util/interval.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -210,6 +212,145 @@ TEST(Rng, UniformRangeRespected) {
     EXPECT_GE(v, -2.0);
     EXPECT_LT(v, 3.0);
   }
+}
+
+// --- diagnostics ------------------------------------------------------------
+
+TEST(Diagnostics, SinkCollectsAndCounts) {
+  DiagnosticsSink sink;
+  EXPECT_TRUE(sink.empty());
+  sink.report(DiagSeverity::kInfo, "flow", "setup", "starting");
+  sink.report(DiagSeverity::kWarning, "router", "net1", "retry");
+  sink.report(DiagSeverity::kWarning, "router", "net2", "retry");
+  sink.report(DiagSeverity::kError, "router", "net2", "gave up");
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.count("router"), 3u);
+  EXPECT_EQ(sink.count("router", "net2"), 2u);
+  EXPECT_EQ(sink.count("flow"), 1u);
+  EXPECT_EQ(sink.count("placer"), 0u);
+}
+
+TEST(Diagnostics, SeverityThresholds) {
+  DiagnosticsSink sink;
+  sink.report(DiagSeverity::kInfo, "flow", "s", "m");
+  EXPECT_TRUE(sink.has_at_least(DiagSeverity::kInfo));
+  EXPECT_FALSE(sink.has_at_least(DiagSeverity::kWarning));
+  sink.report(DiagSeverity::kWarning, "flow", "s", "m");
+  EXPECT_TRUE(sink.has_at_least(DiagSeverity::kWarning));
+  EXPECT_FALSE(sink.has_at_least(DiagSeverity::kError));
+}
+
+TEST(Diagnostics, ToStringAndTake) {
+  DiagnosticsSink sink;
+  sink.report(DiagSeverity::kWarning, "router", "vout", "widened window");
+  EXPECT_EQ(sink.diagnostics()[0].to_string(),
+            "[warning] router/vout: widened window");
+  const std::vector<Diagnostic> taken = sink.take();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(sink.empty());
+}
+
+// --- fault injection --------------------------------------------------------
+
+TEST(Faults, DisabledInjectorNeverFires) {
+  FaultInjector& inj = FaultInjector::global();
+  inj.disable();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.should_fail(FaultSite::kOpNonConvergence));
+  }
+}
+
+TEST(Faults, RateZeroAndOneAreDegenerate) {
+  FaultConfig config;
+  config.op_rate = 1.0;
+  config.tran_rate = 0.0;
+  ScopedFaultInjection chaos(config);
+  FaultInjector& inj = FaultInjector::global();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(inj.should_fail(FaultSite::kOpNonConvergence));
+    EXPECT_FALSE(inj.should_fail(FaultSite::kTranNonConvergence));
+  }
+  EXPECT_EQ(inj.fired(FaultSite::kOpNonConvergence), 50);
+  EXPECT_EQ(inj.fired(FaultSite::kTranNonConvergence), 0);
+  EXPECT_EQ(inj.draws(FaultSite::kTranNonConvergence), 50);
+}
+
+TEST(Faults, SameSeedSameFirePattern) {
+  FaultConfig config;
+  config.seed = 99;
+  config.route_rate = 0.3;
+  std::vector<bool> first;
+  {
+    ScopedFaultInjection chaos(config);
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(FaultInjector::global().should_fail(
+          FaultSite::kRouteFailure));
+    }
+  }
+  {
+    ScopedFaultInjection chaos(config);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(FaultInjector::global().should_fail(FaultSite::kRouteFailure),
+                first[i])
+          << i;
+    }
+  }
+  // A 30% rate over 200 draws fires a plausible number of times.
+  const long fired = FaultInjector::global().fired(FaultSite::kRouteFailure);
+  EXPECT_GT(fired, 20);
+  EXPECT_LT(fired, 120);
+}
+
+TEST(Faults, DifferentSeedsDiverge) {
+  FaultConfig a;
+  a.seed = 1;
+  a.nan_metric_rate = 0.5;
+  FaultConfig b = a;
+  b.seed = 2;
+  std::vector<bool> pa, pb;
+  {
+    ScopedFaultInjection chaos(a);
+    for (int i = 0; i < 64; ++i) {
+      pa.push_back(
+          FaultInjector::global().should_fail(FaultSite::kNanMetric));
+    }
+  }
+  {
+    ScopedFaultInjection chaos(b);
+    for (int i = 0; i < 64; ++i) {
+      pb.push_back(
+          FaultInjector::global().should_fail(FaultSite::kNanMetric));
+    }
+  }
+  EXPECT_NE(pa, pb);
+}
+
+TEST(Faults, SkipDrawsAndFireCap) {
+  FaultConfig config;
+  config.op_rate = 1.0;
+  config.skip_draws = 3;      // per-site: first three draws never fire
+  config.max_total_fires = 2; // then at most two fires
+  ScopedFaultInjection chaos(config);
+  FaultInjector& inj = FaultInjector::global();
+  std::vector<bool> fires;
+  for (int i = 0; i < 8; ++i) {
+    fires.push_back(inj.should_fail(FaultSite::kOpNonConvergence));
+  }
+  const std::vector<bool> expected = {false, false, false, true, true,
+                                      false, false, false};
+  EXPECT_EQ(fires, expected);
+  EXPECT_EQ(inj.fired(FaultSite::kOpNonConvergence), 2);
+  EXPECT_EQ(inj.draws(FaultSite::kOpNonConvergence), 8);
+  EXPECT_EQ(inj.total_fired(), 2);
+}
+
+TEST(Faults, EnableRejectsBadRates) {
+  FaultConfig config;
+  config.op_rate = 1.5;
+  EXPECT_THROW(FaultInjector::global().enable(config), InvalidArgumentError);
+  config.op_rate = -0.1;
+  EXPECT_THROW(FaultInjector::global().enable(config), InvalidArgumentError);
+  EXPECT_FALSE(FaultInjector::global().enabled());
 }
 
 }  // namespace

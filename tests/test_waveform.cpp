@@ -41,6 +41,14 @@ TEST(Waveform, PulseValidation) {
                InvalidArgumentError);
   EXPECT_THROW(Waveform::pulse(0, 1, 0, 1e-10, 1e-10, 1e-9, 0.0),
                InvalidArgumentError);
+  // Negative delay is rejected.
+  EXPECT_THROW(Waveform::pulse(0, 1, -1e-9, 1e-10, 1e-10, 1e-9, 4e-9),
+               InvalidArgumentError);
+  // Edges plus width must fit within one period...
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 1e-9, 1e-9, 3e-9, 4e-9),
+               InvalidArgumentError);
+  // ...and an exact fit is allowed.
+  EXPECT_NO_THROW(Waveform::pulse(0, 1, 0, 1e-9, 1e-9, 2e-9, 4e-9));
 }
 
 TEST(Waveform, SineValueAndDelay) {
