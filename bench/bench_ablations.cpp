@@ -55,7 +55,7 @@ Row run(const std::string& label, const tech::Technology& t,
 }  // namespace
 
 int main() {
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
   circuits::Ota5T ota(t);
   if (!ota.prepare()) {

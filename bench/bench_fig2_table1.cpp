@@ -15,7 +15,7 @@
 
 int main() {
   using namespace olp;
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
 
   circuits::FlowOptions options;

@@ -37,7 +37,7 @@ route::NetRoute reference_route() {
 }  // namespace
 
 int main() {
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
   const pcell::PrimitiveGenerator generator(t);
   constexpr int kSweep = 7;

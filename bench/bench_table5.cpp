@@ -112,7 +112,7 @@ StepCounts run_primitive(const tech::Technology& t,
 }  // namespace
 
 int main() {
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
 
   core::BiasContext dp_bias;

@@ -129,7 +129,7 @@ std::map<std::string, double> measure(const tech::Technology& t,
 }  // namespace
 
 int main() {
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
 
   const auto sch = measure(t, false);

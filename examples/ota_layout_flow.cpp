@@ -2,19 +2,34 @@
 // schematic simulation -> primitive optimization (Algorithm 1) -> placement
 // -> global routing -> port optimization (Algorithm 2) -> final comparison
 // against the conventional baseline.
+//
+// Observability: set OLP_TRACE_DIR=<dir> to enable flow tracing. The run
+// then writes <dir>/ota_flow.trace.json (Chrome trace-event format — open
+// in chrome://tracing or https://ui.perfetto.dev), <dir>/ota_flow.telemetry.json
+// (machine-readable FlowTelemetry), per-stage SVG layout snapshots, and
+// prints the per-stage timing table. OLP_LOG_LEVEL=debug|info|warn|error|off
+// controls log verbosity.
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "circuits/flow.hpp"
 #include "circuits/ota5t.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 #include "util/table.hpp"
+#include "util/trace_export.hpp"
 #include "util/units.hpp"
 
 int main() {
   using namespace olp;
-  set_log_level(LogLevel::kError);
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
+
+  const char* trace_env = std::getenv("OLP_TRACE_DIR");
+  const std::string trace_dir = trace_env != nullptr ? trace_env : "";
+  if (!trace_dir.empty()) obs::Registry::global().enable();
 
   circuits::Ota5T ota(t);
   if (!ota.prepare()) {
@@ -25,10 +40,29 @@ int main() {
             << " primitive instances, Iref = "
             << units::eng(ota.reference_current(), "A") << "\n\n";
 
-  circuits::FlowEngine engine(t, {});
+  circuits::FlowOptions fopt;
+  fopt.trace_artifacts_dir = trace_dir;
+  circuits::FlowEngine engine(t, fopt);
   circuits::FlowReport report;
   const circuits::Realization optimized =
       engine.optimize(ota.instances(), ota.routed_nets(), &report);
+
+  if (!trace_dir.empty()) {
+    const std::string trace_json =
+        obs::to_chrome_trace_json(report.telemetry.snapshot);
+    const std::string telemetry_json = obs::to_json(report.telemetry);
+    std::string err;
+    if (!obs::json_well_formed(trace_json, &err) ||
+        !obs::json_well_formed(telemetry_json, &err)) {
+      std::cerr << "trace export produced malformed JSON: " << err << "\n";
+      return 1;
+    }
+    obs::write_text_file(trace_dir + "/ota_flow.trace.json", trace_json);
+    obs::write_text_file(trace_dir + "/ota_flow.telemetry.json",
+                         telemetry_json);
+    std::cout << obs::summary_table(report.telemetry) << '\n';
+    std::cout << "Trace artifacts written to " << trace_dir << "\n\n";
+  }
 
   // What Algorithm 1 selected per instance.
   {

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 
+#include "geom/svg.hpp"
+#include "route/realize.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp::circuits {
 
@@ -58,6 +62,59 @@ void finish_diagnostics(DiagnosticsSink& sink, FlowReport& report) {
   report.diagnostics = sink.take();
 }
 
+/// Attaches the flow telemetry when the obs registry is enabled. Must run
+/// after the flow's root span is closed so stage/total timings are final.
+/// The simulation count is taken from the registry's "eval.testbench"
+/// counter — the exact increments that fed the evaluators' EvalStats — and
+/// overwrites report.testbenches so the two views can never disagree.
+void finish_telemetry(FlowReport& report) {
+  if (!obs::enabled()) return;
+  report.telemetry =
+      obs::make_flow_telemetry(obs::Registry::global().snapshot());
+  report.testbenches = report.telemetry.simulations;
+}
+
+/// Writes a per-stage SVG snapshot of the (partially) realized floorplan
+/// into the trace-artifacts directory. Observability must never take a flow
+/// down: any filesystem/rendering failure degrades to a warning diagnostic.
+void write_stage_artifact(
+    const tech::Technology& tech, const std::string& dir,
+    const std::string& file_name,
+    const std::vector<InstanceSpec>& instances,
+    const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
+    const FlowReport& report, bool with_routes, DiagnosticsSink* diag) {
+  try {
+    std::filesystem::create_directories(dir);
+    geom::Layout top("stage_snapshot");
+    std::map<std::string, std::size_t> placed_index;
+    for (std::size_t i = 0; i < report.placed_instances.size(); ++i) {
+      placed_index[report.placed_instances[i]] = i;
+    }
+    for (const InstanceSpec& inst : instances) {
+      const auto pit = placed_index.find(inst.name);
+      if (pit == placed_index.end()) continue;
+      const pcell::PrimitiveLayout* layout = layouts.at(inst.name);
+      const place::PlacedBlock& pb = report.placement.blocks[pit->second];
+      const geom::Rect bb = layout->geometry.bounding_box();
+      top.merge(layout->geometry, geom::to_nm(pb.x) - bb.x_lo,
+                geom::to_nm(pb.y) - bb.y_lo, inst.name + ".");
+    }
+    if (with_routes) {
+      // Wire-count decisions do not exist yet at this stage; render every
+      // route at the single-track default.
+      top.merge(route::realize_routes(tech, report.routes, {}), 0, 0, "");
+    }
+    geom::SvgOptions sopt;
+    sopt.label_pins = false;
+    geom::write_svg(top, dir + "/" + file_name, sopt);
+  } catch (const std::exception& e) {
+    if (diag != nullptr) {
+      diag->report(DiagSeverity::kWarning, "flow", file_name,
+                   std::string("trace artifact write failed: ") + e.what());
+    }
+  }
+}
+
 /// Reports every requested net that ended up unrouted (the realization falls
 /// back to schematic-net parasitics for it).
 void report_unrouted_nets(DiagnosticsSink& sink,
@@ -88,7 +145,8 @@ void FlowEngine::place_and_route(
     const std::vector<InstanceSpec>& instances,
     const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
     const std::vector<std::string>& routed_nets, FlowReport& report,
-    DiagnosticsSink* diag) const {
+    DiagnosticsSink* diag, const std::string& artifact_prefix) const {
+  obs::Span placement_span("placement");
   // Blocks and placement nets.
   std::vector<place::Block> blocks;
   std::map<std::string, int> block_index;
@@ -129,12 +187,24 @@ void FlowEngine::place_and_route(
   popt.seed = options_.seed;
   const place::AnnealingPlacer placer(popt);
   report.placement = placer.place(blocks, pnets, {});
-  if (!report.placement.legal && diag != nullptr) {
-    diag->report(DiagSeverity::kWarning, "placer", "placement",
-                 "annealing result has residual overlaps (legal=false)");
+  obs::counter_add("placer.runs");
+  obs::record("placer.hpwl_um", report.placement.hpwl * 1e6);
+  if (!report.placement.legal) {
+    obs::counter_add("placer.illegal_results");
+    if (diag != nullptr) {
+      diag->report(DiagSeverity::kWarning, "placer", "placement",
+                   "annealing result has residual overlaps (legal=false)");
+    }
+  }
+  placement_span.close();
+  if (!options_.trace_artifacts_dir.empty() && !artifact_prefix.empty()) {
+    write_stage_artifact(tech_, options_.trace_artifacts_dir,
+                         artifact_prefix + "_placement.svg", instances,
+                         layouts, report, /*with_routes=*/false, diag);
   }
 
   // Global routing.
+  obs::Span routing_span("routing");
   const geom::Rect region{
       0, 0, geom::to_nm(report.placement.width),
       geom::to_nm(report.placement.height)};
@@ -157,16 +227,27 @@ void FlowEngine::place_and_route(
     }
     report.routes[pn.name] = std::move(nr);
   }
+  routing_span.close();
+  if (!options_.trace_artifacts_dir.empty() && !artifact_prefix.empty()) {
+    write_stage_artifact(tech_, options_.trace_artifacts_dir,
+                         artifact_prefix + "_routed.svg", instances, layouts,
+                         report, /*with_routes=*/true, diag);
+  }
 }
 
 Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
                                  const std::vector<std::string>& routed_nets,
                                  FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
+  // Each flow entry point owns the obs registry while enabled: rebase so
+  // the attached telemetry covers exactly this run.
+  obs::Registry::global().rebase();
+  obs::Span root("flow.optimize");
   FlowReport report;
   DiagnosticsSink sink;
 
   // --- Step A: primitive layout optimization (Algorithm 1), deduplicated.
+  obs::Span selection_span("selection");
   std::map<std::string, std::vector<core::LayoutCandidate>> by_signature;
   std::vector<std::unique_ptr<core::PrimitiveEvaluator>> evaluators;
   std::map<std::string, core::PrimitiveEvaluator*> eval_by_instance;
@@ -184,13 +265,17 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
       oopt.max_tuning_wires = options_.max_tuning_wires;
       by_signature[sig] =
           optimizer.optimize(inst.netlist, inst.fins, oopt);
+    } else {
+      obs::counter_add("flow.dedup_hits");
     }
     report.options[inst.name] = by_signature.at(sig);
     evaluators.push_back(std::move(eval));
   }
+  selection_span.close();
 
   // --- Step B: choose one option per instance for the floorplan. With few
   // combinations, trial-place each; otherwise take the min-cost option.
+  obs::Span combo_span("combo_choice");
   std::map<std::string, int> chosen;
   long combos = 1;
   for (const InstanceSpec& inst : instances) {
@@ -216,7 +301,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
       FlowReport trial;
       FlowOptions quick = options_;
       quick.placer_iterations = options_.combo_place_iterations;
+      // Quick trials never write stage artifacts (they would overwrite the
+      // real run's snapshots dozens of times).
+      quick.trace_artifacts_dir.clear();
       FlowEngine quick_engine(tech_, quick);
+      obs::counter_add("flow.combo_trials");
       // The trial report is discarded, but its diagnostics must not be:
       // sharing the sink keeps the per-fault accounting exact.
       quick_engine.place_and_route(instances, layouts, routed_nets, trial,
@@ -245,6 +334,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     for (const InstanceSpec& inst : instances) chosen[inst.name] = 0;
   }
   report.chosen_option = chosen;
+  combo_span.close();
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
   for (const InstanceSpec& inst : instances) {
@@ -255,10 +345,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
 
   // --- Step C: placement + global routing of the chosen options.
-  place_and_route(instances, layouts, routed_nets, report, &sink);
+  place_and_route(instances, layouts, routed_nets, report, &sink, "optimize");
   report_unrouted_nets(sink, routed_nets, report);
 
   // --- Step D: primitive port optimization (Algorithm 2).
+  obs::Span portopt_span("port_optimization");
   core::PortOptimizerOptions popt;
   popt.max_wires = options_.max_port_wires;
   core::PortOptimizer port_opt(tech_, popt);
@@ -289,8 +380,10 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
   report.decisions = port_opt.reconcile(pops, report.constraints);
   equalize_symmetric_nets(instances, report.decisions);
+  portopt_span.close();
 
   // --- Assemble the realization.
+  obs::Span realization_span("realization");
   Realization real;
   real.ideal = false;
   for (const InstanceSpec& inst : instances) {
@@ -312,12 +405,15 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     real.net_wires[net] = core::route_wire_rc(tech_, route, 1);
   }
 
+  realization_span.close();
   report.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
   long tb = 0;
   for (const auto& e : evaluators) tb += e->stats().testbenches;
   report.testbenches = tb;
+  root.close();
+  finish_telemetry(report);
   finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;
@@ -327,12 +423,15 @@ Realization FlowEngine::conventional(
     const std::vector<InstanceSpec>& instances,
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
+  obs::Registry::global().rebase();
+  obs::Span root("flow.conventional");
   FlowReport report;
   DiagnosticsSink sink;
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Minimum-area interdigitated configuration, no dummies: geometric
   // constraints are honored but nothing is optimized for parasitics or LDE.
+  obs::Span generation_span("generation");
   Realization real;
   real.ideal = false;
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
@@ -369,10 +468,12 @@ Realization FlowEngine::conventional(
     }
     real.layouts[inst.name] = std::move(best);
   }
+  generation_span.close();
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &real.layouts.at(inst.name);
   }
-  place_and_route(instances, layouts, routed_nets, report, &sink);
+  place_and_route(instances, layouts, routed_nets, report, &sink,
+                  "conventional");
   report_unrouted_nets(sink, routed_nets, report);
   // Conventional routing uses the PDK's default analog route width (two
   // tracks) everywhere -- fixed, never optimized per net.
@@ -383,6 +484,8 @@ Realization FlowEngine::conventional(
   report.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  root.close();
+  finish_telemetry(report);
   finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;
@@ -392,6 +495,8 @@ Realization FlowEngine::manual_oracle(
     const std::vector<InstanceSpec>& instances,
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
   const auto t_start = std::chrono::steady_clock::now();
+  obs::Registry::global().rebase();
+  obs::Span root("flow.manual_oracle");
   FlowReport report;
   DiagnosticsSink sink;
   const pcell::PrimitiveGenerator generator(tech_);
@@ -405,6 +510,7 @@ Realization FlowEngine::manual_oracle(
   std::map<std::string, std::string> sig_of;
   std::map<std::string, core::LayoutCandidate> by_signature;
 
+  obs::Span selection_span("selection");
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
@@ -436,15 +542,18 @@ Realization FlowEngine::manual_oracle(
     chosen[inst.name] = by_signature.at(sig);
     evaluators.push_back(std::move(eval));
   }
+  selection_span.close();
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &chosen.at(inst.name).layout;
   }
-  place_and_route(instances, layouts, routed_nets, report, &sink);
+  place_and_route(instances, layouts, routed_nets, report, &sink,
+                  "manual_oracle");
   report_unrouted_nets(sink, routed_nets, report);
 
   // Exhaustive per-net wire count by total primitive cost.
+  obs::Span portopt_span("port_optimization");
   Realization real;
   real.ideal = false;
   for (const InstanceSpec& inst : instances) {
@@ -470,6 +579,8 @@ Realization FlowEngine::manual_oracle(
   }
   report.decisions = port_opt.optimize(pops);
   equalize_symmetric_nets(instances, report.decisions);
+  portopt_span.close();
+  obs::Span realization_span("realization");
   for (const core::NetWireDecision& d : report.decisions) {
     const auto rit = report.routes.find(d.circuit_net);
     if (rit == report.routes.end() || !rit->second.routed) continue;
@@ -480,10 +591,16 @@ Realization FlowEngine::manual_oracle(
     if (!route.routed || real.net_wires.count(net)) continue;
     real.net_wires[net] = core::route_wire_rc(tech_, route, 1);
   }
+  realization_span.close();
 
   report.runtime_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  long tb = 0;
+  for (const auto& eval : evaluators) tb += eval->stats().testbenches;
+  report.testbenches = tb;
+  root.close();
+  finish_telemetry(report);
   finish_diagnostics(sink, report);
   if (report_out != nullptr) *report_out = std::move(report);
   return real;

@@ -23,6 +23,7 @@
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
 #include "util/diag.hpp"
+#include "util/trace_export.hpp"
 
 namespace olp::circuits {
 
@@ -33,6 +34,11 @@ struct FlowOptions {
   std::uint64_t seed = 1;
   int placer_iterations = 8000;
   int combo_place_iterations = 1500;  ///< quick placements during option choice
+  /// When non-empty, each flow run writes per-stage SVG layout snapshots
+  /// (<prefix>_placement.svg, <prefix>_routed.svg) into this directory —
+  /// visual trace artifacts for debugging placement/routing regressions.
+  /// Failures to write degrade to a warning diagnostic, never an error.
+  std::string trace_artifacts_dir;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.
@@ -50,10 +56,19 @@ struct FlowReport {
   std::map<std::string, int> chosen_option;
   /// Structured records of every recoverable failure and engaged fallback
   /// (simulator retries, quarantined candidates, router fallbacks, ...).
+  /// When the obs registry is enabled each record also carries the span
+  /// path it was reported under.
   std::vector<Diagnostic> diagnostics;
   /// True when any diagnostic at warning severity or above was reported:
   /// the flow completed, but some subsystem degraded along the way.
   bool degraded = false;
+  /// Per-flow observability report (stage timings, counters, distributions,
+  /// full span trace). Populated only when obs::Registry is enabled during
+  /// the run (telemetry.enabled mirrors that); `testbenches` above is then
+  /// derived from its "eval.testbench" counter, so the two always agree.
+  /// Export with obs::to_chrome_trace_json / obs::to_json /
+  /// obs::summary_table.
+  obs::FlowTelemetry telemetry;
 };
 
 class FlowEngine {
@@ -83,12 +98,15 @@ class FlowEngine {
 
  private:
   /// Places the chosen layouts and globally routes the given nets. `diag`
-  /// (may be null) receives placer/router diagnostics.
+  /// (may be null) receives placer/router diagnostics. `artifact_prefix`
+  /// names the per-stage SVG snapshots when FlowOptions::trace_artifacts_dir
+  /// is set (empty = no artifacts, used by the quick combo trials).
   void place_and_route(
       const std::vector<InstanceSpec>& instances,
       const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
       const std::vector<std::string>& routed_nets, FlowReport& report,
-      DiagnosticsSink* diag = nullptr) const;
+      DiagnosticsSink* diag = nullptr,
+      const std::string& artifact_prefix = std::string()) const;
 
   const tech::Technology& tech_;
   FlowOptions options_;

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/faults.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 #include "util/rng.hpp"
 
 namespace olp::core {
@@ -96,8 +97,15 @@ double port_load(const BiasContext& b, const std::string& port) {
 
 }  // namespace
 
+void PrimitiveEvaluator::count_testbench() const {
+  ++stats_.testbenches;
+  obs::counter_add("eval.testbench");
+}
+
 MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
                                           const EvalCondition& c) const {
+  obs::Span span("eval.evaluate",
+                 [&] { return layout.netlist.name + (c.ideal ? " (sch)" : ""); });
   MetricValues out = evaluate_impl(layout, c);
   if (!out.empty() &&
       FaultInjector::global().should_fail(FaultSite::kNanMetric)) {
@@ -112,6 +120,7 @@ MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
   for (auto& [kind, value] : out) {
     if (std::isfinite(value)) continue;
     ++stats_.quarantined;
+    obs::counter_add("eval.quarantined");
     if (diag_) {
       diag_->report(DiagSeverity::kWarning, "evaluator", metric_name(kind),
                     std::string("non-finite metric quarantined for ") +
@@ -306,7 +315,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     const std::string meter = cross ? "vdb" : "vda";
     out[MetricKind::kGm] =
         std::abs(sim.ac_vsource_current(r.solutions[0], meter));
-    stats_.testbenches++;
+    count_testbench();
     (void)ga;
     (void)gb;
   }
@@ -340,7 +349,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     } else {
       out[MetricKind::kGmOverCtotal] = 0.0;
     }
-    stats_.testbenches++;
+    count_testbench();
   }
 
   // --- Testbench 3: systematic input offset (DC null by secant iteration).
@@ -388,7 +397,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     // Signed: the cost function's Eq. 6 takes |x| itself, and Monte Carlo
     // statistics need the sign.
     out[MetricKind::kInputOffset] = offset;
-    stats_.testbenches++;
+    count_testbench();
   }
   return out;
 }
@@ -428,14 +437,14 @@ MetricValues PrimitiveEvaluator::eval_current_mirror(
   out[MetricKind::kCurrentRatio] =
       iout / (bias_.bias_current * static_cast<double>(ratio));
   out[MetricKind::kOutputCurrent] = iout;
-  stats_.testbenches++;
+  count_testbench();
 
   const std::complex<double> y = driven_admittance(sim, op.x, "vout", kCapFreq);
   out[MetricKind::kCout] = y.imag() / (kTwoPi * kCapFreq);
   const std::complex<double> ylow =
       driven_admittance(sim, op.x, "vout", kRoutFreq);
   if (ylow.real() > 0) out[MetricKind::kRout] = 1.0 / ylow.real();
-  stats_.testbenches++;
+  count_testbench();
   return out;
 }
 
@@ -459,14 +468,14 @@ MetricValues PrimitiveEvaluator::eval_current_source(
   const spice::OpResult op = sim.op();
   out[MetricKind::kOutputCurrent] =
       std::fabs(sim.vsource_current(op.x, "vout"));
-  stats_.testbenches++;
+  count_testbench();
 
   const std::complex<double> ylow =
       driven_admittance(sim, op.x, "vout", kRoutFreq);
   if (ylow.real() > 0) out[MetricKind::kRout] = 1.0 / ylow.real();
   const std::complex<double> y = driven_admittance(sim, op.x, "vout", kCapFreq);
   out[MetricKind::kCout] = y.imag() / (kTwoPi * kCapFreq);
-  stats_.testbenches++;
+  count_testbench();
   return out;
 }
 
@@ -510,7 +519,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
   out[MetricKind::kGm] = std::abs(sim.ac_vsource_current(r.solutions[0], "vout"));
   out[MetricKind::kOutputCurrent] =
       std::fabs(sim.vsource_current(op.x, "vout"));
-  stats_.testbenches++;
+  count_testbench();
 
   // Output admittance needs the input at AC ground; the Gm bench drives the
   // input, so a second bench with the AC source moved to the output is used.
@@ -531,7 +540,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
     const std::complex<double> yc =
         driven_admittance(sim2, op2.x, "vout", kCapFreq);
     out[MetricKind::kCout] = yc.imag() / (kTwoPi * kCapFreq);
-    stats_.testbenches++;
+    count_testbench();
   }
   return out;
 }
@@ -563,7 +572,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
     const spice::AcResult r = sim.ac(op.x, ac);
     out[MetricKind::kGain] = std::abs(
         sim.ac_voltage(r.solutions[0], b.ext.at("out")));
-    stats_.testbenches++;
+    count_testbench();
   }
 
   // --- Testbench 2: propagation delay (transient with an input pulse).
@@ -594,7 +603,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
     const auto delay = spice::delay_between(
         res.times, win, 0.5 * bias_.vdd, true, wout, 0.5 * bias_.vdd, false);
     out[MetricKind::kDelay] = delay.value_or(1e-9);
-    stats_.testbenches++;
+    count_testbench();
   }
   return out;
 }
@@ -617,7 +626,7 @@ MetricValues PrimitiveEvaluator::eval_switch(
   out[MetricKind::kOutputCurrent] = std::fabs(sim.vsource_current(op.x, "va"));
   const std::complex<double> y = driven_admittance(sim, op.x, "va", kCapFreq);
   out[MetricKind::kCout] = y.imag() / (kTwoPi * kCapFreq);
-  stats_.testbenches++;
+  count_testbench();
   return out;
 }
 

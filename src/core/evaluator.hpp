@@ -98,6 +98,12 @@ class PrimitiveEvaluator {
   EvalStats& stats() const { return stats_; }
 
  private:
+  /// The single place a testbench run is counted: bumps the local EvalStats
+  /// AND the process-wide obs counter "eval.testbench" together, so
+  /// FlowReport::testbenches and FlowTelemetry::simulations are derived from
+  /// the same increments and can never disagree.
+  void count_testbench() const;
+
   MetricValues evaluate_impl(const pcell::PrimitiveLayout& layout,
                              const EvalCondition& condition) const;
   MetricValues eval_diff_pair(const pcell::PrimitiveLayout& layout,

@@ -8,6 +8,7 @@
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp::core {
 
@@ -90,6 +91,9 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
                       pcell::PlacementPattern::kABBA});
   }
   OLP_CHECK(!configs.empty(), "no layout configurations to evaluate");
+  obs::Span span("optimizer.evaluate_all", [&] { return netlist.name; });
+  obs::counter_add("optimizer.candidates",
+                   static_cast<long>(configs.size()));
 
   const MetricValues reference =
       schematic_reference(netlist, fins_per_device);
@@ -101,6 +105,7 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
     cand.layout = generator_.generate(netlist, config);
     cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
     cand.quarantined = cand.cost.total >= kQuarantineCost;
+    if (cand.quarantined) obs::counter_add("optimizer.quarantined");
     aspects.push_back(cand.layout.aspect_ratio());
     candidates.push_back(std::move(cand));
   }
@@ -115,6 +120,8 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
                               int max_wires) const {
   const MetricLibraryEntry lib = metric_library(candidate.layout.netlist.type);
   if (lib.tuning_terminals.empty()) return;
+  obs::Span span("optimizer.tune",
+                 [&] { return candidate.layout.config.to_string(); });
   const MetricValues reference = schematic_reference(
       candidate.layout.netlist, candidate.layout.config.fins_per_device());
 
@@ -195,11 +202,14 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
     }
   }
   for (std::size_t b = 0; b < best_in_bin.size(); ++b) {
-    if (bin_total[b] > 0 && bin_quarantined[b] == bin_total[b] && diag_) {
-      diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
-                    "all " + std::to_string(bin_total[b]) +
-                        " candidates in aspect bin " + std::to_string(b) +
-                        " quarantined; bin dropped");
+    if (bin_total[b] > 0 && bin_quarantined[b] == bin_total[b]) {
+      obs::counter_add("optimizer.bins_dropped");
+      if (diag_) {
+        diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
+                      "all " + std::to_string(bin_total[b]) +
+                          " candidates in aspect bin " + std::to_string(b) +
+                          " quarantined; bin dropped");
+      }
     }
   }
   std::vector<LayoutCandidate> selected;
@@ -207,7 +217,9 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
     if (idx >= 0) selected.push_back(all[static_cast<std::size_t>(idx)]);
   }
 
+  obs::counter_add("optimizer.selected", static_cast<long>(selected.size()));
   if (selected.empty()) {
+    obs::counter_add("optimizer.minarea_fallbacks");
     // Graceful degradation: every candidate was quarantined. Hand back the
     // minimum-area configuration untuned so the flow can still place and
     // route something structurally valid.

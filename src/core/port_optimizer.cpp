@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp::core {
 
@@ -94,6 +95,7 @@ double PortOptimizer::primitive_cost(
 
 std::vector<PortConstraint> PortOptimizer::generate_constraints(
     const PortOptPrimitive& primitive) const {
+  obs::Span span("portopt.constraints", [&] { return primitive.instance; });
   // Nets touched by this primitive's ports.
   std::set<std::string> nets;
   for (const PortRoute& pr : primitive.routes) nets.insert(pr.circuit_net);
@@ -104,6 +106,7 @@ std::vector<PortConstraint> PortOptimizer::generate_constraints(
     for (int w = 1; w <= options_.max_wires; ++w) {
       std::map<std::string, int> net_wires;
       net_wires[net] = w;  // other nets at their single-route default
+      obs::counter_add("portopt.sweep_points");
       curve.push_back(primitive_cost(primitive, net_wires));
     }
     PortConstraint pc;
@@ -119,6 +122,7 @@ std::vector<PortConstraint> PortOptimizer::generate_constraints(
 std::vector<NetWireDecision> PortOptimizer::reconcile(
     const std::vector<PortOptPrimitive>& primitives,
     const std::vector<PortConstraint>& constraints) const {
+  obs::Span span("portopt.reconcile");
   // Group constraints per net.
   std::map<std::string, std::vector<const PortConstraint*>> by_net;
   for (const PortConstraint& pc : constraints) {
@@ -132,12 +136,14 @@ std::vector<NetWireDecision> PortOptimizer::reconcile(
     for (const PortConstraint* pc : pcs) intervals.push_back(pc->interval);
     const IntervalReconciliation rec = olp::reconcile(intervals);
 
+    obs::counter_add("portopt.reconciliations");
     NetWireDecision d;
     d.circuit_net = net;
     if (rec.overlap) {
       d.parallel_routes = rec.chosen;
       d.from_overlap = true;
     } else {
+      obs::counter_add("portopt.gap_resimulated");
       // Simulate all primitives on this net across the gap range and pick
       // the total-cost minimizer (Algorithm 2 lines 13-14).
       d.from_overlap = false;
@@ -165,6 +171,8 @@ std::vector<NetWireDecision> PortOptimizer::reconcile(
       }
       d.parallel_routes = best_w;
     }
+    obs::record("portopt.decision_wires",
+                static_cast<double>(d.parallel_routes));
     decisions.push_back(d);
   }
   return decisions;

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/faults.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp::route {
 
@@ -249,18 +250,25 @@ NetRoute GlobalRouter::route(const std::string& net_name,
 
 NetRoute GlobalRouter::route_with_fallback(const std::string& net_name,
                                            const std::vector<geom::Point>& pins) {
+  obs::Span span("router.net", [&] { return net_name; });
+  obs::counter_add("router.nets");
   NetRoute primary = route(net_name, pins);
-  if (primary.routed) return primary;
+  if (primary.routed) {
+    obs::record("router.net_length_um", primary.total_length() * 1e6);
+    return primary;
+  }
 
   const bool window_maximal =
       opt_.min_layer == 0 && opt_.max_layer == tech::kNumRoutingLayers - 1;
   if (window_maximal) {
+    obs::counter_add("router.unrouted");
     if (diag_) {
       diag_->report(DiagSeverity::kError, "router", net_name,
                     "unrouted and layer window already maximal; giving up");
     }
     return primary;
   }
+  obs::counter_add("router.fallback_retries");
 
   if (!fallback_) {
     RouterOptions widened = opt_;
@@ -281,9 +289,14 @@ NetRoute GlobalRouter::route_with_fallback(const std::string& net_name,
   OLP_WARN << "router: net " << net_name
            << " unrouted; retrying with widened layer window";
   NetRoute widened = fallback_->route(net_name, pins);
-  if (!widened.routed && diag_) {
-    diag_->report(DiagSeverity::kError, "router", net_name,
-                  "unrouted even with widened layer window; giving up");
+  if (!widened.routed) {
+    obs::counter_add("router.unrouted");
+    if (diag_) {
+      diag_->report(DiagSeverity::kError, "router", net_name,
+                    "unrouted even with widened layer window; giving up");
+    }
+  } else {
+    obs::record("router.net_length_um", widened.total_length() * 1e6);
   }
   return widened;
 }

@@ -7,6 +7,7 @@
 #include "util/diag.hpp"
 #include "util/faults.hpp"
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp::spice {
 
@@ -252,7 +253,16 @@ OpResult Simulator::newton_dc(const OpOptions& options, double gmin,
 }
 
 OpResult Simulator::op(const OpOptions& options) const {
+  obs::Span span("sim.op");
+  obs::counter_add("sim.op");
   SimStats::global().op_count++;
+  OpResult result = op_impl(options);
+  obs::record("sim.op.newton_iterations", result.iterations);
+  if (!result.converged) obs::counter_add("sim.op.nonconverged");
+  return result;
+}
+
+OpResult Simulator::op_impl(const OpOptions& options) const {
   if (FaultInjector::global().should_fail(FaultSite::kOpNonConvergence)) {
     if (diag_) {
       diag_->report(DiagSeverity::kWarning, "chaos",
@@ -340,6 +350,10 @@ std::vector<MosOperatingPoint> Simulator::mos_operating_points(
 
 AcResult Simulator::ac(const std::vector<double>& op_x,
                        const AcOptions& options) const {
+  obs::Span span("sim.ac");
+  obs::counter_add("sim.ac");
+  obs::record("sim.ac.frequencies",
+              static_cast<double>(options.frequencies.size()));
   SimStats::global().ac_count++;
   const int n = n_unknowns();
   const int nn = circuit_.node_count() - 1;
@@ -445,6 +459,8 @@ AcResult Simulator::ac(const std::vector<double>& op_x,
 }
 
 TranResult Simulator::tran(const TranOptions& options) const {
+  obs::Span span("sim.tran");
+  obs::counter_add("sim.tran");
   TranResult r = tran_attempt(options);
   if (r.ok) return r;
 
@@ -455,6 +471,7 @@ TranResult Simulator::tran(const TranOptions& options) const {
   for (int attempt = 1; attempt <= options.max_retries && !r.ok; ++attempt) {
     retry.backward_euler = true;
     retry.dt *= 0.5;
+    obs::counter_add("sim.tran.retries");
     if (diag_) {
       diag_->report(DiagSeverity::kWarning, "simulator", "tran",
                     "transient attempt " + std::to_string(attempt) +
@@ -463,15 +480,19 @@ TranResult Simulator::tran(const TranOptions& options) const {
     }
     r = tran_attempt(retry);
   }
-  if (!r.ok && diag_) {
-    diag_->report(DiagSeverity::kError, "simulator", "tran",
-                  "transient failed after " +
-                      std::to_string(options.max_retries) + " retries");
+  if (!r.ok) {
+    obs::counter_add("sim.tran.failed");
+    if (diag_) {
+      diag_->report(DiagSeverity::kError, "simulator", "tran",
+                    "transient failed after " +
+                        std::to_string(options.max_retries) + " retries");
+    }
   }
   return r;
 }
 
 TranResult Simulator::tran_attempt(const TranOptions& options) const {
+  obs::counter_add("sim.tran.attempts");
   SimStats::global().tran_count++;
   OLP_CHECK(options.dt > 0 && options.tstop > options.dt,
             "transient needs dt > 0 and tstop > dt");

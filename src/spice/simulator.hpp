@@ -153,6 +153,9 @@ class Simulator {
   /// One transient attempt with the given options (no retry ladder).
   TranResult tran_attempt(const TranOptions& options) const;
 
+  /// op() continuation ladder without the instrumentation wrapper.
+  OpResult op_impl(const OpOptions& options) const;
+
   /// One Newton solve of the DC system with sources scaled by `source_scale`
   /// and `gmin` to ground on every node. Returns convergence and iterations.
   OpResult newton_dc(const OpOptions& options, double gmin,

@@ -1,6 +1,7 @@
 #include "util/diag.hpp"
 
 #include "util/logging.hpp"
+#include "util/obs.hpp"
 
 namespace olp {
 
@@ -17,8 +18,10 @@ const char* diag_severity_name(DiagSeverity severity) {
 }
 
 std::string Diagnostic::to_string() const {
-  return std::string("[") + diag_severity_name(severity) + "] " + stage + "/" +
-         subject + ": " + message;
+  std::string out = std::string("[") + diag_severity_name(severity) + "] " +
+                    stage + "/" + subject + ": " + message;
+  if (!span.empty()) out += " (span " + span + ")";
+  return out;
 }
 
 void DiagnosticsSink::report(DiagSeverity severity, std::string stage,
@@ -28,6 +31,7 @@ void DiagnosticsSink::report(DiagSeverity severity, std::string stage,
   d.stage = std::move(stage);
   d.subject = std::move(subject);
   d.message = std::move(message);
+  if (obs::enabled()) d.span = obs::Registry::global().span_path();
   // Mirror into the logger at debug level so interactive runs can watch the
   // recovery ladder without changing default output.
   OLP_DEBUG << d.to_string();

@@ -31,8 +31,13 @@ struct Diagnostic {
   std::string stage;    ///< reporting subsystem: "simulator", "router", ...
   std::string subject;  ///< what it concerns: a net, instance, bench, config
   std::string message;  ///< human-readable description
+  /// Observability span path active when the record was reported, e.g.
+  /// "flow.optimize/routing/router.net"; empty when the obs registry was
+  /// disabled. Ties every diagnostic to its place in the flow trace.
+  std::string span;
 
-  /// "[warning] router/net_out: ..." — for logs and report dumps.
+  /// "[warning] router/net_out: ... (span ...)" — for logs and report dumps;
+  /// the span suffix appears only when span context was captured.
   std::string to_string() const;
 };
 

@@ -1,7 +1,10 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 namespace olp {
 
@@ -25,8 +28,27 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel log_level_from_env(const char* env_var, LogLevel fallback) {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr) return fallback;
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") {
+    return LogLevel::kWarn;
+  }
+  if (value == "error" || value == "3") return LogLevel::kError;
+  if (value == "off" || value == "none" || value == "4") return LogLevel::kOff;
+  return fallback;
+}
 
 namespace detail {
 void log_message(LogLevel level, const std::string& msg) {

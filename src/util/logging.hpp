@@ -9,9 +9,18 @@ namespace olp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global log threshold; messages below it are dropped.
+/// Sets the global log threshold; messages below it are dropped. The level
+/// is a std::atomic (relaxed) so flow code on any thread reads a coherent
+/// value.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a log level from an environment variable ("debug", "info", "warn",
+/// "error", "off" — case-insensitive, or a numeric level 0-4). Returns
+/// `fallback` when the variable is unset or unparsable. Examples and benches
+/// use this so OLP_LOG_LEVEL=info surfaces flow progress without a rebuild.
+LogLevel log_level_from_env(const char* env_var = "OLP_LOG_LEVEL",
+                            LogLevel fallback = LogLevel::kWarn);
 
 namespace detail {
 void log_message(LogLevel level, const std::string& msg);

@@ -1,0 +1,132 @@
+#include "util/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace olp::obs {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample vector:
+/// the smallest element with at least ceil(q * n) samples at or below it.
+double percentile(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, n - 1)];
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::enable() {
+  ++epoch_;
+  t0_us_ = steady_now_us();
+  spans_.clear();
+  open_stack_.clear();
+  counters_.clear();
+  samples_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Registry::rebase() {
+  if (!enabled()) return;
+  enable();
+}
+
+std::int64_t Registry::open_span(const char* name, std::string detail) {
+  if (!enabled()) return -1;
+  SpanRecord rec;
+  rec.id = static_cast<std::uint64_t>(spans_.size()) + 1;
+  rec.parent = open_stack_.empty() ? 0 : spans_[open_stack_.back()].id;
+  rec.depth = static_cast<int>(open_stack_.size());
+  rec.name = name;
+  rec.detail = std::move(detail);
+  rec.start_us = steady_now_us() - t0_us_;
+  rec.open = true;
+  const std::int64_t token = static_cast<std::int64_t>(spans_.size());
+  spans_.push_back(std::move(rec));
+  open_stack_.push_back(static_cast<std::size_t>(token));
+  return token;
+}
+
+void Registry::close_span(std::int64_t token, std::uint64_t epoch) {
+  // The epoch guard orphans spans that straddle an enable()/rebase(): their
+  // record vector entry no longer exists (or belongs to another span), so
+  // closing must be a no-op rather than a write through a stale index.
+  if (token < 0 || epoch != epoch_) return;
+  const std::size_t idx = static_cast<std::size_t>(token);
+  if (idx >= spans_.size() || !spans_[idx].open) return;
+  SpanRecord& rec = spans_[idx];
+  rec.dur_us = steady_now_us() - t0_us_ - rec.start_us;
+  rec.open = false;
+  // RAII spans close in LIFO order; erase from the top of the open stack.
+  while (!open_stack_.empty() && !spans_[open_stack_.back()].open) {
+    open_stack_.pop_back();
+  }
+}
+
+void Registry::add(const char* name, long delta) {
+  if (!enabled()) return;
+  counters_[name] += delta;
+}
+
+void Registry::record(const char* name, double value) {
+  if (!enabled()) return;
+  samples_[name].push_back(value);
+}
+
+long Registry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string Registry::span_path() const {
+  std::string path;
+  for (const std::size_t idx : open_stack_) {
+    if (!spans_[idx].open) continue;
+    if (!path.empty()) path += '/';
+    path += spans_[idx].name;
+  }
+  return path;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.spans = spans_;
+  const std::int64_t now_us = steady_now_us() - t0_us_;
+  for (SpanRecord& rec : snap.spans) {
+    if (rec.open) rec.dur_us = now_us - rec.start_us;
+  }
+  snap.counters = counters_;
+  for (const auto& [name, samples] : samples_) {
+    if (samples.empty()) continue;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    DistributionStats d;
+    d.count = static_cast<long>(sorted.size());
+    d.min = sorted.front();
+    d.max = sorted.back();
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    d.mean = sum / static_cast<double>(sorted.size());
+    d.p50 = percentile(sorted, 0.50);
+    d.p95 = percentile(sorted, 0.95);
+    snap.distributions[name] = d;
+  }
+  return snap;
+}
+
+}  // namespace olp::obs

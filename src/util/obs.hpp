@@ -1,0 +1,190 @@
+#pragma once
+// Flow-wide observability: RAII scoped spans, monotonic counters and value
+// distributions in a process-wide registry.
+//
+// The registry is disabled by default. Every instrumentation site pays one
+// relaxed-atomic load when disabled — no allocation, no clock read, no
+// output — and instrumentation only *observes* (it never feeds back into
+// flow decisions), so flow results are bit-identical with the registry on
+// or off.
+//
+// Span taxonomy (dotted names, slash-joined into nesting paths):
+//   flow.optimize / flow.conventional / flow.manual_oracle   (roots)
+//     selection, combo_choice, placement, routing,
+//     port_optimization, realization                         (stages)
+//   optimizer.evaluate_all, optimizer.tune                   (Algorithm 1)
+//   portopt.constraints, portopt.reconcile                   (Algorithm 2)
+//   router.net                                               (per net)
+//   eval.testbench                                           (per evaluation)
+//   sim.op, sim.ac, sim.tran                                 (per analysis)
+//
+// Like FaultInjector, the registry is process-global and not thread-safe:
+// the flow is single-threaded per engine, and tests enable observation
+// around one flow call. Collected data stays readable after disable(),
+// until the next enable()/rebase().
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace olp::obs {
+
+/// One closed (or still-open) scoped span.
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< 1-based, in open order
+  std::uint64_t parent = 0;  ///< id of the enclosing span; 0 = root
+  int depth = 0;             ///< nesting depth (0 = root)
+  std::string name;          ///< taxonomy name, e.g. "sim.op"
+  std::string detail;        ///< free-form context, e.g. the net name
+  std::int64_t start_us = 0; ///< wall-clock start, relative to enable()
+  std::int64_t dur_us = 0;   ///< wall-clock duration
+  bool open = false;         ///< still open when the snapshot was taken
+};
+
+/// Order statistics of one value distribution (nearest-rank percentiles).
+struct DistributionStats {
+  long count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// A point-in-time copy of everything the registry collected.
+struct Snapshot {
+  std::vector<SpanRecord> spans;  ///< in span-open order
+  std::map<std::string, long> counters;
+  std::map<std::string, DistributionStats> distributions;
+
+  long counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+/// The process-wide registry. Use the free functions / Span below at
+/// instrumentation sites; the registry itself is for enable/export code.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Clears all collected state, restarts the clock and starts collecting.
+  void enable();
+  /// Stops collecting; collected data stays snapshotable until the next
+  /// enable()/rebase().
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// enable() semantics while already enabled: clears collected state and
+  /// restarts the clock so the next snapshot covers exactly one unit of
+  /// work. The flow entry points call this so every FlowReport carries a
+  /// self-contained trace; spans still open across a rebase are orphaned
+  /// (their close becomes a no-op — the epoch guard below). No-op when
+  /// disabled.
+  void rebase();
+
+  // -- Instrumentation backend (call through the free functions below). --
+  /// Opens a span; returns its record index, or -1 when disabled.
+  std::int64_t open_span(const char* name, std::string detail);
+  /// Closes the span if `epoch` still matches the open epoch.
+  void close_span(std::int64_t token, std::uint64_t epoch);
+  void add(const char* name, long delta);
+  void record(const char* name, double value);
+
+  std::uint64_t epoch() const { return epoch_; }
+  /// Current counter value (0 when absent).
+  long counter(const std::string& name) const;
+  /// Slash-joined names of the open span stack, e.g.
+  /// "flow.optimize/routing/router.net"; empty when none or disabled.
+  std::string span_path() const;
+
+  /// Copies the collected state. Open spans are included with their
+  /// duration-so-far and open=true.
+  Snapshot snapshot() const;
+
+ private:
+  Registry() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ = 0;   ///< bumped by enable()/rebase()
+  std::int64_t t0_us_ = 0;    ///< steady-clock origin of the current epoch
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_stack_;  ///< indices into spans_
+  std::map<std::string, long> counters_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+/// Fast-path enabled check (one relaxed atomic load).
+inline bool enabled() { return Registry::global().enabled(); }
+
+/// Bumps a named monotonic counter. `name` must be a literal or otherwise
+/// outlive the call; nothing is allocated when disabled.
+inline void counter_add(const char* name, long delta = 1) {
+  if (enabled()) Registry::global().add(name, delta);
+}
+
+/// Records one sample of a named value distribution.
+inline void record(const char* name, double value) {
+  if (enabled()) Registry::global().record(name, value);
+}
+
+/// RAII scoped span. Construction opens, destruction (or close()) closes.
+/// The optional detail argument may be a string (copied only when enabled
+/// for string literals; a std::string lvalue/temporary is still built by the
+/// caller) or a nullary callable returning one — use the callable form when
+/// building the detail would allocate, so disabled mode stays allocation-free.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) open(name, std::string());
+  }
+  template <typename D>
+  Span(const char* name, D&& detail) {
+    if (!enabled()) return;
+    if constexpr (std::is_invocable_v<D>) {
+      open(name, std::string(std::forward<D>(detail)()));
+    } else {
+      open(name, std::string(std::forward<D>(detail)));
+    }
+  }
+  ~Span() { close(); }
+
+  /// Closes the span early (idempotent); used where the enclosing function
+  /// must snapshot the registry after the span ends.
+  void close() {
+    if (token_ < 0) return;
+    Registry::global().close_span(token_, epoch_);
+    token_ = -1;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* name, std::string detail) {
+    epoch_ = Registry::global().epoch();
+    token_ = Registry::global().open_span(name, std::move(detail));
+  }
+
+  std::int64_t token_ = -1;  ///< -1 = disabled at construction or closed
+  std::uint64_t epoch_ = 0;
+};
+
+/// RAII scope: enables the global registry on construction (clearing prior
+/// state), disables it on destruction. Collected data remains snapshotable
+/// after the scope ends, until the next enable().
+class ScopedObservability {
+ public:
+  ScopedObservability() { Registry::global().enable(); }
+  ~ScopedObservability() { Registry::global().disable(); }
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+};
+
+}  // namespace olp::obs

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Trace smoke run: build the OTA flow example, run it with observability
+# enabled (OLP_TRACE_DIR) and validate every emitted artifact — the Chrome
+# trace and telemetry JSON documents must parse, and the per-stage SVG
+# snapshots must exist.
+#
+# Usage: tests/run_trace_check.sh [build-dir]
+# The build directory defaults to build-trace next to the source tree.
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+src_dir="$(dirname "${script_dir}")"
+build_dir="${1:-${src_dir}/build-trace}"
+
+cmake -B "${build_dir}" -S "${src_dir}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DOLP_BUILD_BENCH=OFF \
+  -DOLP_BUILD_TESTS=OFF
+cmake --build "${build_dir}" -j --target ota_layout_flow
+
+trace_dir="$(mktemp -d "${TMPDIR:-/tmp}/olp_trace.XXXXXX")"
+trap 'rm -rf "${trace_dir}"' EXIT
+
+echo "== OTA flow with tracing (OLP_TRACE_DIR=${trace_dir}) =="
+OLP_TRACE_DIR="${trace_dir}" OLP_LOG_LEVEL="${OLP_LOG_LEVEL:-error}" \
+  "${build_dir}/examples/ota_layout_flow"
+
+echo "== validating trace artifacts =="
+expected=(
+  ota_flow.trace.json
+  ota_flow.telemetry.json
+  optimize_placement.svg
+  optimize_routed.svg
+)
+for f in "${expected[@]}"; do
+  path="${trace_dir}/${f}"
+  if [[ ! -s "${path}" ]]; then
+    echo "FAIL: missing or empty artifact ${f}" >&2
+    exit 1
+  fi
+  echo "  ${f}: $(wc -c < "${path}") bytes"
+done
+
+# Independent JSON validation when python3 is available (the example already
+# validated with the in-tree checker before writing).
+if command -v python3 >/dev/null 2>&1; then
+  for f in ota_flow.trace.json ota_flow.telemetry.json; do
+    python3 -m json.tool "${trace_dir}/${f}" >/dev/null
+    echo "  ${f}: valid JSON (python3 json.tool)"
+  done
+else
+  echo "  python3 not found; skipping independent JSON validation"
+fi
+
+# The Chrome trace must contain the flow root span and the telemetry a
+# nonzero simulation count.
+grep -q '"flow.optimize"' "${trace_dir}/ota_flow.trace.json"
+grep -q '"simulations"' "${trace_dir}/ota_flow.telemetry.json"
+if grep -q '"simulations":0,' "${trace_dir}/ota_flow.telemetry.json"; then
+  echo "FAIL: telemetry reports zero simulations" >&2
+  exit 1
+fi
+
+echo "trace smoke run passed"
