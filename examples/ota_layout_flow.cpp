@@ -9,6 +9,12 @@
 // (machine-readable FlowTelemetry), per-stage SVG layout snapshots, and
 // prints the per-stage timing table. OLP_LOG_LEVEL=debug|info|warn|error|off
 // controls log verbosity.
+//
+// Bounded execution: OLP_DEADLINE_MS=<ms> caps the run's wall-clock time and
+// OLP_TESTBENCH_BUDGET=<n> its testbench count. On exhaustion each stage
+// salvages its best-so-far result and the run finishes degraded (exit 0)
+// with stage-attributed "budget" diagnostics — e.g.
+//   OLP_DEADLINE_MS=2000 ./ota_layout_flow
 
 #include <cstdlib>
 #include <iostream>
@@ -126,16 +132,19 @@ int main() {
   std::cout << table;
   std::cout << "\nFlow runtime: " << fixed(report.runtime_s, 3) << " s, "
             << report.testbenches << " primitive testbench simulations\n";
+  if (report.budget.limited || report.budget.exhausted) {
+    std::cout << "Budget: " << report.budget.to_string() << "\n";
+  }
 
-  // Resilience summary: a healthy run reports no diagnostics.
+  // Resilience summary: a healthy run reports no diagnostics. The
+  // "Flow degraded:" line is machine-parseable (tests/run_budget_smoke.sh).
+  std::cout << "Flow degraded: " << (report.degraded ? "true" : "false")
+            << "\n";
   if (report.degraded) {
-    std::cout << "\nFlow DEGRADED — " << report.diagnostics.size()
-              << " diagnostic(s):\n";
+    std::cout << report.diagnostics.size() << " diagnostic(s):\n";
     for (const Diagnostic& d : report.diagnostics) {
       std::cout << "  " << d.to_string() << "\n";
     }
-  } else {
-    std::cout << "Flow completed clean (no diagnostics)\n";
   }
   return 0;
 }

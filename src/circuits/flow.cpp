@@ -8,6 +8,7 @@
 
 #include "geom/svg.hpp"
 #include "route/realize.hpp"
+#include "util/budget.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
@@ -52,6 +53,53 @@ void equalize_symmetric_nets(const std::vector<InstanceSpec>& instances,
       da->second->parallel_routes = w;
       db->second->parallel_routes = w;
     }
+  }
+}
+
+/// Stage checkpoint at a flow stage boundary: emits the per-stage budget
+/// check counter and remaining-budget distributions, and — when the budget
+/// is exhausted — a stage-attributed diagnostic with stage == "budget". The
+/// FIRST such record in a report names the stage whose work the trip
+/// interrupted (earlier checkpoints ran before the trip and stay silent);
+/// later stages also report, since they too salvaged degraded results.
+void budget_checkpoint(Budget& budget, BudgetObserver& budget_obs,
+                       DiagnosticsSink& sink, const char* stage,
+                       const char* checks_counter) {
+  budget_obs.stage_boundary(checks_counter);
+  if (budget.exhausted()) {
+    obs::counter_add("budget.stages_degraded");
+    sink.report(DiagSeverity::kWarning, "budget", stage,
+                budget.description() + "; salvaged best-so-far results");
+  }
+}
+
+/// End-of-run budget bookkeeping: stores the final consumption snapshot on
+/// the report and emits the budget.* summary counters the telemetry's
+/// budget section is derived from. Must run before the root span closes so
+/// the counters land in the same snapshot.
+void finish_budget(const Budget& budget, FlowReport& report) {
+  report.budget = budget.status();
+  if (!obs::enabled()) return;
+  const BudgetStatus& s = report.budget;
+  obs::counter_add("budget.checks_total", s.checks);
+  obs::counter_add("budget.testbenches_consumed", s.testbenches_consumed);
+  obs::record("budget.elapsed_ms", s.elapsed_s * 1000.0);
+  if (s.limited) obs::counter_add("budget.limited");
+  if (s.deadline_s > 0.0) {
+    obs::counter_add("budget.deadline_ms",
+                     static_cast<long>(s.deadline_s * 1000.0));
+  }
+  if (s.testbench_limit >= 0) {
+    obs::counter_add("budget.testbench_limit", s.testbench_limit);
+  }
+  if (s.check_limit >= 0) {
+    obs::counter_add("budget.check_limit", s.check_limit);
+  }
+  if (s.exhausted) {
+    obs::counter_add("budget.exhausted");
+    const std::string kind =
+        std::string("budget.tripped.") + budget_kind_name(s.tripped);
+    obs::counter_add(kind.c_str());
   }
 }
 
@@ -145,7 +193,8 @@ void FlowEngine::place_and_route(
     const std::vector<InstanceSpec>& instances,
     const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
     const std::vector<std::string>& routed_nets, FlowReport& report,
-    DiagnosticsSink* diag, const std::string& artifact_prefix) const {
+    DiagnosticsSink* diag, const std::string& artifact_prefix, Budget* budget,
+    BudgetObserver* budget_obs) const {
   obs::Span placement_span("placement");
   // Blocks and placement nets.
   std::vector<place::Block> blocks;
@@ -185,6 +234,7 @@ void FlowEngine::place_and_route(
   place::PlacerOptions popt;
   popt.iterations = options_.placer_iterations;
   popt.seed = options_.seed;
+  popt.budget = budget;
   const place::AnnealingPlacer placer(popt);
   report.placement = placer.place(blocks, pnets, {});
   obs::counter_add("placer.runs");
@@ -197,6 +247,10 @@ void FlowEngine::place_and_route(
     }
   }
   placement_span.close();
+  if (budget != nullptr && budget_obs != nullptr && diag != nullptr) {
+    budget_checkpoint(*budget, *budget_obs, *diag, "placement",
+                      "budget.checks.placement");
+  }
   if (!options_.trace_artifacts_dir.empty() && !artifact_prefix.empty()) {
     write_stage_artifact(tech_, options_.trace_artifacts_dir,
                          artifact_prefix + "_placement.svg", instances,
@@ -211,7 +265,17 @@ void FlowEngine::place_and_route(
   route::RouterOptions ropt;
   route::GlobalRouter router(tech_, region, ropt);
   router.set_diagnostics(diag);
+  router.set_budget(budget);
   for (const place::PlacementNet& pn : pnets) {
+    // Budget-bounded routing: remaining nets are skipped (routed=false) and
+    // degrade to schematic-net parasitics downstream; nets routed before the
+    // trip are kept — the salvaged routed subset.
+    if (budget != nullptr && budget->check()) {
+      route::NetRoute skipped;
+      skipped.net = pn.name;
+      report.routes[pn.name] = std::move(skipped);
+      continue;
+    }
     std::vector<geom::Point> pins;
     for (const place::PlacementNet::PinRef& ref : pn.pins) {
       const place::PlacedBlock& pb =
@@ -228,6 +292,10 @@ void FlowEngine::place_and_route(
     report.routes[pn.name] = std::move(nr);
   }
   routing_span.close();
+  if (budget != nullptr && budget_obs != nullptr && diag != nullptr) {
+    budget_checkpoint(*budget, *budget_obs, *diag, "routing",
+                      "budget.checks.routing");
+  }
   if (!options_.trace_artifacts_dir.empty() && !artifact_prefix.empty()) {
     write_stage_artifact(tech_, options_.trace_artifacts_dir,
                          artifact_prefix + "_routed.svg", instances, layouts,
@@ -238,13 +306,19 @@ void FlowEngine::place_and_route(
 Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
                                  const std::vector<std::string>& routed_nets,
                                  FlowReport* report_out) const {
-  const auto t_start = std::chrono::steady_clock::now();
+  const MonotonicStopwatch watch;
   // Each flow entry point owns the obs registry while enabled: rebase so
   // the attached telemetry covers exactly this run.
   obs::Registry::global().rebase();
   obs::Span root("flow.optimize");
   FlowReport report;
   DiagnosticsSink sink;
+  // A caller-owned handle wins verbatim (cooperative cancellation); else
+  // build a run-local budget from the options plus env overrides.
+  Budget local_budget(budget_options_from_env(options_.budget_limits));
+  Budget* budget =
+      options_.budget != nullptr ? options_.budget : &local_budget;
+  BudgetObserver budget_obs(*budget);
 
   // --- Step A: primitive layout optimization (Algorithm 1), deduplicated.
   obs::Span selection_span("selection");
@@ -256,10 +330,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
+    eval->set_budget(budget);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget);
       core::OptimizerOptions oopt;
       oopt.bins = options_.bins;
       oopt.max_tuning_wires = options_.max_tuning_wires;
@@ -272,6 +347,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     evaluators.push_back(std::move(eval));
   }
   selection_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "selection",
+                    "budget.checks.selection");
 
   // --- Step B: choose one option per instance for the floorplan. With few
   // combinations, trial-place each; otherwise take the min-cost option.
@@ -286,8 +363,13 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     double best_metric = std::numeric_limits<double>::infinity();
     std::map<std::string, int> combo, best_combo;
     for (const InstanceSpec& inst : instances) combo[inst.name] = 0;
+    // Pre-seed with the all-first-options combination so a budget trip
+    // before the first trial still yields a complete choice.
+    best_combo = combo;
     bool done = false;
     while (!done) {
+      // Budget-bounded trials: keep the best combination tried so far.
+      if (budget->check()) break;
       // Quick placement trial of this combination.
       std::map<std::string, const pcell::PrimitiveLayout*> layouts;
       double cost_sum = 0.0;
@@ -307,9 +389,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
       FlowEngine quick_engine(tech_, quick);
       obs::counter_add("flow.combo_trials");
       // The trial report is discarded, but its diagnostics must not be:
-      // sharing the sink keeps the per-fault accounting exact.
+      // sharing the sink keeps the per-fault accounting exact. The budget is
+      // shared too (trials consume real work), but without a budget observer
+      // — stage checkpoints belong to the main run only.
       quick_engine.place_and_route(instances, layouts, routed_nets, trial,
-                                   &sink);
+                                   &sink, std::string(), budget);
       const double area = trial.placement.width * trial.placement.height;
       const double metric =
           cost_sum * (1.0 + 0.2 * trial.placement.hpwl / 1e-6) +
@@ -335,6 +419,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
   report.chosen_option = chosen;
   combo_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "combo_choice",
+                    "budget.checks.combo");
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
   for (const InstanceSpec& inst : instances) {
@@ -345,7 +431,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
 
   // --- Step C: placement + global routing of the chosen options.
-  place_and_route(instances, layouts, routed_nets, report, &sink, "optimize");
+  place_and_route(instances, layouts, routed_nets, report, &sink, "optimize",
+                  budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
 
   // --- Step D: primitive port optimization (Algorithm 2).
@@ -353,6 +440,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   core::PortOptimizerOptions popt;
   popt.max_wires = options_.max_port_wires;
   core::PortOptimizer port_opt(tech_, popt);
+  port_opt.set_diagnostics(&sink);
+  port_opt.set_budget(budget);
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
     core::PortOptPrimitive pop;
@@ -381,6 +470,8 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   report.decisions = port_opt.reconcile(pops, report.constraints);
   equalize_symmetric_nets(instances, report.decisions);
   portopt_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "port_optimization",
+                    "budget.checks.portopt");
 
   // --- Assemble the realization.
   obs::Span realization_span("realization");
@@ -406,12 +497,11 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
 
   realization_span.close();
-  report.runtime_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  report.runtime_s = watch.seconds();
   long tb = 0;
   for (const auto& e : evaluators) tb += e->stats().testbenches;
   report.testbenches = tb;
+  finish_budget(*budget, report);
   root.close();
   finish_telemetry(report);
   finish_diagnostics(sink, report);
@@ -422,11 +512,15 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
 Realization FlowEngine::conventional(
     const std::vector<InstanceSpec>& instances,
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
-  const auto t_start = std::chrono::steady_clock::now();
+  const MonotonicStopwatch watch;
   obs::Registry::global().rebase();
   obs::Span root("flow.conventional");
   FlowReport report;
   DiagnosticsSink sink;
+  Budget local_budget(budget_options_from_env(options_.budget_limits));
+  Budget* budget =
+      options_.budget != nullptr ? options_.budget : &local_budget;
+  BudgetObserver budget_obs(*budget);
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Minimum-area interdigitated configuration, no dummies: geometric
@@ -457,6 +551,12 @@ Realization FlowEngine::conventional(
     pcell::PrimitiveLayout best;
     for (pcell::LayoutConfig cfg : configs) {
       if (has_multirow && cfg.m < 2) continue;
+      // Budget-bounded enumeration: always generate at least one layout per
+      // instance, then keep the best of the configurations scored so far.
+      if (best_score < std::numeric_limits<double>::infinity() &&
+          budget->check()) {
+        break;
+      }
       cfg.dummies = false;
       pcell::PrimitiveLayout cand = generator.generate(inst.netlist, cfg);
       const double squareness = std::fabs(std::log(cand.aspect_ratio()));
@@ -469,11 +569,13 @@ Realization FlowEngine::conventional(
     real.layouts[inst.name] = std::move(best);
   }
   generation_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "generation",
+                    "budget.checks.generation");
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &real.layouts.at(inst.name);
   }
   place_and_route(instances, layouts, routed_nets, report, &sink,
-                  "conventional");
+                  "conventional", budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
   // Conventional routing uses the PDK's default analog route width (two
   // tracks) everywhere -- fixed, never optimized per net.
@@ -481,9 +583,8 @@ Realization FlowEngine::conventional(
     if (!route.routed) continue;
     real.net_wires[net] = core::route_wire_rc(tech_, route, 2);
   }
-  report.runtime_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  report.runtime_s = watch.seconds();
+  finish_budget(*budget, report);
   root.close();
   finish_telemetry(report);
   finish_diagnostics(sink, report);
@@ -494,11 +595,15 @@ Realization FlowEngine::conventional(
 Realization FlowEngine::manual_oracle(
     const std::vector<InstanceSpec>& instances,
     const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
-  const auto t_start = std::chrono::steady_clock::now();
+  const MonotonicStopwatch watch;
   obs::Registry::global().rebase();
   obs::Span root("flow.manual_oracle");
   FlowReport report;
   DiagnosticsSink sink;
+  Budget local_budget(budget_options_from_env(options_.budget_limits));
+  Budget* budget =
+      options_.budget != nullptr ? options_.budget : &local_budget;
+  BudgetObserver budget_obs(*budget);
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Exhaustive per-primitive search: tune the five cheapest configurations
@@ -514,11 +619,12 @@ Realization FlowEngine::manual_oracle(
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
+    eval->set_budget(budget);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     sig_of[inst.name] = sig;
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget);
       std::vector<core::LayoutCandidate> all =
           optimizer.evaluate_all(inst.netlist, inst.fins);
       std::sort(all.begin(), all.end(),
@@ -530,6 +636,9 @@ Realization FlowEngine::manual_oracle(
       core::LayoutCandidate best = all.front();
       double best_cost = std::numeric_limits<double>::infinity();
       for (std::size_t k = 0; k < try_n; ++k) {
+        // Budget-bounded exhaustive tuning: keep the cheapest candidate
+        // tuned so far (`best` starts as the untuned front-runner).
+        if (budget->check()) break;
         core::LayoutCandidate cand = all[k];
         optimizer.tune(cand, options_.max_tuning_wires);
         if (cand.cost.total < best_cost) {
@@ -543,13 +652,15 @@ Realization FlowEngine::manual_oracle(
     evaluators.push_back(std::move(eval));
   }
   selection_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "selection",
+                    "budget.checks.selection");
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &chosen.at(inst.name).layout;
   }
   place_and_route(instances, layouts, routed_nets, report, &sink,
-                  "manual_oracle");
+                  "manual_oracle", budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
 
   // Exhaustive per-net wire count by total primitive cost.
@@ -563,6 +674,8 @@ Realization FlowEngine::manual_oracle(
   core::PortOptimizerOptions popt;
   popt.max_wires = options_.max_port_wires;
   core::PortOptimizer port_opt(tech_, popt);
+  port_opt.set_diagnostics(&sink);
+  port_opt.set_budget(budget);
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
     core::PortOptPrimitive pop;
@@ -580,6 +693,8 @@ Realization FlowEngine::manual_oracle(
   report.decisions = port_opt.optimize(pops);
   equalize_symmetric_nets(instances, report.decisions);
   portopt_span.close();
+  budget_checkpoint(*budget, budget_obs, sink, "port_optimization",
+                    "budget.checks.portopt");
   obs::Span realization_span("realization");
   for (const core::NetWireDecision& d : report.decisions) {
     const auto rit = report.routes.find(d.circuit_net);
@@ -593,12 +708,11 @@ Realization FlowEngine::manual_oracle(
   }
   realization_span.close();
 
-  report.runtime_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  report.runtime_s = watch.seconds();
   long tb = 0;
   for (const auto& eval : evaluators) tb += eval->stats().testbenches;
   report.testbenches = tb;
+  finish_budget(*budget, report);
   root.close();
   finish_telemetry(report);
   finish_diagnostics(sink, report);

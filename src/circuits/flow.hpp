@@ -22,6 +22,7 @@
 #include "core/port_optimizer.hpp"
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
+#include "util/budget.hpp"
 #include "util/diag.hpp"
 #include "util/trace_export.hpp"
 
@@ -39,6 +40,18 @@ struct FlowOptions {
   /// visual trace artifacts for debugging placement/routing regressions.
   /// Failures to write degrade to a warning diagnostic, never an error.
   std::string trace_artifacts_dir;
+  /// Execution limits for each flow run: wall-clock deadline, testbench
+  /// budget, deterministic check budget. OLP_DEADLINE_MS /
+  /// OLP_TESTBENCH_BUDGET environment overrides apply on top at flow entry.
+  /// On exhaustion every stage salvages its best-so-far result and the
+  /// report is marked degraded with stage-attributed "budget" diagnostics.
+  /// Ignored when `budget` below is set.
+  BudgetOptions budget_limits;
+  /// Optional caller-owned budget handle (not owned, may be null; must
+  /// outlive the flow call). Used verbatim — no env overrides — so a caller
+  /// can share one budget across runs or cancel a running flow from another
+  /// thread via Budget::cancel().
+  Budget* budget = nullptr;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.
@@ -62,6 +75,10 @@ struct FlowReport {
   /// True when any diagnostic at warning severity or above was reported:
   /// the flow completed, but some subsystem degraded along the way.
   bool degraded = false;
+  /// Final consumption snapshot of this run's execution budget. When the
+  /// budget tripped (budget.exhausted), the stage whose work was interrupted
+  /// is named by the first diagnostic with stage == "budget".
+  BudgetStatus budget;
   /// Per-flow observability report (stage timings, counters, distributions,
   /// full span trace). Populated only when obs::Registry is enabled during
   /// the run (telemetry.enabled mirrors that); `testbenches` above is then
@@ -100,13 +117,18 @@ class FlowEngine {
   /// Places the chosen layouts and globally routes the given nets. `diag`
   /// (may be null) receives placer/router diagnostics. `artifact_prefix`
   /// names the per-stage SVG snapshots when FlowOptions::trace_artifacts_dir
-  /// is set (empty = no artifacts, used by the quick combo trials).
+  /// is set (empty = no artifacts, used by the quick combo trials). `budget`
+  /// (may be null) bounds annealing iterations and per-net routing;
+  /// `budget_obs` (may be null, null in combo trials) receives the
+  /// placement/routing stage-boundary budget telemetry and stage-attributed
+  /// exhaustion diagnostics.
   void place_and_route(
       const std::vector<InstanceSpec>& instances,
       const std::map<std::string, const pcell::PrimitiveLayout*>& layouts,
       const std::vector<std::string>& routed_nets, FlowReport& report,
       DiagnosticsSink* diag = nullptr,
-      const std::string& artifact_prefix = std::string()) const;
+      const std::string& artifact_prefix = std::string(),
+      Budget* budget = nullptr, BudgetObserver* budget_obs = nullptr) const;
 
   const tech::Technology& tech_;
   FlowOptions options_;

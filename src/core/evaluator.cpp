@@ -5,6 +5,7 @@
 
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
+#include "util/budget.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/faults.hpp"
@@ -100,6 +101,9 @@ double port_load(const BiasContext& b, const std::string& port) {
 void PrimitiveEvaluator::count_testbench() const {
   ++stats_.testbenches;
   obs::counter_add("eval.testbench");
+  // Charge the execution budget. Enforcement happens at the caller's next
+  // Budget::check(), so the in-flight testbench always completes.
+  if (budget_ != nullptr) budget_->consume_testbench();
 }
 
 MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
@@ -250,7 +254,11 @@ PrimitiveEvaluator::MonteCarloOffset PrimitiveEvaluator::monte_carlo_offset(
   Rng rng(seed);
   double sum = 0.0;
   double sum_sq = 0.0;
+  int done = 0;
   for (int s = 0; s < samples; ++s) {
+    // Budget-bounded sampling: salvage the statistics gathered so far once
+    // the minimum two samples for a variance estimate are in.
+    if (done >= 2 && budget_ != nullptr && budget_->check()) break;
     EvalCondition cond = condition;
     for (const pcell::LogicalDevice& ld : layout.netlist.devices) {
       const pcell::DevicePhysical& phys = layout.devices.at(ld.name);
@@ -266,11 +274,12 @@ PrimitiveEvaluator::MonteCarloOffset PrimitiveEvaluator::monte_carlo_offset(
     OLP_CHECK(it != v.end(), "offset metric missing from evaluation");
     sum += it->second;
     sum_sq += it->second * it->second;
+    ++done;
   }
   MonteCarloOffset out;
-  out.samples = samples;
-  out.mean = sum / samples;
-  const double var = sum_sq / samples - out.mean * out.mean;
+  out.samples = done;
+  out.mean = sum / done;
+  const double var = sum_sq / done - out.mean * out.mean;
   out.sigma = var > 0 ? std::sqrt(var) : 0.0;
   return out;
 }
@@ -301,7 +310,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     attach_pair_tail(b, bias_);
     bias_remaining_ports(b, bias_, layout.netlist,
                          {"da", "db", "ga", "gb", "s", "sa", "sb"});
-    spice::Simulator sim(b.ckt, diag_);
+    spice::Simulator sim(b.ckt, diag_, budget_);
     const spice::OpResult op = sim.op();
     if (!op.converged) {
       OLP_WARN << "DP Gm testbench OP failed for "
@@ -338,7 +347,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     attach_pair_tail(b, bias_);
     bias_remaining_ports(b, bias_, layout.netlist,
                          {"da", "db", "ga", "gb", "s", "sa", "sb"});
-    spice::Simulator sim(b.ckt, diag_);
+    spice::Simulator sim(b.ckt, diag_, budget_);
     const spice::OpResult op = sim.op();
     const std::complex<double> y =
         driven_admittance(sim, op.x, "vda", kCapFreq);
@@ -375,7 +384,7 @@ MetricValues PrimitiveEvaluator::eval_diff_pair(
     auto imbalance = [&](double dv) {
       b.ckt.vsources()[static_cast<std::size_t>(ia)].wave =
           spice::Waveform::dc(vcm + dv);
-      spice::Simulator sim(b.ckt, diag_);
+      spice::Simulator sim(b.ckt, diag_, budget_);
       const spice::OpResult op = sim.op();
       return sim.vsource_current(op.x, "vda") -
              sim.vsource_current(op.x, "vdb");
@@ -426,7 +435,7 @@ MetricValues PrimitiveEvaluator::eval_current_mirror(
   b.ckt.add_vsource("vout", b.ext.at("out"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "out")), 1.0);
 
-  spice::Simulator sim(b.ckt, diag_);
+  spice::Simulator sim(b.ckt, diag_, budget_);
   const spice::OpResult op = sim.op();
   if (!op.converged) {
     OLP_WARN << "CM testbench OP failed for " << layout.config.to_string();
@@ -464,7 +473,7 @@ MetricValues PrimitiveEvaluator::eval_current_source(
   b.ckt.add_vsource("vout", b.ext.at("out"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "out")), 1.0);
 
-  spice::Simulator sim(b.ckt, diag_);
+  spice::Simulator sim(b.ckt, diag_, budget_);
   const spice::OpResult op = sim.op();
   out[MetricKind::kOutputCurrent] =
       std::fabs(sim.vsource_current(op.x, "vout"));
@@ -495,7 +504,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
   // current from the circuit-level schematic simulation); servo the gate to
   // that current so the Gm measurement reflects wire/LDE effects at the
   // operating point rather than bias drift the surrounding mirrors absorb.
-  spice::Simulator sim(b.ckt, diag_);
+  spice::Simulator sim(b.ckt, diag_, budget_);
   const int vin_idx = b.ckt.find_vsource("vin");
   double vg = port_v(bias_, "in");
   spice::OpResult op = sim.op();
@@ -532,7 +541,7 @@ MetricValues PrimitiveEvaluator::eval_common_source(
                        spice::Waveform::dc(vg));  // servoed bias point
     b2.ckt.add_vsource("vout", b2.ext.at("out"), spice::kGround,
                        spice::Waveform::dc(port_v(bias_, "out")), 1.0);
-    spice::Simulator sim2(b2.ckt, diag_);
+    spice::Simulator sim2(b2.ckt, diag_, budget_);
     const spice::OpResult op2 = sim2.op();
     const std::complex<double> y2 =
         driven_admittance(sim2, op2.x, "vout", kRoutFreq);
@@ -563,7 +572,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
                       spice::Waveform::dc(port_v(bias_, "vbn")));
     b.ckt.add_vsource("vin", b.ext.at("in"), spice::kGround,
                       spice::Waveform::dc(0.5 * bias_.vdd), 1.0);
-    spice::Simulator sim(b.ckt, diag_);
+    spice::Simulator sim(b.ckt, diag_, budget_);
     const spice::OpResult op = sim.op();
     out[MetricKind::kOutputCurrent] =
         std::fabs(sim.vsource_current(op.x, "vdd"));
@@ -591,7 +600,7 @@ MetricValues PrimitiveEvaluator::eval_starved_inverter(
         "vin", b.ext.at("in"), spice::kGround,
         spice::Waveform::pulse(0.0, bias_.vdd, 50e-12, 10e-12, 10e-12,
                                2e-9, 4e-9));
-    spice::Simulator sim(b.ckt, diag_);
+    spice::Simulator sim(b.ckt, diag_, budget_);
     spice::TranOptions tr;
     tr.tstop = 1.2e-9;
     tr.dt = 1e-12;
@@ -621,7 +630,7 @@ MetricValues PrimitiveEvaluator::eval_switch(
                     spice::Waveform::dc(port_v(bias_, "a")), 1.0);
   b.ckt.add_vsource("vb", b.ext.at("b"), spice::kGround,
                     spice::Waveform::dc(port_v(bias_, "b")));
-  spice::Simulator sim(b.ckt, diag_);
+  spice::Simulator sim(b.ckt, diag_, budget_);
   const spice::OpResult op = sim.op();
   out[MetricKind::kOutputCurrent] = std::fabs(sim.vsource_current(op.x, "va"));
   const std::complex<double> y = driven_admittance(sim, op.x, "va", kCapFreq);

@@ -20,6 +20,7 @@
 #include "tech/technology.hpp"
 
 namespace olp {
+class Budget;
 class DiagnosticsSink;
 }
 
@@ -77,6 +78,12 @@ class PrimitiveEvaluator {
   /// outlive the evaluator. Forwarded to every internal simulator.
   void set_diagnostics(DiagnosticsSink* sink) { diag_ = sink; }
 
+  /// Attaches an execution budget (may be null to detach); the budget must
+  /// outlive the evaluator. Every testbench run consumes one unit of the
+  /// testbench budget, and the budget is forwarded to every internal
+  /// simulator so exhaustion also bounds Newton/timestep loops.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
   /// One-sigma random (mismatch) input offset of a matched pair; the offset
   /// spec is 10% of this value (paper Eq. 6 discussion).
   double random_offset_sigma(const pcell::PrimitiveLayout& layout) const;
@@ -125,6 +132,7 @@ class PrimitiveEvaluator {
   BiasContext bias_;
   mutable EvalStats stats_;
   DiagnosticsSink* diag_ = nullptr;
+  Budget* budget_ = nullptr;
 };
 
 /// Metric evaluation for the passive MOM capacitor primitive.

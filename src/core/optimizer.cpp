@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/budget.hpp"
 #include "util/curvature.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
@@ -95,12 +96,20 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
   obs::counter_add("optimizer.candidates",
                    static_cast<long>(configs.size()));
 
-  const MetricValues reference =
-      schematic_reference(netlist, fins_per_device);
+  // Budget-bounded enumeration: exhaustion breaks the candidate loop, keeping
+  // every candidate evaluated so far. When the budget is gone before even the
+  // schematic reference, the reference evaluation is skipped too.
+  bool truncated = budget_ != nullptr && budget_->check();
+  MetricValues reference;
+  if (!truncated) reference = schematic_reference(netlist, fins_per_device);
 
   std::vector<LayoutCandidate> candidates;
   std::vector<double> aspects;
   for (const pcell::LayoutConfig& config : configs) {
+    if (budget_ != nullptr && budget_->check()) {
+      truncated = true;
+      break;
+    }
     LayoutCandidate cand;
     cand.layout = generator_.generate(netlist, config);
     cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
@@ -108,6 +117,27 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
     if (cand.quarantined) obs::counter_add("optimizer.quarantined");
     aspects.push_back(cand.layout.aspect_ratio());
     candidates.push_back(std::move(cand));
+  }
+  if (truncated) {
+    obs::counter_add("budget.truncations");
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
+                    budget_->description() + "; evaluated " +
+                        std::to_string(candidates.size()) + " of " +
+                        std::to_string(configs.size()) + " configurations");
+    }
+  }
+  if (candidates.empty()) {
+    // Exhausted before the first evaluation: salvage the first configuration
+    // unevaluated (generation is pure geometry, no simulation). It carries
+    // the quarantine cost so it loses against any evaluated candidate.
+    LayoutCandidate cand;
+    cand.layout = generator_.generate(netlist, configs[0]);
+    cand.cost.total = kQuarantineCost;
+    cand.quarantined = true;
+    cand.bin = 0;
+    candidates.push_back(std::move(cand));
+    return candidates;
   }
   const std::vector<int> bins = assign_aspect_bins(aspects, options.bins);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -132,11 +162,29 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
     return std::pair<double, MetricValues>(cb.total, values);
   };
 
+  // Budget-bounded tuning: a trip mid-sweep reverts to the entry tuning so
+  // (tuning, values, cost) stay mutually consistent without spending further
+  // testbenches on the final refresh. The candidate survives untuned.
+  const extract::TuningMap entry_tuning = candidate.tuning;
+  auto budget_tripped = [&]() {
+    if (budget_ == nullptr || !budget_->check()) return false;
+    candidate.tuning = entry_tuning;
+    obs::counter_add("budget.truncations");
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "optimizer",
+                    candidate.layout.netlist.name,
+                    budget_->description() +
+                        "; tuning sweep abandoned, keeping entry tuning");
+    }
+    return true;
+  };
+
   if (!lib.terminals_correlated || lib.tuning_terminals.size() == 1) {
     // Optimize terminals separately (Algorithm 1 line 10).
     for (const std::string& terminal : lib.tuning_terminals) {
       std::vector<double> curve;
       for (int w = 1; w <= max_wires; ++w) {
+        if (budget_tripped()) return;
         extract::TuningMap tuning = candidate.tuning;
         tuning[terminal] = w;
         curve.push_back(cost_at(tuning).first);
@@ -153,6 +201,7 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
     extract::TuningMap best_tuning = candidate.tuning;
     for (int w0 = 1; w0 <= max_wires; ++w0) {
       for (int w1 = 1; w1 <= max_wires; ++w1) {
+        if (budget_tripped()) return;
         extract::TuningMap tuning = candidate.tuning;
         tuning[lib.tuning_terminals[0]] = w0;
         tuning[lib.tuning_terminals[1]] = w1;
@@ -238,9 +287,21 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::optimize(
     return {all[best_area]};
   }
 
-  // Tune each selected candidate (Algorithm 1 lines 8-15).
-  for (LayoutCandidate& cand : selected) {
-    tune(cand, options.max_tuning_wires);
+  // Tune each selected candidate (Algorithm 1 lines 8-15). On budget
+  // exhaustion the remaining candidates keep their untuned selection result —
+  // still evaluated, still valid options for placement.
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    if (budget_ != nullptr && budget_->check()) {
+      obs::counter_add("budget.truncations");
+      if (diag_) {
+        diag_->report(DiagSeverity::kWarning, "optimizer", netlist.name,
+                      budget_->description() + "; tuned " + std::to_string(k) +
+                          " of " + std::to_string(selected.size()) +
+                          " selected candidates");
+      }
+      break;
+    }
+    tune(selected[k], options.max_tuning_wires);
   }
   std::sort(selected.begin(), selected.end(),
             [](const LayoutCandidate& a, const LayoutCandidate& b) {

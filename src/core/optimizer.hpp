@@ -20,6 +20,7 @@
 #include "pcell/generator.hpp"
 
 namespace olp {
+class Budget;
 class DiagnosticsSink;
 }
 
@@ -53,10 +54,17 @@ class PrimitiveOptimizer {
  public:
   /// `diagnostics` (optional, may be null) receives records for quarantined
   /// candidates and fallback selections; the sink must outlive the optimizer.
+  /// `budget` (optional, may be null) bounds candidate enumeration and tuning
+  /// sweeps: on exhaustion the optimizer keeps the candidates evaluated and
+  /// tuned so far instead of completing the search.
   PrimitiveOptimizer(const pcell::PrimitiveGenerator& generator,
                      const PrimitiveEvaluator& evaluator,
-                     DiagnosticsSink* diagnostics = nullptr)
-      : generator_(generator), evaluator_(evaluator), diag_(diagnostics) {}
+                     DiagnosticsSink* diagnostics = nullptr,
+                     Budget* budget = nullptr)
+      : generator_(generator),
+        evaluator_(evaluator),
+        diag_(diagnostics),
+        budget_(budget) {}
 
   /// Step 1 only: evaluate every configuration and assign bins. Returned in
   /// enumeration order; used directly by the Table III bench.
@@ -92,6 +100,7 @@ class PrimitiveOptimizer {
   const pcell::PrimitiveGenerator& generator_;
   const PrimitiveEvaluator& evaluator_;
   DiagnosticsSink* diag_ = nullptr;
+  Budget* budget_ = nullptr;
 };
 
 /// Assigns aspect-ratio bins: the log-aspect range of the candidates is cut

@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "util/budget.hpp"
+#include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
@@ -101,20 +103,40 @@ std::vector<PortConstraint> PortOptimizer::generate_constraints(
   for (const PortRoute& pr : primitive.routes) nets.insert(pr.circuit_net);
 
   std::vector<PortConstraint> constraints;
+  bool truncated = false;
   for (const std::string& net : nets) {
     std::vector<double> curve;
     for (int w = 1; w <= options_.max_wires; ++w) {
+      // Budget-bounded sweep: the prefix explored so far still yields a
+      // valid constraint (plateau over the explored range).
+      if (budget_ != nullptr && budget_->check()) {
+        truncated = true;
+        break;
+      }
       std::map<std::string, int> net_wires;
       net_wires[net] = w;  // other nets at their single-route default
       obs::counter_add("portopt.sweep_points");
       curve.push_back(primitive_cost(primitive, net_wires));
     }
+    // Exhausted before any sweep point: no constraint for this net; the
+    // realization falls back to the single-route default.
+    if (curve.empty()) continue;
     PortConstraint pc;
     pc.instance = primitive.instance;
     pc.circuit_net = net;
     pc.interval = interval_from_curve(curve, options_.plateau_tolerance);
     pc.cost_curve = std::move(curve);
     constraints.push_back(std::move(pc));
+  }
+  if (truncated) {
+    obs::counter_add("budget.truncations");
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "portopt", primitive.instance,
+                    budget_->description() + "; port-wire sweep truncated, " +
+                        std::to_string(constraints.size()) + " of " +
+                        std::to_string(nets.size()) +
+                        " nets constrained from explored prefixes");
+    }
   }
   return constraints;
 }
@@ -150,6 +172,18 @@ std::vector<NetWireDecision> PortOptimizer::reconcile(
       double best_cost = std::numeric_limits<double>::infinity();
       int best_w = rec.gap_lo;
       for (int w = rec.gap_lo; w <= rec.gap_hi; ++w) {
+        // Budget-bounded gap re-simulation: keep the best count found so
+        // far (best_w starts at the feasible gap_lo).
+        if (budget_ != nullptr && budget_->check()) {
+          obs::counter_add("budget.truncations");
+          if (diag_) {
+            diag_->report(DiagSeverity::kWarning, "portopt", net,
+                          budget_->description() +
+                              "; gap re-simulation truncated at w=" +
+                              std::to_string(w));
+          }
+          break;
+        }
         double total = 0.0;
         for (const PortOptPrimitive& prim : primitives) {
           bool touches = false;

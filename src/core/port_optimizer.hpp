@@ -73,6 +73,16 @@ class PortOptimizer {
                          PortOptimizerOptions options = {})
       : tech_(technology), options_(options) {}
 
+  /// Attaches a diagnostics sink (may be null); receives budget-truncation
+  /// records. The sink must outlive the optimizer.
+  void set_diagnostics(DiagnosticsSink* sink) { diag_ = sink; }
+
+  /// Attaches an execution budget (may be null). Exhaustion truncates the
+  /// per-net wire sweeps and gap re-simulations: explored sweep prefixes
+  /// still yield constraints (plateau over the explored range), unexplored
+  /// nets fall back to the single-route default downstream.
+  void set_budget(Budget* budget) { budget_ = budget; }
+
   /// Step 1: constraint generation for one primitive. Sweeps all its ports
   /// together per net (a net may touch several ports of one primitive).
   std::vector<PortConstraint> generate_constraints(
@@ -93,6 +103,8 @@ class PortOptimizer {
 
   const tech::Technology& tech_;
   PortOptimizerOptions options_;
+  DiagnosticsSink* diag_ = nullptr;
+  Budget* budget_ = nullptr;
 };
 
 /// Extracts [w_min, w_max] from a cost-vs-wires curve per the plateau rule.

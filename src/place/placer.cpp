@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/budget.hpp"
 #include "util/error.hpp"
 
 namespace olp::place {
@@ -190,6 +191,10 @@ PlacementResult AnnealingPlacer::place(
   double temp = options_.initial_temp *
                 std::max(current.cost, 1e-18);
   for (int it = 0; it < options_.iterations; ++it) {
+    // Budget-bounded annealing: stop early with the best placement so far
+    // (the initial packing was evaluated before the loop, so `best` is
+    // always a complete, packable candidate).
+    if (options_.budget != nullptr && options_.budget->check()) break;
     std::vector<int> new_pos = pos, new_neg = neg;
     std::vector<bool> new_mirror = mirrored;
     const int move = rng.uniform_int(0, 2);

@@ -16,6 +16,10 @@
 #include "geom/layout.hpp"
 #include "util/rng.hpp"
 
+namespace olp {
+class Budget;
+}
+
 namespace olp::place {
 
 /// A block to place (a primitive layout abstract).
@@ -66,6 +70,10 @@ struct PlacerOptions {
   double hpwl_weight = 0.5;
   double symmetry_weight = 4.0;
   std::uint64_t seed = 1;
+  /// Optional execution budget (not owned, may be null). Exhaustion stops
+  /// the annealing loop early; the best placement found so far (at least the
+  /// initial packing, evaluated before the loop) is returned.
+  Budget* budget = nullptr;
 };
 
 /// Sequence-pair placer.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "util/budget.hpp"
 #include "util/diag.hpp"
 #include "util/error.hpp"
 #include "util/faults.hpp"
@@ -70,6 +71,11 @@ void GlobalRouter::set_diagnostics(DiagnosticsSink* sink) {
   if (fallback_) fallback_->set_diagnostics(sink);
 }
 
+void GlobalRouter::set_budget(Budget* budget) {
+  budget_ = budget;
+  if (fallback_) fallback_->set_budget(budget);
+}
+
 NetRoute GlobalRouter::route(const std::string& net_name,
                              const std::vector<geom::Point>& pins) {
   NetRoute result;
@@ -120,6 +126,19 @@ NetRoute GlobalRouter::route(const std::string& net_name,
   };
 
   for (std::size_t p = 1; p < pins.size(); ++p) {
+    // Budget-bounded tree growth: a partial tree is not a usable route (not
+    // all pins connected), so the whole net degrades to routed=false.
+    if (budget_ != nullptr && budget_->check()) {
+      if (diag_) {
+        diag_->report(DiagSeverity::kWarning, "router", net_name,
+                      budget_->description() + "; net abandoned after " +
+                          std::to_string(p - 1) + " of " +
+                          std::to_string(pins.size() - 1) +
+                          " pin connections");
+      }
+      result.routed = false;
+      return result;
+    }
     const auto [sx, sy] = snap(pins[p]);
     // Dijkstra from the pin to any tree node.
     std::vector<double> dist(static_cast<std::size_t>(total_nodes),
@@ -265,6 +284,18 @@ NetRoute GlobalRouter::route_with_fallback(const std::string& net_name,
     if (diag_) {
       diag_->report(DiagSeverity::kError, "router", net_name,
                     "unrouted and layer window already maximal; giving up");
+    }
+    return primary;
+  }
+  // Budget-bounded retry: exhaustion skips the widened-layer fallback; the
+  // net stays unrouted and the flow degrades it downstream.
+  if (budget_ != nullptr && budget_->check()) {
+    obs::counter_add("router.unrouted");
+    obs::counter_add("budget.truncations");
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "router", net_name,
+                    budget_->description() +
+                        "; skipping widened-layer retry, net stays unrouted");
     }
     return primary;
   }

@@ -21,6 +21,7 @@
 #include "tech/technology.hpp"
 
 namespace olp {
+class Budget;
 class DiagnosticsSink;
 }
 
@@ -85,6 +86,11 @@ class GlobalRouter {
   /// outlive the router.
   void set_diagnostics(DiagnosticsSink* sink);
 
+  /// Attaches an execution budget (may be null to detach). Exhaustion stops
+  /// per-pin tree growth (the net is reported routed=false) and skips the
+  /// widened-layer fallback retry.
+  void set_budget(Budget* budget);
+
   /// Fraction of edges at or above capacity.
   double congestion_ratio() const;
 
@@ -111,6 +117,7 @@ class GlobalRouter {
   std::vector<int> usage_x_;
   std::vector<int> usage_y_;
   DiagnosticsSink* diag_ = nullptr;
+  Budget* budget_ = nullptr;
   /// Lazily created widened-layer-window router for route_with_fallback.
   std::unique_ptr<GlobalRouter> fallback_;
 };

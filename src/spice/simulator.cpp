@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/lu.hpp"
+#include "util/budget.hpp"
 #include "util/diag.hpp"
 #include "util/faults.hpp"
 #include "util/logging.hpp"
@@ -16,8 +17,9 @@ SimStats& SimStats::global() {
   return stats;
 }
 
-Simulator::Simulator(const Circuit& circuit, DiagnosticsSink* diagnostics)
-    : circuit_(circuit), diag_(diagnostics) {
+Simulator::Simulator(const Circuit& circuit, DiagnosticsSink* diagnostics,
+                     Budget* budget)
+    : circuit_(circuit), diag_(diagnostics), budget_(budget) {
   caps_ = gather_caps();
 }
 
@@ -205,6 +207,8 @@ OpResult Simulator::newton_dc(const OpOptions& options, double gmin,
 
   OpResult result;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Budget-bounded Newton: unwind with the current (non-converged) state.
+    if (budget_ != nullptr && budget_->check()) break;
     a.set_zero();
     std::fill(b.begin(), b.end(), 0.0);
     stamp_linear(a);
@@ -278,6 +282,8 @@ OpResult Simulator::op_impl(const OpOptions& options) const {
   // Stage 1: plain Newton from the provided guess.
   OpResult r = newton_dc(options, 0.0, 1.0, options.initial_guess);
   if (r.converged) return r;
+  // Budget exhausted: skip the continuation ladder, return what we have.
+  if (budget_ != nullptr && budget_->check()) return r;
 
   // Stage 2: gmin stepping — solve with a large conductance to ground, then
   // relax it while warm-starting each solve from the previous one.
@@ -294,7 +300,9 @@ OpResult Simulator::op_impl(const OpOptions& options) const {
   if (chain_ok) {
     OpResult final_stage = newton_dc(options, 0.0, 1.0, warm);
     if (final_stage.converged) return final_stage;
+    r = final_stage;
   }
+  if (budget_ != nullptr && budget_->check()) return r;
 
   // Stage 3: source stepping — ramp all independent sources from zero.
   warm.assign(static_cast<std::size_t>(n_unknowns()), 0.0);
@@ -324,6 +332,12 @@ std::vector<std::vector<double>> Simulator::dc_sweep(
   solutions.reserve(values.size());
   OpOptions opts = options;
   for (double v : values) {
+    // Budget-bounded sweep: remaining points degrade to "non-converged"
+    // (empty) so the result keeps its one-entry-per-value contract.
+    if (budget_ != nullptr && budget_->check()) {
+      solutions.emplace_back();
+      continue;
+    }
     src.wave = Waveform::dc(v);
     const OpResult op = this->op(opts);
     if (op.converged) {
@@ -468,7 +482,9 @@ TranResult Simulator::tran(const TranOptions& options) const {
   // each attempt. Engages only when an attempt reports ok=false, so flows
   // whose transients converge first try are unaffected.
   TranOptions retry = options;
-  for (int attempt = 1; attempt <= options.max_retries && !r.ok; ++attempt) {
+  for (int attempt = 1; attempt <= options.max_retries && !r.ok &&
+                        !(budget_ != nullptr && budget_->check());
+       ++attempt) {
     retry.backward_euler = true;
     retry.dt *= 0.5;
     obs::counter_add("sim.tran.retries");
@@ -621,6 +637,12 @@ TranResult Simulator::tran_attempt(const TranOptions& options) const {
 
   long recorded = 0;
   for (long step = 1; step <= steps; ++step) {
+    // Budget-bounded timestepping: a truncated transient is reported as
+    // ok=false so callers degrade instead of trusting partial waveforms.
+    if (budget_ != nullptr && budget_->check()) {
+      result.ok = false;
+      return result;
+    }
     const double t = static_cast<double>(step) * h;
     // First step uses backward Euler (no valid cap-current history yet).
     const bool trapezoidal = !options.backward_euler && step > 1;

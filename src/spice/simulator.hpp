@@ -16,6 +16,7 @@
 #include "spice/circuit.hpp"
 
 namespace olp {
+class Budget;
 class DiagnosticsSink;
 }
 
@@ -99,9 +100,12 @@ class Simulator {
  public:
   /// `diagnostics` (optional, may be null) receives structured records for
   /// recoverable failures and engaged fallbacks; the sink must outlive the
-  /// simulator.
+  /// simulator. `budget` (optional, may be null) bounds the Newton/timestep
+  /// loops: when it reports exhaustion the analysis returns its current
+  /// (non-converged) state instead of iterating further.
   explicit Simulator(const Circuit& circuit,
-                     DiagnosticsSink* diagnostics = nullptr);
+                     DiagnosticsSink* diagnostics = nullptr,
+                     Budget* budget = nullptr);
 
   /// DC operating point with robust continuation (plain Newton, then gmin
   /// stepping, then source stepping).
@@ -181,6 +185,7 @@ class Simulator {
   const Circuit& circuit_;
   std::vector<LinearCap> caps_;
   DiagnosticsSink* diag_ = nullptr;
+  Budget* budget_ = nullptr;
 };
 
 }  // namespace olp::spice

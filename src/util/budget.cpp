@@ -1,0 +1,174 @@
+#include "util/budget.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/faults.hpp"
+#include "util/obs.hpp"
+
+namespace olp {
+namespace {
+
+// Parses a strictly numeric environment variable; returns fallback when the
+// variable is unset, empty, or has trailing garbage.
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+}  // namespace
+
+const char* budget_kind_name(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::kNone:
+      return "none";
+    case BudgetKind::kDeadline:
+      return "deadline";
+    case BudgetKind::kTestbenches:
+      return "testbenches";
+    case BudgetKind::kChecks:
+      return "checks";
+    case BudgetKind::kCancelled:
+      return "cancelled";
+    case BudgetKind::kInjected:
+      return "injected";
+  }
+  return "unknown";
+}
+
+BudgetOptions budget_options_from_env(BudgetOptions base) {
+  const double deadline_ms = env_double("OLP_DEADLINE_MS", -1.0);
+  if (deadline_ms >= 0.0) base.deadline_s = deadline_ms / 1000.0;
+  const double benches = env_double("OLP_TESTBENCH_BUDGET", -1.0);
+  if (benches >= 0.0) base.max_testbenches = static_cast<long>(benches);
+  return base;
+}
+
+std::string BudgetStatus::to_string() const {
+  std::ostringstream os;
+  os << "budget{";
+  if (!limited) {
+    os << "unlimited";
+  } else {
+    bool first = true;
+    auto sep = [&first, &os]() {
+      if (!first) os << ", ";
+      first = false;
+    };
+    if (deadline_s > 0.0) {
+      sep();
+      os << "deadline " << deadline_s << " s";
+    }
+    if (testbench_limit >= 0) {
+      sep();
+      os << "testbenches " << testbench_limit;
+    }
+    if (check_limit >= 0) {
+      sep();
+      os << "checks " << check_limit;
+    }
+  }
+  os << "; elapsed " << elapsed_s << " s, testbenches "
+     << testbenches_consumed << ", checks " << checks;
+  if (exhausted) os << "; exhausted by " << budget_kind_name(tripped);
+  os << "}";
+  return os.str();
+}
+
+bool Budget::check() {
+  ++checks_;
+  if (exhausted_.load(std::memory_order_relaxed)) return true;
+  if (FaultInjector::global().should_fail(FaultSite::kBudgetExhaustion)) {
+    trip(BudgetKind::kInjected);
+  } else if (cancel_requested_.load(std::memory_order_relaxed)) {
+    trip(BudgetKind::kCancelled);
+  } else if (opt_.max_checks >= 0 && checks_ > opt_.max_checks) {
+    trip(BudgetKind::kChecks);
+  } else if (opt_.max_testbenches >= 0 &&
+             testbenches_ >= opt_.max_testbenches) {
+    trip(BudgetKind::kTestbenches);
+  } else if (opt_.deadline_s > 0.0 && stopwatch_.seconds() >= opt_.deadline_s) {
+    trip(BudgetKind::kDeadline);
+  }
+  return exhausted_.load(std::memory_order_relaxed);
+}
+
+void Budget::trip(BudgetKind kind) {
+  tripped_ = kind;
+  exhausted_.store(true, std::memory_order_relaxed);
+}
+
+double Budget::remaining_s() const {
+  if (opt_.deadline_s <= 0.0) return std::numeric_limits<double>::infinity();
+  const double left = opt_.deadline_s - stopwatch_.seconds();
+  return left > 0.0 ? left : 0.0;
+}
+
+long Budget::remaining_testbenches() const {
+  if (opt_.max_testbenches < 0) return -1;
+  const long left = opt_.max_testbenches - testbenches_;
+  return left > 0 ? left : 0;
+}
+
+BudgetStatus Budget::status() const {
+  BudgetStatus s;
+  s.limited = limited();
+  s.exhausted = exhausted();
+  s.tripped = tripped_;
+  s.elapsed_s = stopwatch_.seconds();
+  s.deadline_s = opt_.deadline_s > 0.0 ? opt_.deadline_s : 0.0;
+  s.testbenches_consumed = testbenches_;
+  s.testbench_limit = opt_.max_testbenches >= 0 ? opt_.max_testbenches : -1;
+  s.checks = checks_;
+  s.check_limit = opt_.max_checks >= 0 ? opt_.max_checks : -1;
+  return s;
+}
+
+std::string Budget::description() const {
+  std::ostringstream os;
+  switch (tripped_) {
+    case BudgetKind::kNone:
+      os << "budget not exhausted";
+      break;
+    case BudgetKind::kDeadline:
+      os << "deadline budget exhausted (" << opt_.deadline_s << " s limit, "
+         << stopwatch_.seconds() << " s elapsed)";
+      break;
+    case BudgetKind::kTestbenches:
+      os << "testbench budget exhausted (" << opt_.max_testbenches
+         << " limit, " << testbenches_ << " consumed)";
+      break;
+    case BudgetKind::kChecks:
+      os << "check budget exhausted (" << opt_.max_checks << " limit, "
+         << checks_ << " consumed)";
+      break;
+    case BudgetKind::kCancelled:
+      os << "execution cancelled";
+      break;
+    case BudgetKind::kInjected:
+      os << "budget exhaustion injected (chaos site \"budget\")";
+      break;
+  }
+  return os.str();
+}
+
+void BudgetObserver::stage_boundary(const char* checks_counter) {
+  const long checks = budget_.checks();
+  obs::counter_add(checks_counter, checks - last_checks_);
+  last_checks_ = checks;
+  const BudgetOptions& opt = budget_.options();
+  if (opt.deadline_s > 0.0) {
+    obs::record("budget.remaining_s", budget_.remaining_s());
+  }
+  if (opt.max_testbenches >= 0) {
+    obs::record("budget.remaining_testbenches",
+                static_cast<double>(budget_.remaining_testbenches()));
+  }
+}
+
+}  // namespace olp

@@ -1,0 +1,179 @@
+#pragma once
+// Deadline- and budget-bounded flow execution.
+//
+// A Budget is a cooperative execution bound carried through the layout flow:
+// a wall-clock deadline (monotonic, steady_clock), a testbench-count budget,
+// a deterministic check-count budget ("fuel", mainly for tests), and an
+// explicit cancellation flag. Every major loop in the flow — optimizer
+// candidate enumeration and tuning sweeps, placer annealing iterations,
+// per-net routing, port-optimizer sweeps, simulator Newton/timestep loops —
+// probes the handle via Budget::check() and, once the budget is exhausted,
+// unwinds keeping its best-so-far result instead of throwing work away.
+//
+// Exhaustion is sticky: once any dimension trips, every later check() returns
+// true, so all downstream stages degrade to their cheapest salvage path and
+// the flow terminates promptly. When no limit is configured (and chaos
+// injection is off) check() never trips and feeds nothing back into flow
+// decisions, so a budgeted-but-unlimited run is bit-identical to an
+// unbudgeted one.
+//
+// Chaos composition: each check() draws at FaultSite::kBudgetExhaustion, so
+// tests can force exhaustion deterministically at any check site without a
+// real deadline (see util/faults.hpp).
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace olp {
+
+// All flow timing (deadline math, FlowReport::runtime_s) goes through this
+// single monotonic source; it must never go backwards under wall-clock
+// adjustment.
+using BudgetClock = std::chrono::steady_clock;
+static_assert(BudgetClock::is_steady,
+              "flow deadlines and runtimes require a monotonic clock");
+
+/// Monotonic stopwatch: the one way flow code measures elapsed seconds.
+class MonotonicStopwatch {
+ public:
+  MonotonicStopwatch() : start_(BudgetClock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(BudgetClock::now() - start_).count();
+  }
+
+ private:
+  BudgetClock::time_point start_;
+};
+
+/// Which budget dimension tripped first.
+enum class BudgetKind : int {
+  kNone = 0,         ///< not exhausted
+  kDeadline = 1,     ///< wall-clock deadline exceeded
+  kTestbenches = 2,  ///< testbench-count budget consumed
+  kChecks = 3,       ///< check-count ("fuel") budget consumed
+  kCancelled = 4,    ///< explicit cancel() request
+  kInjected = 5,     ///< chaos-injected exhaustion (FaultSite::kBudgetExhaustion)
+};
+
+/// Short kind name: "none", "deadline", "testbenches", "checks",
+/// "cancelled", "injected".
+const char* budget_kind_name(BudgetKind kind);
+
+/// Configured limits. Every dimension defaults to unlimited.
+struct BudgetOptions {
+  /// Wall-clock deadline in seconds; <= 0 means no deadline.
+  double deadline_s = 0.0;
+  /// Maximum testbench evaluations; < 0 means unlimited.
+  long max_testbenches = -1;
+  /// Maximum Budget::check() probes; < 0 means unlimited. Deterministic
+  /// "fuel" dimension: same inputs consume the same number of checks, so
+  /// tests can land exhaustion at an exact flow position.
+  long max_checks = -1;
+
+  bool limited() const {
+    return deadline_s > 0.0 || max_testbenches >= 0 || max_checks >= 0;
+  }
+};
+
+/// Applies OLP_DEADLINE_MS / OLP_TESTBENCH_BUDGET environment overrides on
+/// top of `base`. Unset or non-numeric variables leave `base` untouched.
+BudgetOptions budget_options_from_env(BudgetOptions base = {});
+
+/// Point-in-time consumption snapshot, reported on FlowReport::budget.
+struct BudgetStatus {
+  bool limited = false;
+  bool exhausted = false;
+  BudgetKind tripped = BudgetKind::kNone;
+  double elapsed_s = 0.0;
+  double deadline_s = 0.0;        ///< 0 when no deadline configured
+  long testbenches_consumed = 0;
+  long testbench_limit = -1;      ///< -1 when unlimited
+  long checks = 0;
+  long check_limit = -1;          ///< -1 when unlimited
+
+  std::string to_string() const;
+};
+
+/// The budget handle threaded through the flow. Single-threaded consumption;
+/// cancel() alone may be called from another thread (cooperative
+/// cancellation).
+class Budget {
+ public:
+  /// Unlimited budget: check() never trips (unless chaos injects).
+  Budget() : Budget(BudgetOptions{}) {}
+  explicit Budget(const BudgetOptions& options) : opt_(options) {}
+
+  /// True when any dimension has a configured limit.
+  bool limited() const { return opt_.limited(); }
+
+  /// The cheap per-loop probe. Returns true when the budget is exhausted and
+  /// the caller should unwind with its best-so-far result. Sticky: stays
+  /// true forever after the first trip.
+  bool check();
+
+  /// True once any dimension tripped. Does not consume a check.
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// The dimension that tripped first (kNone while not exhausted).
+  BudgetKind tripped() const { return tripped_; }
+
+  /// Cooperative cancellation; takes effect at the next check(). Safe to
+  /// call from another thread.
+  void cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Records testbench evaluations against the testbench budget. The limit
+  /// itself is enforced at the next check(), so an in-flight testbench
+  /// always completes (exhaustion overshoots by at most one evaluation).
+  void consume_testbench(long n = 1) { testbenches_ += n; }
+
+  double elapsed_s() const { return stopwatch_.seconds(); }
+  /// Seconds until the deadline (clamped at 0); +infinity when no deadline.
+  double remaining_s() const;
+  long testbenches_consumed() const { return testbenches_; }
+  /// Testbenches until the budget (clamped at 0); -1 when unlimited.
+  long remaining_testbenches() const;
+  long checks() const { return checks_; }
+  const BudgetOptions& options() const { return opt_; }
+
+  BudgetStatus status() const;
+
+  /// Human-readable description of the tripped budget, for diagnostics:
+  /// e.g. "deadline budget exhausted (0.050 s limit, 0.052 s elapsed)".
+  std::string description() const;
+
+ private:
+  void trip(BudgetKind kind);
+
+  BudgetOptions opt_;
+  MonotonicStopwatch stopwatch_;
+  long testbenches_ = 0;
+  long checks_ = 0;
+  std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> exhausted_{false};
+  BudgetKind tripped_ = BudgetKind::kNone;
+};
+
+/// Emits per-stage budget observability at flow stage boundaries:
+///   - counter `checks_counter` += check() probes since the last boundary
+///     (e.g. "budget.checks.placement"), the deterministic per-stage cost
+///     used by tests to target exhaustion at an exact stage;
+///   - distribution "budget.remaining_s" (when a deadline is configured);
+///   - distribution "budget.remaining_testbenches" (when a testbench budget
+///     is configured).
+/// All emissions go through util/obs and are no-ops when the registry is
+/// disabled.
+class BudgetObserver {
+ public:
+  explicit BudgetObserver(const Budget& budget) : budget_(budget) {}
+
+  void stage_boundary(const char* checks_counter);
+
+ private:
+  const Budget& budget_;
+  long last_checks_ = 0;
+};
+
+}  // namespace olp

@@ -33,6 +33,8 @@ const char* fault_site_name(FaultSite site) {
       return "route";
     case FaultSite::kNanMetric:
       return "nan_metric";
+    case FaultSite::kBudgetExhaustion:
+      return "budget";
   }
   return "unknown";
 }
@@ -47,6 +49,8 @@ double FaultConfig::rate(FaultSite site) const {
       return route_rate;
     case FaultSite::kNanMetric:
       return nan_metric_rate;
+    case FaultSite::kBudgetExhaustion:
+      return budget_rate;
   }
   return 0.0;
 }
@@ -60,7 +64,8 @@ void FaultInjector::enable(const FaultConfig& config) {
   OLP_CHECK(config.op_rate >= 0.0 && config.op_rate <= 1.0 &&
                 config.tran_rate >= 0.0 && config.tran_rate <= 1.0 &&
                 config.route_rate >= 0.0 && config.route_rate <= 1.0 &&
-                config.nan_metric_rate >= 0.0 && config.nan_metric_rate <= 1.0,
+                config.nan_metric_rate >= 0.0 && config.nan_metric_rate <= 1.0 &&
+                config.budget_rate >= 0.0 && config.budget_rate <= 1.0,
             "fault rates must be in [0, 1]");
   config_ = config;
   enabled_ = true;

@@ -21,11 +21,12 @@ enum class FaultSite : int {
   kTranNonConvergence = 1, ///< Simulator::tran attempt reports ok=false
   kRouteFailure = 2,       ///< GlobalRouter::route reports routed=false
   kNanMetric = 3,          ///< PrimitiveEvaluator emits a NaN metric
+  kBudgetExhaustion = 4,   ///< Budget::check() trips (BudgetKind::kInjected)
 };
 
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 5;
 
-/// Short site name: "op", "tran", "route", "nan_metric".
+/// Short site name: "op", "tran", "route", "nan_metric", "budget".
 const char* fault_site_name(FaultSite site);
 
 /// Per-site fault probabilities plus determinism controls.
@@ -35,6 +36,7 @@ struct FaultConfig {
   double tran_rate = 0.0;
   double route_rate = 0.0;
   double nan_metric_rate = 0.0;
+  double budget_rate = 0.0;
   /// Stop firing after this many total faults (-1 = unlimited).
   long max_total_fires = -1;
   /// The first N draws at each site never fire — lets a test skip reference

@@ -4,13 +4,16 @@
 #include <chrono>
 #include <cmath>
 
+#include "util/budget.hpp"
+
 namespace olp::obs {
 
 namespace {
 
 std::int64_t steady_now_us() {
+  // Span timestamps share the flow's one monotonic source (util/budget).
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             BudgetClock::now().time_since_epoch())
       .count();
 }
 

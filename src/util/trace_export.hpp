@@ -34,6 +34,23 @@ struct StageTiming {
   long spans = 0;         ///< number of span occurrences merged
 };
 
+/// Execution-budget consumption view, derived from the "budget.*" counter
+/// family the flow emits at the end of each run (util/budget). All zeros /
+/// "none" when the run carried no budget instrumentation.
+struct BudgetTelemetry {
+  bool limited = false;     ///< a deadline/testbench/check limit was set
+  bool exhausted = false;   ///< the budget tripped during the run
+  std::string tripped = "none";  ///< BudgetKind name that tripped first
+  long checks = 0;               ///< total Budget::check() calls
+  long testbenches_consumed = 0;
+  long testbench_limit = -1;     ///< -1 = unlimited
+  long check_limit = -1;         ///< -1 = unlimited
+  double deadline_s = 0.0;       ///< 0 = no deadline
+  double elapsed_s = 0.0;        ///< budget clock at end of run
+  long truncations = 0;          ///< loops cut short ("budget.truncations")
+  long stages_degraded = 0;      ///< stages reporting exhaustion at boundary
+};
+
 /// Machine-readable flow telemetry: what FlowReport carries when the
 /// registry is enabled during a flow run.
 struct FlowTelemetry {
@@ -44,6 +61,7 @@ struct FlowTelemetry {
   /// sites that feed FlowReport::testbenches, so the two cannot disagree.
   long simulations = 0;
   std::vector<StageTiming> stages;  ///< spans one level under the root
+  BudgetTelemetry budget;   ///< execution-budget consumption for this run
   Snapshot snapshot;        ///< full raw data (spans/counters/distributions)
 };
 

@@ -87,6 +87,66 @@ TEST_P(ChaosFlow, OtaFlowSurvivesInjectedFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, ChaosFlow, ::testing::Values(0.03, 0.10));
 
+class ChaosWithBudget : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosWithBudget, FaultsComposeWithTightBudget) {
+  // Chaos injection at every site (including injected budget exhaustion)
+  // combined with a tight testbench budget: the flow must never crash, hang,
+  // or produce an inconsistent report, across seeds.
+  set_log_level(LogLevel::kOff);
+  circuits::Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+
+  circuits::FlowOptions fopt;
+  fopt.budget_limits.max_testbenches = 60;
+  const circuits::FlowEngine engine(t(), fopt);
+
+  FaultConfig config;
+  config.seed = GetParam();
+  config.op_rate = 0.05;
+  config.tran_rate = 0.05;
+  config.route_rate = 0.05;
+  config.nan_metric_rate = 0.05;
+  config.budget_rate = 0.02;
+
+  circuits::FlowReport report;
+  circuits::Realization real;
+  {
+    ScopedFaultInjection chaos(config);
+    ASSERT_NO_THROW(real = engine.optimize(ota.instances(), ota.routed_nets(),
+                                           &report));
+  }
+  set_log_level(LogLevel::kWarn);
+
+  // Structurally complete realization regardless of what fired.
+  for (const circuits::InstanceSpec& inst : ota.instances()) {
+    EXPECT_TRUE(real.layouts.count(inst.name)) << inst.name;
+  }
+  for (const auto& [name, options] : report.options) {
+    ASSERT_FALSE(options.empty()) << name;
+    for (const core::LayoutCandidate& cand : options) {
+      EXPECT_TRUE(std::isfinite(cand.cost.total)) << name;
+    }
+    ASSERT_TRUE(report.chosen_option.count(name)) << name;
+  }
+  // Budget accounting stays consistent: whatever tripped, the status report
+  // and the degraded flag agree with the diagnostics.
+  EXPECT_LE(report.budget.testbenches_consumed, 60 + 8);
+  if (report.budget.exhausted) {
+    EXPECT_NE(report.budget.tripped, BudgetKind::kNone);
+    EXPECT_TRUE(report.degraded);
+    bool has_budget_diag = false;
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.stage == "budget") has_budget_diag = true;
+    }
+    EXPECT_TRUE(has_budget_diag);
+  }
+  if (report.degraded) EXPECT_FALSE(report.diagnostics.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosWithBudget,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
 TEST(Chaos, CleanRunReportsNothing) {
   // With injection disabled (the default), the flow reports no diagnostics
   // and no degradation on the healthy OTA.
