@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 
+#include "core/eval_cache.hpp"
 #include "geom/svg.hpp"
 #include "route/realize.hpp"
 #include "util/budget.hpp"
@@ -178,10 +180,27 @@ void report_unrouted_nets(DiagnosticsSink& sink,
   }
 }
 
+/// OLP_EVAL_CACHE environment override: "0" (or empty) disables, anything
+/// else enables; unset leaves the configured value.
+bool eval_cache_from_env(bool base) {
+  const char* env = std::getenv("OLP_EVAL_CACHE");
+  if (env == nullptr || *env == '\0') return base;
+  return env[0] != '0';
+}
+
 }  // namespace
 
 FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
-    : tech_(technology), options_(options) {}
+    : tech_(technology), options_(options) {
+  options_.num_threads = threads_from_env(options_.num_threads);
+  options_.eval_cache = eval_cache_from_env(options_.eval_cache);
+}
+
+TaskPool* FlowEngine::pool() const {
+  if (options_.num_threads <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<TaskPool>(options_.num_threads);
+  return pool_.get();
+}
 
 core::PrimitiveEvaluator FlowEngine::make_evaluator(
     const InstanceSpec& inst) const {
@@ -327,14 +346,20 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   std::map<std::string, core::PrimitiveEvaluator*> eval_by_instance;
   const pcell::PrimitiveGenerator generator(tech_);
 
+  // Per-run memo cache (optional): shared by every evaluator of this run,
+  // most valuable for the repeated schematic references in tuning and port
+  // sweeps. Scoped to the run so cross-run state can never leak.
+  core::EvalCache eval_cache;
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
     eval->set_budget(budget);
+    if (options_.eval_cache) eval->set_cache(&eval_cache);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget,
+                                         pool());
       core::OptimizerOptions oopt;
       oopt.bins = options_.bins;
       oopt.max_tuning_wires = options_.max_tuning_wires;
@@ -442,6 +467,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   core::PortOptimizer port_opt(tech_, popt);
   port_opt.set_diagnostics(&sink);
   port_opt.set_budget(budget);
+  port_opt.set_pool(pool());
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
     core::PortOptPrimitive pop;
@@ -616,15 +642,18 @@ Realization FlowEngine::manual_oracle(
   std::map<std::string, core::LayoutCandidate> by_signature;
 
   obs::Span selection_span("selection");
+  core::EvalCache eval_cache;
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
     eval->set_budget(budget);
+    if (options_.eval_cache) eval->set_cache(&eval_cache);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     sig_of[inst.name] = sig;
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget);
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget,
+                                         pool());
       std::vector<core::LayoutCandidate> all =
           optimizer.evaluate_all(inst.netlist, inst.fins);
       std::sort(all.begin(), all.end(),
@@ -676,6 +705,7 @@ Realization FlowEngine::manual_oracle(
   core::PortOptimizer port_opt(tech_, popt);
   port_opt.set_diagnostics(&sink);
   port_opt.set_budget(budget);
+  port_opt.set_pool(pool());
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
     core::PortOptPrimitive pop;

@@ -24,6 +24,7 @@
 #include "route/global_router.hpp"
 #include "util/budget.hpp"
 #include "util/diag.hpp"
+#include "util/task_pool.hpp"
 #include "util/trace_export.hpp"
 
 namespace olp::circuits {
@@ -52,6 +53,17 @@ struct FlowOptions {
   /// can share one budget across runs or cancel a running flow from another
   /// thread via Budget::cancel().
   Budget* budget = nullptr;
+  /// Worker threads (including the caller) for primitive evaluation and
+  /// sweep parallelization. 1 (the default) runs the exact serial seed path
+  /// with no pool; 0 means one thread per hardware core. The OLP_THREADS
+  /// environment variable overrides at engine construction. Any value
+  /// produces bit-identical flow results (tests/test_determinism.cpp).
+  int num_threads = 1;
+  /// Memoize primitive evaluations in a per-run cache (results are
+  /// bit-identical either way; hits skip simulation, so testbench counts —
+  /// and chaos fault draws — differ from the uncached run, which is why the
+  /// default stays off). OLP_EVAL_CACHE=1/0 overrides at construction.
+  bool eval_cache = false;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.
@@ -130,8 +142,13 @@ class FlowEngine {
       const std::string& artifact_prefix = std::string(),
       Budget* budget = nullptr, BudgetObserver* budget_obs = nullptr) const;
 
+  /// Lazily built evaluation pool; null when num_threads == 1 so the serial
+  /// path never spawns threads (or draws pool chaos faults).
+  TaskPool* pool() const;
+
   const tech::Technology& tech_;
   FlowOptions options_;
+  mutable std::unique_ptr<TaskPool> pool_;
 };
 
 }  // namespace olp::circuits

@@ -1,0 +1,81 @@
+#pragma once
+// Memoizing cache for primitive testbench evaluations.
+//
+// Algorithm 1 tuning sweeps and Algorithm 2 port sweeps re-evaluate
+// near-identical conditions constantly — most expensively, the schematic
+// reference of a primitive is recomputed for every tuning sweep and every
+// port-sweep point. The cache memoizes MetricValues keyed by a canonical
+// text serialization of everything an evaluation depends on:
+//
+//   netlist identity (type, name, per-device connectivity/ratio/vth_offset)
+//   + layout configuration (nfin/nf/m/pattern/dummies)
+//   + EvalCondition (ideal flag, tuning map, port wire RCs, extra dvth)
+//   + BiasContext (vdd, port voltages, port loads, bias current)
+//   + model cards (every MosModel parameter of both flavors)
+//
+// Doubles are serialized with %.17g (round-trip exact), so two keys are
+// equal iff the evaluations are bit-identical — which is what makes cached
+// flows provably deterministic (see tests/test_determinism.cpp). The full
+// key string is the map key; the hash only selects a shard, so hash
+// collisions are benign by construction.
+//
+// Sharded and mutex-striped: concurrent TaskPool workers hit different
+// shards most of the time. Entries are only inserted for evaluations with
+// no quarantined metric (the evaluator enforces this), so diagnostics and
+// quarantine accounting stay identical with the cache on or off.
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace olp::core {
+
+struct EvalCacheStats {
+  long hits = 0;
+  long misses = 0;
+  long entries = 0;
+};
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t shards = 16);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Canonical key of one evaluation (see file comment for the fields).
+  static std::string make_key(const pcell::PrimitiveLayout& layout,
+                              const EvalCondition& condition,
+                              const BiasContext& bias,
+                              const spice::MosModel& nmos,
+                              const spice::MosModel& pmos);
+
+  /// Copies the cached metrics into *values and returns true on a hit.
+  /// Counts a hit/miss either way.
+  bool lookup(const std::string& key, MetricValues* values);
+
+  /// Inserts (first writer wins; a racing duplicate insert is a no-op —
+  /// both writers computed bit-identical values from the same key).
+  void insert(const std::string& key, const MetricValues& values);
+
+  EvalCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, MetricValues> map;
+  };
+  Shard& shard_for(const std::string& key);
+
+  std::vector<Shard> shards_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+};
+
+}  // namespace olp::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/eval_cache.hpp"
 #include "spice/measure.hpp"
 #include "spice/simulator.hpp"
 #include "util/budget.hpp"
@@ -107,7 +108,20 @@ void PrimitiveEvaluator::count_testbench() const {
 }
 
 MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
-                                          const EvalCondition& c) const {
+                                          const EvalCondition& c,
+                                          EvalOutcome* outcome) const {
+  if (outcome != nullptr) *outcome = EvalOutcome{};
+  std::string key;
+  if (cache_ != nullptr) {
+    key = EvalCache::make_key(layout, c, bias_, nmos_, pmos_);
+    MetricValues cached;
+    if (cache_->lookup(key, &cached)) {
+      obs::counter_add("eval.cache_hit");
+      if (outcome != nullptr) outcome->cache_hit = true;
+      return cached;
+    }
+    obs::counter_add("eval.cache_miss");
+  }
   obs::Span span("eval.evaluate",
                  [&] { return layout.netlist.name + (c.ideal ? " (sch)" : ""); });
   MetricValues out = evaluate_impl(layout, c);
@@ -121,8 +135,10 @@ MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
     out.begin()->second = std::numeric_limits<double>::quiet_NaN();
   }
   // Quarantine: never let a non-finite metric escape into cost arithmetic.
+  long quarantined_here = 0;
   for (auto& [kind, value] : out) {
     if (std::isfinite(value)) continue;
+    ++quarantined_here;
     ++stats_.quarantined;
     obs::counter_add("eval.quarantined");
     if (diag_) {
@@ -132,6 +148,11 @@ MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
     }
     value = 0.0;
   }
+  if (outcome != nullptr) outcome->quarantined = quarantined_here;
+  // Only clean evaluations are memoized: a cached quarantined result would
+  // swallow the quarantine diagnostic on replay, making cached and uncached
+  // flows observably different.
+  if (cache_ != nullptr && quarantined_here == 0) cache_->insert(key, out);
   return out;
 }
 

@@ -8,6 +8,7 @@
 // cheap circuit simulation. The same testbench runs in schematic mode
 // (no parasitics/LDE) to produce the reference values x_sch.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -25,6 +26,8 @@ class DiagnosticsSink;
 }
 
 namespace olp::core {
+
+class EvalCache;
 
 /// DC bias conditions and external loads for a primitive, taken from the
 /// circuit-level schematic simulation (paper Algorithm 1 line 3).
@@ -49,12 +52,36 @@ struct EvalCondition {
 };
 
 /// Counters for the paper's Table V (simulations per optimization step).
+/// Atomic so concurrent TaskPool evaluations merge instead of racing.
 struct EvalStats {
-  long testbenches = 0;  ///< testbench evaluations (Table V semantics)
+  /// Testbench evaluations (Table V semantics).
+  std::atomic<long> testbenches{0};
   /// Non-finite metrics sanitized to 0; the optimizer clamps the affected
   /// candidate's cost to a large-but-finite penalty instead.
-  long quarantined = 0;
-  void reset() { *this = EvalStats{}; }
+  std::atomic<long> quarantined{0};
+  EvalStats() = default;
+  // Copying snapshots the counters (atomics are not copyable themselves);
+  // keeps PrimitiveEvaluator movable/copyable for by-value construction.
+  EvalStats(const EvalStats& other)
+      : testbenches(other.testbenches.load()),
+        quarantined(other.quarantined.load()) {}
+  EvalStats& operator=(const EvalStats& other) {
+    testbenches = other.testbenches.load();
+    quarantined = other.quarantined.load();
+    return *this;
+  }
+  void reset() {
+    testbenches = 0;
+    quarantined = 0;
+  }
+};
+
+/// Per-call evaluation outcome, for callers that need this evaluation's
+/// result attribution without reading the shared (racy-under-threads)
+/// EvalStats deltas.
+struct EvalOutcome {
+  long quarantined = 0;   ///< metrics sanitized in this call
+  bool cache_hit = false; ///< served from the eval cache, no simulation
 };
 
 /// Evaluates primitive performance metrics by simulation.
@@ -70,9 +97,13 @@ class PrimitiveEvaluator {
   /// Runs the family's testbenches on the given realized layout. Non-finite
   /// metric values are quarantined: sanitized to 0.0, counted in
   /// stats().quarantined, and reported to the diagnostics sink — NaN never
-  /// propagates into downstream cost arithmetic.
+  /// propagates into downstream cost arithmetic. `outcome` (may be null)
+  /// receives this call's quarantine count and cache-hit flag. With a cache
+  /// attached, clean evaluations are memoized; quarantined ones never are,
+  /// so their diagnostics re-fire identically on every re-evaluation.
   MetricValues evaluate(const pcell::PrimitiveLayout& layout,
-                        const EvalCondition& condition) const;
+                        const EvalCondition& condition,
+                        EvalOutcome* outcome = nullptr) const;
 
   /// Attaches a diagnostics sink (may be null to detach); the sink must
   /// outlive the evaluator. Forwarded to every internal simulator.
@@ -83,6 +114,12 @@ class PrimitiveEvaluator {
   /// testbench budget, and the budget is forwarded to every internal
   /// simulator so exhaustion also bounds Newton/timestep loops.
   void set_budget(Budget* budget) { budget_ = budget; }
+
+  /// Attaches a memoizing evaluation cache (may be null to detach); the
+  /// cache must outlive the evaluator. Cache hits skip simulation entirely —
+  /// and therefore also skip testbench-budget consumption and chaos fault
+  /// draws — which is why the flow leaves the cache off by default.
+  void set_cache(EvalCache* cache) { cache_ = cache; }
 
   /// One-sigma random (mismatch) input offset of a matched pair; the offset
   /// spec is 10% of this value (paper Eq. 6 discussion).
@@ -133,6 +170,7 @@ class PrimitiveEvaluator {
   mutable EvalStats stats_;
   DiagnosticsSink* diag_ = nullptr;
   Budget* budget_ = nullptr;
+  EvalCache* cache_ = nullptr;
 };
 
 /// Metric evaluation for the passive MOM capacitor primitive.

@@ -10,6 +10,7 @@
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
+#include "util/task_pool.hpp"
 
 namespace olp::core {
 
@@ -59,8 +60,8 @@ CostBreakdown PrimitiveOptimizer::cost_of(
   EvalCondition cond;
   cond.ideal = false;
   cond.tuning = tuning;
-  const long quarantined_before = evaluator_.stats().quarantined;
-  const MetricValues values = evaluator_.evaluate(layout, cond);
+  EvalOutcome outcome;
+  const MetricValues values = evaluator_.evaluate(layout, cond, &outcome);
   if (values_out != nullptr) *values_out = values;
   const MetricLibraryEntry lib = metric_library(layout.netlist.type);
   CostBreakdown cb =
@@ -68,8 +69,9 @@ CostBreakdown PrimitiveOptimizer::cost_of(
   // Quarantine clamp: an evaluation that sanitized a non-finite metric (or a
   // cost that is itself non-finite, e.g. a zero schematic reference) gets a
   // large-but-finite penalty so it loses cleanly instead of poisoning sorts.
-  if (evaluator_.stats().quarantined > quarantined_before ||
-      !std::isfinite(cb.total)) {
+  // The per-call outcome (not a stats() delta) attributes the quarantine to
+  // this evaluation even when other evaluations run concurrently.
+  if (outcome.quarantined > 0 || !std::isfinite(cb.total)) {
     cb.total = kQuarantineCost;
   }
   return cb;
@@ -96,27 +98,41 @@ std::vector<LayoutCandidate> PrimitiveOptimizer::evaluate_all(
   obs::counter_add("optimizer.candidates",
                    static_cast<long>(configs.size()));
 
-  // Budget-bounded enumeration: exhaustion breaks the candidate loop, keeping
+  // Budget-bounded enumeration: exhaustion stops further claims, keeping
   // every candidate evaluated so far. When the budget is gone before even the
   // schematic reference, the reference evaluation is skipped too.
   bool truncated = budget_ != nullptr && budget_->check();
   MetricValues reference;
   if (!truncated) reference = schematic_reference(netlist, fins_per_device);
 
+  // Ordered reduction: each task fills its index-addressed slot; the merge
+  // below walks the slots in submission order and keeps the contiguous
+  // evaluated prefix, so a budget trip yields the same truncation point the
+  // serial loop would have produced.
+  std::vector<LayoutCandidate> slots(configs.size());
+  std::vector<char> have(configs.size(), 0);
+  if (!truncated) {
+    run_indexed(pool_, configs.size(), [&](std::size_t i) {
+      if (budget_ != nullptr && budget_->check()) return false;
+      LayoutCandidate cand;
+      cand.layout = generator_.generate(netlist, configs[i]);
+      cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
+      cand.quarantined = cand.cost.total >= kQuarantineCost;
+      slots[i] = std::move(cand);
+      have[i] = 1;
+      return true;
+    });
+  }
   std::vector<LayoutCandidate> candidates;
   std::vector<double> aspects;
-  for (const pcell::LayoutConfig& config : configs) {
-    if (budget_ != nullptr && budget_->check()) {
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!have[i]) {
       truncated = true;
       break;
     }
-    LayoutCandidate cand;
-    cand.layout = generator_.generate(netlist, config);
-    cand.cost = cost_of(cand.layout, {}, reference, &cand.values);
-    cand.quarantined = cand.cost.total >= kQuarantineCost;
-    if (cand.quarantined) obs::counter_add("optimizer.quarantined");
-    aspects.push_back(cand.layout.aspect_ratio());
-    candidates.push_back(std::move(cand));
+    if (slots[i].quarantined) obs::counter_add("optimizer.quarantined");
+    aspects.push_back(slots[i].layout.aspect_ratio());
+    candidates.push_back(std::move(slots[i]));
   }
   if (truncated) {
     obs::counter_add("budget.truncations");
@@ -164,10 +180,11 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
 
   // Budget-bounded tuning: a trip mid-sweep reverts to the entry tuning so
   // (tuning, values, cost) stay mutually consistent without spending further
-  // testbenches on the final refresh. The candidate survives untuned.
+  // testbenches on the final refresh. The candidate survives untuned. Under
+  // a pool the trip shows up as an unfilled slot in the ordered reduction —
+  // same outcome, same diagnostic.
   const extract::TuningMap entry_tuning = candidate.tuning;
-  auto budget_tripped = [&]() {
-    if (budget_ == nullptr || !budget_->check()) return false;
+  auto revert_to_entry = [&]() {
     candidate.tuning = entry_tuning;
     obs::counter_add("budget.truncations");
     if (diag_) {
@@ -176,18 +193,32 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
                     budget_->description() +
                         "; tuning sweep abandoned, keeping entry tuning");
     }
-    return true;
   };
 
   if (!lib.terminals_correlated || lib.tuning_terminals.size() == 1) {
-    // Optimize terminals separately (Algorithm 1 line 10).
+    // Optimize terminals separately (Algorithm 1 line 10). The sweep points
+    // of one terminal are independent, so they evaluate in parallel;
+    // terminals stay sequential because each sweep starts from the previous
+    // terminal's chosen tuning.
     for (const std::string& terminal : lib.tuning_terminals) {
-      std::vector<double> curve;
-      for (int w = 1; w <= max_wires; ++w) {
-        if (budget_tripped()) return;
+      const std::size_t n = static_cast<std::size_t>(max_wires);
+      std::vector<double> costs(n, 0.0);
+      std::vector<char> have(n, 0);
+      run_indexed(pool_, n, [&](std::size_t k) {
+        if (budget_ != nullptr && budget_->check()) return false;
         extract::TuningMap tuning = candidate.tuning;
-        tuning[terminal] = w;
-        curve.push_back(cost_at(tuning).first);
+        tuning[terminal] = static_cast<int>(k) + 1;
+        costs[k] = cost_at(tuning).first;
+        have[k] = 1;
+        return true;
+      });
+      std::vector<double> curve;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!have[k]) {
+          revert_to_entry();
+          return;
+        }
+        curve.push_back(costs[k]);
       }
       const std::size_t stop = tuning_stop_index(curve);
       candidate.tuning[terminal] = static_cast<int>(stop) + 1;
@@ -195,21 +226,39 @@ void PrimitiveOptimizer::tune(LayoutCandidate& candidate,
   } else {
     // Correlated terminals: enumerate combinations (Algorithm 1 line 12).
     // Practically at most two terminals are correlated (paper Sec. III-A3).
+    // The pairs are flattened w0-major so the strict-< argmin scan below
+    // visits them in exactly the serial nested-loop order.
     OLP_CHECK(lib.tuning_terminals.size() == 2,
               "joint tuning supports exactly two correlated terminals");
+    const std::size_t n =
+        static_cast<std::size_t>(max_wires) * static_cast<std::size_t>(max_wires);
+    std::vector<double> costs(n, 0.0);
+    std::vector<char> have(n, 0);
+    run_indexed(pool_, n, [&](std::size_t k) {
+      if (budget_ != nullptr && budget_->check()) return false;
+      extract::TuningMap tuning = candidate.tuning;
+      tuning[lib.tuning_terminals[0]] =
+          static_cast<int>(k) / max_wires + 1;
+      tuning[lib.tuning_terminals[1]] =
+          static_cast<int>(k) % max_wires + 1;
+      costs[k] = cost_at(tuning).first;
+      have[k] = 1;
+      return true;
+    });
     double best = std::numeric_limits<double>::infinity();
     extract::TuningMap best_tuning = candidate.tuning;
-    for (int w0 = 1; w0 <= max_wires; ++w0) {
-      for (int w1 = 1; w1 <= max_wires; ++w1) {
-        if (budget_tripped()) return;
-        extract::TuningMap tuning = candidate.tuning;
-        tuning[lib.tuning_terminals[0]] = w0;
-        tuning[lib.tuning_terminals[1]] = w1;
-        const double c = cost_at(tuning).first;
-        if (c < best) {
-          best = c;
-          best_tuning = tuning;
-        }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!have[k]) {
+        revert_to_entry();
+        return;
+      }
+      if (costs[k] < best) {
+        best = costs[k];
+        best_tuning = candidate.tuning;
+        best_tuning[lib.tuning_terminals[0]] =
+            static_cast<int>(k) / max_wires + 1;
+        best_tuning[lib.tuning_terminals[1]] =
+            static_cast<int>(k) % max_wires + 1;
       }
     }
     candidate.tuning = best_tuning;

@@ -22,6 +22,7 @@
 namespace olp {
 class Budget;
 class DiagnosticsSink;
+class TaskPool;
 }
 
 namespace olp::core {
@@ -57,14 +58,18 @@ class PrimitiveOptimizer {
   /// `budget` (optional, may be null) bounds candidate enumeration and tuning
   /// sweeps: on exhaustion the optimizer keeps the candidates evaluated and
   /// tuned so far instead of completing the search.
+  /// `pool` (optional, may be null) parallelizes candidate evaluation and
+  /// tuning sweeps; results are merged in submission order, so the output is
+  /// bit-identical to the serial run (tests/test_determinism.cpp).
   PrimitiveOptimizer(const pcell::PrimitiveGenerator& generator,
                      const PrimitiveEvaluator& evaluator,
                      DiagnosticsSink* diagnostics = nullptr,
-                     Budget* budget = nullptr)
+                     Budget* budget = nullptr, TaskPool* pool = nullptr)
       : generator_(generator),
         evaluator_(evaluator),
         diag_(diagnostics),
-        budget_(budget) {}
+        budget_(budget),
+        pool_(pool) {}
 
   /// Step 1 only: evaluate every configuration and assign bins. Returned in
   /// enumeration order; used directly by the Table III bench.
@@ -101,6 +106,7 @@ class PrimitiveOptimizer {
   const PrimitiveEvaluator& evaluator_;
   DiagnosticsSink* diag_ = nullptr;
   Budget* budget_ = nullptr;
+  TaskPool* pool_ = nullptr;
 };
 
 /// Assigns aspect-ratio bins: the log-aspect range of the candidates is cut

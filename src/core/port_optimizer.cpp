@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
+#include "util/task_pool.hpp"
 
 namespace olp::core {
 
@@ -105,18 +106,29 @@ std::vector<PortConstraint> PortOptimizer::generate_constraints(
   std::vector<PortConstraint> constraints;
   bool truncated = false;
   for (const std::string& net : nets) {
+    // The sweep points are independent: evaluate them through the pool and
+    // merge the contiguous explored prefix in wire order. A budget trip
+    // leaves a hole; the prefix before it still yields a valid constraint
+    // (plateau over the explored range) — same as the serial break.
+    const std::size_t n = static_cast<std::size_t>(options_.max_wires);
+    std::vector<double> costs(n, 0.0);
+    std::vector<char> have(n, 0);
+    run_indexed(pool_, n, [&](std::size_t k) {
+      if (budget_ != nullptr && budget_->check()) return false;
+      std::map<std::string, int> net_wires;
+      net_wires[net] = static_cast<int>(k) + 1;  // other nets at one route
+      obs::counter_add("portopt.sweep_points");
+      costs[k] = primitive_cost(primitive, net_wires);
+      have[k] = 1;
+      return true;
+    });
     std::vector<double> curve;
-    for (int w = 1; w <= options_.max_wires; ++w) {
-      // Budget-bounded sweep: the prefix explored so far still yields a
-      // valid constraint (plateau over the explored range).
-      if (budget_ != nullptr && budget_->check()) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!have[k]) {
         truncated = true;
         break;
       }
-      std::map<std::string, int> net_wires;
-      net_wires[net] = w;  // other nets at their single-route default
-      obs::counter_add("portopt.sweep_points");
-      curve.push_back(primitive_cost(primitive, net_wires));
+      curve.push_back(costs[k]);
     }
     // Exhausted before any sweep point: no constraint for this net; the
     // realization falls back to the single-route default.
@@ -169,21 +181,17 @@ std::vector<NetWireDecision> PortOptimizer::reconcile(
       // Simulate all primitives on this net across the gap range and pick
       // the total-cost minimizer (Algorithm 2 lines 13-14).
       d.from_overlap = false;
-      double best_cost = std::numeric_limits<double>::infinity();
-      int best_w = rec.gap_lo;
-      for (int w = rec.gap_lo; w <= rec.gap_hi; ++w) {
-        // Budget-bounded gap re-simulation: keep the best count found so
-        // far (best_w starts at the feasible gap_lo).
-        if (budget_ != nullptr && budget_->check()) {
-          obs::counter_add("budget.truncations");
-          if (diag_) {
-            diag_->report(DiagSeverity::kWarning, "portopt", net,
-                          budget_->description() +
-                              "; gap re-simulation truncated at w=" +
-                              std::to_string(w));
-          }
-          break;
-        }
+      // Gap points are independent: evaluate them through the pool, then
+      // take the strict-< argmin over the contiguous explored prefix — the
+      // same "keep the best count found so far" the serial break produced
+      // (best_w starts at the feasible gap_lo).
+      const std::size_t gap_n =
+          static_cast<std::size_t>(rec.gap_hi - rec.gap_lo + 1);
+      std::vector<double> totals(gap_n, 0.0);
+      std::vector<char> have(gap_n, 0);
+      run_indexed(pool_, gap_n, [&](std::size_t k) {
+        if (budget_ != nullptr && budget_->check()) return false;
+        const int w = rec.gap_lo + static_cast<int>(k);
         double total = 0.0;
         for (const PortOptPrimitive& prim : primitives) {
           bool touches = false;
@@ -198,9 +206,26 @@ std::vector<NetWireDecision> PortOptimizer::reconcile(
           net_wires[net] = w;
           total += primitive_cost(prim, net_wires);
         }
-        if (total < best_cost) {
-          best_cost = total;
-          best_w = w;
+        totals[k] = total;
+        have[k] = 1;
+        return true;
+      });
+      double best_cost = std::numeric_limits<double>::infinity();
+      int best_w = rec.gap_lo;
+      for (std::size_t k = 0; k < gap_n; ++k) {
+        if (!have[k]) {
+          obs::counter_add("budget.truncations");
+          if (diag_) {
+            diag_->report(DiagSeverity::kWarning, "portopt", net,
+                          budget_->description() +
+                              "; gap re-simulation truncated at w=" +
+                              std::to_string(rec.gap_lo + static_cast<int>(k)));
+          }
+          break;
+        }
+        if (totals[k] < best_cost) {
+          best_cost = totals[k];
+          best_w = rec.gap_lo + static_cast<int>(k);
         }
       }
       d.parallel_routes = best_w;

@@ -20,6 +20,10 @@
 #include "route/global_router.hpp"
 #include "util/interval.hpp"
 
+namespace olp {
+class TaskPool;
+}
+
 namespace olp::core {
 
 /// External route attached to one primitive port.
@@ -83,6 +87,11 @@ class PortOptimizer {
   /// nets fall back to the single-route default downstream.
   void set_budget(Budget* budget) { budget_ = budget; }
 
+  /// Attaches a task pool (may be null for serial execution). Wire sweeps
+  /// and gap re-simulations parallelize over sweep points; the ordered
+  /// reduction keeps results bit-identical to the serial run.
+  void set_pool(TaskPool* pool) { pool_ = pool; }
+
   /// Step 1: constraint generation for one primitive. Sweeps all its ports
   /// together per net (a net may touch several ports of one primitive).
   std::vector<PortConstraint> generate_constraints(
@@ -105,6 +114,7 @@ class PortOptimizer {
   PortOptimizerOptions options_;
   DiagnosticsSink* diag_ = nullptr;
   Budget* budget_ = nullptr;
+  TaskPool* pool_ = nullptr;
 };
 
 /// Extracts [w_min, w_max] from a cost-vs-wires curve per the plateau rule.

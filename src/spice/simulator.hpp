@@ -6,6 +6,7 @@
 // Unknown ordering: node voltages for nodes 1..N-1 first, then one branch
 // current per independent voltage source, then one per VCVS.
 
+#include <atomic>
 #include <complex>
 #include <functional>
 #include <optional>
@@ -84,12 +85,17 @@ struct TranResult {
 };
 
 /// Process-wide analysis counters; the flow reports these in Table V / VIII.
+/// Atomic so concurrent TaskPool evaluations merge instead of racing.
 struct SimStats {
-  long op_count = 0;
-  long ac_count = 0;
-  long tran_count = 0;
+  std::atomic<long> op_count{0};
+  std::atomic<long> ac_count{0};
+  std::atomic<long> tran_count{0};
   long total() const { return op_count + ac_count + tran_count; }
-  void reset() { *this = SimStats{}; }
+  void reset() {
+    op_count = 0;
+    ac_count = 0;
+    tran_count = 0;
+  }
   static SimStats& global();
 };
 

@@ -81,16 +81,17 @@ std::string BudgetStatus::to_string() const {
 }
 
 bool Budget::check() {
-  ++checks_;
+  const long checks = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (exhausted_.load(std::memory_order_relaxed)) return true;
   if (FaultInjector::global().should_fail(FaultSite::kBudgetExhaustion)) {
     trip(BudgetKind::kInjected);
   } else if (cancel_requested_.load(std::memory_order_relaxed)) {
     trip(BudgetKind::kCancelled);
-  } else if (opt_.max_checks >= 0 && checks_ > opt_.max_checks) {
+  } else if (opt_.max_checks >= 0 && checks > opt_.max_checks) {
     trip(BudgetKind::kChecks);
   } else if (opt_.max_testbenches >= 0 &&
-             testbenches_ >= opt_.max_testbenches) {
+             testbenches_.load(std::memory_order_relaxed) >=
+                 opt_.max_testbenches) {
     trip(BudgetKind::kTestbenches);
   } else if (opt_.deadline_s > 0.0 && stopwatch_.seconds() >= opt_.deadline_s) {
     trip(BudgetKind::kDeadline);
@@ -99,8 +100,14 @@ bool Budget::check() {
 }
 
 void Budget::trip(BudgetKind kind) {
-  tripped_ = kind;
-  exhausted_.store(true, std::memory_order_relaxed);
+  // First trip wins: record the kind before publishing exhaustion, so a
+  // racing reader that observes exhausted == true also sees a non-kNone
+  // kind (the exchange makes later trips no-ops).
+  BudgetKind expected = BudgetKind::kNone;
+  if (tripped_.compare_exchange_strong(expected, kind,
+                                       std::memory_order_relaxed)) {
+    exhausted_.store(true, std::memory_order_release);
+  }
 }
 
 double Budget::remaining_s() const {

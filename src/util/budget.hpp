@@ -95,9 +95,11 @@ struct BudgetStatus {
   std::string to_string() const;
 };
 
-/// The budget handle threaded through the flow. Single-threaded consumption;
-/// cancel() alone may be called from another thread (cooperative
-/// cancellation).
+/// The budget handle threaded through the flow. Fully thread-safe: check()
+/// and consume_testbench() may race freely across TaskPool workers (all
+/// consumption counters are atomic; the first trip wins and is sticky), and
+/// cancel() may be called from any non-worker thread — every subsequent
+/// check() on any worker sees the trip, so a cancelled pool drains promptly.
 class Budget {
  public:
   /// Unlimited budget: check() never trips (unless chaos injects).
@@ -118,7 +120,9 @@ class Budget {
   }
 
   /// The dimension that tripped first (kNone while not exhausted).
-  BudgetKind tripped() const { return tripped_; }
+  BudgetKind tripped() const {
+    return tripped_.load(std::memory_order_relaxed);
+  }
 
   /// Cooperative cancellation; takes effect at the next check(). Safe to
   /// call from another thread.
@@ -127,15 +131,19 @@ class Budget {
   /// Records testbench evaluations against the testbench budget. The limit
   /// itself is enforced at the next check(), so an in-flight testbench
   /// always completes (exhaustion overshoots by at most one evaluation).
-  void consume_testbench(long n = 1) { testbenches_ += n; }
+  void consume_testbench(long n = 1) {
+    testbenches_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   double elapsed_s() const { return stopwatch_.seconds(); }
   /// Seconds until the deadline (clamped at 0); +infinity when no deadline.
   double remaining_s() const;
-  long testbenches_consumed() const { return testbenches_; }
+  long testbenches_consumed() const {
+    return testbenches_.load(std::memory_order_relaxed);
+  }
   /// Testbenches until the budget (clamped at 0); -1 when unlimited.
   long remaining_testbenches() const;
-  long checks() const { return checks_; }
+  long checks() const { return checks_.load(std::memory_order_relaxed); }
   const BudgetOptions& options() const { return opt_; }
 
   BudgetStatus status() const;
@@ -149,11 +157,11 @@ class Budget {
 
   BudgetOptions opt_;
   MonotonicStopwatch stopwatch_;
-  long testbenches_ = 0;
-  long checks_ = 0;
+  std::atomic<long> testbenches_{0};
+  std::atomic<long> checks_{0};
   std::atomic<bool> cancel_requested_{false};
   std::atomic<bool> exhausted_{false};
-  BudgetKind tripped_ = BudgetKind::kNone;
+  std::atomic<BudgetKind> tripped_{BudgetKind::kNone};
 };
 
 /// Emits per-stage budget observability at flow stage boundaries:

@@ -35,10 +35,12 @@ void DiagnosticsSink::report(DiagSeverity severity, std::string stage,
   // Mirror into the logger at debug level so interactive runs can watch the
   // recovery ladder without changing default output.
   OLP_DEBUG << d.to_string();
+  std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(d));
 }
 
 std::size_t DiagnosticsSink::count(const std::string& stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Diagnostic& d : records_) {
     if (d.stage == stage) ++n;
@@ -48,6 +50,7 @@ std::size_t DiagnosticsSink::count(const std::string& stage) const {
 
 std::size_t DiagnosticsSink::count(const std::string& stage,
                                    const std::string& subject) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Diagnostic& d : records_) {
     if (d.stage == stage && d.subject == subject) ++n;
@@ -56,6 +59,7 @@ std::size_t DiagnosticsSink::count(const std::string& stage,
 }
 
 bool DiagnosticsSink::has_at_least(DiagSeverity severity) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Diagnostic& d : records_) {
     if (static_cast<int>(d.severity) >= static_cast<int>(severity)) return true;
   }
@@ -63,6 +67,7 @@ bool DiagnosticsSink::has_at_least(DiagSeverity severity) const {
 }
 
 std::vector<Diagnostic> DiagnosticsSink::take() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Diagnostic> out = std::move(records_);
   records_.clear();
   return out;

@@ -15,6 +15,7 @@
 //              the affected result (e.g. a net kept schematic parasitics).
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,16 +43,25 @@ struct Diagnostic {
 };
 
 /// Collects Diagnostic records. Subsystems hold a nullable pointer to a sink;
-/// a null sink disables reporting. Not thread-safe (the flow is
-/// single-threaded per engine).
+/// a null sink disables reporting. Thread-safe: TaskPool workers may report
+/// concurrently (record *order* then follows task interleaving, so
+/// multi-thread assertions must be count- or set-based, not order-based).
+/// The reference returned by diagnostics() is only safe to walk while no
+/// other thread is reporting — i.e. after the flow call returns.
 class DiagnosticsSink {
  public:
   void report(DiagSeverity severity, std::string stage, std::string subject,
               std::string message);
 
   const std::vector<Diagnostic>& diagnostics() const { return records_; }
-  bool empty() const { return records_.empty(); }
-  std::size_t size() const { return records_.size(); }
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.empty();
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
 
   /// Number of records from one stage (optionally restricted to a subject).
   std::size_t count(const std::string& stage) const;
@@ -62,9 +72,13 @@ class DiagnosticsSink {
 
   /// Moves the collected records out, leaving the sink empty.
   std::vector<Diagnostic> take();
-  void clear() { records_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<Diagnostic> records_;
 };
 

@@ -35,6 +35,8 @@ const char* fault_site_name(FaultSite site) {
       return "nan_metric";
     case FaultSite::kBudgetExhaustion:
       return "budget";
+    case FaultSite::kPoolTaskDelay:
+      return "pool_delay";
   }
   return "unknown";
 }
@@ -51,6 +53,8 @@ double FaultConfig::rate(FaultSite site) const {
       return nan_metric_rate;
     case FaultSite::kBudgetExhaustion:
       return budget_rate;
+    case FaultSite::kPoolTaskDelay:
+      return pool_delay_rate;
   }
   return 0.0;
 }
@@ -65,23 +69,29 @@ void FaultInjector::enable(const FaultConfig& config) {
                 config.tran_rate >= 0.0 && config.tran_rate <= 1.0 &&
                 config.route_rate >= 0.0 && config.route_rate <= 1.0 &&
                 config.nan_metric_rate >= 0.0 && config.nan_metric_rate <= 1.0 &&
-                config.budget_rate >= 0.0 && config.budget_rate <= 1.0,
+                config.budget_rate >= 0.0 && config.budget_rate <= 1.0 &&
+                config.pool_delay_rate >= 0.0 && config.pool_delay_rate <= 1.0,
             "fault rates must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mu_);
   config_ = config;
-  enabled_ = true;
   total_draws_ = 0;
   site_draws_.fill(0);
   site_fires_.fill(0);
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 bool FaultInjector::should_fail(FaultSite site) {
-  if (!enabled_) return false;
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   const int idx = static_cast<int>(site);
   const long draw_index = site_draws_[idx]++;
   ++total_draws_;
   if (draw_index < config_.skip_draws) return false;
-  if (config_.max_total_fires >= 0 && total_fired() >= config_.max_total_fires)
-    return false;
+  if (config_.max_total_fires >= 0) {
+    long total = 0;
+    for (long f : site_fires_) total += f;
+    if (total >= config_.max_total_fires) return false;
+  }
   const double rate = config_.rate(site);
   if (rate <= 0.0) return false;
   const bool fire =
@@ -91,14 +101,17 @@ bool FaultInjector::should_fail(FaultSite site) {
 }
 
 long FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return site_fires_[static_cast<int>(site)];
 }
 
 long FaultInjector::draws(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return site_draws_[static_cast<int>(site)];
 }
 
 long FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
   long total = 0;
   for (long f : site_fires_) total += f;
   return total;

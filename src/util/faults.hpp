@@ -12,7 +12,9 @@
 // without this header.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace olp {
 
@@ -22,11 +24,13 @@ enum class FaultSite : int {
   kRouteFailure = 2,       ///< GlobalRouter::route reports routed=false
   kNanMetric = 3,          ///< PrimitiveEvaluator emits a NaN metric
   kBudgetExhaustion = 4,   ///< Budget::check() trips (BudgetKind::kInjected)
+  kPoolTaskDelay = 5,      ///< TaskPool sleeps before a task (reorder chaos)
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
-/// Short site name: "op", "tran", "route", "nan_metric", "budget".
+/// Short site name: "op", "tran", "route", "nan_metric", "budget",
+/// "pool_delay".
 const char* fault_site_name(FaultSite site);
 
 /// Per-site fault probabilities plus determinism controls.
@@ -37,6 +41,11 @@ struct FaultConfig {
   double route_rate = 0.0;
   double nan_metric_rate = 0.0;
   double budget_rate = 0.0;
+  /// Probability that a TaskPool task sleeps a few hundred microseconds
+  /// before running — scrambles completion order so tests can prove the
+  /// ordered reduction is completion-order independent. Never corrupts
+  /// results; only perturbs timing.
+  double pool_delay_rate = 0.0;
   /// Stop firing after this many total faults (-1 = unlimited).
   long max_total_fires = -1;
   /// The first N draws at each site never fire — lets a test skip reference
@@ -46,15 +55,18 @@ struct FaultConfig {
   double rate(FaultSite site) const;
 };
 
-/// Process-global deterministic fault injector. Not thread-safe; the flow is
-/// single-threaded and chaos tests enable it around one flow call.
+/// Process-global deterministic fault injector. Draw bookkeeping is guarded
+/// by an internal mutex so TaskPool workers may draw concurrently; under
+/// concurrency the per-site draw *order* follows task interleaving (chaos
+/// tests that assert exact accounting run the flow single-threaded). The
+/// disabled fast path stays a single relaxed atomic load.
 class FaultInjector {
  public:
   static FaultInjector& global();
 
   void enable(const FaultConfig& config);
-  void disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// One deterministic draw at the given site. Returns true when the fault
   /// should fire; bumps per-site draw/fire counters.
@@ -67,7 +79,8 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards everything below
   FaultConfig config_;
   long total_draws_ = 0;
   std::array<long, kNumFaultSites> site_draws_{};

@@ -34,11 +34,16 @@ Registry& Registry::global() {
   return registry;
 }
 
+Registry::Tls& Registry::tls() {
+  static thread_local Tls state;
+  return state;
+}
+
 void Registry::enable() {
-  ++epoch_;
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   t0_us_ = steady_now_us();
   spans_.clear();
-  open_stack_.clear();
   counters_.clear();
   samples_.clear();
   enabled_.store(true, std::memory_order_relaxed);
@@ -51,17 +56,32 @@ void Registry::rebase() {
 
 std::int64_t Registry::open_span(const char* name, std::string detail) {
   if (!enabled()) return -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  Tls& t = tls();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (t.epoch != epoch) {
+    // This thread's stack refers to a previous epoch's records; drop it.
+    t.stack.clear();
+    t.epoch = epoch;
+  }
   SpanRecord rec;
   rec.id = static_cast<std::uint64_t>(spans_.size()) + 1;
-  rec.parent = open_stack_.empty() ? 0 : spans_[open_stack_.back()].id;
-  rec.depth = static_cast<int>(open_stack_.size());
+  if (!t.stack.empty()) {
+    const SpanRecord& parent = spans_[t.stack.back()];
+    rec.parent = parent.id;
+    rec.depth = parent.depth + 1;
+  } else if (t.ambient.epoch == epoch) {
+    // Worker-thread root: parent under the submitting thread's span.
+    rec.parent = t.ambient.parent_id;
+    rec.depth = t.ambient.depth;
+  }
   rec.name = name;
   rec.detail = std::move(detail);
   rec.start_us = steady_now_us() - t0_us_;
   rec.open = true;
   const std::int64_t token = static_cast<std::int64_t>(spans_.size());
   spans_.push_back(std::move(rec));
-  open_stack_.push_back(static_cast<std::size_t>(token));
+  t.stack.push_back(static_cast<std::size_t>(token));
   return token;
 }
 
@@ -69,36 +89,50 @@ void Registry::close_span(std::int64_t token, std::uint64_t epoch) {
   // The epoch guard orphans spans that straddle an enable()/rebase(): their
   // record vector entry no longer exists (or belongs to another span), so
   // closing must be a no-op rather than a write through a stale index.
-  if (token < 0 || epoch != epoch_) return;
+  if (token < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != epoch_.load(std::memory_order_relaxed)) return;
   const std::size_t idx = static_cast<std::size_t>(token);
   if (idx >= spans_.size() || !spans_[idx].open) return;
   SpanRecord& rec = spans_[idx];
   rec.dur_us = steady_now_us() - t0_us_ - rec.start_us;
   rec.open = false;
-  // RAII spans close in LIFO order; erase from the top of the open stack.
-  while (!open_stack_.empty() && !spans_[open_stack_.back()].open) {
-    open_stack_.pop_back();
+  // RAII spans close in LIFO order; erase from the top of this thread's
+  // open stack (a cross-thread close just marks the record closed).
+  Tls& t = tls();
+  if (t.epoch == epoch) {
+    while (!t.stack.empty() && !spans_[t.stack.back()].open) {
+      t.stack.pop_back();
+    }
   }
 }
 
 void Registry::add(const char* name, long delta) {
   if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void Registry::record(const char* name, double value) {
   if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   samples_[name].push_back(value);
 }
 
 long Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 std::string Registry::span_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Tls& t = tls();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   std::string path;
-  for (const std::size_t idx : open_stack_) {
+  if (t.ambient.epoch == epoch) path = t.ambient.path;
+  if (t.epoch != epoch) return path;
+  for (const std::size_t idx : t.stack) {
     if (!spans_[idx].open) continue;
     if (!path.empty()) path += '/';
     path += spans_[idx].name;
@@ -106,7 +140,53 @@ std::string Registry::span_path() const {
   return path;
 }
 
+ThreadContext Registry::capture_thread_context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Tls& t = tls();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  ThreadContext ctx;
+  if (!enabled()) return ctx;
+  if (t.epoch == epoch && !t.stack.empty()) {
+    const SpanRecord& top = spans_[t.stack.back()];
+    ctx.epoch = epoch;
+    ctx.parent_id = top.id;
+    ctx.depth = top.depth + 1;
+  } else if (t.ambient.epoch == epoch) {
+    // No local spans open (nested pools): forward the inherited context.
+    return t.ambient;
+  } else {
+    return ctx;
+  }
+  // Rebuild the path inline (span_path() would re-lock).
+  std::string path;
+  if (t.ambient.epoch == epoch) path = t.ambient.path;
+  for (const std::size_t idx : t.stack) {
+    if (!spans_[idx].open) continue;
+    if (!path.empty()) path += '/';
+    path += spans_[idx].name;
+  }
+  ctx.path = std::move(path);
+  return ctx;
+}
+
+void Registry::set_thread_context(const ThreadContext& context) {
+  tls().ambient = context;
+}
+
+void Registry::clear_thread_context() { tls().ambient = ThreadContext{}; }
+
+ThreadContext Registry::ambient_thread_context() const {
+  return tls().ambient;
+}
+
+ThreadContext ThreadContextScope::capture_ambient() {
+  // The raw ambient slot (not the stack top): restoring it on destruction
+  // must round-trip exactly, including "no context".
+  return Registry::global().ambient_thread_context();
+}
+
 Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   snap.spans = spans_;
   const std::int64_t now_us = steady_now_us() - t0_us_;

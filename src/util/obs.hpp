@@ -18,14 +18,21 @@
 //   eval.testbench                                           (per evaluation)
 //   sim.op, sim.ac, sim.tran                                 (per analysis)
 //
-// Like FaultInjector, the registry is process-global and not thread-safe:
-// the flow is single-threaded per engine, and tests enable observation
-// around one flow call. Collected data stays readable after disable(),
-// until the next enable()/rebase().
+// The registry is process-global and thread-safe: counters, samples and
+// span records live behind one mutex, while each thread keeps its own open-
+// span stack (thread-local), so concurrently open spans never interleave in
+// one stack. TaskPool propagates a ThreadContext from the submitting thread
+// to its workers, making worker spans nest under the submitting span — each
+// worker gets a per-thread span root parented into the flow trace, and
+// diagnostics keep meaningful span paths. Counter merging is trivial: all
+// threads add into the same map under the mutex. The disabled fast path is
+// still one relaxed atomic load. Collected data stays readable after
+// disable(), until the next enable()/rebase().
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -67,6 +74,17 @@ struct Snapshot {
   }
 };
 
+/// Ambient span parentage carried from a submitting thread to pool workers:
+/// new top-of-stack spans opened on the receiving thread are parented under
+/// `parent_id` (at `depth`), and span_path() prefixes `path`. The epoch tag
+/// invalidates a context captured before an enable()/rebase().
+struct ThreadContext {
+  std::uint64_t epoch = 0;     ///< 0 = no context captured
+  std::uint64_t parent_id = 0; ///< span id new roots are parented under
+  int depth = 0;               ///< depth assigned to those new roots
+  std::string path;            ///< span_path() prefix, e.g. "flow.optimize/selection"
+};
+
 /// The process-wide registry. Use the free functions / Span below at
 /// instrumentation sites; the registry itself is for enable/export code.
 class Registry {
@@ -96,12 +114,24 @@ class Registry {
   void add(const char* name, long delta);
   void record(const char* name, double value);
 
-  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
   /// Current counter value (0 when absent).
   long counter(const std::string& name) const;
-  /// Slash-joined names of the open span stack, e.g.
-  /// "flow.optimize/routing/router.net"; empty when none or disabled.
+  /// Slash-joined names of this thread's open span stack (prefixed by any
+  /// applied ThreadContext path), e.g. "flow.optimize/routing/router.net";
+  /// empty when none or disabled.
   std::string span_path() const;
+
+  /// Captures this thread's span position for propagation to pool workers.
+  ThreadContext capture_thread_context() const;
+  /// Installs / clears the calling thread's ambient context (used by
+  /// ThreadContextScope below; stale-epoch contexts are ignored at use).
+  void set_thread_context(const ThreadContext& context);
+  void clear_thread_context();
+  /// The calling thread's raw ambient slot, as set (empty when none).
+  ThreadContext ambient_thread_context() const;
 
   /// Copies the collected state. Open spans are included with their
   /// duration-so-far and open=true.
@@ -110,11 +140,20 @@ class Registry {
  private:
   Registry() = default;
 
+  /// Per-thread open-span state; the stack holds indices into spans_ and is
+  /// invalidated lazily when its epoch falls behind the registry's.
+  struct Tls {
+    std::uint64_t epoch = 0;
+    std::vector<std::size_t> stack;
+    ThreadContext ambient;
+  };
+  static Tls& tls();
+
   std::atomic<bool> enabled_{false};
-  std::uint64_t epoch_ = 0;   ///< bumped by enable()/rebase()
+  std::atomic<std::uint64_t> epoch_{0};  ///< bumped by enable()/rebase()
+  mutable std::mutex mu_;     ///< guards everything below
   std::int64_t t0_us_ = 0;    ///< steady-clock origin of the current epoch
   std::vector<SpanRecord> spans_;
-  std::vector<std::size_t> open_stack_;  ///< indices into spans_
   std::map<std::string, long> counters_;
   std::map<std::string, std::vector<double>> samples_;
 };
@@ -173,6 +212,32 @@ class Span {
 
   std::int64_t token_ = -1;  ///< -1 = disabled at construction or closed
   std::uint64_t epoch_ = 0;
+};
+
+/// Captures the calling thread's span position (free-function shorthand).
+inline ThreadContext capture_thread_context() {
+  return Registry::global().capture_thread_context();
+}
+
+/// RAII scope applying an ambient ThreadContext on a worker thread: spans
+/// opened while the scope is active nest under the captured parent, and
+/// span_path() is prefixed accordingly. The previous ambient context is
+/// restored on destruction (nested pools compose).
+class ThreadContextScope {
+ public:
+  explicit ThreadContextScope(const ThreadContext& context)
+      : previous_(capture_ambient()) {
+    Registry::global().set_thread_context(context);
+  }
+  ~ThreadContextScope() { Registry::global().set_thread_context(previous_); }
+
+  ThreadContextScope(const ThreadContextScope&) = delete;
+  ThreadContextScope& operator=(const ThreadContextScope&) = delete;
+
+ private:
+  static ThreadContext capture_ambient();
+
+  ThreadContext previous_;
 };
 
 /// RAII scope: enables the global registry on construction (clearing prior

@@ -1,0 +1,173 @@
+#include "util/task_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "util/faults.hpp"
+
+namespace olp {
+
+namespace {
+
+/// Deterministic per-index delay for a fired kPoolTaskDelay draw: a
+/// Knuth-hash scramble of the index spreads sleeps over ~[0.1, 2.4] ms so
+/// neighboring indices finish in thoroughly shuffled order.
+void chaos_delay(std::size_t index) {
+  if (!FaultInjector::global().enabled()) return;
+  if (!FaultInjector::global().should_fail(FaultSite::kPoolTaskDelay)) return;
+  const std::uint64_t h = (index * 2654435761ULL) % 24ULL;
+  std::this_thread::sleep_for(std::chrono::microseconds(100 + 100 * h));
+}
+
+}  // namespace
+
+int resolve_num_threads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int threads_from_env(int base) {
+  const char* raw = std::getenv("OLP_THREADS");
+  if (raw != nullptr && *raw != '\0') {
+    char* end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end != raw && *end == '\0') base = static_cast<int>(value);
+  }
+  return resolve_num_threads(base);
+}
+
+TaskPool::TaskPool(int threads) {
+  const int total = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<bool(std::size_t)>& task) {
+  if (n == 0) return;
+  obs::counter_add("pool.batches");
+  if (workers_.empty()) {
+    // Inline path: the seed-serial loop (ordered, break on false).
+    long ran = 0;
+    bool stopped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      chaos_delay(i);
+      ++ran;
+      if (!task(i)) {
+        stopped = true;
+        break;
+      }
+    }
+    obs::counter_add("pool.tasks", ran);
+    if (stopped) obs::counter_add("pool.stopped_batches");
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  batch_n_ = n;
+  next_ = 0;
+  in_flight_ = 0;
+  stop_batch_ = false;
+  error_ = nullptr;
+  error_index_ = 0;
+  obs_context_ = obs::capture_thread_context();
+  lock.unlock();
+  work_cv_.notify_all();
+  lock.lock();
+
+  // The caller works too, then waits for stragglers.
+  drain(lock, /*is_worker=*/false);
+  done_cv_.wait(lock, [this] {
+    return in_flight_ == 0 && (next_ >= batch_n_ || stop_batch_);
+  });
+  task_ = nullptr;
+  const bool stopped = stop_batch_;
+  std::exception_ptr error = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (stopped) obs::counter_add("pool.stopped_batches");
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ ||
+             (task_ != nullptr && !stop_batch_ && next_ < batch_n_);
+    });
+    if (shutdown_) return;
+    drain(lock, /*is_worker=*/true);
+  }
+}
+
+void TaskPool::drain(std::unique_lock<std::mutex>& lock, bool is_worker) {
+  const std::function<bool(std::size_t)>* const task = task_;
+  if (task == nullptr) return;
+  // Workers adopt the submitting thread's span position so their spans (and
+  // any diagnostics' span paths) nest inside the submitting span. The caller
+  // already is that position.
+  std::unique_ptr<obs::ThreadContextScope> context;
+  if (is_worker) {
+    context = std::make_unique<obs::ThreadContextScope>(obs_context_);
+  }
+  long ran = 0;
+  while (task_ == task && !stop_batch_ && next_ < batch_n_) {
+    const std::size_t index = next_++;
+    ++in_flight_;
+    lock.unlock();
+
+    bool keep_going = false;
+    std::exception_ptr thrown;
+    chaos_delay(index);
+    try {
+      keep_going = (*task)(index);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    ++ran;
+
+    lock.lock();
+    --in_flight_;
+    if (thrown != nullptr) {
+      if (error_ == nullptr || index < error_index_) {
+        error_ = thrown;
+        error_index_ = index;
+      }
+      stop_batch_ = true;
+    } else if (!keep_going) {
+      stop_batch_ = true;
+    }
+  }
+  if (in_flight_ == 0 && (next_ >= batch_n_ || stop_batch_)) {
+    done_cv_.notify_all();
+  }
+  if (ran > 0) obs::counter_add("pool.tasks", ran);
+}
+
+void run_indexed(TaskPool* pool, std::size_t n,
+                 const std::function<bool(std::size_t)>& task) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, task);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!task(i)) break;
+  }
+}
+
+}  // namespace olp

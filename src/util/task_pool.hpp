@@ -1,0 +1,97 @@
+#pragma once
+// Fixed-size thread pool with a deterministic ordered-reduction contract.
+//
+// parallel_for(n, task) runs task(0..n-1) with the calling thread
+// participating alongside the workers. Determinism comes from the calling
+// convention, not from scheduling: tasks write their result into an
+// index-addressed slot owned by the caller, and the caller merges the slots
+// in submission order after parallel_for returns — results are therefore
+// independent of completion order. A task returns false to request early
+// exit (budget exhaustion): no further indices are handed out, in-flight
+// tasks finish, and slots past the stop point stay unfilled. With one
+// thread, parallel_for degenerates to an inline ordered loop with break
+// semantics — bit-identical to the pre-pool serial code, including the
+// per-index Budget::check() sequence.
+//
+// Budget interaction: the pool knows nothing about budgets. Tasks probe
+// Budget::check() themselves and return false once it trips; because
+// exhaustion is sticky, a Budget::cancel() from any thread drains the pool
+// promptly (every subsequent claim sees the trip and stops).
+//
+// Chaos: each task draws at FaultSite::kPoolTaskDelay; a fired draw sleeps
+// a few hundred deterministic, index-derived microseconds, letting tests
+// scramble completion order adversarially without touching results.
+//
+// Telemetry (via util/obs): "pool.batches", "pool.tasks",
+// "pool.stopped_batches". Workers run under the submitting thread's obs
+// ThreadContext, so their spans nest inside the submitting span.
+
+#include <cstddef>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/obs.hpp"
+
+namespace olp {
+
+/// Resolves a requested worker count: >= 1 is used as-is, <= 0 means one
+/// thread per hardware core (at least 1).
+int resolve_num_threads(int requested);
+
+/// `base` with the OLP_THREADS environment override applied (same
+/// convention: positive = exact count, 0 = hardware concurrency; unset or
+/// non-numeric leaves `base`), then resolved via resolve_num_threads.
+int threads_from_env(int base);
+
+class TaskPool {
+ public:
+  /// Total thread count including the caller: `threads` == 1 spawns no
+  /// workers (parallel_for runs inline), N spawns N-1 workers.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs task(i) for i in [0, n); returns after every started task
+  /// finished. A task returning false stops further claims (started tasks
+  /// complete). If tasks throw, the exception thrown by the lowest claimed
+  /// index is rethrown here after the batch drains; the pool stays usable.
+  /// Not reentrant: tasks must not call parallel_for on the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<bool(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  /// Claims and runs tasks of the current batch until it stops or empties.
+  /// `lock` is held on entry and exit.
+  void drain(std::unique_lock<std::mutex>& lock, bool is_worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  ///< guards all batch state below
+  std::condition_variable work_cv_;  ///< workers wait for a batch
+  std::condition_variable done_cv_;  ///< caller waits for batch completion
+  const std::function<bool(std::size_t)>* task_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::size_t next_ = 0;       ///< next unclaimed index
+  std::size_t in_flight_ = 0;  ///< claimed but not yet finished
+  bool stop_batch_ = false;    ///< early exit requested (or a task threw)
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+  obs::ThreadContext obs_context_;  ///< submitting thread's span position
+};
+
+/// Serial/parallel dispatch helper: with a pool, parallel_for; without one,
+/// the exact seed-serial loop (ordered, breaks on false, no chaos draws).
+void run_indexed(TaskPool* pool, std::size_t n,
+                 const std::function<bool(std::size_t)>& task);
+
+}  // namespace olp

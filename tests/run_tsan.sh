@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke run: build the OTA flow example with
+# -fsanitize=thread and drive it through the parallel + cached code path
+# (8 worker threads, eval cache on). TSan aborts the process on the first
+# data race (-fno-sanitize-recover=all), so the assertions are simply:
+#
+#   - the sanitized flow exits 0;
+#   - no "ThreadSanitizer" report appears on stdout/stderr.
+#
+# Usage: tests/run_tsan.sh [<source-dir> [<build-dir>]]
+# (ctest passes both; defaults allow running it by hand from the repo root.)
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+src_dir="${1:-$(dirname "${script_dir}")}"
+build_dir="${2:-${src_dir}/build-tsan}"
+
+# A compiler may lack TSan support (or be unable to link its runtime); probe
+# first and skip — exit 0 with a loud note — rather than fail the suite on
+# a toolchain limitation.
+probe="$(mktemp -d)"
+trap 'rm -rf "${probe}"' EXIT
+cat > "${probe}/probe.cpp" <<'EOF'
+int main() { return 0; }
+EOF
+if ! c++ -fsanitize=thread "${probe}/probe.cpp" -o "${probe}/probe" \
+    2> "${probe}/probe.err"; then
+  echo "tsan smoke: toolchain cannot build with -fsanitize=thread; skipping"
+  cat "${probe}/probe.err"
+  exit 0
+fi
+
+cmake -S "${src_dir}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DOLP_SANITIZE=thread \
+  -DOLP_BUILD_TESTS=OFF \
+  -DOLP_BUILD_BENCH=OFF \
+  -DOLP_BUILD_EXAMPLES=ON > /dev/null
+cmake --build "${build_dir}" --target ota_layout_flow -j "$(nproc)" \
+  > /dev/null
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${probe}" "${tmp}"' EXIT
+out="${tmp}/stdout.txt"
+
+# A modest testbench budget keeps the (TSan-slowed) run bounded while still
+# exercising every stage; the budget path itself is part of what is raced.
+OLP_THREADS=8 OLP_EVAL_CACHE=1 OLP_TESTBENCH_BUDGET=600 \
+  OLP_TRACE_DIR="${tmp}" TSAN_OPTIONS="halt_on_error=1" \
+  "${build_dir}/examples/ota_layout_flow" > "${out}" 2>&1
+echo "tsan smoke: sanitized flow exited 0 at 8 threads with the cache on"
+
+if grep -q "ThreadSanitizer" "${out}"; then
+  echo "tsan smoke: ThreadSanitizer reported a race" >&2
+  cat "${out}" >&2
+  exit 1
+fi
+
+echo "tsan smoke run passed"

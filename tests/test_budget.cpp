@@ -170,10 +170,17 @@ TEST(Budget, MonotonicStopwatchNeverGoesBackwards) {
 // Flow integration: every stage salvages under exhaustion.
 
 /// Subject of the first stage-boundary budget diagnostic — the stage whose
-/// work the budget interrupted first.
+/// work the budget interrupted first. Scans the canonical stage order rather
+/// than record positions: stage checkpoints always fire on the main thread
+/// in this order, but under a task pool worker-thread diagnostics interleave
+/// with them in the record vector, so position-based "first" is unstable.
 std::string first_budget_stage(const circuits::FlowReport& report) {
-  for (const Diagnostic& d : report.diagnostics) {
-    if (d.stage == "budget") return d.subject;
+  for (const char* stage :
+       {"generation", "selection", "combo_choice", "placement", "routing",
+        "port_optimization"}) {
+    for (const Diagnostic& d : report.diagnostics) {
+      if (d.stage == "budget" && d.subject == stage) return stage;
+    }
   }
   return "";
 }
@@ -253,6 +260,26 @@ TEST_F(BudgetFlow, TestbenchBudgetTripsMidSelection) {
   // single "testbench" site may batch a handful of simulator calls before
   // the next check; allow a small constant slack.
   EXPECT_LE(report.budget.testbenches_consumed, 30 + 8);
+  expect_complete_realization(real, *ota_);
+}
+
+TEST_F(BudgetFlow, TestbenchBudgetTripsMidSelectionWithPool) {
+  // Same tight budget, but with two worker threads racing to consume it.
+  // The first-trip-wins CAS in Budget means exactly one trip is recorded,
+  // the stage attribution is unchanged (stage checkpoints run on the main
+  // thread in canonical order), and the salvage contract still holds.
+  circuits::FlowOptions fopt;
+  fopt.budget_limits.max_testbenches = 30;
+  fopt.num_threads = 2;
+  const circuits::FlowEngine engine(t(), fopt);
+  circuits::FlowReport report;
+  const circuits::Realization real =
+      engine.optimize(ota_->instances(), ota_->routed_nets(), &report);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.budget.tripped, BudgetKind::kTestbenches);
+  EXPECT_EQ(first_budget_stage(report), "selection");
+  // Two in-flight testbench batches can overshoot before their next check.
+  EXPECT_LE(report.budget.testbenches_consumed, 30 + 8 * 2);
   expect_complete_realization(real, *ota_);
 }
 

@@ -147,6 +147,69 @@ TEST_P(ChaosWithBudget, FaultsComposeWithTightBudget) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosWithBudget,
                          ::testing::Values(1u, 7u, 42u, 1234u));
 
+TEST(ChaosPooled, FaultsComposeWithPoolDelaysAndTightBudget) {
+  // Everything at once: 4 worker threads whose task claim/completion order
+  // is scrambled by injected per-task delays, simulator/metric faults, the
+  // eval cache on, and a tight testbench budget. The flow must still
+  // complete with a structurally consistent report — and the count-based
+  // fault accounting must stay exact under worker interleaving.
+  set_log_level(LogLevel::kOff);
+  circuits::Ota5T ota(t());
+  ASSERT_TRUE(ota.prepare());
+
+  circuits::FlowOptions fopt;
+  fopt.budget_limits.max_testbenches = 60;
+  fopt.num_threads = 4;
+  fopt.eval_cache = true;
+  const circuits::FlowEngine engine(t(), fopt);
+
+  FaultConfig config;
+  config.seed = 42;
+  config.op_rate = 0.05;
+  config.tran_rate = 0.05;
+  config.nan_metric_rate = 0.05;
+  config.pool_delay_rate = 0.5;
+
+  circuits::FlowReport report;
+  circuits::Realization real;
+  {
+    ScopedFaultInjection chaos(config);
+    ASSERT_NO_THROW(real = engine.optimize(ota.instances(), ota.routed_nets(),
+                                           &report));
+  }
+  set_log_level(LogLevel::kWarn);
+  FaultInjector& inj = FaultInjector::global();
+
+  // The pool actually ran tasks through the delay site.
+  EXPECT_GT(inj.fired(FaultSite::kPoolTaskDelay), 0);
+  // Exact accounting per evaluator-side site, despite worker interleaving.
+  for (FaultSite site :
+       {FaultSite::kOpNonConvergence, FaultSite::kTranNonConvergence,
+        FaultSite::kNanMetric}) {
+    EXPECT_EQ(chaos_count(report.diagnostics, site),
+              static_cast<std::size_t>(inj.fired(site)))
+        << fault_site_name(site);
+  }
+  for (const circuits::InstanceSpec& inst : ota.instances()) {
+    EXPECT_TRUE(real.layouts.count(inst.name)) << inst.name;
+  }
+  for (const auto& [name, options] : report.options) {
+    ASSERT_FALSE(options.empty()) << name;
+    for (const core::LayoutCandidate& cand : options) {
+      EXPECT_TRUE(std::isfinite(cand.cost.total)) << name;
+    }
+    ASSERT_TRUE(report.chosen_option.count(name)) << name;
+  }
+  // With up to 4 testbench batches in flight when the budget trips, the
+  // overshoot bound scales with the thread count.
+  EXPECT_LE(report.budget.testbenches_consumed, 60 + 8 * 4);
+  if (report.budget.exhausted) {
+    EXPECT_NE(report.budget.tripped, BudgetKind::kNone);
+    EXPECT_TRUE(report.degraded);
+  }
+  if (report.degraded) EXPECT_FALSE(report.diagnostics.empty());
+}
+
 TEST(Chaos, CleanRunReportsNothing) {
   // With injection disabled (the default), the flow reports no diagnostics
   // and no degradation on the healthy OTA.

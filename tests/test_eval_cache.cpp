@@ -1,0 +1,259 @@
+// Eval-cache tests: the canonical key must distinguish every input an
+// evaluation depends on, hits must return bit-identical metrics without new
+// simulation, quarantined evaluations must never be memoized (so their
+// diagnostics re-fire), and the cache must be safe to share across TaskPool
+// workers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "circuits/common.hpp"
+#include "core/eval_cache.hpp"
+#include "core/evaluator.hpp"
+#include "pcell/generator.hpp"
+#include "util/diag.hpp"
+#include "util/faults.hpp"
+#include "util/logging.hpp"
+#include "util/task_pool.hpp"
+
+namespace olp::core {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+pcell::LayoutConfig cfg(int nfin, int nf, int m) {
+  pcell::LayoutConfig c;
+  c.nfin = nfin;
+  c.nf = nf;
+  c.m = m;
+  return c;
+}
+
+BiasContext dp_bias() {
+  BiasContext b;
+  b.vdd = t().vdd;
+  b.bias_current = 500e-6;
+  b.port_voltage = {
+      {"ga", 0.5}, {"gb", 0.5}, {"da", 0.5}, {"db", 0.5}, {"s", 0.2}};
+  b.port_load_cap = {{"da", 20e-15}, {"db", 20e-15}};
+  return b;
+}
+
+TEST(EvalCacheKey, DistinguishesEveryInput) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_diff_pair(), cfg(8, 20, 6));
+  const BiasContext bias = dp_bias();
+  const spice::MosModel nmos = circuits::default_nmos();
+  const spice::MosModel pmos = circuits::default_pmos();
+  EvalCondition cond;
+
+  const std::string base = EvalCache::make_key(lay, cond, bias, nmos, pmos);
+  EXPECT_EQ(EvalCache::make_key(lay, cond, bias, nmos, pmos), base)
+      << "same inputs must produce the same key";
+
+  std::set<std::string> keys;
+  keys.insert(base);
+
+  // Different layout configuration.
+  const pcell::PrimitiveLayout other =
+      gen.generate(pcell::make_diff_pair(), cfg(8, 10, 12));
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(other, cond, bias, nmos, pmos)).second);
+
+  // Different netlist (current mirror vs diff pair).
+  const pcell::PrimitiveLayout mirror =
+      gen.generate(pcell::make_current_mirror(), cfg(8, 20, 6));
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(mirror, cond, bias, nmos, pmos)).second);
+
+  // Ideal vs extracted mode.
+  EvalCondition ideal;
+  ideal.ideal = true;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, ideal, bias, nmos, pmos)).second);
+
+  // Strap tuning.
+  EvalCondition tuned;
+  tuned.tuning["s"] = 3;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, tuned, bias, nmos, pmos)).second);
+
+  // Port wire RC — including a tiny (one-ulp-scale) perturbation.
+  EvalCondition wired;
+  wired.port_wires["da"] = extract::WireRc{12.5, 3e-15};
+  const std::string wired_key =
+      EvalCache::make_key(lay, wired, bias, nmos, pmos);
+  EXPECT_TRUE(keys.insert(wired_key).second);
+  wired.port_wires["da"].resistance =
+      std::nextafter(12.5, 13.0);  // %.17g is round-trip exact
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, wired, bias, nmos, pmos)).second);
+
+  // Mismatch perturbations.
+  EvalCondition mc;
+  mc.extra_dvth["ma0"] = 1e-3;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, mc, bias, nmos, pmos)).second);
+
+  // Bias context.
+  BiasContext bias2 = bias;
+  bias2.bias_current = 400e-6;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, cond, bias2, nmos, pmos)).second);
+  BiasContext bias3 = bias;
+  bias3.port_voltage["ga"] = 0.45;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, cond, bias3, nmos, pmos)).second);
+
+  // Model card.
+  spice::MosModel nmos2 = nmos;
+  nmos2.vth0 += 1e-3;
+  EXPECT_TRUE(
+      keys.insert(EvalCache::make_key(lay, cond, bias, nmos2, pmos)).second);
+}
+
+TEST(EvalCache, HitReturnsIdenticalValuesWithoutNewTestbenches) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_diff_pair(), cfg(8, 20, 6));
+  PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                          circuits::default_pmos(), dp_bias());
+  EvalCache cache;
+  eval.set_cache(&cache);
+
+  EvalCondition cond;
+  EvalOutcome first_out;
+  const MetricValues first = eval.evaluate(lay, cond, &first_out);
+  EXPECT_FALSE(first_out.cache_hit);
+  const long benches_after_miss = eval.stats().testbenches;
+  EXPECT_GT(benches_after_miss, 0);
+
+  EvalOutcome second_out;
+  const MetricValues second = eval.evaluate(lay, cond, &second_out);
+  EXPECT_TRUE(second_out.cache_hit);
+  EXPECT_EQ(eval.stats().testbenches, benches_after_miss)
+      << "a cache hit must not simulate";
+
+  ASSERT_EQ(first.size(), second.size());
+  auto fi = first.begin();
+  auto si = second.begin();
+  for (; fi != first.end(); ++fi, ++si) {
+    EXPECT_EQ(fi->first, si->first);
+    EXPECT_EQ(std::memcmp(&fi->second, &si->second, sizeof(double)), 0)
+        << metric_name(fi->first);
+  }
+
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+
+  // A different condition is a fresh miss.
+  EvalCondition tuned;
+  tuned.tuning["s"] = 2;
+  EvalOutcome third_out;
+  eval.evaluate(lay, tuned, &third_out);
+  EXPECT_FALSE(third_out.cache_hit);
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(EvalCache, QuarantinedEvaluationsAreNeverCached) {
+  set_log_level(LogLevel::kOff);
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_diff_pair(), cfg(8, 20, 6));
+  PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                          circuits::default_pmos(), dp_bias());
+  EvalCache cache;
+  eval.set_cache(&cache);
+  DiagnosticsSink sink;
+  eval.set_diagnostics(&sink);
+
+  FaultConfig config;
+  config.seed = 3;
+  config.nan_metric_rate = 1.0;  // every evaluation quarantines
+  {
+    ScopedFaultInjection chaos(config);
+    EvalCondition cond;
+    EvalOutcome out1, out2;
+    eval.evaluate(lay, cond, &out1);
+    eval.evaluate(lay, cond, &out2);
+    EXPECT_GT(out1.quarantined, 0);
+    EXPECT_FALSE(out1.cache_hit);
+    // The second identical call must re-simulate (not hit a poisoned entry)
+    // and re-fire the quarantine diagnostic.
+    EXPECT_FALSE(out2.cache_hit);
+    EXPECT_GT(out2.quarantined, 0);
+  }
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(sink.count("evaluator"), 2u);
+}
+
+TEST(EvalCache, FullKeyEqualityMakesShardCollisionsBenign) {
+  // One shard forces every key through the same map: distinct keys must
+  // still resolve to their own entries (the hash only picks the shard).
+  EvalCache cache(/*shards=*/1);
+  for (int i = 0; i < 200; ++i) {
+    MetricValues v;
+    v[MetricKind::kGm] = static_cast<double>(i);
+    cache.insert("key" + std::to_string(i), v);
+  }
+  EXPECT_EQ(cache.stats().entries, 200);
+  for (int i = 0; i < 200; ++i) {
+    MetricValues v;
+    ASSERT_TRUE(cache.lookup("key" + std::to_string(i), &v)) << i;
+    EXPECT_EQ(v.at(MetricKind::kGm), static_cast<double>(i)) << i;
+  }
+  MetricValues v;
+  EXPECT_FALSE(cache.lookup("key200", &v));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(cache.stats().hits, 0);
+}
+
+TEST(EvalCache, SharedAcrossPoolWorkers) {
+  const pcell::PrimitiveGenerator gen(t());
+  const pcell::PrimitiveLayout lay =
+      gen.generate(pcell::make_diff_pair(), cfg(8, 20, 6));
+  PrimitiveEvaluator eval(t(), circuits::default_nmos(),
+                          circuits::default_pmos(), dp_bias());
+  EvalCache cache;
+  eval.set_cache(&cache);
+
+  TaskPool pool(8);
+  const std::size_t n = 32;
+  std::vector<MetricValues> slots(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    EvalCondition cond;  // all workers evaluate the identical condition
+    slots[i] = eval.evaluate(lay, cond);
+    return true;
+  });
+
+  // Exactly one entry; every result is bit-identical to the first.
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<long>(n));
+  EXPECT_GE(stats.hits, 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_EQ(slots[i].size(), slots[0].size()) << i;
+    auto a = slots[0].begin();
+    auto b = slots[i].begin();
+    for (; a != slots[0].end(); ++a, ++b) {
+      EXPECT_EQ(std::memcmp(&a->second, &b->second, sizeof(double)), 0)
+          << i << "/" << metric_name(a->first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olp::core
