@@ -32,7 +32,7 @@ Row run(const std::string& label, const tech::Technology& t,
   circuits::FlowEngine engine(t, options);
   circuits::FlowReport report;
   circuits::Realization real =
-      engine.optimize(ota.instances(), ota.routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
   if (strip_tuning) {
     for (auto& [inst, tuning] : real.tunings) {
       (void)inst;
@@ -90,7 +90,7 @@ int main() {
     circuits::FlowEngine engine(t, {});
     rows.push_back(Row{
         "conventional baseline",
-        ota.measure(engine.conventional(ota.instances(), ota.routed_nets()))});
+        ota.measure(engine.run(circuits::FlowMode::kConventional, ota.instances(), ota.routed_nets()))});
   }
 
   TextTable table(

@@ -1,0 +1,271 @@
+// Batch flow service benchmark: a design-space-exploration batch — the 5T
+// OTA and the StrongARM comparator, each swept over 8 placer seeds plus one
+// manual-oracle reference job (18 jobs) — run through circuits::BatchRunner
+// at 1/2/4/8 workers with cross-job cache sharing, against the legacy
+// baseline of running every job alone, serially, uncached.
+//
+// The jobs use an evaluation-heavy exploration profile (4 bins, 12 tuning
+// wires, quick placements): seed-only job variations share every
+// seed-independent evaluation — the whole Algorithm 1 selection sweep —
+// through the batch cache, which is where the throughput comes from (this
+// machine may have a single core, so the win must survive without real
+// hardware parallelism; worker counts are still swept to show the scheduler
+// adds no contention overhead).
+//
+// Every batch configuration's per-job results are verified bit-identical to
+// the solo runs (chosen options, placement, realized net RCs). The harness
+// exits nonzero unless the 4-worker batch reaches 2x jobs/min over the
+// serial baseline with a nonzero cross-job hit count. Results land in
+// BENCH_batch.json.
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <olp/olp.hpp>
+
+namespace {
+
+using namespace olp;
+
+/// Evaluation-heavy exploration profile shared by every job.
+void exploration_profile(circuits::FlowOptions& options) {
+  options.bins = 4;
+  options.max_tuning_wires = 12;
+  options.placer_iterations = 2000;
+  options.combo_place_iterations = 300;
+}
+
+std::vector<circuits::FlowJob> make_jobs(const circuits::Ota5T& ota,
+                                         const circuits::StrongArmComparator& sa) {
+  std::vector<circuits::FlowJob> jobs;
+  const auto add = [&jobs](std::string name, circuits::FlowMode mode,
+                           const std::vector<circuits::InstanceSpec>& insts,
+                           const std::vector<std::string>& nets,
+                           std::uint64_t seed) {
+    circuits::FlowJob job;
+    job.name = std::move(name);
+    job.mode = mode;
+    job.instances = insts;
+    job.routed_nets = nets;
+    job.options.seed = seed;
+    exploration_profile(job.options);
+    jobs.push_back(std::move(job));
+  };
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    add("ota/opt/s" + std::to_string(seed), circuits::FlowMode::kOptimize,
+        ota.instances(), ota.routed_nets(), seed);
+    add("sa/opt/s" + std::to_string(seed), circuits::FlowMode::kOptimize,
+        sa.instances(), sa.routed_nets(), seed);
+  }
+  add("ota/oracle", circuits::FlowMode::kManualOracle, ota.instances(),
+      ota.routed_nets(), 1);
+  add("sa/oracle", circuits::FlowMode::kManualOracle, sa.instances(),
+      sa.routed_nets(), 1);
+  return jobs;
+}
+
+/// Min-of-repeats wall clock of `fn`, in milliseconds.
+template <typename F>
+double measure_ms(F&& fn, int repeats) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Decision fingerprint of one job result: chosen options, placement
+/// geometry bits, realized net RC bits. Bit-equal fingerprints mean the
+/// batch reproduced the solo decisions exactly.
+struct Fingerprint {
+  std::map<std::string, int> chosen;
+  double hpwl = 0.0;
+  std::map<std::string, std::pair<double, double>> net_rc;
+
+  bool operator==(const Fingerprint& other) const {
+    if (chosen != other.chosen) return false;
+    if (std::memcmp(&hpwl, &other.hpwl, sizeof(double)) != 0) return false;
+    if (net_rc.size() != other.net_rc.size()) return false;
+    auto a = net_rc.begin();
+    auto b = other.net_rc.begin();
+    for (; a != net_rc.end(); ++a, ++b) {
+      if (a->first != b->first) return false;
+      if (std::memcmp(&a->second.first, &b->second.first, sizeof(double)) != 0)
+        return false;
+      if (std::memcmp(&a->second.second, &b->second.second,
+                      sizeof(double)) != 0)
+        return false;
+    }
+    return true;
+  }
+};
+
+Fingerprint fingerprint(const circuits::FlowReport& report,
+                        const circuits::Realization& real) {
+  Fingerprint fp;
+  fp.chosen = report.chosen_option;
+  fp.hpwl = report.placement.hpwl;
+  for (const auto& [net, rc] : real.net_wires) {
+    fp.net_rc[net] = {rc.resistance, rc.capacitance};
+  }
+  return fp;
+}
+
+struct Row {
+  int workers = 1;
+  double wall_ms = 0.0;
+  double jobs_per_min = 0.0;
+  double speedup = 1.0;  ///< jobs/min vs the serial solo baseline
+  long testbenches = 0;
+  long cross_job_hits = 0;
+  double hit_rate = 0.0;
+  bool identical = true;  ///< every job matches its solo fingerprint
+};
+
+}  // namespace
+
+int main() {
+  using namespace olp;
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
+  const tech::Technology t = tech::make_default_finfet_tech();
+
+  circuits::Ota5T ota(t);
+  circuits::StrongArmComparator sa(t);
+  if (!ota.prepare() || !sa.prepare()) {
+    std::cerr << "schematic preparation failed\n";
+    return 1;
+  }
+  const std::vector<circuits::FlowJob> jobs = make_jobs(ota, sa);
+  const double n_jobs = static_cast<double>(jobs.size());
+
+  // Legacy baseline: every job alone, serial, uncached — and the golden
+  // decision fingerprints every batch configuration must reproduce.
+  std::vector<Fingerprint> golden(jobs.size());
+  long solo_testbenches = 0;
+  const auto run_solo = [&](bool record) {
+    long tb = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      circuits::FlowOptions opts = jobs[i].options;
+      opts.num_threads = 1;
+      opts.eval_cache = false;
+      const circuits::FlowEngine engine(t, opts);
+      circuits::FlowReport report;
+      const circuits::Realization real = engine.run(
+          jobs[i].mode, jobs[i].instances, jobs[i].routed_nets, &report);
+      tb += report.testbenches;
+      if (record) golden[i] = fingerprint(report, real);
+    }
+    solo_testbenches = tb;
+  };
+  run_solo(/*record=*/true);
+  const double solo_ms = measure_ms([&] { run_solo(false); }, 2);
+  const double solo_jobs_per_min = n_jobs / (solo_ms / 60000.0);
+
+  const int kWorkers[] = {1, 2, 4, 8};
+  std::vector<Row> rows;
+  bool pass = true;
+  for (const int workers : kWorkers) {
+    circuits::BatchOptions bopt;
+    bopt.workers = workers;
+    const circuits::BatchRunner runner(t, bopt);
+    circuits::BatchReport batch;
+    const double ms = measure_ms([&] { batch = runner.run(jobs); }, 2);
+
+    Row row;
+    row.workers = workers;
+    row.wall_ms = ms;
+    row.jobs_per_min = n_jobs / (ms / 60000.0);
+    row.speedup = row.jobs_per_min / solo_jobs_per_min;
+    row.testbenches = batch.total_testbenches;
+    row.cross_job_hits = batch.cross_job_hits;
+    const long probes = batch.cache_hits + batch.cache_misses;
+    row.hit_rate = probes > 0 ? static_cast<double>(batch.cache_hits) /
+                                    static_cast<double>(probes)
+                              : 0.0;
+    row.identical = batch.jobs.size() == jobs.size();
+    for (std::size_t i = 0; row.identical && i < batch.jobs.size(); ++i) {
+      row.identical =
+          batch.jobs[i].status != circuits::JobStatus::kFailed &&
+          fingerprint(batch.jobs[i].report, batch.jobs[i].realization) ==
+              golden[i];
+    }
+    pass = pass && row.identical;
+    rows.push_back(row);
+  }
+
+  TextTable table("Batch flow service: " + std::to_string(jobs.size()) +
+                  " jobs (8-seed OTA + StrongARM sweeps + oracles) vs solo "
+                  "serial uncached at " +
+                  fixed(solo_jobs_per_min, 1) + " jobs/min");
+  table.set_header({"workers", "wall [ms]", "jobs/min", "speedup",
+                    "testbenches", "cross-job hits", "hit rate", "identical"});
+  table.add_row({"solo", fixed(solo_ms, 1), fixed(solo_jobs_per_min, 1),
+                 "1.00x", std::to_string(solo_testbenches), "-", "-", "yes"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.workers), fixed(r.wall_ms, 1),
+                   fixed(r.jobs_per_min, 1), fixed(r.speedup, 2) + "x",
+                   std::to_string(r.testbenches),
+                   std::to_string(r.cross_job_hits),
+                   fixed(100.0 * r.hit_rate, 1) + " %",
+                   r.identical ? "yes" : "NO"});
+  }
+  std::cout << table << "\n";
+
+  double gate_speedup = 0.0;
+  long gate_cross = 0;
+  for (const Row& r : rows) {
+    if (r.workers == 4) {
+      gate_speedup = r.speedup;
+      gate_cross = r.cross_job_hits;
+    }
+  }
+  const bool gate = gate_speedup >= 2.0 && gate_cross > 0;
+  pass = pass && gate;
+  std::cout << "Gate (4 workers, shared cache): " << fixed(gate_speedup, 2)
+            << "x jobs/min (need >= 2x), " << gate_cross
+            << " cross-job hits (need > 0) -> " << (pass ? "PASS" : "FAIL")
+            << "\n";
+
+  std::string json = "{\n";
+  json += "  \"jobs\": " + std::to_string(jobs.size()) + ",\n";
+  json += "  \"solo_ms\": " + fixed(solo_ms, 3) + ",\n";
+  json += "  \"solo_jobs_per_min\": " + fixed(solo_jobs_per_min, 3) + ",\n";
+  json += "  \"solo_testbenches\": " + std::to_string(solo_testbenches) +
+          ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += std::string("    {\"workers\": ") + std::to_string(r.workers) +
+            ", \"wall_ms\": " + fixed(r.wall_ms, 3) +
+            ", \"jobs_per_min\": " + fixed(r.jobs_per_min, 3) +
+            ", \"speedup\": " + fixed(r.speedup, 3) +
+            ", \"testbenches\": " + std::to_string(r.testbenches) +
+            ", \"cross_job_hits\": " + std::to_string(r.cross_job_hits) +
+            ", \"hit_rate\": " + fixed(r.hit_rate, 4) +
+            ", \"identical\": " + (r.identical ? "true" : "false") + "}" +
+            (i + 1 < rows.size() ? "," : "") + "\n";
+  }
+  json += "  ],\n";
+  json += "  \"speedup_4_workers\": " + fixed(gate_speedup, 3) + ",\n";
+  json += "  \"cross_job_hits_4_workers\": " + std::to_string(gate_cross) +
+          ",\n";
+  json += std::string("  \"pass\": ") + (pass ? "true" : "false") + "\n";
+  json += "}\n";
+  std::string err;
+  if (!obs::json_well_formed(json, &err)) {
+    std::cerr << "internal error: BENCH_batch.json malformed: " << err << "\n";
+    return 1;
+  }
+  obs::write_text_file("BENCH_batch.json", json);
+  std::cout << "Wrote BENCH_batch.json\n";
+  return pass ? 0 : 1;
+}

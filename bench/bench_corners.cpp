@@ -23,9 +23,9 @@ int main() {
   }
   circuits::FlowEngine engine(t, {});
   circuits::Realization optimized =
-      engine.optimize(ota.instances(), ota.routed_nets());
+      engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets());
   circuits::Realization conventional =
-      engine.conventional(ota.instances(), ota.routed_nets());
+      engine.run(circuits::FlowMode::kConventional, ota.instances(), ota.routed_nets());
   circuits::Realization schematic =
       circuits::schematic_realization(ota.instances(), t);
 

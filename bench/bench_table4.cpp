@@ -131,7 +131,7 @@ int main() {
   if (ota.prepare()) {
     circuits::FlowEngine engine(t, {});
     circuits::FlowReport report;
-    (void)engine.optimize(ota.instances(), ota.routed_nets(), &report);
+    (void)engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
     TextTable fig6("Fig. 6: Per-net port constraints on the 5T OTA");
     fig6.set_header({"primitive", "net", "interval"});
     for (const core::PortConstraint& pc : report.constraints) {

@@ -31,7 +31,7 @@ int main() {
   circuits::FlowEngine engine(t, {});
   circuits::FlowReport report;
   const circuits::Realization real =
-      engine.optimize(ota.instances(), ota.routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
 
   // Assembled top-level layout.
   const geom::Layout top =

@@ -25,6 +25,7 @@
 #include "util/logging.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"
+#include "util/env.hpp"
 #include "util/trace_export.hpp"
 #include "util/units.hpp"
 
@@ -33,8 +34,7 @@ int main() {
   set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
   const tech::Technology t = tech::make_default_finfet_tech();
 
-  const char* trace_env = std::getenv("OLP_TRACE_DIR");
-  const std::string trace_dir = trace_env != nullptr ? trace_env : "";
+  const std::string trace_dir = env::str("OLP_TRACE_DIR");
   if (!trace_dir.empty()) obs::Registry::global().enable();
 
   circuits::Ota5T ota(t);
@@ -51,7 +51,7 @@ int main() {
   circuits::FlowEngine engine(t, fopt);
   circuits::FlowReport report;
   const circuits::Realization optimized =
-      engine.optimize(ota.instances(), ota.routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
 
   if (!trace_dir.empty()) {
     const std::string trace_json =
@@ -116,7 +116,7 @@ int main() {
   const auto sch =
       ota.measure(circuits::schematic_realization(ota.instances(), t));
   const auto conv =
-      ota.measure(engine.conventional(ota.instances(), ota.routed_nets()));
+      ota.measure(engine.run(circuits::FlowMode::kConventional, ota.instances(), ota.routed_nets()));
   const auto opt = ota.measure(optimized);
   TextTable table("Circuit performance");
   table.set_header({"metric", "schematic", "conventional", "this work"});

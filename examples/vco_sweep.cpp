@@ -24,9 +24,9 @@ int main() {
   const circuits::Realization schematic =
       circuits::schematic_realization(vco.instances(), t);
   const circuits::Realization conventional =
-      engine.conventional(vco.instances(), vco.routed_nets());
+      engine.run(circuits::FlowMode::kConventional, vco.instances(), vco.routed_nets());
   const circuits::Realization optimized =
-      engine.optimize(vco.instances(), vco.routed_nets());
+      engine.run(circuits::FlowMode::kOptimize, vco.instances(), vco.routed_nets());
 
   TextTable table("RO-VCO tuning curve: frequency (GHz) vs Vctrl");
   table.set_header({"Vctrl (V)", "schematic", "conventional", "this work"});

@@ -1,0 +1,255 @@
+#include "circuits/batch.hpp"
+
+#include <exception>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/eval_cache.hpp"
+#include "util/budget.hpp"
+#include "util/obs.hpp"
+#include "util/table.hpp"
+#include "util/task_pool.hpp"
+#include "util/trace_export.hpp"
+
+namespace olp::circuits {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kSucceeded:
+      return "succeeded";
+    case JobStatus::kDegraded:
+      return "degraded";
+    case JobStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+std::size_t BatchReport::succeeded() const {
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) n += j.status == JobStatus::kSucceeded;
+  return n;
+}
+
+std::size_t BatchReport::degraded() const {
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) n += j.status == JobStatus::kDegraded;
+  return n;
+}
+
+std::size_t BatchReport::failed() const {
+  std::size_t n = 0;
+  for (const JobResult& j : jobs) n += j.status == JobStatus::kFailed;
+  return n;
+}
+
+const JobResult* BatchReport::find(const std::string& name) const {
+  for (const JobResult& j : jobs) {
+    if (j.name == name) return &j;
+  }
+  return nullptr;
+}
+
+std::string BatchReport::summary_table() const {
+  TextTable table("Batch: " + std::to_string(jobs.size()) + " jobs, " +
+                  std::to_string(workers) + " workers, " + fixed(wall_s, 2) +
+                  " s wall");
+  table.set_header({"job", "mode", "status", "run_s", "testbenches",
+                    "diagnostics", "note"});
+  for (const JobResult& j : jobs) {
+    std::string note;
+    if (j.status == JobStatus::kFailed) {
+      note = j.error;
+    } else if (j.report.budget.exhausted) {
+      note = "budget exhausted";
+    }
+    table.add_row({j.name, flow_mode_name(j.mode), job_status_name(j.status),
+                   fixed(j.run_s, 2), std::to_string(j.report.testbenches),
+                   std::to_string(j.report.diagnostics.size()), note});
+  }
+  table.add_rule();
+  table.add_row({"total", "", std::to_string(succeeded()) + " ok",
+                 fixed(wall_s, 2), std::to_string(total_testbenches),
+                 "cache " + std::to_string(cache_hits) + "h/" +
+                     std::to_string(cache_misses) + "m",
+                 "cross-job hits " + std::to_string(cross_job_hits)});
+  return table.render();
+}
+
+std::string BatchReport::to_jsonl() const {
+  std::string out;
+  for (const JobResult& j : jobs) {
+    out += "{\"job\":\"" + json_escape(j.name) + "\"";
+    out += ",\"mode\":\"" + std::string(flow_mode_name(j.mode)) + "\"";
+    out += ",\"status\":\"" + std::string(job_status_name(j.status)) + "\"";
+    if (!j.error.empty()) out += ",\"error\":\"" + json_escape(j.error) + "\"";
+    out += ",\"queued_s\":" + fixed(j.queued_s, 4);
+    out += ",\"run_s\":" + fixed(j.run_s, 4);
+    out += ",\"testbenches\":" + std::to_string(j.report.testbenches);
+    out += ",\"degraded\":" + std::string(j.report.degraded ? "true" : "false");
+    out += ",\"budget_exhausted\":" +
+           std::string(j.report.budget.exhausted ? "true" : "false");
+    out += ",\"diagnostics\":" + std::to_string(j.report.diagnostics.size());
+    out += "}\n";
+  }
+  out += "{\"batch\":{\"jobs\":" + std::to_string(jobs.size());
+  out += ",\"succeeded\":" + std::to_string(succeeded());
+  out += ",\"degraded\":" + std::to_string(degraded());
+  out += ",\"failed\":" + std::to_string(failed());
+  out += ",\"workers\":" + std::to_string(workers);
+  out += ",\"wall_s\":" + fixed(wall_s, 4);
+  out += ",\"testbenches\":" + std::to_string(total_testbenches);
+  out += ",\"cache_hits\":" + std::to_string(cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(cache_misses);
+  out += ",\"cache_entries\":" + std::to_string(cache_entries);
+  out += ",\"cross_job_hits\":" + std::to_string(cross_job_hits);
+  out += ",\"cache_scopes\":" + std::to_string(cache_scopes);
+  out += "}}\n";
+  return out;
+}
+
+void BatchReport::write_jsonl(const std::string& path) const {
+  obs::write_text_file(path, to_jsonl());
+}
+
+BatchRunner::BatchRunner(const tech::Technology& technology,
+                         BatchOptions options)
+    : tech_(technology), options_(options) {
+  options_.workers = threads_from_env(options_.workers);
+}
+
+BatchReport BatchRunner::run(const std::vector<FlowJob>& jobs) const {
+  const MonotonicStopwatch watch;
+  // The runner owns the obs registry for the whole batch: rebase once here,
+  // snapshot once at the end. Jobs run with own_telemetry = false so none of
+  // them clobbers the shared window.
+  obs::Registry::global().rebase();
+  obs::Span root("batch.run");
+
+  BatchReport report;
+  report.workers = options_.workers;
+  report.jobs.resize(jobs.size());
+
+  // One shared cache per evaluation scope (technology + model cards). Jobs
+  // in different scopes must not share entries — the evaluation key does not
+  // cover the technology — so each scope gets its own cache. Built up front,
+  // serially, so the map is read-only while jobs run.
+  std::map<std::string, std::unique_ptr<core::EvalCache>> caches;
+  std::vector<core::EvalCache*> cache_of(jobs.size(), nullptr);
+  if (options_.share_cache) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const tech::Technology& jt =
+          jobs[i].technology != nullptr ? *jobs[i].technology : tech_;
+      const std::string scope =
+          core::EvalCache::scope_key(jt, default_nmos(), default_pmos());
+      auto& slot = caches[scope];
+      if (slot == nullptr) slot = std::make_unique<core::EvalCache>();
+      cache_of[i] = slot.get();
+    }
+  }
+
+  TaskPool pool(options_.workers);
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const FlowJob& job = jobs[i];
+    JobResult& result = report.jobs[i];
+    result.name = job.name.empty() ? "job" + std::to_string(i) : job.name;
+    result.mode = job.mode;
+    result.queued_s = watch.seconds();
+    const MonotonicStopwatch job_watch;
+    const tech::Technology& jt =
+        job.technology != nullptr ? *job.technology : tech_;
+
+    FlowOptions jopt = job.options;
+    // Batch plumbing overrides: every parallel stage runs on the shared
+    // pool, telemetry is pooled, and the scope cache (when sharing) replaces
+    // any per-job cache setting. Budget fields pass through untouched —
+    // that's the per-job isolation.
+    jopt.pool = &pool;
+    jopt.num_threads = 1;  // never spawn an engine-local pool
+    jopt.own_telemetry = false;
+    if (cache_of[i] != nullptr) {
+      jopt.shared_eval_cache = cache_of[i];
+      jopt.cache_client = static_cast<int>(i);
+    }
+    try {
+      const FlowEngine engine(jt, jopt);
+      result.realization =
+          engine.run(job.mode, job.instances, job.routed_nets, &result.report);
+      result.status = result.report.degraded ? JobStatus::kDegraded
+                                             : JobStatus::kSucceeded;
+    } catch (const std::exception& e) {
+      result.status = JobStatus::kFailed;
+      result.error = e.what();
+      obs::counter_add("batch.jobs_failed");
+    } catch (...) {
+      result.status = JobStatus::kFailed;
+      result.error = "unknown exception";
+      obs::counter_add("batch.jobs_failed");
+    }
+    result.run_s = job_watch.seconds();
+    obs::counter_add("batch.jobs");
+    return true;  // one job's failure never stops the batch
+  });
+
+  for (const JobResult& j : report.jobs) {
+    report.total_testbenches += j.report.testbenches;
+  }
+  report.cache_scopes = caches.size();
+  for (const auto& [scope, cache] : caches) {
+    const core::EvalCacheStats s = cache->stats();
+    report.cache_hits += s.hits;
+    report.cache_misses += s.misses;
+    report.cache_entries += s.entries;
+    report.cross_job_hits += s.cross_client_hits;
+  }
+  if (obs::enabled()) {
+    obs::counter_add("batch.cross_job_hits", report.cross_job_hits);
+  }
+  report.wall_s = watch.seconds();
+  root.close();
+  if (obs::enabled()) {
+    report.telemetry =
+        obs::make_flow_telemetry(obs::Registry::global().snapshot());
+  }
+  return report;
+}
+
+}  // namespace olp::circuits

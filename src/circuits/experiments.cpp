@@ -16,16 +16,16 @@ CircuitExperiment run_ota(const tech::Technology& t,
       ota.measure(schematic_realization(ota.instances(), t));
 
   FlowEngine engine(t, options);
-  const Realization conv = engine.conventional(
+  const Realization conv = engine.run(FlowMode::kConventional, 
       ota.instances(), ota.routed_nets(), &ex.conventional_report);
   ex.results["conventional"] = ota.measure(conv);
 
-  const Realization opt = engine.optimize(ota.instances(), ota.routed_nets(),
+  const Realization opt = engine.run(FlowMode::kOptimize, ota.instances(), ota.routed_nets(),
                                           &ex.optimized_report);
   ex.results["this_work"] = ota.measure(opt);
 
   if (with_manual) {
-    const Realization manual = engine.manual_oracle(
+    const Realization manual = engine.run(FlowMode::kManualOracle, 
         ota.instances(), ota.routed_nets(), &ex.manual_report);
     ex.results["manual"] = ota.measure(manual);
   }
@@ -42,16 +42,16 @@ CircuitExperiment run_strongarm(const tech::Technology& t,
       sa.measure(schematic_realization(sa.instances(), t));
 
   FlowEngine engine(t, options);
-  const Realization conv = engine.conventional(
+  const Realization conv = engine.run(FlowMode::kConventional, 
       sa.instances(), sa.routed_nets(), &ex.conventional_report);
   ex.results["conventional"] = sa.measure(conv);
 
   const Realization opt =
-      engine.optimize(sa.instances(), sa.routed_nets(), &ex.optimized_report);
+      engine.run(FlowMode::kOptimize, sa.instances(), sa.routed_nets(), &ex.optimized_report);
   ex.results["this_work"] = sa.measure(opt);
 
   if (with_manual) {
-    const Realization manual = engine.manual_oracle(
+    const Realization manual = engine.run(FlowMode::kManualOracle, 
         sa.instances(), sa.routed_nets(), &ex.manual_report);
     ex.results["manual"] = sa.measure(manual);
   }
@@ -69,12 +69,12 @@ CircuitExperiment run_vco(const tech::Technology& t,
       vco.measure(schematic_realization(vco.instances(), t), vctrls);
 
   FlowEngine engine(t, options);
-  const Realization conv = engine.conventional(
+  const Realization conv = engine.run(FlowMode::kConventional, 
       vco.instances(), vco.routed_nets(), &ex.conventional_report);
   ex.results["conventional"] = vco.measure(conv, vctrls);
 
   const Realization opt =
-      engine.optimize(vco.instances(), vco.routed_nets(), &ex.optimized_report);
+      engine.run(FlowMode::kOptimize, vco.instances(), vco.routed_nets(), &ex.optimized_report);
   ex.results["this_work"] = vco.measure(opt, vctrls);
   return ex;
 }
@@ -93,7 +93,7 @@ CircuitExperiment run_cs_amp(const tech::Technology& t,
   FlowEngine engine(t, options);
   FlowReport report;
   Realization opt =
-      engine.optimize(cs.instances(), cs.routed_nets(), &report);
+      engine.run(FlowMode::kOptimize, cs.instances(), cs.routed_nets(), &report);
   ex.optimized_report = report;
 
   const auto rit = report.routes.find("out");

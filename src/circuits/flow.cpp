@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <cstdlib>
 #include <filesystem>
 #include <limits>
 
@@ -11,6 +10,7 @@
 #include "geom/svg.hpp"
 #include "route/realize.hpp"
 #include "util/budget.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
@@ -180,23 +180,45 @@ void report_unrouted_nets(DiagnosticsSink& sink,
   }
 }
 
-/// OLP_EVAL_CACHE environment override: "0" (or empty) disables, anything
-/// else enables; unset leaves the configured value.
-bool eval_cache_from_env(bool base) {
-  const char* env = std::getenv("OLP_EVAL_CACHE");
-  if (env == nullptr || *env == '\0') return base;
-  return env[0] != '0';
+/// Root span name per mode ("flow." + flow_mode_name, as static storage —
+/// obs::Span keeps only the pointer).
+const char* flow_span_name(FlowMode mode) {
+  switch (mode) {
+    case FlowMode::kOptimize:
+      return "flow.optimize";
+    case FlowMode::kConventional:
+      return "flow.conventional";
+    case FlowMode::kManualOracle:
+      return "flow.manual_oracle";
+  }
+  return "flow.unknown";
 }
 
 }  // namespace
 
+const char* flow_mode_name(FlowMode mode) {
+  switch (mode) {
+    case FlowMode::kOptimize:
+      return "optimize";
+    case FlowMode::kConventional:
+      return "conventional";
+    case FlowMode::kManualOracle:
+      return "manual_oracle";
+  }
+  return "unknown";
+}
+
 FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
     : tech_(technology), options_(options) {
+  // All environment overrides land here, once; run() never consults the
+  // environment (see the header's precedence contract).
   options_.num_threads = threads_from_env(options_.num_threads);
-  options_.eval_cache = eval_cache_from_env(options_.eval_cache);
+  options_.eval_cache = env::flag("OLP_EVAL_CACHE", options_.eval_cache);
+  options_.budget_limits = budget_options_from_env(options_.budget_limits);
 }
 
 TaskPool* FlowEngine::pool() const {
+  if (options_.pool != nullptr) return options_.pool;
   if (options_.num_threads <= 1) return nullptr;
   if (pool_ == nullptr) pool_ = std::make_unique<TaskPool>(options_.num_threads);
   return pool_.get();
@@ -206,6 +228,52 @@ core::PrimitiveEvaluator FlowEngine::make_evaluator(
     const InstanceSpec& inst) const {
   return core::PrimitiveEvaluator(tech_, default_nmos(), default_pmos(),
                                   inst.bias);
+}
+
+Realization FlowEngine::run(FlowMode mode,
+                            const std::vector<InstanceSpec>& instances,
+                            const std::vector<std::string>& routed_nets,
+                            FlowReport* report_out) const {
+  const MonotonicStopwatch watch;
+  // A run that owns the obs registry rebases it so the attached telemetry
+  // covers exactly this run. Batch jobs run concurrently over one registry
+  // and must not rebase (own_telemetry = false): the batch runner rebases
+  // once and snapshots once.
+  if (options_.own_telemetry) obs::Registry::global().rebase();
+  obs::Span root(flow_span_name(mode));
+  FlowReport report;
+  DiagnosticsSink sink;
+  // A caller-owned handle wins verbatim (cooperative cancellation); else
+  // build a run-local budget from the options (env already folded in at
+  // construction).
+  Budget local_budget(options_.budget_limits);
+  Budget* budget =
+      options_.budget != nullptr ? options_.budget : &local_budget;
+  BudgetObserver budget_obs(*budget);
+
+  Realization real;
+  switch (mode) {
+    case FlowMode::kOptimize:
+      real = run_optimize(instances, routed_nets, report, sink, *budget,
+                          budget_obs);
+      break;
+    case FlowMode::kConventional:
+      real = run_conventional(instances, routed_nets, report, sink, *budget,
+                              budget_obs);
+      break;
+    case FlowMode::kManualOracle:
+      real = run_manual_oracle(instances, routed_nets, report, sink, *budget,
+                               budget_obs);
+      break;
+  }
+
+  report.runtime_s = watch.seconds();
+  finish_budget(*budget, report);
+  root.close();
+  if (options_.own_telemetry) finish_telemetry(report);
+  finish_diagnostics(sink, report);
+  if (report_out != nullptr) *report_out = std::move(report);
+  return real;
 }
 
 void FlowEngine::place_and_route(
@@ -322,23 +390,10 @@ void FlowEngine::place_and_route(
   }
 }
 
-Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
-                                 const std::vector<std::string>& routed_nets,
-                                 FlowReport* report_out) const {
-  const MonotonicStopwatch watch;
-  // Each flow entry point owns the obs registry while enabled: rebase so
-  // the attached telemetry covers exactly this run.
-  obs::Registry::global().rebase();
-  obs::Span root("flow.optimize");
-  FlowReport report;
-  DiagnosticsSink sink;
-  // A caller-owned handle wins verbatim (cooperative cancellation); else
-  // build a run-local budget from the options plus env overrides.
-  Budget local_budget(budget_options_from_env(options_.budget_limits));
-  Budget* budget =
-      options_.budget != nullptr ? options_.budget : &local_budget;
-  BudgetObserver budget_obs(*budget);
-
+Realization FlowEngine::run_optimize(
+    const std::vector<InstanceSpec>& instances,
+    const std::vector<std::string>& routed_nets, FlowReport& report,
+    DiagnosticsSink& sink, Budget& budget, BudgetObserver& budget_obs) const {
   // --- Step A: primitive layout optimization (Algorithm 1), deduplicated.
   obs::Span selection_span("selection");
   std::map<std::string, std::vector<core::LayoutCandidate>> by_signature;
@@ -346,19 +401,23 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   std::map<std::string, core::PrimitiveEvaluator*> eval_by_instance;
   const pcell::PrimitiveGenerator generator(tech_);
 
-  // Per-run memo cache (optional): shared by every evaluator of this run,
-  // most valuable for the repeated schematic references in tuning and port
-  // sweeps. Scoped to the run so cross-run state can never leak.
-  core::EvalCache eval_cache;
+  // Evaluation memo cache: a caller-owned shared cache wins (cross-run
+  // sharing, batch mode); else an optional run-local cache, scoped to the
+  // run so cross-run state can never leak. Most valuable for the repeated
+  // schematic references in tuning and port sweeps.
+  core::EvalCache local_cache;
+  core::EvalCache* cache = options_.shared_eval_cache != nullptr
+                               ? options_.shared_eval_cache
+                               : (options_.eval_cache ? &local_cache : nullptr);
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
-    eval->set_budget(budget);
-    if (options_.eval_cache) eval->set_cache(&eval_cache);
+    eval->set_budget(&budget);
+    if (cache != nullptr) eval->set_cache(cache, options_.cache_client);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget,
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, &budget,
                                          pool());
       core::OptimizerOptions oopt;
       oopt.bins = options_.bins;
@@ -372,7 +431,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     evaluators.push_back(std::move(eval));
   }
   selection_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "selection",
+  budget_checkpoint(budget, budget_obs, sink, "selection",
                     "budget.checks.selection");
 
   // --- Step B: choose one option per instance for the floorplan. With few
@@ -394,7 +453,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     bool done = false;
     while (!done) {
       // Budget-bounded trials: keep the best combination tried so far.
-      if (budget->check()) break;
+      if (budget.check()) break;
       // Quick placement trial of this combination.
       std::map<std::string, const pcell::PrimitiveLayout*> layouts;
       double cost_sum = 0.0;
@@ -418,7 +477,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
       // shared too (trials consume real work), but without a budget observer
       // — stage checkpoints belong to the main run only.
       quick_engine.place_and_route(instances, layouts, routed_nets, trial,
-                                   &sink, std::string(), budget);
+                                   &sink, std::string(), &budget);
       const double area = trial.placement.width * trial.placement.height;
       const double metric =
           cost_sum * (1.0 + 0.2 * trial.placement.hpwl / 1e-6) +
@@ -444,7 +503,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   }
   report.chosen_option = chosen;
   combo_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "combo_choice",
+  budget_checkpoint(budget, budget_obs, sink, "combo_choice",
                     "budget.checks.combo");
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
@@ -457,7 +516,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
 
   // --- Step C: placement + global routing of the chosen options.
   place_and_route(instances, layouts, routed_nets, report, &sink, "optimize",
-                  budget, &budget_obs);
+                  &budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
 
   // --- Step D: primitive port optimization (Algorithm 2).
@@ -466,7 +525,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   popt.max_wires = options_.max_port_wires;
   core::PortOptimizer port_opt(tech_, popt);
   port_opt.set_diagnostics(&sink);
-  port_opt.set_budget(budget);
+  port_opt.set_budget(&budget);
   port_opt.set_pool(pool());
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
@@ -496,7 +555,7 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
   report.decisions = port_opt.reconcile(pops, report.constraints);
   equalize_symmetric_nets(instances, report.decisions);
   portopt_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "port_optimization",
+  budget_checkpoint(budget, budget_obs, sink, "port_optimization",
                     "budget.checks.portopt");
 
   // --- Assemble the realization.
@@ -521,32 +580,18 @@ Realization FlowEngine::optimize(const std::vector<InstanceSpec>& instances,
     if (!route.routed || real.net_wires.count(net)) continue;
     real.net_wires[net] = core::route_wire_rc(tech_, route, 1);
   }
-
   realization_span.close();
-  report.runtime_s = watch.seconds();
+
   long tb = 0;
   for (const auto& e : evaluators) tb += e->stats().testbenches;
   report.testbenches = tb;
-  finish_budget(*budget, report);
-  root.close();
-  finish_telemetry(report);
-  finish_diagnostics(sink, report);
-  if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }
 
-Realization FlowEngine::conventional(
+Realization FlowEngine::run_conventional(
     const std::vector<InstanceSpec>& instances,
-    const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
-  const MonotonicStopwatch watch;
-  obs::Registry::global().rebase();
-  obs::Span root("flow.conventional");
-  FlowReport report;
-  DiagnosticsSink sink;
-  Budget local_budget(budget_options_from_env(options_.budget_limits));
-  Budget* budget =
-      options_.budget != nullptr ? options_.budget : &local_budget;
-  BudgetObserver budget_obs(*budget);
+    const std::vector<std::string>& routed_nets, FlowReport& report,
+    DiagnosticsSink& sink, Budget& budget, BudgetObserver& budget_obs) const {
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Minimum-area interdigitated configuration, no dummies: geometric
@@ -580,7 +625,7 @@ Realization FlowEngine::conventional(
       // Budget-bounded enumeration: always generate at least one layout per
       // instance, then keep the best of the configurations scored so far.
       if (best_score < std::numeric_limits<double>::infinity() &&
-          budget->check()) {
+          budget.check()) {
         break;
       }
       cfg.dummies = false;
@@ -595,13 +640,13 @@ Realization FlowEngine::conventional(
     real.layouts[inst.name] = std::move(best);
   }
   generation_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "generation",
+  budget_checkpoint(budget, budget_obs, sink, "generation",
                     "budget.checks.generation");
   for (const InstanceSpec& inst : instances) {
     layouts[inst.name] = &real.layouts.at(inst.name);
   }
   place_and_route(instances, layouts, routed_nets, report, &sink,
-                  "conventional", budget, &budget_obs);
+                  "conventional", &budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
   // Conventional routing uses the PDK's default analog route width (two
   // tracks) everywhere -- fixed, never optimized per net.
@@ -609,27 +654,13 @@ Realization FlowEngine::conventional(
     if (!route.routed) continue;
     real.net_wires[net] = core::route_wire_rc(tech_, route, 2);
   }
-  report.runtime_s = watch.seconds();
-  finish_budget(*budget, report);
-  root.close();
-  finish_telemetry(report);
-  finish_diagnostics(sink, report);
-  if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }
 
-Realization FlowEngine::manual_oracle(
+Realization FlowEngine::run_manual_oracle(
     const std::vector<InstanceSpec>& instances,
-    const std::vector<std::string>& routed_nets, FlowReport* report_out) const {
-  const MonotonicStopwatch watch;
-  obs::Registry::global().rebase();
-  obs::Span root("flow.manual_oracle");
-  FlowReport report;
-  DiagnosticsSink sink;
-  Budget local_budget(budget_options_from_env(options_.budget_limits));
-  Budget* budget =
-      options_.budget != nullptr ? options_.budget : &local_budget;
-  BudgetObserver budget_obs(*budget);
+    const std::vector<std::string>& routed_nets, FlowReport& report,
+    DiagnosticsSink& sink, Budget& budget, BudgetObserver& budget_obs) const {
   const pcell::PrimitiveGenerator generator(tech_);
 
   // Exhaustive per-primitive search: tune the five cheapest configurations
@@ -642,17 +673,20 @@ Realization FlowEngine::manual_oracle(
   std::map<std::string, core::LayoutCandidate> by_signature;
 
   obs::Span selection_span("selection");
-  core::EvalCache eval_cache;
+  core::EvalCache local_cache;
+  core::EvalCache* cache = options_.shared_eval_cache != nullptr
+                               ? options_.shared_eval_cache
+                               : (options_.eval_cache ? &local_cache : nullptr);
   for (const InstanceSpec& inst : instances) {
     auto eval = std::make_unique<core::PrimitiveEvaluator>(make_evaluator(inst));
     eval->set_diagnostics(&sink);
-    eval->set_budget(budget);
-    if (options_.eval_cache) eval->set_cache(&eval_cache);
+    eval->set_budget(&budget);
+    if (cache != nullptr) eval->set_cache(cache, options_.cache_client);
     eval_by_instance[inst.name] = eval.get();
     const std::string sig = instance_signature(inst);
     sig_of[inst.name] = sig;
     if (!by_signature.count(sig)) {
-      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, budget,
+      core::PrimitiveOptimizer optimizer(generator, *eval, &sink, &budget,
                                          pool());
       std::vector<core::LayoutCandidate> all =
           optimizer.evaluate_all(inst.netlist, inst.fins);
@@ -667,7 +701,7 @@ Realization FlowEngine::manual_oracle(
       for (std::size_t k = 0; k < try_n; ++k) {
         // Budget-bounded exhaustive tuning: keep the cheapest candidate
         // tuned so far (`best` starts as the untuned front-runner).
-        if (budget->check()) break;
+        if (budget.check()) break;
         core::LayoutCandidate cand = all[k];
         optimizer.tune(cand, options_.max_tuning_wires);
         if (cand.cost.total < best_cost) {
@@ -681,7 +715,7 @@ Realization FlowEngine::manual_oracle(
     evaluators.push_back(std::move(eval));
   }
   selection_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "selection",
+  budget_checkpoint(budget, budget_obs, sink, "selection",
                     "budget.checks.selection");
 
   std::map<std::string, const pcell::PrimitiveLayout*> layouts;
@@ -689,7 +723,7 @@ Realization FlowEngine::manual_oracle(
     layouts[inst.name] = &chosen.at(inst.name).layout;
   }
   place_and_route(instances, layouts, routed_nets, report, &sink,
-                  "manual_oracle", budget, &budget_obs);
+                  "manual_oracle", &budget, &budget_obs);
   report_unrouted_nets(sink, routed_nets, report);
 
   // Exhaustive per-net wire count by total primitive cost.
@@ -704,7 +738,7 @@ Realization FlowEngine::manual_oracle(
   popt.max_wires = options_.max_port_wires;
   core::PortOptimizer port_opt(tech_, popt);
   port_opt.set_diagnostics(&sink);
-  port_opt.set_budget(budget);
+  port_opt.set_budget(&budget);
   port_opt.set_pool(pool());
   std::vector<core::PortOptPrimitive> pops;
   for (const InstanceSpec& inst : instances) {
@@ -723,7 +757,7 @@ Realization FlowEngine::manual_oracle(
   report.decisions = port_opt.optimize(pops);
   equalize_symmetric_nets(instances, report.decisions);
   portopt_span.close();
-  budget_checkpoint(*budget, budget_obs, sink, "port_optimization",
+  budget_checkpoint(budget, budget_obs, sink, "port_optimization",
                     "budget.checks.portopt");
   obs::Span realization_span("realization");
   for (const core::NetWireDecision& d : report.decisions) {
@@ -738,15 +772,9 @@ Realization FlowEngine::manual_oracle(
   }
   realization_span.close();
 
-  report.runtime_s = watch.seconds();
   long tb = 0;
   for (const auto& eval : evaluators) tb += eval->stats().testbenches;
   report.testbenches = tb;
-  finish_budget(*budget, report);
-  root.close();
-  finish_telemetry(report);
-  finish_diagnostics(sink, report);
-  if (report_out != nullptr) *report_out = std::move(report);
   return real;
 }
 

@@ -1,15 +1,27 @@
 #pragma once
 // The hierarchical layout flow driver (paper Fig. 1 with the two inserted
-// optimization steps), plus the comparison baselines of Sec. IV.
+// optimization steps), plus the comparison baselines of Sec. IV. One entry
+// point runs any of the three flows:
 //
-//   optimize():      primitive selection + tuning (Algorithm 1), placement,
-//                    global routing, primitive port optimization
-//                    (Algorithm 2) -> full realization ("This work").
-//   conventional():  geometric constraints only — interdigitated min-area
-//                    primitives, no dummies, single wires, no parasitic/LDE
-//                    optimization (the [19]/[20]-style baseline).
-//   manual_oracle(): exhaustive configuration/tuning/wire search standing in
-//                    for expert manual layout.
+//   run(FlowMode::kOptimize):     primitive selection + tuning (Algorithm 1),
+//                                 placement, global routing, primitive port
+//                                 optimization (Algorithm 2) -> full
+//                                 realization ("This work").
+//   run(FlowMode::kConventional): geometric constraints only —
+//                                 interdigitated min-area primitives, no
+//                                 dummies, single wires, no parasitic/LDE
+//                                 optimization ([19]/[20]-style baseline).
+//   run(FlowMode::kManualOracle): exhaustive configuration/tuning/wire search
+//                                 standing in for expert manual layout.
+//
+// The per-mode methods optimize()/conventional()/manual_oracle() remain as
+// deprecated wrappers; they forward to run() verbatim and will be removed.
+//
+// Environment overrides (see util/env.hpp for the full catalog) are applied
+// ONCE, at FlowEngine construction: OLP_THREADS onto num_threads,
+// OLP_EVAL_CACHE onto eval_cache, OLP_DEADLINE_MS / OLP_TESTBENCH_BUDGET
+// onto budget_limits. run() uses the constructed options verbatim, so two
+// runs of one engine can never see different environments.
 
 #include <cstdint>
 #include <map>
@@ -27,7 +39,22 @@
 #include "util/task_pool.hpp"
 #include "util/trace_export.hpp"
 
+namespace olp::core {
+class EvalCache;
+}  // namespace olp::core
+
 namespace olp::circuits {
+
+/// Which of the three flows run() executes.
+enum class FlowMode {
+  kOptimize,      ///< the paper's flow ("This work")
+  kConventional,  ///< conventional automated layout baseline
+  kManualOracle,  ///< exhaustive oracle standing in for manual layout
+};
+
+/// Stable lowercase name ("optimize", "conventional", "manual_oracle") —
+/// also the suffix of the flow's root span, "flow.<name>".
+const char* flow_mode_name(FlowMode mode);
 
 struct FlowOptions {
   int bins = 3;
@@ -43,10 +70,10 @@ struct FlowOptions {
   std::string trace_artifacts_dir;
   /// Execution limits for each flow run: wall-clock deadline, testbench
   /// budget, deterministic check budget. OLP_DEADLINE_MS /
-  /// OLP_TESTBENCH_BUDGET environment overrides apply on top at flow entry.
-  /// On exhaustion every stage salvages its best-so-far result and the
-  /// report is marked degraded with stage-attributed "budget" diagnostics.
-  /// Ignored when `budget` below is set.
+  /// OLP_TESTBENCH_BUDGET environment overrides apply at engine
+  /// construction. On exhaustion every stage salvages its best-so-far result
+  /// and the report is marked degraded with stage-attributed "budget"
+  /// diagnostics. Ignored when `budget` below is set.
   BudgetOptions budget_limits;
   /// Optional caller-owned budget handle (not owned, may be null; must
   /// outlive the flow call). Used verbatim — no env overrides — so a caller
@@ -58,12 +85,32 @@ struct FlowOptions {
   /// with no pool; 0 means one thread per hardware core. The OLP_THREADS
   /// environment variable overrides at engine construction. Any value
   /// produces bit-identical flow results (tests/test_determinism.cpp).
+  /// Ignored when `pool` below is set.
   int num_threads = 1;
+  /// Optional caller-owned shared pool (not owned, may be null; must outlive
+  /// the flow call). When set it is used for every parallel stage instead of
+  /// an engine-local pool — the batch runner points every job here so one
+  /// fixed worker set serves the whole batch.
+  TaskPool* pool = nullptr;
   /// Memoize primitive evaluations in a per-run cache (results are
   /// bit-identical either way; hits skip simulation, so testbench counts —
   /// and chaos fault draws — differ from the uncached run, which is why the
   /// default stays off). OLP_EVAL_CACHE=1/0 overrides at construction.
   bool eval_cache = false;
+  /// Optional caller-owned evaluation cache shared ACROSS runs (not owned,
+  /// may be null; must outlive the flow call). Overrides `eval_cache`: when
+  /// set, every evaluator of the run uses this cache. Sharing is only sound
+  /// between runs with equal core::EvalCache::scope_key(technology, nmos,
+  /// pmos) — the batch runner enforces that by keeping one cache per scope.
+  core::EvalCache* shared_eval_cache = nullptr;
+  /// Client id this run presents to `shared_eval_cache` (>= 0 enables
+  /// cross-client hit attribution; see core::EvalCacheStats).
+  int cache_client = -1;
+  /// When true (the default) the run owns the process-wide obs registry:
+  /// entry rebases it and the report gets a per-run telemetry snapshot.
+  /// Concurrent runs (batch jobs) must set this false — the batch runner
+  /// rebases once and attaches one pooled snapshot to the whole batch.
+  bool own_telemetry = true;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.
@@ -93,10 +140,10 @@ struct FlowReport {
   BudgetStatus budget;
   /// Per-flow observability report (stage timings, counters, distributions,
   /// full span trace). Populated only when obs::Registry is enabled during
-  /// the run (telemetry.enabled mirrors that); `testbenches` above is then
-  /// derived from its "eval.testbench" counter, so the two always agree.
-  /// Export with obs::to_chrome_trace_json / obs::to_json /
-  /// obs::summary_table.
+  /// the run AND the run owns the registry (FlowOptions::own_telemetry);
+  /// `testbenches` above is then derived from its "eval.testbench" counter,
+  /// so the two always agree. Export with obs::to_chrome_trace_json /
+  /// obs::to_json / obs::summary_table.
   obs::FlowTelemetry telemetry;
 };
 
@@ -104,20 +151,31 @@ class FlowEngine {
  public:
   FlowEngine(const tech::Technology& technology, FlowOptions options = {});
 
-  /// The paper's flow ("This work").
+  /// Runs one flow end to end (see FlowMode for the three variants).
+  Realization run(FlowMode mode, const std::vector<InstanceSpec>& instances,
+                  const std::vector<std::string>& routed_nets,
+                  FlowReport* report = nullptr) const;
+
+  [[deprecated("use run(FlowMode::kOptimize, ...)")]]
   Realization optimize(const std::vector<InstanceSpec>& instances,
                        const std::vector<std::string>& routed_nets,
-                       FlowReport* report = nullptr) const;
+                       FlowReport* report = nullptr) const {
+    return run(FlowMode::kOptimize, instances, routed_nets, report);
+  }
 
-  /// Conventional automated layout baseline.
+  [[deprecated("use run(FlowMode::kConventional, ...)")]]
   Realization conventional(const std::vector<InstanceSpec>& instances,
                            const std::vector<std::string>& routed_nets,
-                           FlowReport* report = nullptr) const;
+                           FlowReport* report = nullptr) const {
+    return run(FlowMode::kConventional, instances, routed_nets, report);
+  }
 
-  /// Exhaustive oracle standing in for manual layout.
+  [[deprecated("use run(FlowMode::kManualOracle, ...)")]]
   Realization manual_oracle(const std::vector<InstanceSpec>& instances,
                             const std::vector<std::string>& routed_nets,
-                            FlowReport* report = nullptr) const;
+                            FlowReport* report = nullptr) const {
+    return run(FlowMode::kManualOracle, instances, routed_nets, report);
+  }
 
   /// Builds a per-instance evaluator from its bias context.
   core::PrimitiveEvaluator make_evaluator(const InstanceSpec& inst) const;
@@ -126,6 +184,25 @@ class FlowEngine {
   const FlowOptions& options() const { return options_; }
 
  private:
+  /// The three mode cores. Each fills `report` (except the envelope fields —
+  /// runtime, budget snapshot, telemetry, diagnostics — which run() owns)
+  /// and returns the realization. `budget` is the run's effective budget and
+  /// `budget_obs` its stage-boundary observer.
+  Realization run_optimize(const std::vector<InstanceSpec>& instances,
+                           const std::vector<std::string>& routed_nets,
+                           FlowReport& report, DiagnosticsSink& sink,
+                           Budget& budget, BudgetObserver& budget_obs) const;
+  Realization run_conventional(const std::vector<InstanceSpec>& instances,
+                               const std::vector<std::string>& routed_nets,
+                               FlowReport& report, DiagnosticsSink& sink,
+                               Budget& budget,
+                               BudgetObserver& budget_obs) const;
+  Realization run_manual_oracle(const std::vector<InstanceSpec>& instances,
+                                const std::vector<std::string>& routed_nets,
+                                FlowReport& report, DiagnosticsSink& sink,
+                                Budget& budget,
+                                BudgetObserver& budget_obs) const;
+
   /// Places the chosen layouts and globally routes the given nets. `diag`
   /// (may be null) receives placer/router diagnostics. `artifact_prefix`
   /// names the per-stage SVG snapshots when FlowOptions::trace_artifacts_dir
@@ -142,8 +219,9 @@ class FlowEngine {
       const std::string& artifact_prefix = std::string(),
       Budget* budget = nullptr, BudgetObserver* budget_obs = nullptr) const;
 
-  /// Lazily built evaluation pool; null when num_threads == 1 so the serial
-  /// path never spawns threads (or draws pool chaos faults).
+  /// The pool parallel stages run on: FlowOptions::pool when set, else a
+  /// lazily built engine-local pool; null when num_threads == 1 so the
+  /// serial path never spawns threads (or draws pool chaos faults).
   TaskPool* pool() const;
 
   const tech::Technology& tech_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <functional>
 
+#include "tech/technology.hpp"
+
 namespace olp::core {
 
 namespace {
@@ -121,12 +123,42 @@ std::string EvalCache::make_key(const pcell::PrimitiveLayout& layout,
   return key;
 }
 
+std::string EvalCache::scope_key(const tech::Technology& technology,
+                                 const spice::MosModel& nmos,
+                                 const spice::MosModel& pmos) {
+  std::string key;
+  key.reserve(256);
+  // Technology identity: the name plus the physical parameters that shape
+  // generated layouts, parasitic annotation and LDE shifts. Two techs that
+  // differ in any of these must not share evaluations.
+  key += "t:";
+  append_str(key, technology.name);
+  append_double(key, technology.fin_pitch);
+  append_double(key, technology.poly_pitch);
+  append_double(key, technology.fin_width_eff);
+  append_double(key, technology.gate_length);
+  append_double(key, technology.diff_extension);
+  append_double(key, technology.row_height);
+  append_double(key, technology.diff_cont_res);
+  append_double(key, technology.diff_sheet_res);
+  append_double(key, technology.poly_res_sheet);
+  append_double(key, technology.poly_res_cap);
+  append_double(key, technology.via_res);
+  append_double(key, technology.via_cap);
+  append_double(key, technology.vdd);
+  key += "m:";
+  append_model(key, nmos);
+  append_model(key, pmos);
+  return key;
+}
+
 EvalCache::Shard& EvalCache::shard_for(const std::string& key) {
   const std::size_t h = std::hash<std::string>{}(key);
   return shards_[h % shards_.size()];
 }
 
-bool EvalCache::lookup(const std::string& key, MetricValues* values) {
+bool EvalCache::lookup(const std::string& key, MetricValues* values,
+                       int client) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
@@ -135,20 +167,25 @@ bool EvalCache::lookup(const std::string& key, MetricValues* values) {
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  if (values != nullptr) *values = it->second;
+  if (client >= 0 && it->second.owner >= 0 && it->second.owner != client) {
+    cross_client_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (values != nullptr) *values = it->second.values;
   return true;
 }
 
-void EvalCache::insert(const std::string& key, const MetricValues& values) {
+void EvalCache::insert(const std::string& key, const MetricValues& values,
+                       int client) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(key, values);
+  shard.map.emplace(key, Entry{values, client});
 }
 
 EvalCacheStats EvalCache::stats() const {
   EvalCacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.cross_client_hits = cross_client_hits_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     s.entries += static_cast<long>(shard.map.size());
@@ -163,6 +200,7 @@ void EvalCache::clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  cross_client_hits_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace olp::core

@@ -23,6 +23,18 @@
 // shards most of the time. Entries are only inserted for evaluations with
 // no quarantined metric (the evaluator enforces this), so diagnostics and
 // quarantine accounting stay identical with the cache on or off.
+//
+// Cross-job sharing (circuits/batch): one cache may serve many concurrent
+// flow runs. The key does NOT cover the Technology (layer stack, parasitic
+// coefficients, LDE constants), so a shared cache must be scoped to one
+// technology + model-card combination — scope_key() fingerprints that
+// combination, and the batch runner keeps one cache per distinct scope.
+// Each sharing run passes a small integer `client` id; a hit on an entry
+// inserted by a different client is additionally counted as a cross-client
+// hit, which is how the batch report attributes testbenches saved by
+// cross-job sharing. Values are bit-identical regardless of which client
+// computed them (same key => same bits), so sharing preserves per-job
+// determinism.
 
 #include <atomic>
 #include <cstddef>
@@ -39,6 +51,9 @@ struct EvalCacheStats {
   long hits = 0;
   long misses = 0;
   long entries = 0;
+  /// Hits on entries inserted by a different client id (both ids >= 0):
+  /// evaluations one flow run saved because another already computed them.
+  long cross_client_hits = 0;
 };
 
 class EvalCache {
@@ -55,27 +70,43 @@ class EvalCache {
                               const spice::MosModel& nmos,
                               const spice::MosModel& pmos);
 
+  /// Fingerprint of everything an evaluation depends on that make_key does
+  /// NOT cover: the technology (name + the physical parameters that shape
+  /// layouts and parasitics) and the model cards. Two flow runs may share
+  /// one cache iff their scope keys are equal.
+  static std::string scope_key(const tech::Technology& technology,
+                               const spice::MosModel& nmos,
+                               const spice::MosModel& pmos);
+
   /// Copies the cached metrics into *values and returns true on a hit.
-  /// Counts a hit/miss either way.
-  bool lookup(const std::string& key, MetricValues* values);
+  /// Counts a hit/miss either way; a hit on another client's entry also
+  /// counts toward cross_client_hits when both ids are >= 0.
+  bool lookup(const std::string& key, MetricValues* values, int client = -1);
 
   /// Inserts (first writer wins; a racing duplicate insert is a no-op —
-  /// both writers computed bit-identical values from the same key).
-  void insert(const std::string& key, const MetricValues& values);
+  /// both writers computed bit-identical values from the same key). The
+  /// winning writer's `client` id is recorded as the entry's owner.
+  void insert(const std::string& key, const MetricValues& values,
+              int client = -1);
 
   EvalCacheStats stats() const;
   void clear();
 
  private:
+  struct Entry {
+    MetricValues values;
+    int owner = -1;  ///< client id of the inserting run
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, MetricValues> map;
+    std::unordered_map<std::string, Entry> map;
   };
   Shard& shard_for(const std::string& key);
 
   std::vector<Shard> shards_;
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
+  std::atomic<long> cross_client_hits_{0};
 };
 
 }  // namespace olp::core

@@ -115,7 +115,7 @@ MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
   if (cache_ != nullptr) {
     key = EvalCache::make_key(layout, c, bias_, nmos_, pmos_);
     MetricValues cached;
-    if (cache_->lookup(key, &cached)) {
+    if (cache_->lookup(key, &cached, cache_client_)) {
       obs::counter_add("eval.cache_hit");
       if (outcome != nullptr) outcome->cache_hit = true;
       return cached;
@@ -152,7 +152,9 @@ MetricValues PrimitiveEvaluator::evaluate(const pcell::PrimitiveLayout& layout,
   // Only clean evaluations are memoized: a cached quarantined result would
   // swallow the quarantine diagnostic on replay, making cached and uncached
   // flows observably different.
-  if (cache_ != nullptr && quarantined_here == 0) cache_->insert(key, out);
+  if (cache_ != nullptr && quarantined_here == 0) {
+    cache_->insert(key, out, cache_client_);
+  }
   return out;
 }
 

@@ -119,7 +119,13 @@ class PrimitiveEvaluator {
   /// cache must outlive the evaluator. Cache hits skip simulation entirely —
   /// and therefore also skip testbench-budget consumption and chaos fault
   /// draws — which is why the flow leaves the cache off by default.
-  void set_cache(EvalCache* cache) { cache_ = cache; }
+  /// Attaches a memoizing cache (null detaches). `client` identifies this
+  /// evaluator's flow run when several runs share one cache (circuits/batch);
+  /// hits on entries another client inserted are counted as cross-client.
+  void set_cache(EvalCache* cache, int client = -1) {
+    cache_ = cache;
+    cache_client_ = client;
+  }
 
   /// One-sigma random (mismatch) input offset of a matched pair; the offset
   /// spec is 10% of this value (paper Eq. 6 discussion).
@@ -171,6 +177,7 @@ class PrimitiveEvaluator {
   DiagnosticsSink* diag_ = nullptr;
   Budget* budget_ = nullptr;
   EvalCache* cache_ = nullptr;
+  int cache_client_ = -1;
 };
 
 /// Metric evaluation for the passive MOM capacitor primitive.

@@ -1,27 +1,13 @@
 #include "util/budget.hpp"
 
-#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/faults.hpp"
 #include "util/obs.hpp"
 
 namespace olp {
-namespace {
-
-// Parses a strictly numeric environment variable; returns fallback when the
-// variable is unset, empty, or has trailing garbage.
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0') return fallback;
-  return value;
-}
-
-}  // namespace
 
 const char* budget_kind_name(BudgetKind kind) {
   switch (kind) {
@@ -42,9 +28,9 @@ const char* budget_kind_name(BudgetKind kind) {
 }
 
 BudgetOptions budget_options_from_env(BudgetOptions base) {
-  const double deadline_ms = env_double("OLP_DEADLINE_MS", -1.0);
+  const double deadline_ms = env::number("OLP_DEADLINE_MS", -1.0);
   if (deadline_ms >= 0.0) base.deadline_s = deadline_ms / 1000.0;
-  const double benches = env_double("OLP_TESTBENCH_BUDGET", -1.0);
+  const double benches = env::number("OLP_TESTBENCH_BUDGET", -1.0);
   if (benches >= 0.0) base.max_testbenches = static_cast<long>(benches);
   return base;
 }

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cctype>
-#include <cstdlib>
 #include <iostream>
 #include <string>
+
+#include "util/env.hpp"
 
 namespace olp {
 
@@ -34,9 +35,8 @@ void set_log_level(LogLevel level) {
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 LogLevel log_level_from_env(const char* env_var, LogLevel fallback) {
-  const char* raw = std::getenv(env_var);
-  if (raw == nullptr) return fallback;
-  std::string value(raw);
+  if (!env::has(env_var)) return fallback;
+  std::string value = env::str(env_var);
   for (char& c : value) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }

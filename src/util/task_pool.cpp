@@ -1,9 +1,10 @@
 #include "util/task_pool.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <memory>
 
+#include "util/env.hpp"
 #include "util/faults.hpp"
 
 namespace olp {
@@ -29,13 +30,8 @@ int resolve_num_threads(int requested) {
 }
 
 int threads_from_env(int base) {
-  const char* raw = std::getenv("OLP_THREADS");
-  if (raw != nullptr && *raw != '\0') {
-    char* end = nullptr;
-    const long value = std::strtol(raw, &end, 10);
-    if (end != raw && *end == '\0') base = static_cast<int>(value);
-  }
-  return resolve_num_threads(base);
+  return resolve_num_threads(
+      static_cast<int>(env::integer("OLP_THREADS", base)));
 }
 
 TaskPool::TaskPool(int threads) {
@@ -53,6 +49,13 @@ TaskPool::~TaskPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+}
+
+TaskPool::Batch* TaskPool::front_claimable() {
+  for (Batch* batch : queue_) {
+    if (batch->claimable()) return batch;
+  }
+  return nullptr;
 }
 
 void TaskPool::parallel_for(std::size_t n,
@@ -76,28 +79,25 @@ void TaskPool::parallel_for(std::size_t n,
     return;
   }
 
+  Batch batch;
+  batch.task = &task;
+  batch.n = n;
+  batch.context = obs::capture_thread_context();
+
   std::unique_lock<std::mutex> lock(mu_);
-  task_ = &task;
-  batch_n_ = n;
-  next_ = 0;
-  in_flight_ = 0;
-  stop_batch_ = false;
-  error_ = nullptr;
-  error_index_ = 0;
-  obs_context_ = obs::capture_thread_context();
+  queue_.push_back(&batch);
   lock.unlock();
   work_cv_.notify_all();
   lock.lock();
 
-  // The caller works too, then waits for stragglers.
-  drain(lock, /*is_worker=*/false);
-  done_cv_.wait(lock, [this] {
-    return in_flight_ == 0 && (next_ >= batch_n_ || stop_batch_);
-  });
-  task_ = nullptr;
-  const bool stopped = stop_batch_;
-  std::exception_ptr error = error_;
-  error_ = nullptr;
+  // The submitter works its own batch first (so progress never depends on a
+  // free worker — nested submission cannot deadlock), then waits for
+  // stragglers claimed by workers.
+  while (batch.claimable()) run_one(lock, batch, /*is_worker=*/false);
+  done_cv_.wait(lock, [&batch] { return batch.done(); });
+  queue_.erase(std::find(queue_.begin(), queue_.end(), &batch));
+  const bool stopped = batch.stop;
+  std::exception_ptr error = batch.error;
   lock.unlock();
   if (stopped) obs::counter_add("pool.stopped_batches");
   if (error != nullptr) std::rethrow_exception(error);
@@ -106,57 +106,52 @@ void TaskPool::parallel_for(std::size_t n,
 void TaskPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] {
-      return shutdown_ ||
-             (task_ != nullptr && !stop_batch_ && next_ < batch_n_);
-    });
+    work_cv_.wait(lock,
+                  [this] { return shutdown_ || front_claimable() != nullptr; });
     if (shutdown_) return;
-    drain(lock, /*is_worker=*/true);
+    Batch* batch = front_claimable();
+    if (batch != nullptr) run_one(lock, *batch, /*is_worker=*/true);
   }
 }
 
-void TaskPool::drain(std::unique_lock<std::mutex>& lock, bool is_worker) {
-  const std::function<bool(std::size_t)>* const task = task_;
-  if (task == nullptr) return;
-  // Workers adopt the submitting thread's span position so their spans (and
-  // any diagnostics' span paths) nest inside the submitting span. The caller
-  // already is that position.
-  std::unique_ptr<obs::ThreadContextScope> context;
-  if (is_worker) {
-    context = std::make_unique<obs::ThreadContextScope>(obs_context_);
-  }
-  long ran = 0;
-  while (task_ == task && !stop_batch_ && next_ < batch_n_) {
-    const std::size_t index = next_++;
-    ++in_flight_;
-    lock.unlock();
+void TaskPool::run_one(std::unique_lock<std::mutex>& lock, Batch& batch,
+                       bool is_worker) {
+  const std::size_t index = batch.next++;
+  ++batch.in_flight;
+  const std::function<bool(std::size_t)>* const task = batch.task;
+  const obs::ThreadContext context = batch.context;
+  lock.unlock();
 
-    bool keep_going = false;
-    std::exception_ptr thrown;
+  bool keep_going = false;
+  std::exception_ptr thrown;
+  {
+    // Workers adopt the submitting thread's span position so their spans
+    // (and any diagnostics' span paths) nest inside the submitting span.
+    // The submitter already is that position. Applied per task because a
+    // worker may interleave claims from different batches.
+    std::unique_ptr<obs::ThreadContextScope> scope;
+    if (is_worker) scope = std::make_unique<obs::ThreadContextScope>(context);
     chaos_delay(index);
     try {
       keep_going = (*task)(index);
     } catch (...) {
       thrown = std::current_exception();
     }
-    ++ran;
+  }
+  obs::counter_add("pool.tasks");
 
-    lock.lock();
-    --in_flight_;
-    if (thrown != nullptr) {
-      if (error_ == nullptr || index < error_index_) {
-        error_ = thrown;
-        error_index_ = index;
-      }
-      stop_batch_ = true;
-    } else if (!keep_going) {
-      stop_batch_ = true;
+  lock.lock();
+  --batch.in_flight;
+  if (thrown != nullptr) {
+    if (batch.error == nullptr || index < batch.error_index) {
+      batch.error = thrown;
+      batch.error_index = index;
     }
+    batch.stop = true;
+  } else if (!keep_going) {
+    batch.stop = true;
   }
-  if (in_flight_ == 0 && (next_ >= batch_n_ || stop_batch_)) {
-    done_cv_.notify_all();
-  }
-  if (ran > 0) obs::counter_add("pool.tasks", ran);
+  if (batch.done()) done_cv_.notify_all();
 }
 
 void run_indexed(TaskPool* pool, std::size_t n,

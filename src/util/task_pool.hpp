@@ -1,5 +1,6 @@
 #pragma once
-// Fixed-size thread pool with a deterministic ordered-reduction contract.
+// Fixed-size thread pool with a deterministic ordered-reduction contract and
+// concurrent external batch submission.
 //
 // parallel_for(n, task) runs task(0..n-1) with the calling thread
 // participating alongside the workers. Determinism comes from the calling
@@ -13,10 +14,24 @@
 // semantics — bit-identical to the pre-pool serial code, including the
 // per-index Budget::check() sequence.
 //
+// External submission (the batch flow service's substrate): parallel_for may
+// be called from ANY number of threads concurrently. Each call enqueues one
+// batch; batches are served in FIFO submission order (workers always claim
+// from the earliest batch that still has unclaimed indices — fair
+// scheduling, no batch starves), while every submitting thread drains its
+// own batch first and then waits for stragglers. Nested submission is
+// supported: a task may call parallel_for on the same pool (the inner batch
+// joins the queue; its submitter drains it itself, so progress never
+// depends on a free worker and nesting cannot deadlock). Per-batch
+// determinism is unchanged — each batch's indices are claimed in order and
+// merged by its own caller — so concurrent batches stay bit-identical to
+// running each alone.
+//
 // Budget interaction: the pool knows nothing about budgets. Tasks probe
 // Budget::check() themselves and return false once it trips; because
-// exhaustion is sticky, a Budget::cancel() from any thread drains the pool
-// promptly (every subsequent claim sees the trip and stops).
+// exhaustion is sticky, a Budget::cancel() from any thread drains that
+// batch promptly (every subsequent claim sees the trip and stops) — other
+// batches on the pool are untouched.
 //
 // Chaos: each task draws at FaultSite::kPoolTaskDelay; a fired draw sleeps
 // a few hundred deterministic, index-derived microseconds, letting tests
@@ -26,8 +41,9 @@
 // "pool.stopped_batches". Workers run under the submitting thread's obs
 // ThreadContext, so their spans nest inside the submitting span.
 
-#include <cstddef>
 #include <condition_variable>
+#include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -60,33 +76,47 @@ class TaskPool {
   int threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs task(i) for i in [0, n); returns after every started task
-  /// finished. A task returning false stops further claims (started tasks
-  /// complete). If tasks throw, the exception thrown by the lowest claimed
-  /// index is rethrown here after the batch drains; the pool stays usable.
-  /// Not reentrant: tasks must not call parallel_for on the same pool.
+  /// finished. A task returning false stops further claims of THIS batch
+  /// (started tasks complete; other batches are unaffected). If tasks throw,
+  /// the exception thrown by the lowest claimed index is rethrown here after
+  /// the batch drains; the pool stays usable. May be called from multiple
+  /// threads concurrently and from inside a running task (see file comment).
   void parallel_for(std::size_t n,
                     const std::function<bool(std::size_t)>& task);
 
  private:
+  /// One submitted batch; lives on the submitting thread's stack for the
+  /// duration of its parallel_for call (the caller only returns once
+  /// in_flight == 0, so queued pointers never dangle).
+  struct Batch {
+    const std::function<bool(std::size_t)>* task = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;        ///< next unclaimed index
+    std::size_t in_flight = 0;   ///< claimed but not yet finished
+    bool stop = false;           ///< early exit requested (or a task threw)
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+    obs::ThreadContext context;  ///< submitting thread's span position
+
+    bool claimable() const { return !stop && next < n; }
+    bool done() const { return in_flight == 0 && !claimable(); }
+  };
+
   void worker_loop();
-  /// Claims and runs tasks of the current batch until it stops or empties.
-  /// `lock` is held on entry and exit.
-  void drain(std::unique_lock<std::mutex>& lock, bool is_worker);
+  /// Claims and runs one task of `batch`. `lock` is held on entry and exit.
+  void run_one(std::unique_lock<std::mutex>& lock, Batch& batch,
+               bool is_worker);
+  /// The earliest queued batch with unclaimed work (FIFO fairness); null
+  /// when none. Requires mu_ held.
+  Batch* front_claimable();
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;  ///< guards all batch state below
-  std::condition_variable work_cv_;  ///< workers wait for a batch
-  std::condition_variable done_cv_;  ///< caller waits for batch completion
-  const std::function<bool(std::size_t)>* task_ = nullptr;
-  std::size_t batch_n_ = 0;
-  std::size_t next_ = 0;       ///< next unclaimed index
-  std::size_t in_flight_ = 0;  ///< claimed but not yet finished
-  bool stop_batch_ = false;    ///< early exit requested (or a task threw)
+  std::mutex mu_;  ///< guards the queue and every queued Batch's state
+  std::condition_variable work_cv_;  ///< workers wait for claimable batches
+  std::condition_variable done_cv_;  ///< submitters wait for their batch
+  std::deque<Batch*> queue_;         ///< batches in submission order
   bool shutdown_ = false;
-  std::exception_ptr error_;
-  std::size_t error_index_ = 0;
-  obs::ThreadContext obs_context_;  ///< submitting thread's span position
 };
 
 /// Serial/parallel dispatch helper: with a pool, parallel_for; without one,

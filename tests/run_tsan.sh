@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer smoke run: build the OTA flow example with
 # -fsanitize=thread and drive it through the parallel + cached code path
-# (8 worker threads, eval cache on). TSan aborts the process on the first
-# data race (-fno-sanitize-recover=all), so the assertions are simply:
+# (8 worker threads, eval cache on), then drive the batch example the same
+# way — concurrent jobs racing over the shared worker pool and cross-job
+# eval cache. TSan aborts the process on the first data race
+# (-fno-sanitize-recover=all), so the assertions are simply:
 #
-#   - the sanitized flow exits 0;
+#   - each sanitized run exits 0;
 #   - no "ThreadSanitizer" report appears on stdout/stderr.
 #
 # Usage: tests/run_tsan.sh [<source-dir> [<build-dir>]]
@@ -36,8 +38,8 @@ cmake -S "${src_dir}" -B "${build_dir}" \
   -DOLP_BUILD_TESTS=OFF \
   -DOLP_BUILD_BENCH=OFF \
   -DOLP_BUILD_EXAMPLES=ON > /dev/null
-cmake --build "${build_dir}" --target ota_layout_flow -j "$(nproc)" \
-  > /dev/null
+cmake --build "${build_dir}" --target ota_layout_flow batch_flows \
+  -j "$(nproc)" > /dev/null
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "${probe}" "${tmp}"' EXIT
@@ -53,6 +55,20 @@ echo "tsan smoke: sanitized flow exited 0 at 8 threads with the cache on"
 if grep -q "ThreadSanitizer" "${out}"; then
   echo "tsan smoke: ThreadSanitizer reported a race" >&2
   cat "${out}" >&2
+  exit 1
+fi
+
+# The batch service: 7 jobs racing across 8 workers through the shared
+# pool, the scope-sharded cross-job cache, and per-job budget handles.
+batch_out="${tmp}/batch_stdout.txt"
+OLP_THREADS=8 OLP_TESTBENCH_BUDGET=2000 \
+  TSAN_OPTIONS="halt_on_error=1" \
+  "${build_dir}/examples/batch_flows" > "${batch_out}" 2>&1
+echo "tsan smoke: sanitized batch exited 0 at 8 workers with cache sharing"
+
+if grep -q "ThreadSanitizer" "${batch_out}"; then
+  echo "tsan smoke: ThreadSanitizer reported a race in the batch" >&2
+  cat "${batch_out}" >&2
   exit 1
 fi
 

@@ -218,7 +218,7 @@ TEST_F(BudgetFlow, ZeroTestbenchBudgetDegradesEverywhereButReturns) {
   circuits::FlowReport report;
   circuits::Realization real;
   ASSERT_NO_THROW(
-      real = engine.optimize(ota_->instances(), ota_->routed_nets(), &report));
+      real = engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report));
   EXPECT_TRUE(report.degraded);
   EXPECT_TRUE(report.budget.exhausted);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kTestbenches);
@@ -252,7 +252,7 @@ TEST_F(BudgetFlow, TestbenchBudgetTripsMidSelection) {
   const circuits::FlowEngine engine(t(), fopt);
   circuits::FlowReport report;
   const circuits::Realization real =
-      engine.optimize(ota_->instances(), ota_->routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report);
   EXPECT_TRUE(report.degraded);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kTestbenches);
   EXPECT_EQ(first_budget_stage(report), "selection");
@@ -274,7 +274,7 @@ TEST_F(BudgetFlow, TestbenchBudgetTripsMidSelectionWithPool) {
   const circuits::FlowEngine engine(t(), fopt);
   circuits::FlowReport report;
   const circuits::Realization real =
-      engine.optimize(ota_->instances(), ota_->routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report);
   EXPECT_TRUE(report.degraded);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kTestbenches);
   EXPECT_EQ(first_budget_stage(report), "selection");
@@ -289,7 +289,7 @@ std::map<std::string, long> probe_stage_checks(const circuits::Ota5T& ota) {
   obs::ScopedObservability scoped;
   const circuits::FlowEngine engine(t(), {});
   circuits::FlowReport report;
-  engine.optimize(ota.instances(), ota.routed_nets(), &report);
+  engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
   std::map<std::string, long> checks;
   for (const char* stage :
        {"selection", "combo", "placement", "routing", "portopt"}) {
@@ -315,7 +315,7 @@ TEST_F(BudgetFlow, CheckBudgetLandsMidPlacementAndMidRouting) {
     const circuits::FlowEngine engine(t(), fopt);
     circuits::FlowReport report;
     const circuits::Realization real =
-        engine.optimize(ota_->instances(), ota_->routed_nets(), &report);
+        engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report);
     EXPECT_TRUE(report.degraded);
     EXPECT_EQ(report.budget.tripped, BudgetKind::kChecks);
     EXPECT_EQ(first_budget_stage(report), "placement");
@@ -329,7 +329,7 @@ TEST_F(BudgetFlow, CheckBudgetLandsMidPlacementAndMidRouting) {
     const circuits::FlowEngine engine(t(), fopt);
     circuits::FlowReport report;
     const circuits::Realization real =
-        engine.optimize(ota_->instances(), ota_->routed_nets(), &report);
+        engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report);
     EXPECT_TRUE(report.degraded);
     EXPECT_EQ(report.budget.tripped, BudgetKind::kChecks);
     EXPECT_EQ(first_budget_stage(report), "routing");
@@ -349,7 +349,7 @@ TEST_F(BudgetFlow, TinyDeadlineStillReturnsValidRealization) {
   circuits::FlowReport report;
   circuits::Realization real;
   ASSERT_NO_THROW(
-      real = engine.optimize(ota_->instances(), ota_->routed_nets(), &report));
+      real = engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report));
   EXPECT_TRUE(report.degraded);
   EXPECT_TRUE(report.budget.exhausted);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kDeadline);
@@ -369,7 +369,7 @@ TEST_F(BudgetFlow, CallerOwnedBudgetCancelShortCircuits) {
   circuits::FlowReport report;
   circuits::Realization real;
   ASSERT_NO_THROW(
-      real = engine.optimize(ota_->instances(), ota_->routed_nets(), &report));
+      real = engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report));
   EXPECT_TRUE(report.degraded);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kCancelled);
   expect_complete_realization(real, *ota_);
@@ -384,7 +384,7 @@ TEST_F(BudgetFlow, ConventionalAndOracleDegradeGracefully) {
   const circuits::FlowEngine engine(t(), fopt);
   circuits::FlowReport conv_report;
   circuits::Realization conv;
-  ASSERT_NO_THROW(conv = engine.conventional(ota_->instances(),
+  ASSERT_NO_THROW(conv = engine.run(circuits::FlowMode::kConventional, ota_->instances(),
                                              ota_->routed_nets(),
                                              &conv_report));
   EXPECT_TRUE(conv_report.degraded);
@@ -393,7 +393,7 @@ TEST_F(BudgetFlow, ConventionalAndOracleDegradeGracefully) {
 
   circuits::FlowReport oracle_report;
   circuits::Realization oracle;
-  ASSERT_NO_THROW(oracle = engine.manual_oracle(ota_->instances(),
+  ASSERT_NO_THROW(oracle = engine.run(circuits::FlowMode::kManualOracle, ota_->instances(),
                                                 ota_->routed_nets(),
                                                 &oracle_report));
   EXPECT_TRUE(oracle_report.degraded);
@@ -406,14 +406,14 @@ TEST_F(BudgetFlow, UnlimitedBudgetBitIdenticalToUnbudgeted) {
   const circuits::FlowEngine engine(t(), {});
   circuits::FlowReport plain_report;
   const circuits::Realization plain =
-      engine.optimize(ota_->instances(), ota_->routed_nets(), &plain_report);
+      engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &plain_report);
 
   Budget unlimited;
   circuits::FlowOptions fopt;
   fopt.budget = &unlimited;
   const circuits::FlowEngine budgeted_engine(t(), fopt);
   circuits::FlowReport budgeted_report;
-  const circuits::Realization budgeted = budgeted_engine.optimize(
+  const circuits::Realization budgeted = budgeted_engine.run(circuits::FlowMode::kOptimize, 
       ota_->instances(), ota_->routed_nets(), &budgeted_report);
 
   // check() fed nothing back: the runs are bit-identical.
@@ -463,7 +463,7 @@ TEST_F(BudgetFlow, EnvDeadlineOverrideReachesTheFlow) {
   circuits::FlowReport report;
   circuits::Realization real;
   ASSERT_NO_THROW(
-      real = engine.optimize(ota_->instances(), ota_->routed_nets(), &report));
+      real = engine.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &report));
   clear_budget_env();
   EXPECT_TRUE(report.degraded);
   EXPECT_EQ(report.budget.tripped, BudgetKind::kDeadline);

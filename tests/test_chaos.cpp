@@ -52,7 +52,7 @@ TEST_P(ChaosFlow, OtaFlowSurvivesInjectedFaults) {
   circuits::Realization real;
   {
     ScopedFaultInjection chaos(config);
-    ASSERT_NO_THROW(real = engine.optimize(ota.instances(), ota.routed_nets(),
+    ASSERT_NO_THROW(real = engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(),
                                            &report));
   }
   set_log_level(LogLevel::kWarn);
@@ -113,7 +113,7 @@ TEST_P(ChaosWithBudget, FaultsComposeWithTightBudget) {
   circuits::Realization real;
   {
     ScopedFaultInjection chaos(config);
-    ASSERT_NO_THROW(real = engine.optimize(ota.instances(), ota.routed_nets(),
+    ASSERT_NO_THROW(real = engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(),
                                            &report));
   }
   set_log_level(LogLevel::kWarn);
@@ -174,7 +174,7 @@ TEST(ChaosPooled, FaultsComposeWithPoolDelaysAndTightBudget) {
   circuits::Realization real;
   {
     ScopedFaultInjection chaos(config);
-    ASSERT_NO_THROW(real = engine.optimize(ota.instances(), ota.routed_nets(),
+    ASSERT_NO_THROW(real = engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(),
                                            &report));
   }
   set_log_level(LogLevel::kWarn);
@@ -218,7 +218,7 @@ TEST(Chaos, CleanRunReportsNothing) {
   ASSERT_TRUE(ota.prepare());
   const circuits::FlowEngine engine(t(), {});
   circuits::FlowReport report;
-  engine.optimize(ota.instances(), ota.routed_nets(), &report);
+  engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
   EXPECT_FALSE(report.degraded);
   EXPECT_TRUE(report.diagnostics.empty());
 }

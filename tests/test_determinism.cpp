@@ -57,7 +57,7 @@ class Determinism : public ::testing::Test {
     opts.num_threads = num_threads;
     opts.eval_cache = eval_cache;
     FlowEngine engine(t(), opts);
-    return engine.optimize(ota_->instances(), ota_->routed_nets(), report);
+    return engine.run(FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), report);
   }
 
   /// Runs the configuration and asserts byte-identical results vs baseline.

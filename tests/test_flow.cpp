@@ -23,9 +23,9 @@ class FlowOnOta : public ::testing::Test {
     ota_ = new Ota5T(t());
     ASSERT_TRUE(ota_->prepare());
     engine_ = new FlowEngine(t(), {});
-    optimized_ = new Realization(engine_->optimize(
+    optimized_ = new Realization(engine_->run(FlowMode::kOptimize,
         ota_->instances(), ota_->routed_nets(), &opt_report_));
-    conventional_ = new Realization(engine_->conventional(
+    conventional_ = new Realization(engine_->run(FlowMode::kConventional,
         ota_->instances(), ota_->routed_nets(), &conv_report_));
   }
   static void TearDownTestSuite() {
@@ -140,9 +140,9 @@ TEST(FlowEngine, ManualOracleAtLeastAsGoodAsFlowOnCost) {
   ASSERT_TRUE(ota.prepare());
   FlowEngine engine(t(), {});
   const Realization opt =
-      engine.optimize(ota.instances(), ota.routed_nets(), nullptr);
+      engine.run(FlowMode::kOptimize, ota.instances(), ota.routed_nets(), nullptr);
   const Realization manual =
-      engine.manual_oracle(ota.instances(), ota.routed_nets(), nullptr);
+      engine.run(FlowMode::kManualOracle, ota.instances(), ota.routed_nets(), nullptr);
   const auto m_opt = ota.measure(opt);
   const auto m_man = ota.measure(manual);
   // Both land in the same performance neighborhood (paper: "competitive

@@ -294,13 +294,13 @@ class ObsFlowOnOta : public ::testing::Test {
 
     Registry::global().disable();
     circuits::FlowEngine plain(*tech_, opt);
-    plain.optimize(ota_->instances(), ota_->routed_nets(), &plain_report_);
+    plain.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &plain_report_);
 
     artifacts_dir_ = ::testing::TempDir() + "/olp_obs_artifacts";
     opt.trace_artifacts_dir = artifacts_dir_;
     Registry::global().enable();
     circuits::FlowEngine traced(*tech_, opt);
-    traced.optimize(ota_->instances(), ota_->routed_nets(), &traced_report_);
+    traced.run(circuits::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(), &traced_report_);
     Registry::global().disable();
   }
   static void TearDownTestSuite() {

@@ -116,7 +116,7 @@ TEST(Assembly, OtaAssembles) {
   circuits::FlowEngine engine(t(), {});
   circuits::FlowReport report;
   const circuits::Realization real =
-      engine.optimize(ota.instances(), ota.routed_nets(), &report);
+      engine.run(circuits::FlowMode::kOptimize, ota.instances(), ota.routed_nets(), &report);
   const geom::Layout top =
       circuits::assemble_layout(t(), ota.instances(), real, report);
   // Pins of every instance are present with the instance prefix.
