@@ -1,0 +1,213 @@
+// Resident layout service benchmark: sustained load against LayoutService
+// through its public submit() API (no process spawn, no pipe latency — the
+// numbers measure the service core, not the transport).
+//
+// Phases, all on a bounded queue with fair-share scheduling:
+//
+//   warm      one optimize job per circuit populates the shared cache pool
+//             (everything after this measures the steady-state service, the
+//             way a long-lived daemon actually runs)
+//   sustained N conventional-mode requests from 4 clients round-robin,
+//             measuring accepted req/s end-to-end plus p50/p99
+//             admission->done latency from the service's own stats
+//   overload  a burst far beyond queue depth, proving load shedding keeps
+//             the service responsive: sheds are counted, nothing blocks,
+//             accepted jobs still finish
+//
+// Exits nonzero when the sustained phase sheds anything, when any accepted
+// job fails, or when the overload phase fails to shed (the bound would be
+// broken). Results land in BENCH_service.json.
+
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <olp/olp.hpp>
+
+namespace {
+
+using namespace olp;
+
+struct PhaseResult {
+  int submitted = 0;
+  int accepted = 0;
+  int succeeded = 0;
+  int shed = 0;
+  double wall_s = 0.0;
+
+  double req_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(accepted) / wall_s : 0.0;
+  }
+};
+
+/// Submits `n` conventional-mode jobs across `clients` round-robin and
+/// waits for every accepted one to finish. `max_outstanding` throttles the
+/// submitter (a well-behaved client with backpressure); 0 fires the whole
+/// burst at once (the overload scenario).
+PhaseResult drive(service::LayoutService& svc, int n, int clients,
+                  std::uint64_t seed_base, std::size_t max_outstanding) {
+  PhaseResult r;
+  std::vector<std::future<service::RequestOutcome>> pending;
+  std::size_t waited = 0;
+  const auto reap = [&](std::future<service::RequestOutcome>& f) {
+    if (f.get().status != circuits::JobStatus::kFailed) ++r.succeeded;
+  };
+  const MonotonicStopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    service::ServiceRequest request;
+    request.id = "load" + std::to_string(seed_base) + "_" + std::to_string(i);
+    request.client = "client" + std::to_string(i % clients);
+    request.circuit = "vco";
+    request.mode = circuits::FlowMode::kConventional;
+    request.seed = seed_base + static_cast<std::uint64_t>(i);
+    auto slot = std::make_shared<std::promise<service::RequestOutcome>>();
+    ++r.submitted;
+    const service::RejectReason reason =
+        svc.submit(request, [slot](const service::RequestOutcome& o) {
+          slot->set_value(o);
+        });
+    if (reason == service::RejectReason::kNone) {
+      ++r.accepted;
+      pending.push_back(slot->get_future());
+    } else {
+      ++r.shed;
+    }
+    while (max_outstanding > 0 && pending.size() - waited >= max_outstanding) {
+      reap(pending[waited++]);
+    }
+  }
+  for (; waited < pending.size(); ++waited) reap(pending[waited]);
+  r.wall_s = watch.seconds();
+  return r;
+}
+
+std::string phase_json(const char* name, const PhaseResult& r) {
+  std::string out = "\"" + std::string(name) + "\":{";
+  out += "\"submitted\":" + std::to_string(r.submitted);
+  out += ",\"accepted\":" + std::to_string(r.accepted);
+  out += ",\"succeeded\":" + std::to_string(r.succeeded);
+  out += ",\"shed\":" + std::to_string(r.shed);
+  out += ",\"wall_s\":" + fixed(r.wall_s, 4);
+  out += ",\"req_per_s\":" + fixed(r.req_per_s(), 2);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kOff);
+  const tech::Technology technology = tech::make_default_finfet_tech();
+
+  service::ServiceOptions options;
+  options.workers = 4;
+  options.pool_threads = 1;
+  options.queue.max_depth = 64;
+  options.queue.max_per_client = 32;
+  service::LayoutService svc(technology, options);
+  svc.start();
+
+  // Warm phase: one optimize job per circuit fills the scope caches.
+  std::cout << "warming the cache pool...\n";
+  PhaseResult warm;
+  {
+    std::vector<std::future<service::RequestOutcome>> pending;
+    const MonotonicStopwatch watch;
+    for (const std::string& circuit : service::LayoutService::known_circuits()) {
+      service::ServiceRequest request;
+      request.id = "warm_" + circuit;
+      request.client = "warmup";
+      request.circuit = circuit;
+      request.mode = circuits::FlowMode::kOptimize;
+      auto slot = std::make_shared<std::promise<service::RequestOutcome>>();
+      ++warm.submitted;
+      if (svc.submit(request, [slot](const service::RequestOutcome& o) {
+            slot->set_value(o);
+          }) == service::RejectReason::kNone) {
+        ++warm.accepted;
+        pending.push_back(slot->get_future());
+      } else {
+        ++warm.shed;
+      }
+    }
+    for (auto& f : pending) {
+      if (f.get().status != circuits::JobStatus::kFailed) ++warm.succeeded;
+    }
+    warm.wall_s = watch.seconds();
+  }
+
+  // Sustained phase: well under the queue bound, nothing may shed.
+  std::cout << "sustained load...\n";
+  const PhaseResult sustained = drive(svc, 200, 4, 1000, 16);
+
+  const service::ServiceStats mid = svc.stats();
+
+  // Overload phase: burst 3x the queue depth from one worker's view; the
+  // bound must shed the excess instead of blocking or crashing.
+  std::cout << "overload burst...\n";
+  const PhaseResult overload = drive(svc, 192, 2, 9000, 0);
+
+  svc.drain();
+  const service::ServiceStats final_stats = svc.stats();
+
+  const double shed_rate =
+      overload.submitted > 0
+          ? static_cast<double>(overload.shed) /
+                static_cast<double>(overload.submitted)
+          : 0.0;
+
+  std::string json = "{\"service\":{";
+  json += "\"workers\":" + std::to_string(svc.options().workers);
+  json += ",\"queue_depth\":" +
+          std::to_string(svc.options().queue.max_depth);
+  json += ",\"per_client\":" +
+          std::to_string(svc.options().queue.max_per_client);
+  json += "}," + phase_json("warm", warm);
+  json += "," + phase_json("sustained", sustained);
+  json += "," + phase_json("overload", overload);
+  json += ",\"latency\":{\"p50_ms\":" + fixed(mid.p50_ms, 3);
+  json += ",\"p99_ms\":" + fixed(mid.p99_ms, 3) + "}";
+  json += ",\"shed_rate\":" + fixed(shed_rate, 4);
+  json += ",\"cache\":{\"hits\":" + std::to_string(final_stats.cache.hits);
+  json += ",\"misses\":" + std::to_string(final_stats.cache.misses);
+  json += ",\"entries\":" + std::to_string(final_stats.cache.entries);
+  json += ",\"evictions\":" + std::to_string(final_stats.cache.evictions);
+  json += "}}\n";
+  obs::write_text_file("BENCH_service.json", json);
+  std::cout << "Wrote BENCH_service.json\n";
+
+  std::cout << "sustained: " << sustained.accepted << " jobs in "
+            << fixed(sustained.wall_s, 2) << " s ("
+            << fixed(sustained.req_per_s(), 1) << " req/s), p50 "
+            << fixed(mid.p50_ms, 2) << " ms, p99 " << fixed(mid.p99_ms, 2)
+            << " ms\n";
+  std::cout << "overload: " << overload.shed << "/" << overload.submitted
+            << " shed (" << fixed(100.0 * shed_rate, 1) << "%), "
+            << overload.succeeded << " accepted jobs still succeeded\n";
+
+  bool ok = true;
+  if (warm.succeeded != warm.submitted) {
+    std::cerr << "FAIL: warm phase had failures\n";
+    ok = false;
+  }
+  if (sustained.shed != 0) {
+    std::cerr << "FAIL: sustained phase shed " << sustained.shed
+              << " requests under the queue bound\n";
+    ok = false;
+  }
+  if (sustained.succeeded != sustained.accepted) {
+    std::cerr << "FAIL: sustained phase had failed jobs\n";
+    ok = false;
+  }
+  if (overload.shed == 0) {
+    std::cerr << "FAIL: overload burst shed nothing — queue bound broken\n";
+    ok = false;
+  }
+  if (overload.succeeded != overload.accepted) {
+    std::cerr << "FAIL: overload phase had failed accepted jobs\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

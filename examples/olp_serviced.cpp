@@ -1,0 +1,138 @@
+// olp_serviced: the resident layout service daemon.
+//
+// Speaks the JSONL protocol of service/request.hpp on stdin/stdout — one
+// request per line in, one JSON event per line out. Run it interactively:
+//
+//   $ build/examples/olp_serviced
+//   {"op":"ping"}
+//   {"event":"pong"}
+//   {"op":"submit","client":"alice","circuit":"vco","mode":"conventional"}
+//   {"id":"r1","event":"accepted","queue_depth":1}
+//   {"id":"r1","event":"done","status":"succeeded",...}
+//   {"op":"drain"}
+//   {"event":"drained","cancelled":false}
+//
+// or drive it from scripts (tests/run_service_smoke.sh pipes a FIFO in).
+// SIGTERM/SIGINT trigger a graceful drain: in-flight and queued jobs
+// finish, the cache snapshot is flushed, then the process exits 0.
+//
+// Configuration is entirely environment-driven (see util/env.hpp):
+// OLP_SERVICE_WORKERS, OLP_SERVICE_QUEUE_DEPTH, OLP_SERVICE_CLIENT_QUEUE,
+// OLP_SERVICE_RETRIES, OLP_SERVICE_SNAPSHOT, OLP_SERVICE_SNAPSHOT_EVERY,
+// OLP_CACHE_MAX_ENTRIES, OLP_THREADS, OLP_OBS. When OLP_SERVICE_SOCKET
+// names a path (POSIX only), the daemon ALSO accepts one connection at a
+// time on a unix-domain stream socket speaking the same protocol — stdin
+// remains the primary transport and EOF there still drains the daemon.
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include <olp/olp.hpp>
+
+#if (defined(__unix__) || defined(__APPLE__)) && defined(__GLIBCXX__)
+#define OLP_SERVICED_HAS_SOCKETS 1
+#else
+#define OLP_SERVICED_HAS_SOCKETS 0
+#endif
+
+#if OLP_SERVICED_HAS_SOCKETS
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over an accepted fd
+#endif
+
+namespace {
+
+std::atomic<bool> g_drain_requested{false};
+
+void on_terminate(int) { g_drain_requested.store(true); }
+
+#if OLP_SERVICED_HAS_SOCKETS
+/// Accepts connections on a unix socket, one at a time, each speaking the
+/// JSONL protocol. Exits when accept fails (socket closed by main).
+void socket_loop(olp::service::LayoutService* service, int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    __gnu_cxx::stdio_filebuf<char> inbuf(fd, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> outbuf(::dup(fd), std::ios::out);
+    std::istream in(&inbuf);
+    std::ostream out(&outbuf);
+    service->serve(in, out);  // returns on client EOF or drain verb
+    if (service->draining()) return;
+  }
+}
+#endif
+
+}  // namespace
+
+int main() {
+  // Interrupting reads matters: SIGTERM must break std::getline on stdin so
+  // the main loop can drain. sigaction WITHOUT SA_RESTART does exactly that
+  // (plain std::signal may set SA_RESTART on some platforms).
+#if OLP_SERVICED_HAS_SOCKETS
+  struct sigaction sa = {};
+  sa.sa_handler = on_terminate;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+#else
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+#endif
+
+  const olp::tech::Technology technology = olp::tech::make_default_finfet_tech();
+  olp::service::ServiceOptions options;
+  olp::service::LayoutService service(technology, options);
+  service.start();
+
+#if OLP_SERVICED_HAS_SOCKETS
+  int listen_fd = -1;
+  std::thread socket_thread;
+  const std::string socket_path = olp::env::str("OLP_SERVICE_SOCKET");
+  if (!socket_path.empty()) {
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd >= 0) {
+      sockaddr_un addr = {};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                    socket_path.c_str());
+      ::unlink(socket_path.c_str());
+      if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof(addr)) == 0 &&
+          ::listen(listen_fd, 4) == 0) {
+        socket_thread = std::thread(socket_loop, &service, listen_fd);
+      } else {
+        std::cerr << "{\"event\":\"socket_error\",\"path\":\""
+                  << olp::jsonl::escape(socket_path) << "\"}\n";
+        ::close(listen_fd);
+        listen_fd = -1;
+      }
+    }
+  }
+#endif
+
+  // serve() returns on stdin EOF, a drain/shutdown verb, or a signal
+  // interrupting the read — and has drained the service by then.
+  service.serve(std::cin, std::cout);
+
+#if OLP_SERVICED_HAS_SOCKETS
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+  }
+  if (socket_thread.joinable()) socket_thread.join();
+#endif
+
+  // Final stats on stderr — keeps stdout a pure JSONL event stream.
+  std::cerr << service.stats().to_json() << "\n";
+  return 0;
+}

@@ -7,6 +7,9 @@
 //                         service over one pool + shared eval cache)
 //   circuits/*            the paper's example circuits (5T OTA, StrongARM
 //                         comparator, ring VCO) and common instance types
+//   service/service.hpp   LayoutService: the resident JSONL daemon core
+//                         (admission control, fair-share queue, warm-start
+//                         cache snapshots, graceful drain)
 //   core/optimizer.hpp    Algorithm 1 (PrimitiveOptimizer) and its
 //                         evaluator, for primitive-level use
 //   core/eval_cache.hpp   cross-run evaluation memoization
@@ -30,9 +33,12 @@
 #include "core/optimizer.hpp"
 #include "pcell/generator.hpp"
 #include "pcell/primitive.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
 #include "tech/technology.hpp"
 #include "util/budget.hpp"
 #include "util/env.hpp"
+#include "util/jsonl.hpp"
 #include "util/logging.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"

@@ -5,8 +5,9 @@
 #include <memory>
 #include <utility>
 
-#include "core/eval_cache.hpp"
 #include "util/budget.hpp"
+#include "util/env.hpp"
+#include "util/jsonl.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"
 #include "util/task_pool.hpp"
@@ -14,42 +15,7 @@
 
 namespace olp::circuits {
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using jsonl::escape;  // JSON string escaping is centralized in util/jsonl
 
 const char* job_status_name(JobStatus status) {
   switch (status) {
@@ -117,10 +83,10 @@ std::string BatchReport::summary_table() const {
 std::string BatchReport::to_jsonl() const {
   std::string out;
   for (const JobResult& j : jobs) {
-    out += "{\"job\":\"" + json_escape(j.name) + "\"";
+    out += "{\"job\":\"" + escape(j.name) + "\"";
     out += ",\"mode\":\"" + std::string(flow_mode_name(j.mode)) + "\"";
     out += ",\"status\":\"" + std::string(job_status_name(j.status)) + "\"";
-    if (!j.error.empty()) out += ",\"error\":\"" + json_escape(j.error) + "\"";
+    if (!j.error.empty()) out += ",\"error\":\"" + escape(j.error) + "\"";
     out += ",\"queued_s\":" + fixed(j.queued_s, 4);
     out += ",\"run_s\":" + fixed(j.run_s, 4);
     out += ",\"testbenches\":" + std::to_string(j.report.testbenches);
@@ -150,10 +116,120 @@ void BatchReport::write_jsonl(const std::string& path) const {
   obs::write_text_file(path, to_jsonl());
 }
 
+CachePool::CachePool(std::size_t max_entries_per_cache)
+    : max_entries_(max_entries_per_cache) {}
+
+core::EvalCache* CachePool::cache_for_scope(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = caches_[scope];
+  if (slot == nullptr) {
+    core::EvalCacheOptions copt;
+    copt.max_entries = max_entries_;
+    slot = std::make_unique<core::EvalCache>(copt);
+  }
+  return slot.get();
+}
+
+core::EvalCache* CachePool::cache_for(const tech::Technology& technology) {
+  return cache_for_scope(
+      core::EvalCache::scope_key(technology, default_nmos(), default_pmos()));
+}
+
+std::size_t CachePool::scopes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caches_.size();
+}
+
+core::EvalCacheStats CachePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  core::EvalCacheStats total;
+  total.capacity = static_cast<long>(max_entries_);
+  for (const auto& [scope, cache] : caches_) {
+    const core::EvalCacheStats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.entries += s.entries;
+    total.cross_client_hits += s.cross_client_hits;
+    total.evictions += s.evictions;
+    total.restored_hits += s.restored_hits;
+  }
+  return total;
+}
+
+void CachePool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [scope, cache] : caches_) cache->clear();
+}
+
+bool CachePool::save_snapshot(const std::string& path,
+                              std::string* error) const {
+  std::map<std::string, const core::EvalCache*> view;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [scope, cache] : caches_) view[scope] = cache.get();
+  }
+  return core::save_cache_snapshot(path, view, error);
+}
+
+bool CachePool::load_snapshot(const std::string& path, std::string* error) {
+  std::map<std::string, std::string> payloads;
+  if (!core::load_cache_snapshot(path, &payloads, error)) return false;
+  for (const auto& [scope, payload] : payloads) {
+    if (!cache_for_scope(scope)->restore_entries(payload, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+JobResult run_flow_job(const FlowJob& job, const tech::Technology& technology,
+                       TaskPool* pool, core::EvalCache* cache, int client) {
+  JobResult result;
+  result.name = job.name.empty() ? "job" + std::to_string(client) : job.name;
+  result.mode = job.mode;
+  const MonotonicStopwatch job_watch;
+  const tech::Technology& jt =
+      job.technology != nullptr ? *job.technology : technology;
+
+  FlowOptions jopt = job.options;
+  // Plumbing overrides: every parallel stage runs on the shared pool,
+  // telemetry is pooled by the caller, and the scope cache (when provided)
+  // replaces any per-job cache setting. Budget fields pass through
+  // untouched — that's the per-job isolation.
+  jopt.pool = pool;
+  jopt.num_threads = 1;  // never spawn an engine-local pool
+  jopt.own_telemetry = false;
+  if (cache != nullptr) {
+    jopt.shared_eval_cache = cache;
+    jopt.cache_client = client;
+  }
+  try {
+    const FlowEngine engine(jt, jopt);
+    result.realization =
+        engine.run(job.mode, job.instances, job.routed_nets, &result.report);
+    result.status = result.report.degraded ? JobStatus::kDegraded
+                                           : JobStatus::kSucceeded;
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kFailed;
+    result.error = e.what();
+    obs::counter_add("batch.jobs_failed");
+  } catch (...) {
+    result.status = JobStatus::kFailed;
+    result.error = "unknown exception";
+    obs::counter_add("batch.jobs_failed");
+  }
+  result.run_s = job_watch.seconds();
+  obs::counter_add("batch.jobs");
+  return result;
+}
+
 BatchRunner::BatchRunner(const tech::Technology& technology,
                          BatchOptions options)
     : tech_(technology), options_(options) {
   options_.workers = threads_from_env(options_.workers);
+  const long cap = env::integer("OLP_CACHE_MAX_ENTRIES",
+                                static_cast<long>(options_.cache_max_entries));
+  options_.cache_max_entries = cap > 0 ? static_cast<std::size_t>(cap) : 0;
 }
 
 BatchReport BatchRunner::run(const std::vector<FlowJob>& jobs) const {
@@ -170,76 +246,36 @@ BatchReport BatchRunner::run(const std::vector<FlowJob>& jobs) const {
 
   // One shared cache per evaluation scope (technology + model cards). Jobs
   // in different scopes must not share entries — the evaluation key does not
-  // cover the technology — so each scope gets its own cache. Built up front,
-  // serially, so the map is read-only while jobs run.
-  std::map<std::string, std::unique_ptr<core::EvalCache>> caches;
+  // cover the technology — so each scope gets its own cache. Resolved up
+  // front, serially, so the pool is read-only while jobs run.
+  CachePool caches(options_.cache_max_entries);
   std::vector<core::EvalCache*> cache_of(jobs.size(), nullptr);
   if (options_.share_cache) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const tech::Technology& jt =
           jobs[i].technology != nullptr ? *jobs[i].technology : tech_;
-      const std::string scope =
-          core::EvalCache::scope_key(jt, default_nmos(), default_pmos());
-      auto& slot = caches[scope];
-      if (slot == nullptr) slot = std::make_unique<core::EvalCache>();
-      cache_of[i] = slot.get();
+      cache_of[i] = caches.cache_for(jt);
     }
   }
 
   TaskPool pool(options_.workers);
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    const FlowJob& job = jobs[i];
-    JobResult& result = report.jobs[i];
-    result.name = job.name.empty() ? "job" + std::to_string(i) : job.name;
-    result.mode = job.mode;
-    result.queued_s = watch.seconds();
-    const MonotonicStopwatch job_watch;
-    const tech::Technology& jt =
-        job.technology != nullptr ? *job.technology : tech_;
-
-    FlowOptions jopt = job.options;
-    // Batch plumbing overrides: every parallel stage runs on the shared
-    // pool, telemetry is pooled, and the scope cache (when sharing) replaces
-    // any per-job cache setting. Budget fields pass through untouched —
-    // that's the per-job isolation.
-    jopt.pool = &pool;
-    jopt.num_threads = 1;  // never spawn an engine-local pool
-    jopt.own_telemetry = false;
-    if (cache_of[i] != nullptr) {
-      jopt.shared_eval_cache = cache_of[i];
-      jopt.cache_client = static_cast<int>(i);
-    }
-    try {
-      const FlowEngine engine(jt, jopt);
-      result.realization =
-          engine.run(job.mode, job.instances, job.routed_nets, &result.report);
-      result.status = result.report.degraded ? JobStatus::kDegraded
-                                             : JobStatus::kSucceeded;
-    } catch (const std::exception& e) {
-      result.status = JobStatus::kFailed;
-      result.error = e.what();
-      obs::counter_add("batch.jobs_failed");
-    } catch (...) {
-      result.status = JobStatus::kFailed;
-      result.error = "unknown exception";
-      obs::counter_add("batch.jobs_failed");
-    }
-    result.run_s = job_watch.seconds();
-    obs::counter_add("batch.jobs");
+    const double queued_s = watch.seconds();
+    report.jobs[i] = run_flow_job(jobs[i], tech_, &pool, cache_of[i],
+                                  static_cast<int>(i));
+    report.jobs[i].queued_s = queued_s;
     return true;  // one job's failure never stops the batch
   });
 
   for (const JobResult& j : report.jobs) {
     report.total_testbenches += j.report.testbenches;
   }
-  report.cache_scopes = caches.size();
-  for (const auto& [scope, cache] : caches) {
-    const core::EvalCacheStats s = cache->stats();
-    report.cache_hits += s.hits;
-    report.cache_misses += s.misses;
-    report.cache_entries += s.entries;
-    report.cross_job_hits += s.cross_client_hits;
-  }
+  report.cache_scopes = caches.scopes();
+  const core::EvalCacheStats s = caches.stats();
+  report.cache_hits = s.hits;
+  report.cache_misses = s.misses;
+  report.cache_entries = s.entries;
+  report.cross_job_hits = s.cross_client_hits;
   if (obs::enabled()) {
     obs::counter_add("batch.cross_job_hits", report.cross_job_hits);
   }

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -54,11 +55,29 @@ struct EvalCacheStats {
   /// Hits on entries inserted by a different client id (both ids >= 0):
   /// evaluations one flow run saved because another already computed them.
   long cross_client_hits = 0;
+  /// Entries evicted to respect the capacity bound (0 when unbounded).
+  long evictions = 0;
+  /// Configured capacity; 0 = unbounded.
+  long capacity = 0;
+  /// Hits on entries that came from a snapshot restore rather than a live
+  /// insert — the evidence that a restart actually warm-started.
+  long restored_hits = 0;
+};
+
+struct EvalCacheOptions {
+  std::size_t shards = 16;
+  /// Maximum total entries across shards; 0 (the default) keeps the original
+  /// unbounded behavior — required for the bit-identity determinism tests,
+  /// since eviction makes hit patterns depend on insertion order. The
+  /// resident service always sets a bound: an unbounded warm cache is a slow
+  /// memory leak under sustained traffic.
+  std::size_t max_entries = 0;
 };
 
 class EvalCache {
  public:
   explicit EvalCache(std::size_t shards = 16);
+  explicit EvalCache(const EvalCacheOptions& options);
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
@@ -92,21 +111,73 @@ class EvalCache {
   EvalCacheStats stats() const;
   void clear();
 
+  /// Serializes every entry into a self-contained binary payload (native
+  /// byte order — snapshots are machine-local warm-start state, not an
+  /// interchange format). Doubles are stored as raw bits, so a restored
+  /// entry is bit-identical to the entry that was saved.
+  std::string serialize_entries() const;
+
+  /// Restores entries from a serialize_entries() payload into this cache
+  /// (first writer wins against anything already present; restored entries
+  /// carry owner -1, so later hits never count as cross-client). A
+  /// malformed/truncated payload restores NOTHING — the cache is left
+  /// exactly as it was — and returns false with *error set.
+  bool restore_entries(const std::string& payload,
+                       std::string* error = nullptr);
+
  private:
   struct Entry {
     MetricValues values;
-    int owner = -1;  ///< client id of the inserting run
+    int owner = -1;        ///< client id of the inserting run
+    bool referenced = false;  ///< CLOCK second-chance bit, set on hit
+    bool restored = false;    ///< entry came from restore_entries()
   };
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, Entry> map;
+    /// Keys in insertion order; the CLOCK ring evictions sweep. Slots are
+    /// reused in place when their key is evicted.
+    std::vector<std::string> ring;
+    std::size_t hand = 0;  ///< next ring slot the sweep examines
   };
   Shard& shard_for(const std::string& key);
+  /// Inserts into `shard` (mutex held by caller), evicting via second
+  /// chance when the shard is at capacity.
+  void insert_locked(Shard& shard, const std::string& key, Entry entry);
 
   std::vector<Shard> shards_;
+  std::size_t per_shard_cap_ = 0;  ///< 0 = unbounded
+  std::size_t max_entries_ = 0;
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
   std::atomic<long> cross_client_hits_{0};
+  std::atomic<long> evictions_{0};
+  std::atomic<long> restored_hits_{0};
 };
+
+/// Versioned, checksummed, crash-safe snapshot of a SET of caches keyed by
+/// their scope fingerprint (EvalCache::scope_key) — the on-disk warm-start
+/// state of the batch/service cache pool.
+///
+/// Format: magic+version header, scope count, then per scope the scope key
+/// and its serialize_entries() payload, finally an FNV-1a checksum over
+/// everything after the header. save writes "<path>.tmp" and renames, so a
+/// crash mid-save never clobbers the previous snapshot; load verifies
+/// length and checksum before touching any cache, so a truncated or
+/// bit-flipped file is reported as a failure (cold start) rather than a
+/// crash or a partially-restored cache. Both directions draw at
+/// FaultSite::kSnapshotIo, making I/O failure deterministically injectable.
+bool save_cache_snapshot(
+    const std::string& path,
+    const std::map<std::string, const EvalCache*>& caches,
+    std::string* error = nullptr);
+
+/// Reads a snapshot into scope -> payload (feed each payload to
+/// EvalCache::restore_entries on a cache for that scope). Returns false —
+/// with *error and an empty map — when the file is missing, truncated,
+/// corrupt, or of an unknown version.
+bool load_cache_snapshot(const std::string& path,
+                         std::map<std::string, std::string>* scope_payloads,
+                         std::string* error = nullptr);
 
 }  // namespace olp::core

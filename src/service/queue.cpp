@@ -1,0 +1,98 @@
+#include "service/queue.hpp"
+
+#include <utility>
+
+namespace olp::service {
+
+AdmissionQueue::AdmissionQueue(QueueOptions options) : options_(options) {}
+
+RejectReason AdmissionQueue::offer(QueuedJob job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RejectReason reason = RejectReason::kNone;
+  if (closed_) {
+    reason = RejectReason::kDraining;
+  } else if (options_.max_depth > 0 && depth_ >= options_.max_depth) {
+    reason = RejectReason::kQueueFull;
+  } else {
+    auto& q = clients_[job.request.client];
+    if (options_.max_per_client > 0 && q.size() >= options_.max_per_client) {
+      reason = RejectReason::kClientQuota;
+      // Don't leave an empty per-client map entry behind: it would get a
+      // useless round-robin turn forever.
+      if (q.empty()) clients_.erase(job.request.client);
+    } else {
+      q.emplace(std::make_pair(-job.request.priority, job.ticket),
+                std::move(job));
+      ++depth_;
+      ++admitted_;
+      cv_.notify_one();
+      return RejectReason::kNone;
+    }
+  }
+  ++shed_[static_cast<int>(reason)];
+  return reason;
+}
+
+bool AdmissionQueue::take(QueuedJob* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) return false;  // closed and drained
+
+  // Fair share: resume AFTER the client served last time, wrapping around.
+  auto it = clients_.upper_bound(cursor_);
+  if (it == clients_.end()) it = clients_.begin();
+  // Every present client queue is nonempty (emptied queues are erased
+  // below), so the first stop is the pick.
+  cursor_ = it->first;
+  ClientQueue& q = it->second;
+  *out = std::move(q.begin()->second);
+  q.erase(q.begin());
+  --depth_;
+  if (q.empty()) clients_.erase(it);
+  return true;
+}
+
+void AdmissionQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t dropped = depth_;
+  clients_.clear();
+  depth_ = 0;
+  cv_.notify_all();
+  return dropped;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+long AdmissionQueue::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+long AdmissionQueue::shed(RejectReason reason) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shed_.find(static_cast<int>(reason));
+  return it == shed_.end() ? 0 : it->second;
+}
+
+long AdmissionQueue::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long total = 0;
+  for (const auto& [reason, n] : shed_) total += n;
+  return total;
+}
+
+}  // namespace olp::service

@@ -1,0 +1,94 @@
+#pragma once
+// Admission-controlled fair-share queue for the resident layout service.
+//
+// Two bounds shed load BEFORE work is accepted (reject-with-reason, never
+// crash, never block the intake thread):
+//
+//   max_depth       total queued items across all clients — the service's
+//                   global backlog bound.
+//   max_per_client  queued items any single client may hold — one noisy
+//                   client fills its own quota and gets kClientQuota while
+//                   everyone else keeps being admitted.
+//
+// Scheduling is round-robin across clients: workers take one item from each
+// client in turn (clients ordered by name, cursor remembered across takes),
+// so a client submitting 100 jobs and a client submitting 1 interleave
+// 1:1 — wait time is proportional to YOUR backlog, not the queue's. Within
+// one client, higher `priority` first, then FIFO by admission ticket.
+//
+// close() wakes every blocked take() (returns false); offer() after close
+// sheds with kDraining.
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "service/request.hpp"
+
+namespace olp::service {
+
+struct QueueOptions {
+  std::size_t max_depth = 64;      ///< total queued items (0 = unbounded)
+  std::size_t max_per_client = 16; ///< per-client bound (0 = unbounded)
+};
+
+/// One queued submission (the request plus admission bookkeeping).
+struct QueuedJob {
+  ServiceRequest request;
+  std::uint64_t ticket = 0;  ///< admission order, for FIFO within priority
+  double admitted_s = 0.0;   ///< service-clock time of admission
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(QueueOptions options = {});
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits or sheds. kNone = admitted; kQueueFull / kClientQuota /
+  /// kDraining name why the item was refused. Never blocks.
+  RejectReason offer(QueuedJob job);
+
+  /// Blocks until an item is available (fair-share pick, see file comment)
+  /// or the queue is closed AND empty — then returns false. Closing with
+  /// items still queued lets workers drain them first.
+  bool take(QueuedJob* out);
+
+  /// Stops admission (offers shed with kDraining) and wakes blocked takers.
+  /// Already-queued items remain takeable; take() returns false only once
+  /// the queue is empty.
+  void close();
+
+  /// Drops every queued item (used by fast shutdown). Returns how many were
+  /// dropped.
+  std::size_t clear();
+
+  std::size_t depth() const;
+  bool closed() const;
+  /// Total items ever admitted / shed (by reason) — monotone counters.
+  long admitted() const;
+  long shed(RejectReason reason) const;
+  long shed_total() const;
+
+ private:
+  /// Per-client queue ordered by (-priority, ticket): highest priority
+  /// first, FIFO within equal priority.
+  using ClientQueue = std::map<std::pair<int, std::uint64_t>, QueuedJob>;
+
+  QueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::size_t depth_ = 0;
+  std::map<std::string, ClientQueue> clients_;
+  /// Name of the client AFTER which the round-robin cursor resumes.
+  std::string cursor_;
+  long admitted_ = 0;
+  std::map<int, long> shed_;  ///< RejectReason -> count
+};
+
+}  // namespace olp::service

@@ -1,0 +1,182 @@
+#include "service/request.hpp"
+
+#include <cmath>
+
+#include "util/faults.hpp"
+#include "util/jsonl.hpp"
+
+namespace olp::service {
+
+namespace {
+
+/// Fetches a string member; absent is fine (keeps the default), a
+/// wrong-typed member is a parse error.
+bool take_string(const jsonl::Object& obj, const char* key, std::string* out,
+                 std::string* error) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return true;
+  if (!it->second.is_string()) {
+    if (error != nullptr) *error = std::string(key) + " must be a string";
+    return false;
+  }
+  *out = it->second.string;
+  return true;
+}
+
+/// Fetches a numeric member; rejects non-numbers and (when integral)
+/// fractional values, so "seed": "3" or "priority": 1.5 fail loudly instead
+/// of being silently coerced.
+bool take_number(const jsonl::Object& obj, const char* key, double* out,
+                 std::string* error) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return true;
+  if (!it->second.is_number()) {
+    if (error != nullptr) *error = std::string(key) + " must be a number";
+    return false;
+  }
+  *out = it->second.number;
+  return true;
+}
+
+bool take_integer(const jsonl::Object& obj, const char* key, double lo,
+                  double hi, double* out, std::string* error) {
+  double v = *out;
+  if (!take_number(obj, key, &v, error)) return false;
+  if (v != std::floor(v) || v < lo || v > hi) {
+    if (error != nullptr) {
+      *error = std::string(key) + " must be an integer in range";
+    }
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* request_op_name(RequestOp op) {
+  switch (op) {
+    case RequestOp::kSubmit:
+      return "submit";
+    case RequestOp::kStats:
+      return "stats";
+    case RequestOp::kSnapshot:
+      return "snapshot";
+    case RequestOp::kDrain:
+      return "drain";
+    case RequestOp::kShutdown:
+      return "shutdown";
+    case RequestOp::kPing:
+      return "ping";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kParseError:
+      return "parse_error";
+    case RejectReason::kUnknownOp:
+      return "unknown_op";
+    case RejectReason::kUnknownCircuit:
+      return "unknown_circuit";
+    case RejectReason::kUnknownMode:
+      return "unknown_mode";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kClientQuota:
+      return "client_quota";
+    case RejectReason::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+bool flow_mode_from_name(const std::string& name, circuits::FlowMode* mode) {
+  for (const circuits::FlowMode m :
+       {circuits::FlowMode::kOptimize, circuits::FlowMode::kConventional,
+        circuits::FlowMode::kManualOracle}) {
+    if (name == circuits::flow_mode_name(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+RejectReason parse_request(const std::string& line, ServiceRequest* request,
+                           std::string* error) {
+  if (FaultInjector::global().enabled() &&
+      FaultInjector::global().should_fail(FaultSite::kRequestParse)) {
+    if (error != nullptr) *error = "injected parse fault";
+    return RejectReason::kParseError;
+  }
+
+  jsonl::Object obj;
+  if (!jsonl::parse_object(line, &obj, error)) {
+    return RejectReason::kParseError;
+  }
+
+  ServiceRequest req;
+  std::string op_name = "submit";
+  std::string mode_name;
+  if (!take_string(obj, "op", &op_name, error) ||
+      !take_string(obj, "id", &req.id, error) ||
+      !take_string(obj, "client", &req.client, error) ||
+      !take_string(obj, "circuit", &req.circuit, error) ||
+      !take_string(obj, "mode", &mode_name, error)) {
+    return RejectReason::kParseError;
+  }
+
+  double seed = static_cast<double>(req.seed);
+  double priority = req.priority;
+  double deadline_ms = req.deadline_ms;
+  double max_tb = static_cast<double>(req.max_testbenches);
+  double retries = req.retries;
+  if (!take_integer(obj, "seed", 0.0, 9.007199254740992e15, &seed, error) ||
+      !take_integer(obj, "priority", -1e6, 1e6, &priority, error) ||
+      !take_number(obj, "deadline_ms", &deadline_ms, error) ||
+      !take_integer(obj, "max_testbenches", -1.0, 1e15, &max_tb, error) ||
+      !take_integer(obj, "retries", -1.0, 1e6, &retries, error)) {
+    return RejectReason::kParseError;
+  }
+  if (!(deadline_ms >= 0.0) || !std::isfinite(deadline_ms)) {
+    if (error != nullptr) *error = "deadline_ms must be a finite number >= 0";
+    return RejectReason::kParseError;
+  }
+  req.seed = static_cast<std::uint64_t>(seed);
+  req.priority = static_cast<int>(priority);
+  req.deadline_ms = deadline_ms;
+  req.max_testbenches = static_cast<long>(max_tb);
+  req.retries = static_cast<int>(retries);
+
+  if (op_name == "submit") {
+    req.op = RequestOp::kSubmit;
+  } else if (op_name == "stats") {
+    req.op = RequestOp::kStats;
+  } else if (op_name == "snapshot") {
+    req.op = RequestOp::kSnapshot;
+  } else if (op_name == "drain") {
+    req.op = RequestOp::kDrain;
+  } else if (op_name == "shutdown") {
+    req.op = RequestOp::kShutdown;
+  } else if (op_name == "ping") {
+    req.op = RequestOp::kPing;
+  } else {
+    if (error != nullptr) *error = "unknown op \"" + op_name + "\"";
+    return RejectReason::kUnknownOp;
+  }
+
+  if (!mode_name.empty() && !flow_mode_from_name(mode_name, &req.mode)) {
+    if (error != nullptr) *error = "unknown mode \"" + mode_name + "\"";
+    return RejectReason::kUnknownMode;
+  }
+  if (req.client.empty()) req.client = "anon";
+
+  *request = std::move(req);
+  return RejectReason::kNone;
+}
+
+}  // namespace olp::service

@@ -1,0 +1,93 @@
+#pragma once
+// The resident layout service's wire protocol: one flat JSON object per
+// line in, one per line out (JSONL both ways — util/jsonl does the
+// escaping/parsing, so arbitrary client/id strings survive the round trip).
+//
+// Request lines ("op" selects the verb, everything else is optional):
+//
+//   {"op":"submit","id":"r1","client":"alice","circuit":"ota5t",
+//    "mode":"optimize","seed":3,"priority":1,"deadline_ms":500,
+//    "max_testbenches":200,"retries":2}
+//   {"op":"stats"}        health/metrics snapshot
+//   {"op":"snapshot"}     force a cache checkpoint now
+//   {"op":"drain"}        stop admitting, finish in-flight, flush, exit
+//   {"op":"shutdown"}     drain, but cancel in-flight budgets (salvage fast)
+//   {"op":"ping"}         liveness probe
+//
+// Responses carry "event": "accepted", "rejected" (+ "reason"), "done"
+// (+ job status/latency/testbenches), "stats", "snapshot", "drained",
+// "pong". Submissions are answered twice: immediately with
+// accepted/rejected, and — when accepted — again with "done" once the job
+// leaves a worker.
+//
+// Parsing is strict: unknown ops, unknown circuits, non-flat JSON, or
+// wrong-typed fields reject the line with a reason instead of guessing.
+// FaultSite::kRequestParse lets chaos tests deterministically inject parse
+// failures on well-formed lines to prove the reject path never kills the
+// service.
+
+#include <cstdint>
+#include <string>
+
+#include "circuits/flow.hpp"
+
+namespace olp::service {
+
+enum class RequestOp {
+  kSubmit,
+  kStats,
+  kSnapshot,
+  kDrain,
+  kShutdown,
+  kPing,
+};
+
+/// Stable lowercase verb name ("submit", "stats", ...).
+const char* request_op_name(RequestOp op);
+
+/// Why a request line was refused. Everything except kNone is a
+/// load-shedding or validation outcome — the service answers with the
+/// reason and stays up.
+enum class RejectReason {
+  kNone = 0,
+  kParseError,      ///< malformed JSON / wrong field type (or injected)
+  kUnknownOp,       ///< unrecognized "op"
+  kUnknownCircuit,  ///< "circuit" not in the service's library
+  kUnknownMode,     ///< "mode" not a FlowMode name
+  kQueueFull,       ///< admission queue at max depth (shed)
+  kClientQuota,     ///< this client's queued share is exhausted (shed)
+  kDraining,        ///< service is draining; no new work admitted
+};
+
+/// Stable snake_case reason name ("parse_error", "queue_full", ...).
+const char* reject_reason_name(RejectReason reason);
+
+/// One parsed request line.
+struct ServiceRequest {
+  RequestOp op = RequestOp::kSubmit;
+  std::string id;      ///< client-chosen echo key; service assigns "r<N>" if empty
+  std::string client;  ///< fair-share identity; "anon" if empty
+  std::string circuit; ///< library name, e.g. "ota5t"
+  circuits::FlowMode mode = circuits::FlowMode::kOptimize;
+  std::uint64_t seed = 1;
+  /// Higher priority is served first WITHIN one client's queue; across
+  /// clients scheduling is round-robin fair share regardless of priority
+  /// (one client cannot starve another by shouting louder).
+  int priority = 0;
+  double deadline_ms = 0.0;    ///< per-request wall-clock budget; 0 = none
+  long max_testbenches = -1;   ///< per-request testbench budget; -1 = none
+  int retries = -1;            ///< max re-attempts on failure; -1 = service default
+};
+
+/// Parses one request line. Returns RejectReason::kNone and fills *request
+/// on success; otherwise the reason, with *error describing the problem.
+/// Draws at FaultSite::kRequestParse (an injected fire reports kParseError
+/// exactly as a real malformed line would).
+RejectReason parse_request(const std::string& line, ServiceRequest* request,
+                           std::string* error);
+
+/// Resolves a FlowMode name as emitted by flow_mode_name(); returns false
+/// for anything else.
+bool flow_mode_from_name(const std::string& name, circuits::FlowMode* mode);
+
+}  // namespace olp::service

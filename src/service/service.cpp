@@ -1,0 +1,572 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "circuits/ota5t.hpp"
+#include "circuits/strongarm.hpp"
+#include "circuits/vco.hpp"
+#include "util/env.hpp"
+#include "util/faults.hpp"
+#include "util/jsonl.hpp"
+#include "util/obs.hpp"
+#include "util/table.hpp"
+
+namespace olp::service {
+
+namespace {
+
+/// Percentile of a scratch copy (nearest-rank); 0 when empty.
+double percentile_ms(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+long env_long(const char* name, long base) {
+  const long v = env::integer(name, base);
+  return v >= 0 ? v : base;
+}
+
+}  // namespace
+
+/// Budget registration of one running job, shared between the worker that
+/// owns the run and drain(), which may cancel it concurrently.
+struct LayoutService::Inflight {
+  Budget budget;
+  explicit Inflight(const BudgetOptions& limits) : budget(limits) {}
+};
+
+std::string ServiceStats::to_json() const {
+  std::string out = "{\"uptime_s\":" + fixed(uptime_s, 3);
+  out += ",\"draining\":" + std::string(draining ? "true" : "false");
+  out += ",\"queue_depth\":" + std::to_string(queue_depth);
+  out += ",\"inflight\":" + std::to_string(inflight);
+  out += ",\"admitted\":" + std::to_string(admitted);
+  out += ",\"completed\":" + std::to_string(completed);
+  out += ",\"succeeded\":" + std::to_string(succeeded);
+  out += ",\"degraded\":" + std::to_string(degraded);
+  out += ",\"failed\":" + std::to_string(failed);
+  out += ",\"retries\":" + std::to_string(retries);
+  out += ",\"shed_queue_full\":" + std::to_string(shed_queue_full);
+  out += ",\"shed_client_quota\":" + std::to_string(shed_client_quota);
+  out += ",\"shed_draining\":" + std::to_string(shed_draining);
+  out += ",\"parse_rejects\":" + std::to_string(parse_rejects);
+  out += ",\"p50_ms\":" + fixed(p50_ms, 3);
+  out += ",\"p99_ms\":" + fixed(p99_ms, 3);
+  out += ",\"cache_hits\":" + std::to_string(cache.hits);
+  out += ",\"cache_misses\":" + std::to_string(cache.misses);
+  out += ",\"cache_entries\":" + std::to_string(cache.entries);
+  out += ",\"cache_evictions\":" + std::to_string(cache.evictions);
+  out += ",\"cache_capacity\":" + std::to_string(cache.capacity);
+  out += ",\"cross_client_hits\":" + std::to_string(cache.cross_client_hits);
+  out += ",\"restored_hits\":" + std::to_string(cache.restored_hits);
+  out += ",\"cache_scopes\":" + std::to_string(cache_scopes);
+  out += ",\"snapshot_loaded\":" +
+         std::string(snapshot_loaded ? "true" : "false");
+  if (!snapshot_error.empty()) {
+    out += ",\"snapshot_error\":\"" + jsonl::escape(snapshot_error) + "\"";
+  }
+  out += ",\"snapshots_saved\":" + std::to_string(snapshots_saved);
+  if (obs::enabled()) {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + jsonl::escape(name) + "\":" + std::to_string(value);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Environment-resolved copy of the caller's options (applied once, at
+/// construction — same convention as FlowEngine/BatchRunner).
+ServiceOptions resolve_options(ServiceOptions options) {
+  options.workers =
+      static_cast<int>(env_long("OLP_SERVICE_WORKERS", options.workers));
+  if (options.workers < 1) options.workers = 1;
+  options.pool_threads = threads_from_env(options.pool_threads);
+  options.queue.max_depth = static_cast<std::size_t>(
+      env_long("OLP_SERVICE_QUEUE_DEPTH",
+               static_cast<long>(options.queue.max_depth)));
+  options.queue.max_per_client = static_cast<std::size_t>(
+      env_long("OLP_SERVICE_CLIENT_QUEUE",
+               static_cast<long>(options.queue.max_per_client)));
+  const long cap = env::integer("OLP_CACHE_MAX_ENTRIES",
+                                static_cast<long>(options.cache_max_entries));
+  options.cache_max_entries = cap > 0 ? static_cast<std::size_t>(cap) : 0;
+  options.max_retries =
+      static_cast<int>(env_long("OLP_SERVICE_RETRIES", options.max_retries));
+  options.snapshot_path =
+      env::str("OLP_SERVICE_SNAPSHOT", options.snapshot_path);
+  options.snapshot_every =
+      env_long("OLP_SERVICE_SNAPSHOT_EVERY", options.snapshot_every);
+  return options;
+}
+
+}  // namespace
+
+LayoutService::LayoutService(const tech::Technology& technology,
+                             ServiceOptions options)
+    : tech_(technology),
+      options_(resolve_options(std::move(options))),
+      queue_(options_.queue),
+      caches_(options_.cache_max_entries) {}
+
+LayoutService::~LayoutService() { drain(/*cancel_inflight=*/true); }
+
+std::vector<std::string> LayoutService::known_circuits() {
+  return {"ota5t", "strongarm", "vco"};
+}
+
+void LayoutService::start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+
+  if (!options_.snapshot_path.empty()) {
+    std::string error;
+    if (caches_.load_snapshot(options_.snapshot_path, &error)) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      snapshot_loaded_ = true;
+    } else {
+      // Cold start: the pool is untouched (all-or-nothing restore). Record
+      // why, keep going — a bad snapshot must never keep the service down.
+      std::lock_guard<std::mutex> lock(state_mu_);
+      snapshot_loaded_ = false;
+      snapshot_error_ = error;
+      obs::counter_add("service.snapshot_load_failed");
+    }
+  }
+
+  pool_ = std::make_unique<TaskPool>(options_.pool_threads);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RejectReason LayoutService::submit(const ServiceRequest& request,
+                                   OutcomeFn done) {
+  const std::vector<std::string> known = known_circuits();
+  if (std::find(known.begin(), known.end(), request.circuit) == known.end()) {
+    return RejectReason::kUnknownCircuit;
+  }
+  QueuedJob job;
+  job.request = request;
+  job.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  job.admitted_s = clock_.seconds();
+  // Register the callback BEFORE offering: a worker may pick the job up
+  // and finish it before offer() even returns.
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    done_[job.ticket] = std::move(done);
+  }
+  const std::uint64_t ticket = job.ticket;
+  const RejectReason reason = queue_.offer(std::move(job));
+  if (reason != RejectReason::kNone) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    done_.erase(ticket);
+  }
+  return reason;
+}
+
+void LayoutService::worker_loop() {
+  QueuedJob job;
+  while (queue_.take(&job)) run_one(std::move(job));
+}
+
+void LayoutService::run_one(QueuedJob job) {
+  const double picked_s = clock_.seconds();
+  RequestOutcome outcome;
+  outcome.id = job.request.id;
+  outcome.client = job.request.client;
+  outcome.queued_s = picked_s - job.admitted_s;
+
+  // Per-request budget: deadline + testbench cap ride the existing Budget
+  // machinery, registered so drain(cancel) can cancel it mid-run.
+  BudgetOptions limits;
+  const double deadline_ms = job.request.deadline_ms > 0.0
+                                 ? job.request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) limits.deadline_s = deadline_ms / 1000.0;
+  limits.max_testbenches = job.request.max_testbenches;
+  auto inflight = std::make_shared<Inflight>(limits);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    inflight_[job.ticket] = inflight;
+  }
+
+  circuits::FlowJob flow_job;
+  flow_job.name = job.request.id;
+  flow_job.mode = job.request.mode;
+  flow_job.options.seed = job.request.seed;
+  flow_job.options.budget = &inflight->budget;
+
+  std::string circuit_error;
+  const bool circuit_ok =
+      circuit_spec(job.request.circuit, &flow_job.instances,
+                   &flow_job.routed_nets, &circuit_error);
+
+  const int retries =
+      job.request.retries >= 0 ? job.request.retries : options_.max_retries;
+  circuits::JobResult result;
+  int attempts = 0;
+  if (!circuit_ok) {
+    result.status = circuits::JobStatus::kFailed;
+    result.error = circuit_error;
+    attempts = 1;
+  } else {
+    for (attempts = 1; attempts <= retries + 1; ++attempts) {
+      if (attempts > 1) {
+        // Exponential backoff before each re-attempt. A cancelled budget
+        // skips the wait — drain(cancel) must not sit out the backoff.
+        const double backoff_ms =
+            options_.retry_backoff_ms * static_cast<double>(1 << (attempts - 2));
+        if (!inflight->budget.exhausted()) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              backoff_ms));
+        }
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          ++retries_;
+        }
+        obs::counter_add("service.retries");
+      }
+      if (FaultInjector::global().enabled() &&
+          FaultInjector::global().should_fail(FaultSite::kJobTransient)) {
+        // Injected transient: this attempt failed before doing any work.
+        result = circuits::JobResult{};
+        result.status = circuits::JobStatus::kFailed;
+        result.error = "injected transient fault";
+        obs::counter_add("service.transient_faults");
+        continue;
+      }
+      result = circuits::run_flow_job(flow_job, tech_, pool_.get(),
+                                      caches_.cache_for(tech_),
+                                      client_id(job.request.client));
+      if (result.status != circuits::JobStatus::kFailed) break;
+      // A budget-exhausted failure is NOT transient — retrying a request
+      // whose deadline already passed only burns a worker.
+      if (inflight->budget.exhausted()) break;
+    }
+    if (attempts > retries + 1) attempts = retries + 1;
+  }
+
+  outcome.status = result.status;
+  outcome.error = result.error;
+  outcome.attempts = attempts;
+  outcome.run_s = clock_.seconds() - picked_s;
+  outcome.testbenches = result.report.testbenches;
+  outcome.degraded = result.report.degraded;
+  outcome.budget_exhausted = result.report.budget.exhausted;
+
+  OutcomeFn done;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    inflight_.erase(job.ticket);
+    const auto it = done_.find(job.ticket);
+    if (it != done_.end()) {
+      done = std::move(it->second);
+      done_.erase(it);
+    }
+    ++completed_;
+    switch (outcome.status) {
+      case circuits::JobStatus::kSucceeded:
+        ++succeeded_;
+        break;
+      case circuits::JobStatus::kDegraded:
+        ++degraded_;
+        break;
+      case circuits::JobStatus::kFailed:
+        ++failed_;
+        break;
+    }
+    latencies_ms_.push_back((outcome.queued_s + outcome.run_s) * 1000.0);
+  }
+  obs::counter_add("service.completed");
+  if (done) done(outcome);
+  maybe_periodic_snapshot();
+}
+
+void LayoutService::maybe_periodic_snapshot() {
+  if (options_.snapshot_path.empty() || options_.snapshot_every <= 0) return;
+  bool due = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    due = completed_ % options_.snapshot_every == 0;
+  }
+  if (due) save_snapshot(nullptr);
+}
+
+bool LayoutService::save_snapshot(std::string* error) {
+  if (options_.snapshot_path.empty()) {
+    if (error != nullptr) *error = "no snapshot path configured";
+    return false;
+  }
+  std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+  std::string local;
+  if (!caches_.save_snapshot(options_.snapshot_path, &local)) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot_error_ = local;
+    if (error != nullptr) *error = local;
+    obs::counter_add("service.snapshot_save_failed");
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ++snapshots_saved_;
+  obs::counter_add("service.snapshots_saved");
+  return true;
+}
+
+int LayoutService::client_id(const std::string& client) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const auto it = client_ids_.find(client);
+  if (it != client_ids_.end()) return it->second;
+  const int id = static_cast<int>(client_ids_.size());
+  client_ids_[client] = id;
+  return id;
+}
+
+bool LayoutService::circuit_spec(
+    const std::string& name, std::vector<circuits::InstanceSpec>* instances,
+    std::vector<std::string>* routed_nets, std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = circuits_.find(name);
+    if (it != circuits_.end()) {
+      *instances = it->second.first;
+      *routed_nets = it->second.second;
+      return true;
+    }
+  }
+  // Prepare outside the lock (sizing runs testbenches); a racing duplicate
+  // preparation is wasted work, not an error — last writer wins with an
+  // identical value (preparation is deterministic).
+  std::vector<circuits::InstanceSpec> inst;
+  std::vector<std::string> nets;
+  try {
+    if (name == "ota5t") {
+      circuits::Ota5T c(tech_);
+      if (!c.prepare()) {
+        if (error != nullptr) *error = "ota5t preparation failed";
+        return false;
+      }
+      inst = c.instances();
+      nets = c.routed_nets();
+    } else if (name == "strongarm") {
+      circuits::StrongArmComparator c(tech_);
+      if (!c.prepare()) {
+        if (error != nullptr) *error = "strongarm preparation failed";
+        return false;
+      }
+      inst = c.instances();
+      nets = c.routed_nets();
+    } else if (name == "vco") {
+      circuits::RoVco c(tech_);
+      if (!c.prepare()) {
+        if (error != nullptr) *error = "vco preparation failed";
+        return false;
+      }
+      inst = c.instances();
+      nets = c.routed_nets();
+    } else {
+      if (error != nullptr) *error = "unknown circuit \"" + name + "\"";
+      return false;
+    }
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = "circuit preparation threw: " + std::string(e.what());
+    }
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  circuits_[name] = {inst, nets};
+  *instances = std::move(inst);
+  *routed_nets = std::move(nets);
+  return true;
+}
+
+bool LayoutService::draining() const {
+  return draining_.load(std::memory_order_relaxed);
+}
+
+void LayoutService::drain(bool cancel_inflight) {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (!started_.load(std::memory_order_relaxed)) return;
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  if (cancel_inflight) {
+    // Drop what never started, cancel what did. Dropped jobs still owe
+    // their submitters an outcome — deliver a cancelled failure.
+    std::vector<OutcomeFn> cancelled;
+    std::vector<RequestOutcome> outcomes;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      // Every registered callback whose ticket is NOT in flight belongs to
+      // a queued (or about-to-be-taken) job.
+      for (auto it = done_.begin(); it != done_.end();) {
+        if (inflight_.find(it->first) == inflight_.end()) {
+          RequestOutcome o;
+          o.status = circuits::JobStatus::kFailed;
+          o.error = "cancelled by shutdown";
+          cancelled.push_back(std::move(it->second));
+          outcomes.push_back(std::move(o));
+          it = done_.erase(it);
+          ++failed_;
+          ++completed_;
+        } else {
+          ++it;
+        }
+      }
+      for (auto& [ticket, inflight] : inflight_) inflight->budget.cancel();
+    }
+    queue_.clear();
+    for (std::size_t i = 0; i < cancelled.size(); ++i) {
+      if (cancelled[i]) cancelled[i](outcomes[i]);
+    }
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (!options_.snapshot_path.empty()) save_snapshot(nullptr);
+  obs::counter_add("service.drains");
+}
+
+ServiceStats LayoutService::stats() const {
+  ServiceStats s;
+  s.uptime_s = clock_.seconds();
+  s.draining = draining();
+  s.queue_depth = queue_.depth();
+  s.admitted = queue_.admitted();
+  s.shed_queue_full = queue_.shed(RejectReason::kQueueFull);
+  s.shed_client_quota = queue_.shed(RejectReason::kClientQuota);
+  s.shed_draining = queue_.shed(RejectReason::kDraining);
+  s.cache = caches_.stats();
+  s.cache_scopes = caches_.scopes();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  s.inflight = static_cast<long>(inflight_.size());
+  s.completed = completed_;
+  s.succeeded = succeeded_;
+  s.degraded = degraded_;
+  s.failed = failed_;
+  s.retries = retries_;
+  s.parse_rejects = parse_rejects_;
+  s.p50_ms = percentile_ms(latencies_ms_, 0.50);
+  s.p99_ms = percentile_ms(latencies_ms_, 0.99);
+  s.snapshot_loaded = snapshot_loaded_;
+  s.snapshot_error = snapshot_error_;
+  s.snapshots_saved = snapshots_saved_;
+  return s;
+}
+
+void LayoutService::serve(std::istream& in, std::ostream& out) {
+  start();
+  std::mutex out_mu;
+  const auto emit = [&out, &out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << line << "\n" << std::flush;
+  };
+
+  std::uint64_t auto_id = 0;
+  std::string line;
+  bool stop = false;
+  while (!stop && std::getline(in, line)) {
+    if (line.empty()) continue;
+    ServiceRequest request;
+    std::string error;
+    const RejectReason parsed = parse_request(line, &request, &error);
+    if (parsed != RejectReason::kNone) {
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        ++parse_rejects_;
+      }
+      obs::counter_add("service.parse_rejects");
+      emit("{\"event\":\"rejected\",\"reason\":\"" +
+           std::string(reject_reason_name(parsed)) + "\",\"error\":\"" +
+           jsonl::escape(error) + "\"}");
+      continue;
+    }
+    switch (request.op) {
+      case RequestOp::kSubmit: {
+        if (request.id.empty()) {
+          request.id = "r" + std::to_string(++auto_id);
+        }
+        const std::string id = request.id;
+        const RejectReason reason =
+            submit(request, [emit, id](const RequestOutcome& o) {
+              std::string msg = "{\"id\":\"" + jsonl::escape(id) + "\"";
+              msg += ",\"event\":\"done\",\"status\":\"" +
+                     std::string(circuits::job_status_name(o.status)) + "\"";
+              if (!o.error.empty()) {
+                msg += ",\"error\":\"" + jsonl::escape(o.error) + "\"";
+              }
+              msg += ",\"attempts\":" + std::to_string(o.attempts);
+              msg += ",\"queued_s\":" + fixed(o.queued_s, 4);
+              msg += ",\"run_s\":" + fixed(o.run_s, 4);
+              msg += ",\"testbenches\":" + std::to_string(o.testbenches);
+              msg += ",\"degraded\":" +
+                     std::string(o.degraded ? "true" : "false");
+              msg += ",\"budget_exhausted\":" +
+                     std::string(o.budget_exhausted ? "true" : "false");
+              msg += "}";
+              emit(msg);
+            });
+        if (reason == RejectReason::kNone) {
+          emit("{\"id\":\"" + jsonl::escape(id) +
+               "\",\"event\":\"accepted\",\"queue_depth\":" +
+               std::to_string(queue_.depth()) + "}");
+        } else {
+          emit("{\"id\":\"" + jsonl::escape(id) +
+               "\",\"event\":\"rejected\",\"reason\":\"" +
+               std::string(reject_reason_name(reason)) + "\"}");
+        }
+        break;
+      }
+      case RequestOp::kStats:
+        emit("{\"event\":\"stats\",\"stats\":" + stats().to_json() + "}");
+        break;
+      case RequestOp::kSnapshot: {
+        std::string snap_error;
+        const bool ok = save_snapshot(&snap_error);
+        std::string msg = "{\"event\":\"snapshot\",\"ok\":";
+        msg += ok ? "true" : "false";
+        if (!ok) msg += ",\"error\":\"" + jsonl::escape(snap_error) + "\"";
+        msg += "}";
+        emit(msg);
+        break;
+      }
+      case RequestOp::kDrain:
+        drain(/*cancel_inflight=*/false);
+        emit("{\"event\":\"drained\",\"cancelled\":false}");
+        stop = true;
+        break;
+      case RequestOp::kShutdown:
+        drain(/*cancel_inflight=*/true);
+        emit("{\"event\":\"drained\",\"cancelled\":true}");
+        stop = true;
+        break;
+      case RequestOp::kPing:
+        emit("{\"event\":\"pong\"}");
+        break;
+    }
+  }
+  // EOF (or SIGTERM interrupting the read): graceful drain — finish queued
+  // and in-flight work, flush the snapshot.
+  if (!stop) drain(/*cancel_inflight=*/false);
+}
+
+}  // namespace olp::service

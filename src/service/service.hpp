@@ -1,0 +1,231 @@
+#pragma once
+// The resident layout service: a long-running front end over the batch flow
+// machinery (circuits::run_flow_job + circuits::CachePool) that accepts
+// work continuously instead of one vector at a time.
+//
+//   intake ──► AdmissionQueue ──► worker threads ──► outcome callback
+//   (submit/serve)  (fair share,    (run_flow_job on     (JSONL "done"
+//                    bounded,        the shared TaskPool,  line / caller
+//                    load-shed)      per-job Budget,       hook)
+//                                    retry w/ backoff)
+//
+// Lifetime of the cache pool is the lifetime of the SERVICE, not of one
+// request — evaluations stay warm across requests, clients, and (via the
+// versioned disk snapshot) restarts: start() warm-loads the snapshot when
+// configured, workers checkpoint every `snapshot_every` completions, and
+// drain() flushes a final checkpoint. A missing/truncated/corrupt snapshot
+// is a logged cold start, never a crash.
+//
+// Robustness contract:
+//   - overload sheds with a machine-readable reason (never blocks intake,
+//     never crashes, never drops silently);
+//   - per-request deadlines/testbench budgets ride the existing Budget
+//     machinery, so a stuck request degrades and salvages instead of
+//     wedging a worker;
+//   - transient faults (FaultSite::kJobTransient, chaos-injectable) are
+//     retried with exponential backoff up to a bounded attempt count;
+//   - drain (SIGTERM or the "drain" verb) stops admission, lets in-flight
+//     and queued work finish, flushes the snapshot, and joins every worker;
+//     shutdown additionally cancels in-flight budgets so workers salvage
+//     partial results promptly.
+//
+// Thread model: N worker std::threads pull whole jobs from the queue; every
+// job's INNER parallel stages run single-submission on one shared TaskPool
+// (the pool's FIFO multi-batch fairness interleaves concurrent jobs). All
+// public methods are thread-safe; outcome callbacks run on worker threads.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#include <istream>
+#include <ostream>
+
+#include "circuits/batch.hpp"
+#include "service/queue.hpp"
+#include "service/request.hpp"
+#include "util/budget.hpp"
+#include "util/task_pool.hpp"
+
+namespace olp::service {
+
+struct ServiceOptions {
+  /// Concurrent jobs (dedicated worker threads). OLP_SERVICE_WORKERS
+  /// overrides at construction.
+  int workers = 2;
+  /// Threads of the shared inner TaskPool all jobs' parallel stages run on
+  /// (1 = serial stages, 0 = one per core). OLP_THREADS overrides.
+  int pool_threads = 1;
+  /// Admission bounds. OLP_SERVICE_QUEUE_DEPTH / OLP_SERVICE_CLIENT_QUEUE
+  /// override max_depth / max_per_client.
+  QueueOptions queue;
+  /// Capacity bound per scope cache. Unlike BatchOptions, the service
+  /// DEFAULTS to bounded — a resident unbounded cache is a slow memory
+  /// leak. OLP_CACHE_MAX_ENTRIES overrides.
+  std::size_t cache_max_entries = 1u << 16;
+  /// Re-attempts after a transiently failed job attempt (injected
+  /// kJobTransient fault or a thrown job). OLP_SERVICE_RETRIES overrides.
+  int max_retries = 2;
+  /// Backoff before retry attempt k is 'retry_backoff_ms << (k-1)'
+  /// milliseconds (exponential). Kept small: service jobs are seconds-long,
+  /// transients are injected or logic-level, not network-level.
+  double retry_backoff_ms = 5.0;
+  /// Warm-start snapshot path; empty disables persistence entirely.
+  /// OLP_SERVICE_SNAPSHOT overrides.
+  std::string snapshot_path;
+  /// Checkpoint the cache pool every N completed jobs (0 = only on drain).
+  /// OLP_SERVICE_SNAPSHOT_EVERY overrides.
+  long snapshot_every = 16;
+  /// Default deadline applied to requests that don't carry one (0 = none).
+  double default_deadline_ms = 0.0;
+};
+
+/// Terminal report for one accepted request, delivered to the submitter's
+/// callback on a worker thread.
+struct RequestOutcome {
+  std::string id;
+  std::string client;
+  circuits::JobStatus status = circuits::JobStatus::kFailed;
+  std::string error;       ///< nonempty iff status == kFailed
+  int attempts = 1;        ///< 1 = first try succeeded
+  double queued_s = 0.0;   ///< admission -> worker pickup
+  double run_s = 0.0;      ///< worker pickup -> done (includes retries)
+  long testbenches = 0;
+  bool degraded = false;
+  bool budget_exhausted = false;
+};
+
+/// Point-in-time health/metrics snapshot (the "stats" verb's payload).
+struct ServiceStats {
+  double uptime_s = 0.0;
+  bool draining = false;
+  std::size_t queue_depth = 0;
+  long inflight = 0;
+  long admitted = 0;
+  long completed = 0;
+  long succeeded = 0;
+  long degraded = 0;
+  long failed = 0;
+  long retries = 0;  ///< total re-attempts across all jobs
+  long shed_queue_full = 0;
+  long shed_client_quota = 0;
+  long shed_draining = 0;
+  long parse_rejects = 0;  ///< malformed / injected-fault request lines
+  double p50_ms = 0.0;  ///< admission->done latency percentiles
+  double p99_ms = 0.0;
+  core::EvalCacheStats cache;
+  std::size_t cache_scopes = 0;
+  bool snapshot_loaded = false;   ///< start() warm-started from disk
+  std::string snapshot_error;     ///< last snapshot load/save failure
+  long snapshots_saved = 0;
+
+  /// One-line JSON rendering (the "stats" response body). When the obs
+  /// registry is enabled, includes its counters as a nested object.
+  std::string to_json() const;
+};
+
+class LayoutService {
+ public:
+  using OutcomeFn = std::function<void(const RequestOutcome&)>;
+
+  /// `technology` is not owned and must outlive the service. Environment
+  /// overrides (see ServiceOptions fields) apply here, once.
+  LayoutService(const tech::Technology& technology, ServiceOptions options);
+  /// Drains with cancellation (fast path) if still running.
+  ~LayoutService();
+
+  LayoutService(const LayoutService&) = delete;
+  LayoutService& operator=(const LayoutService&) = delete;
+
+  /// Loads the warm-start snapshot (when configured; failure = cold start,
+  /// recorded in stats) and spawns the workers. Idempotent.
+  void start();
+
+  /// Admission: validates the circuit, applies queue bounds, and either
+  /// enqueues (kNone; `done` fires later on a worker thread, exactly once)
+  /// or sheds with the reason (`done` never fires). Thread-safe, never
+  /// blocks on queue space.
+  RejectReason submit(const ServiceRequest& request, OutcomeFn done);
+
+  /// Stops admission and waits for queued + in-flight work to finish, then
+  /// joins workers and flushes a final snapshot. With `cancel_inflight`,
+  /// queued jobs are dropped and in-flight budgets are cancelled first —
+  /// running jobs salvage partial results and report budget-exhausted.
+  /// Idempotent; safe from any non-worker thread.
+  void drain(bool cancel_inflight = false);
+
+  /// True once drain() has begun (new submissions shed with kDraining).
+  bool draining() const;
+
+  ServiceStats stats() const;
+
+  /// Checkpoints the cache pool now. False (with *error) on failure —
+  /// the previous snapshot file, if any, survives.
+  bool save_snapshot(std::string* error = nullptr);
+
+  /// Blocking JSONL request loop: one request per input line, responses as
+  /// single JSON lines on `out` (interleaved "done" events carry the
+  /// request id). Returns after EOF or a drain/shutdown verb, having
+  /// drained the service. See request.hpp for the wire protocol.
+  void serve(std::istream& in, std::ostream& out);
+
+  /// Circuit names submit() accepts ("ota5t", "strongarm", "vco").
+  static std::vector<std::string> known_circuits();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Inflight;  // budget registration of one running job
+
+  void worker_loop();
+  void run_one(QueuedJob job);
+  void maybe_periodic_snapshot();
+  int client_id(const std::string& client);
+  /// Resolves the named circuit's instances/nets, preparing it on first
+  /// use. Returns false when preparation fails (job fails with the error).
+  bool circuit_spec(const std::string& name,
+                    std::vector<circuits::InstanceSpec>* instances,
+                    std::vector<std::string>* routed_nets, std::string* error);
+
+  const tech::Technology& tech_;
+  ServiceOptions options_;
+  AdmissionQueue queue_;
+  circuits::CachePool caches_;
+  std::unique_ptr<TaskPool> pool_;
+  std::vector<std::thread> workers_;
+  MonotonicStopwatch clock_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> next_ticket_{1};
+
+  mutable std::mutex state_mu_;  ///< guards everything below
+  std::map<std::uint64_t, OutcomeFn> done_;  ///< ticket -> callback
+  std::map<std::string, int> client_ids_;
+  std::map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
+  std::map<std::string,
+           std::pair<std::vector<circuits::InstanceSpec>,
+                     std::vector<std::string>>>
+      circuits_;
+  std::vector<double> latencies_ms_;
+  long completed_ = 0;
+  long succeeded_ = 0;
+  long degraded_ = 0;
+  long failed_ = 0;
+  long retries_ = 0;
+  long parse_rejects_ = 0;
+  long snapshots_saved_ = 0;
+  bool snapshot_loaded_ = false;
+  std::string snapshot_error_;
+
+  std::mutex snapshot_mu_;  ///< serializes snapshot writes to one path
+  std::mutex drain_mu_;     ///< serializes drain()
+};
+
+}  // namespace olp::service

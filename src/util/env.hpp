@@ -21,6 +21,19 @@
 //   OLP_TESTBENCH_BUDGET  max testbench evaluations    (util/budget)
 //   OLP_LOG_LEVEL         debug|info|warn|error|off    (util/logging)
 //   OLP_TRACE_DIR         trace/artifact output dir    (examples, batch)
+//   OLP_CACHE_MAX_ENTRIES eval-cache capacity bound; 0 or negative =
+//                         unbounded                    (service, daemon)
+//   OLP_SERVICE_WORKERS   service worker threads       (service daemon)
+//   OLP_SERVICE_QUEUE_DEPTH    admission queue bound   (service daemon)
+//   OLP_SERVICE_CLIENT_QUEUE   per-client queued cap   (service daemon)
+//   OLP_SERVICE_RETRIES   max retries per request      (service daemon)
+//   OLP_SERVICE_SNAPSHOT  cache snapshot path          (service daemon)
+//   OLP_SERVICE_SNAPSHOT_EVERY snapshot every N jobs   (service daemon)
+//   OLP_SERVICE_SOCKET    optional unix socket path    (olp_serviced)
+//
+// Numeric parses are strict AND range-checked: a value that overflows the
+// target type (e.g. "99999999999999999999") is treated as malformed and
+// leaves the configured fallback untouched, exactly like trailing garbage.
 
 #include <string>
 

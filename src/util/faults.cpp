@@ -37,6 +37,12 @@ const char* fault_site_name(FaultSite site) {
       return "budget";
     case FaultSite::kPoolTaskDelay:
       return "pool_delay";
+    case FaultSite::kSnapshotIo:
+      return "snapshot_io";
+    case FaultSite::kRequestParse:
+      return "request_parse";
+    case FaultSite::kJobTransient:
+      return "job_transient";
   }
   return "unknown";
 }
@@ -55,6 +61,12 @@ double FaultConfig::rate(FaultSite site) const {
       return budget_rate;
     case FaultSite::kPoolTaskDelay:
       return pool_delay_rate;
+    case FaultSite::kSnapshotIo:
+      return snapshot_io_rate;
+    case FaultSite::kRequestParse:
+      return request_parse_rate;
+    case FaultSite::kJobTransient:
+      return job_transient_rate;
   }
   return 0.0;
 }
@@ -65,13 +77,10 @@ FaultInjector& FaultInjector::global() {
 }
 
 void FaultInjector::enable(const FaultConfig& config) {
-  OLP_CHECK(config.op_rate >= 0.0 && config.op_rate <= 1.0 &&
-                config.tran_rate >= 0.0 && config.tran_rate <= 1.0 &&
-                config.route_rate >= 0.0 && config.route_rate <= 1.0 &&
-                config.nan_metric_rate >= 0.0 && config.nan_metric_rate <= 1.0 &&
-                config.budget_rate >= 0.0 && config.budget_rate <= 1.0 &&
-                config.pool_delay_rate >= 0.0 && config.pool_delay_rate <= 1.0,
-            "fault rates must be in [0, 1]");
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const double r = config.rate(static_cast<FaultSite>(i));
+    OLP_CHECK(r >= 0.0 && r <= 1.0, "fault rates must be in [0, 1]");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   config_ = config;
   total_draws_ = 0;

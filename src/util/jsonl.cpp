@@ -1,0 +1,319 @@
+#include "util/jsonl.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace olp::jsonl {
+
+namespace {
+
+void fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string at_pos(const std::string& message, std::size_t pos) {
+  return message + " at offset " + std::to_string(pos);
+}
+
+/// Appends a Unicode code point as UTF-8.
+void append_utf8(std::string& out, unsigned long cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xc0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xe0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    out += static_cast<char>(0xf0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+}
+
+/// Parses exactly 4 hex digits at s[pos..pos+3]; returns -1 on failure.
+long hex4(const std::string& s, std::size_t pos) {
+  if (pos + 4 > s.size()) return -1;
+  long value = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const char c = s[pos + i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      value |= c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      value |= c - 'A' + 10;
+    } else {
+      return -1;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // printable ASCII and UTF-8 continuation bytes verbatim
+        }
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& escaped, std::string* out,
+              std::string* error) {
+  std::string result;
+  result.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\') {
+      result += c;
+      continue;
+    }
+    if (++i >= escaped.size()) {
+      fail(error, at_pos("dangling backslash", i - 1));
+      return false;
+    }
+    switch (escaped[i]) {
+      case '"':
+        result += '"';
+        break;
+      case '\\':
+        result += '\\';
+        break;
+      case '/':
+        result += '/';
+        break;
+      case 'b':
+        result += '\b';
+        break;
+      case 'f':
+        result += '\f';
+        break;
+      case 'n':
+        result += '\n';
+        break;
+      case 'r':
+        result += '\r';
+        break;
+      case 't':
+        result += '\t';
+        break;
+      case 'u': {
+        const long unit = hex4(escaped, i + 1);
+        if (unit < 0) {
+          fail(error, at_pos("invalid \\u escape", i - 1));
+          return false;
+        }
+        i += 4;
+        unsigned long cp = static_cast<unsigned long>(unit);
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+          // High surrogate: must pair with a following \uDC00-\uDFFF.
+          if (i + 2 >= escaped.size() || escaped[i + 1] != '\\' ||
+              escaped[i + 2] != 'u') {
+            fail(error, at_pos("unpaired high surrogate", i - 5));
+            return false;
+          }
+          const long low = hex4(escaped, i + 3);
+          if (low < 0xdc00 || low > 0xdfff) {
+            fail(error, at_pos("invalid low surrogate", i + 1));
+            return false;
+          }
+          i += 6;
+          cp = 0x10000 + ((cp - 0xd800) << 10) +
+               (static_cast<unsigned long>(low) - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+          fail(error, at_pos("unpaired low surrogate", i - 5));
+          return false;
+        }
+        append_utf8(result, cp);
+        break;
+      }
+      default:
+        fail(error, at_pos("unknown escape", i - 1));
+        return false;
+    }
+  }
+  *out = std::move(result);
+  return true;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail_here(const std::string& message) {
+    fail(error, at_pos(message, pos));
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool expect(char c) {
+    if (pos >= s.size() || s[pos] != c) {
+      return fail_here(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  /// Parses a JSON string literal (cursor on the opening quote) and decodes
+  /// its escapes.
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    const std::size_t start = pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') {
+        ++pos;
+        if (pos >= s.size()) break;
+      }
+      if (static_cast<unsigned char>(s[pos]) < 0x20) {
+        return fail_here("unescaped control character in string");
+      }
+      ++pos;
+    }
+    if (pos >= s.size()) return fail_here("unterminated string");
+    const std::string body = s.substr(start, pos - start);
+    ++pos;  // closing quote
+    std::string err;
+    if (!unescape(body, out, &err)) {
+      fail(error, err + " in string starting at offset " +
+                      std::to_string(start - 1));
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (pos >= s.size()) return fail_here("expected value");
+    const char c = s[pos];
+    if (c == '"') {
+      out->kind = Value::Kind::kString;
+      return parse_string(&out->string);
+    }
+    if (c == '{' || c == '[') {
+      return fail_here("nested objects/arrays are not allowed");
+    }
+    if (s.compare(pos, 4, "true") == 0) {
+      out->kind = Value::Kind::kBool;
+      out->boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (s.compare(pos, 5, "false") == 0) {
+      out->kind = Value::Kind::kBool;
+      out->boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (s.compare(pos, 4, "null") == 0) {
+      out->kind = Value::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number: delegate validation to strtod on the longest plausible span.
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const char* begin = s.c_str() + pos;
+      char* end = nullptr;
+      const double value = std::strtod(begin, &end);
+      if (end == begin) return fail_here("malformed number");
+      out->kind = Value::Kind::kNumber;
+      out->number = value;
+      pos += static_cast<std::size_t>(end - begin);
+      return true;
+    }
+    return fail_here("unexpected character");
+  }
+};
+
+}  // namespace
+
+bool parse_object(const std::string& line, Object* out, std::string* error) {
+  out->clear();
+  Parser p{line, 0, error};
+  p.skip_ws();
+  if (!p.expect('{')) return false;
+  p.skip_ws();
+  if (p.pos < line.size() && line[p.pos] == '}') {
+    ++p.pos;
+  } else {
+    while (true) {
+      p.skip_ws();
+      std::string key;
+      if (!p.parse_string(&key)) return false;
+      if (out->count(key) != 0) {
+        fail(error, "duplicate key \"" + key + "\"");
+        out->clear();
+        return false;
+      }
+      p.skip_ws();
+      if (!p.expect(':')) {
+        out->clear();
+        return false;
+      }
+      Value value;
+      if (!p.parse_value(&value)) {
+        out->clear();
+        return false;
+      }
+      (*out)[key] = std::move(value);
+      p.skip_ws();
+      if (p.pos < line.size() && line[p.pos] == ',') {
+        ++p.pos;
+        continue;
+      }
+      if (!p.expect('}')) {
+        out->clear();
+        return false;
+      }
+      break;
+    }
+  }
+  p.skip_ws();
+  if (p.pos != line.size()) {
+    p.fail_here("trailing characters after object");
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace olp::jsonl

@@ -1,0 +1,60 @@
+#pragma once
+// Shared JSONL (one JSON document per line) plumbing.
+//
+// Every machine-readable line the library emits (batch reports, service
+// responses, telemetry) and every line it ingests (service requests) goes
+// through these helpers, so escaping is hardened in ONE place:
+//
+//   escape()        string body -> JSON string escaping (quotes, backslashes,
+//                   \n/\r/\t, \u00XX control codes; non-ASCII UTF-8 bytes
+//                   pass through verbatim — they are valid JSON).
+//   unescape()      exact inverse, including \uXXXX (with UTF-16 surrogate
+//                   pairs) decoded to UTF-8. escape/unescape round-trip any
+//                   byte string (tests/test_util.cpp proves it).
+//   parse_object()  strict parser for one FLAT JSON object — string, number,
+//                   boolean and null members only, no nesting — which is
+//                   exactly the shape of a service request line. Malformed
+//                   input yields false plus a position-bearing error message,
+//                   never an exception or a partial result.
+//
+// The deliberately tiny value model keeps the service protocol honest: a
+// request is a flat bag of scalars, so misuse (nested payloads, duplicate
+// keys) is rejected at the door instead of half-understood.
+
+#include <map>
+#include <string>
+
+namespace olp::jsonl {
+
+/// JSON string escaping of an arbitrary byte string (see file comment).
+std::string escape(const std::string& raw);
+
+/// Inverse of escape(): decodes every JSON escape, including \uXXXX and
+/// surrogate pairs, to UTF-8 bytes. Returns false (and sets *error when
+/// non-null) on any invalid escape; *out is untouched on failure.
+bool unescape(const std::string& escaped, std::string* out,
+              std::string* error = nullptr);
+
+/// One scalar member of a flat JSON object.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+};
+
+using Object = std::map<std::string, Value>;
+
+/// Parses one complete flat JSON object from `line` (surrounding whitespace
+/// allowed, nothing else before or after). Duplicate keys and nested
+/// objects/arrays are errors. On failure returns false, sets *error (when
+/// non-null) and leaves *out empty.
+bool parse_object(const std::string& line, Object* out,
+                  std::string* error = nullptr);
+
+}  // namespace olp::jsonl

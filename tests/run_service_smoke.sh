@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Service smoke run: drive the olp_serviced daemon through its whole
+# robustness story, end to end, over the real JSONL stdin/stdout transport:
+#
+#   1. crash     start with a snapshot path, warm the cache with an optimize
+#                job, checkpoint, then kill -9 mid-load — the snapshot on
+#                disk must survive the crash;
+#   2. warm      restart from that snapshot, rerun the same job, SIGTERM
+#                while it is in flight — the drain must finish the job,
+#                exit 0, and the final stats must prove a warm start
+#                (snapshot_loaded, nonzero restored_hits);
+#   3. corrupt   flip a byte in the snapshot and restart — the daemon must
+#                fall back to a cold start (snapshot_loaded:false) and keep
+#                serving instead of aborting.
+#
+# Usage: OLP_SERVICE_BIN=<path-to-olp_serviced> tests/run_service_smoke.sh
+# (ctest sets OLP_SERVICE_BIN; a default build-tree location is the fallback.)
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+src_dir="$(dirname "${script_dir}")"
+bin="${OLP_SERVICE_BIN:-${src_dir}/build/examples/olp_serviced}"
+
+if [[ ! -x "${bin}" ]]; then
+  echo "service smoke: daemon binary not found at ${bin}" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+snapshot="${tmp}/cache.snap"
+
+# Polls for a fixed string in a growing output file. The daemon flushes one
+# JSON event per line, so a plain fixed-string grep is race-free.
+wait_for() {
+  local needle=$1 file=$2 timeout_s=${3:-120}
+  local deadline=$((SECONDS + timeout_s))
+  until grep -qF -- "${needle}" "${file}" 2>/dev/null; do
+    if ((SECONDS >= deadline)); then
+      echo "service smoke: timed out waiting for ${needle} in ${file}" >&2
+      [[ -f "${file}" ]] && cat "${file}" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+}
+
+# ---- phase 1: warm, checkpoint, crash --------------------------------------
+mkfifo "${tmp}/in1"
+OLP_SERVICE_SNAPSHOT="${snapshot}" OLP_SERVICE_SNAPSHOT_EVERY=0 \
+  "${bin}" < "${tmp}/in1" > "${tmp}/out1" 2> "${tmp}/err1" &
+pid=$!
+exec 3> "${tmp}/in1"  # hold the write end open across multiple requests
+
+echo '{"op":"ping"}' >&3
+wait_for '"event":"pong"' "${tmp}/out1" 30
+echo '{"op":"submit","id":"seed","client":"smoke","circuit":"vco","mode":"optimize","seed":11}' >&3
+wait_for '{"id":"seed","event":"done"' "${tmp}/out1" 600
+echo '{"op":"snapshot"}' >&3
+wait_for '"event":"snapshot","ok":true' "${tmp}/out1" 60
+
+# A second job goes in flight, then the process dies hard mid-load.
+echo '{"op":"submit","id":"victim","client":"smoke","circuit":"strongarm","mode":"optimize","seed":12}' >&3
+wait_for '{"id":"victim","event":"accepted"' "${tmp}/out1" 30
+kill -9 "${pid}"
+wait "${pid}" 2>/dev/null || true
+exec 3>&-
+
+[[ -s "${snapshot}" ]] || {
+  echo "service smoke: snapshot missing or empty after kill -9" >&2
+  exit 1
+}
+echo "service smoke: snapshot survived kill -9 mid-load"
+
+# ---- phase 2: warm restart, SIGTERM drains the in-flight job ---------------
+mkfifo "${tmp}/in2"
+OLP_SERVICE_SNAPSHOT="${snapshot}" OLP_SERVICE_SNAPSHOT_EVERY=0 \
+  "${bin}" < "${tmp}/in2" > "${tmp}/out2" 2> "${tmp}/err2" &
+pid=$!
+exec 3> "${tmp}/in2"
+
+echo '{"op":"submit","id":"warm","client":"smoke","circuit":"vco","mode":"optimize","seed":11}' >&3
+wait_for '{"id":"warm","event":"accepted"' "${tmp}/out2" 30
+kill -TERM "${pid}"
+rc=0
+wait "${pid}" || rc=$?
+exec 3>&-
+if [[ "${rc}" -ne 0 ]]; then
+  echo "service smoke: daemon exited ${rc} on SIGTERM drain" >&2
+  cat "${tmp}/err2" >&2
+  exit 1
+fi
+grep -qF '{"id":"warm","event":"done"' "${tmp}/out2" || {
+  echo "service smoke: SIGTERM drain dropped the in-flight job" >&2
+  cat "${tmp}/out2" >&2
+  exit 1
+}
+echo "service smoke: SIGTERM drain finished the in-flight job and exited 0"
+
+# The daemon prints final stats JSON on stderr; they must prove a warm start.
+grep -qF '"snapshot_loaded":true' "${tmp}/err2" || {
+  echo "service smoke: restart did not load the snapshot" >&2
+  cat "${tmp}/err2" >&2
+  exit 1
+}
+restored="$(sed -n 's/.*"restored_hits":\([0-9][0-9]*\).*/\1/p' "${tmp}/err2")"
+if [[ -z "${restored}" || "${restored}" -eq 0 ]]; then
+  echo "service smoke: warm restart served zero restored-entry hits" >&2
+  cat "${tmp}/err2" >&2
+  exit 1
+fi
+echo "service smoke: warm restart served ${restored} hits from restored entries"
+
+# ---- phase 3: corrupt snapshot falls back to a cold start ------------------
+printf 'X' | dd of="${snapshot}" bs=1 seek=12 conv=notrunc 2>/dev/null
+
+mkfifo "${tmp}/in3"
+OLP_SERVICE_SNAPSHOT="${snapshot}" OLP_SERVICE_SNAPSHOT_EVERY=0 \
+  "${bin}" < "${tmp}/in3" > "${tmp}/out3" 2> "${tmp}/err3" &
+pid=$!
+exec 3> "${tmp}/in3"
+
+echo '{"op":"stats"}' >&3
+wait_for '"event":"stats"' "${tmp}/out3" 30
+grep -qF '"snapshot_loaded":false' "${tmp}/out3" || {
+  echo "service smoke: corrupt snapshot was not rejected" >&2
+  cat "${tmp}/out3" >&2
+  exit 1
+}
+echo '{"op":"ping"}' >&3
+wait_for '"event":"pong"' "${tmp}/out3" 30
+echo '{"op":"shutdown"}' >&3
+wait_for '"event":"drained"' "${tmp}/out3" 60
+rc=0
+wait "${pid}" || rc=$?
+exec 3>&-
+if [[ "${rc}" -ne 0 ]]; then
+  echo "service smoke: daemon exited ${rc} after a corrupt snapshot" >&2
+  cat "${tmp}/err3" >&2
+  exit 1
+fi
+echo "service smoke: corrupt snapshot fell back to a cold start cleanly"
+
+echo "service smoke run passed"

@@ -39,7 +39,7 @@ cmake -S "${src_dir}" -B "${build_dir}" \
   -DOLP_BUILD_BENCH=OFF \
   -DOLP_BUILD_EXAMPLES=ON > /dev/null
 cmake --build "${build_dir}" --target ota_layout_flow batch_flows \
-  -j "$(nproc)" > /dev/null
+  olp_serviced -j "$(nproc)" > /dev/null
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "${probe}" "${tmp}"' EXIT
@@ -69,6 +69,36 @@ echo "tsan smoke: sanitized batch exited 0 at 8 workers with cache sharing"
 if grep -q "ThreadSanitizer" "${batch_out}"; then
   echo "tsan smoke: ThreadSanitizer reported a race in the batch" >&2
   cat "${batch_out}" >&2
+  exit 1
+fi
+
+# The resident service: a JSONL session with 4 workers racing over the
+# admission queue, the shared pool, the cache pool, a snapshot save under
+# load, and the graceful EOF drain (which joins every worker). Closing
+# stdin after the burst is the drain trigger.
+service_out="${tmp}/service_stdout.txt"
+OLP_SERVICE_WORKERS=4 OLP_SERVICE_SNAPSHOT="${tmp}/tsan_cache.snap" \
+  OLP_SERVICE_SNAPSHOT_EVERY=0 TSAN_OPTIONS="halt_on_error=1" \
+  "${build_dir}/examples/olp_serviced" > "${service_out}" 2>&1 <<'EOF'
+{"op":"ping"}
+{"op":"submit","id":"s0","client":"a","circuit":"vco","mode":"conventional","seed":1}
+{"op":"submit","id":"s1","client":"b","circuit":"vco","mode":"conventional","seed":2}
+{"op":"submit","id":"s2","client":"c","circuit":"vco","mode":"conventional","seed":3}
+{"op":"submit","id":"s3","client":"a","circuit":"ota5t","mode":"conventional","seed":4}
+{"op":"submit","id":"s4","client":"b","circuit":"strongarm","mode":"conventional","seed":5}
+{"op":"submit","id":"s5","client":"c","circuit":"vco","mode":"conventional","seed":6}
+{"op":"submit","id":"s6","client":"a","circuit":"vco","mode":"conventional","seed":7}
+{"op":"submit","id":"s7","client":"b","circuit":"ota5t","mode":"conventional","seed":8}
+{"op":"snapshot"}
+{"op":"submit","id":"s8","client":"c","circuit":"vco","mode":"conventional","seed":9}
+{"op":"submit","id":"s9","client":"a","circuit":"strongarm","mode":"conventional","seed":10}
+{"op":"stats"}
+EOF
+echo "tsan smoke: sanitized service drained 10 jobs across 4 workers"
+
+if grep -q "ThreadSanitizer" "${service_out}"; then
+  echo "tsan smoke: ThreadSanitizer reported a race in the service" >&2
+  cat "${service_out}" >&2
   exit 1
 fi
 

@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <future>
+#include <string>
+#include <vector>
 
 #include "circuits/flow.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
 #include "circuits/ota5t.hpp"
 #include "core/evaluator.hpp"
 #include "pcell/generator.hpp"
@@ -266,6 +272,135 @@ TEST(Chaos, TranFaultSiteFiresInStarvedInverterEvaluation) {
     EXPECT_TRUE(std::isfinite(value)) << core::metric_name(kind);
   }
   EXPECT_GT(values.at(core::MetricKind::kDelay), 0.0);
+}
+
+
+// --- service-facing chaos sites ---------------------------------------------
+
+TEST(ChaosSites, NewSiteNamesAreStable) {
+  EXPECT_STREQ(fault_site_name(FaultSite::kSnapshotIo), "snapshot_io");
+  EXPECT_STREQ(fault_site_name(FaultSite::kRequestParse), "request_parse");
+  EXPECT_STREQ(fault_site_name(FaultSite::kJobTransient), "job_transient");
+}
+
+TEST(ChaosRequestParse, InjectedFaultRejectsValidLine) {
+  const std::string line = "{\"op\":\"ping\"}";
+  // Uninjected, the line parses fine.
+  {
+    service::ServiceRequest request;
+    std::string error;
+    EXPECT_EQ(service::parse_request(line, &request, &error),
+              service::RejectReason::kNone);
+    EXPECT_EQ(request.op, service::RequestOp::kPing);
+  }
+  FaultConfig config;
+  config.request_parse_rate = 1.0;
+  ScopedFaultInjection chaos(config);
+  service::ServiceRequest request;
+  std::string error;
+  EXPECT_EQ(service::parse_request(line, &request, &error),
+            service::RejectReason::kParseError);
+  EXPECT_NE(error.find("injected"), std::string::npos);
+  EXPECT_EQ(FaultInjector::global().fired(FaultSite::kRequestParse), 1);
+  EXPECT_EQ(FaultInjector::global().draws(FaultSite::kRequestParse), 1);
+}
+
+TEST(ChaosRequestParse, PartialRateIsDeterministic) {
+  const std::string line = "{\"op\":\"stats\"}";
+  FaultConfig config;
+  config.seed = 7;
+  config.request_parse_rate = 0.5;
+  std::vector<bool> first;
+  for (int round = 0; round < 2; ++round) {
+    ScopedFaultInjection chaos(config);
+    std::vector<bool> rejects;
+    for (int i = 0; i < 16; ++i) {
+      service::ServiceRequest request;
+      rejects.push_back(service::parse_request(line, &request, nullptr) !=
+                        service::RejectReason::kNone);
+    }
+    if (round == 0) {
+      first = rejects;
+      // A 0.5 rate over 16 draws all-but-certainly mixes both outcomes.
+      EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+      EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+    } else {
+      EXPECT_EQ(rejects, first);  // same seed, same fire pattern
+    }
+  }
+}
+
+TEST(ChaosJobTransient, RetryRecoversInjectedTransient) {
+  // One transient fires on the first attempt; the retry must succeed and
+  // the outcome must account for both attempts.
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.pool_threads = 1;
+  options.max_retries = 2;
+  options.retry_backoff_ms = 0.1;
+  service::LayoutService svc(t(), options);
+  svc.start();
+
+  FaultConfig config;
+  config.job_transient_rate = 1.0;
+  config.max_total_fires = 1;
+  ScopedFaultInjection chaos(config);
+
+  service::ServiceRequest request;
+  request.id = "chaos1";
+  request.client = "tester";
+  request.circuit = "vco";
+  request.mode = circuits::FlowMode::kConventional;
+
+  std::promise<service::RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(request,
+                       [&done](const service::RequestOutcome& o) {
+                         done.set_value(o);
+                       }),
+            service::RejectReason::kNone);
+  const service::RequestOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status, circuits::JobStatus::kSucceeded);
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_EQ(FaultInjector::global().fired(FaultSite::kJobTransient), 1);
+  svc.drain();
+  EXPECT_EQ(svc.stats().retries, 1);
+}
+
+TEST(ChaosJobTransient, ExhaustedRetriesFailWithoutCrashing) {
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.pool_threads = 1;
+  options.max_retries = 1;
+  options.retry_backoff_ms = 0.1;
+  service::LayoutService svc(t(), options);
+  svc.start();
+
+  FaultConfig config;
+  config.job_transient_rate = 1.0;  // every attempt fails
+  ScopedFaultInjection chaos(config);
+
+  service::ServiceRequest request;
+  request.id = "chaos2";
+  request.client = "tester";
+  request.circuit = "vco";
+  request.mode = circuits::FlowMode::kConventional;
+
+  std::promise<service::RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(request,
+                       [&done](const service::RequestOutcome& o) {
+                         done.set_value(o);
+                       }),
+            service::RejectReason::kNone);
+  const service::RequestOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status, circuits::JobStatus::kFailed);
+  EXPECT_EQ(outcome.attempts, 2);  // first try + one retry
+  EXPECT_NE(outcome.error.find("transient"), std::string::npos);
+  svc.drain();
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 1);
 }
 
 }  // namespace

@@ -1,0 +1,468 @@
+// Resident layout service tests: request parsing, admission control and
+// fair-share scheduling, per-request budgets, graceful drain vs. cancelling
+// shutdown, snapshot warm restart (including corrupt-snapshot cold start),
+// and the JSONL serve loop. Jobs use the ring-VCO circuit in conventional
+// mode (milliseconds) except where optimize mode is needed to exercise the
+// evaluation cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/queue.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "util/logging.hpp"
+
+namespace olp::service {
+namespace {
+
+const tech::Technology& t() {
+  static const tech::Technology tech = tech::make_default_finfet_tech();
+  return tech;
+}
+
+ServiceRequest vco_request(const std::string& id, const std::string& client) {
+  ServiceRequest r;
+  r.id = id;
+  r.client = client;
+  r.circuit = "vco";
+  r.mode = circuits::FlowMode::kConventional;
+  return r;
+}
+
+/// Small options: one worker, serial inner stages, no snapshot.
+ServiceOptions small_options() {
+  ServiceOptions o;
+  o.workers = 1;
+  o.pool_threads = 1;
+  return o;
+}
+
+// --- request parsing --------------------------------------------------------
+
+TEST(ParseRequest, FullSubmitLine) {
+  ServiceRequest r;
+  std::string error;
+  ASSERT_EQ(parse_request(R"({"op":"submit","id":"j1","client":"alice",)"
+                          R"("circuit":"ota5t","mode":"optimize","seed":9,)"
+                          R"("priority":2,"deadline_ms":250,)"
+                          R"("max_testbenches":100,"retries":3})",
+                          &r, &error),
+            RejectReason::kNone)
+      << error;
+  EXPECT_EQ(r.op, RequestOp::kSubmit);
+  EXPECT_EQ(r.id, "j1");
+  EXPECT_EQ(r.client, "alice");
+  EXPECT_EQ(r.circuit, "ota5t");
+  EXPECT_EQ(r.mode, circuits::FlowMode::kOptimize);
+  EXPECT_EQ(r.seed, 9u);
+  EXPECT_EQ(r.priority, 2);
+  EXPECT_EQ(r.deadline_ms, 250.0);
+  EXPECT_EQ(r.max_testbenches, 100);
+  EXPECT_EQ(r.retries, 3);
+}
+
+TEST(ParseRequest, DefaultsApply) {
+  ServiceRequest r;
+  ASSERT_EQ(parse_request(R"({"op":"submit","circuit":"vco"})", &r, nullptr),
+            RejectReason::kNone);
+  EXPECT_EQ(r.client, "anon");
+  EXPECT_EQ(r.mode, circuits::FlowMode::kOptimize);
+  EXPECT_EQ(r.seed, 1u);
+  EXPECT_EQ(r.deadline_ms, 0.0);
+  EXPECT_EQ(r.retries, -1);
+}
+
+TEST(ParseRequest, RejectsBadInput) {
+  ServiceRequest r;
+  std::string error;
+  EXPECT_EQ(parse_request("not json", &r, &error),
+            RejectReason::kParseError);
+  EXPECT_EQ(parse_request(R"({"op":42})", &r, &error),
+            RejectReason::kParseError);
+  EXPECT_EQ(parse_request(R"({"op":"conquer"})", &r, &error),
+            RejectReason::kUnknownOp);
+  EXPECT_EQ(parse_request(R"({"op":"submit","mode":"psychic"})", &r, &error),
+            RejectReason::kUnknownMode);
+  EXPECT_EQ(parse_request(R"({"op":"submit","seed":1.5})", &r, &error),
+            RejectReason::kParseError);
+  EXPECT_EQ(parse_request(R"({"op":"submit","deadline_ms":-5})", &r, &error),
+            RejectReason::kParseError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseRequest, EscapedStringsSurvive) {
+  ServiceRequest r;
+  ASSERT_EQ(parse_request(
+                "{\"op\":\"submit\",\"id\":\"a\\\"b\\\\c\\nd\","
+                "\"client\":\"caf\\u00e9\",\"circuit\":\"vco\"}",
+                &r, nullptr),
+            RejectReason::kNone);
+  EXPECT_EQ(r.id, "a\"b\\c\nd");
+  EXPECT_EQ(r.client, "caf\xc3\xa9");
+}
+
+// --- admission queue --------------------------------------------------------
+
+QueuedJob make_job(const std::string& client, std::uint64_t ticket,
+                   int priority = 0) {
+  QueuedJob j;
+  j.request.client = client;
+  j.request.priority = priority;
+  j.ticket = ticket;
+  return j;
+}
+
+TEST(AdmissionQueue, BoundsShedWithReasons) {
+  QueueOptions opt;
+  opt.max_depth = 3;
+  opt.max_per_client = 2;
+  AdmissionQueue q(opt);
+  EXPECT_EQ(q.offer(make_job("a", 1)), RejectReason::kNone);
+  EXPECT_EQ(q.offer(make_job("a", 2)), RejectReason::kNone);
+  EXPECT_EQ(q.offer(make_job("a", 3)), RejectReason::kClientQuota);
+  EXPECT_EQ(q.offer(make_job("b", 4)), RejectReason::kNone);
+  EXPECT_EQ(q.offer(make_job("c", 5)), RejectReason::kQueueFull);
+  EXPECT_EQ(q.depth(), 3u);
+  EXPECT_EQ(q.admitted(), 3);
+  EXPECT_EQ(q.shed(RejectReason::kClientQuota), 1);
+  EXPECT_EQ(q.shed(RejectReason::kQueueFull), 1);
+  q.close();
+  EXPECT_EQ(q.offer(make_job("a", 6)), RejectReason::kDraining);
+  EXPECT_EQ(q.shed(RejectReason::kDraining), 1);
+  EXPECT_EQ(q.shed_total(), 3);
+}
+
+TEST(AdmissionQueue, RoundRobinAcrossClients) {
+  AdmissionQueue q;
+  // Client a floods; client b submits one. b must be served within two
+  // takes, not after a's whole backlog.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.offer(make_job("a", i)), RejectReason::kNone);
+  }
+  ASSERT_EQ(q.offer(make_job("b", 10)), RejectReason::kNone);
+  std::vector<std::string> order;
+  QueuedJob job;
+  while (q.depth() > 0) {
+    ASSERT_TRUE(q.take(&job));
+    order.push_back(job.request.client);
+  }
+  const std::vector<std::string> expected = {"a", "b", "a", "a", "a"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(AdmissionQueue, PriorityOrdersWithinOneClient) {
+  AdmissionQueue q;
+  ASSERT_EQ(q.offer(make_job("a", 1, 0)), RejectReason::kNone);
+  ASSERT_EQ(q.offer(make_job("a", 2, 5)), RejectReason::kNone);
+  ASSERT_EQ(q.offer(make_job("a", 3, 5)), RejectReason::kNone);
+  QueuedJob job;
+  ASSERT_TRUE(q.take(&job));
+  EXPECT_EQ(job.ticket, 2u);  // highest priority, earliest ticket
+  ASSERT_TRUE(q.take(&job));
+  EXPECT_EQ(job.ticket, 3u);
+  ASSERT_TRUE(q.take(&job));
+  EXPECT_EQ(job.ticket, 1u);
+}
+
+TEST(AdmissionQueue, CloseDrainsThenUnblocks) {
+  AdmissionQueue q;
+  ASSERT_EQ(q.offer(make_job("a", 1)), RejectReason::kNone);
+  q.close();
+  QueuedJob job;
+  EXPECT_TRUE(q.take(&job));   // queued item still served after close
+  EXPECT_FALSE(q.take(&job));  // then takers unblock with false
+}
+
+// --- service lifecycle ------------------------------------------------------
+
+TEST(Service, RunsSubmittedJobToCompletion) {
+  set_log_level(LogLevel::kOff);
+  LayoutService svc(t(), small_options());
+  svc.start();
+  std::promise<RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(vco_request("job1", "alice"),
+                       [&done](const RequestOutcome& o) {
+                         done.set_value(o);
+                       }),
+            RejectReason::kNone);
+  const RequestOutcome outcome = future.get();
+  EXPECT_EQ(outcome.status, circuits::JobStatus::kSucceeded);
+  EXPECT_EQ(outcome.id, "job1");
+  EXPECT_EQ(outcome.attempts, 1);
+  svc.drain();
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.succeeded, 1);
+  EXPECT_TRUE(stats.draining);
+}
+
+TEST(Service, UnknownCircuitShedsAtSubmission) {
+  LayoutService svc(t(), small_options());
+  svc.start();
+  ServiceRequest r = vco_request("x", "alice");
+  r.circuit = "flux_capacitor";
+  EXPECT_EQ(svc.submit(r, nullptr), RejectReason::kUnknownCircuit);
+  svc.drain();
+  EXPECT_EQ(svc.stats().completed, 0);
+}
+
+TEST(Service, DeadlineBudgetDegradesInsteadOfHanging) {
+  LayoutService svc(t(), small_options());
+  svc.start();
+  ServiceRequest r = vco_request("tight", "alice");
+  r.mode = circuits::FlowMode::kOptimize;  // long enough to trip 1 ms
+  r.deadline_ms = 1.0;
+  std::promise<RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(r, [&done](const RequestOutcome& o) {
+              done.set_value(o);
+            }),
+            RejectReason::kNone);
+  const RequestOutcome outcome = future.get();
+  EXPECT_TRUE(outcome.budget_exhausted);
+  EXPECT_NE(outcome.status, circuits::JobStatus::kFailed);  // salvaged
+  svc.drain();
+}
+
+TEST(Service, DrainingShedsNewSubmissions) {
+  LayoutService svc(t(), small_options());
+  svc.start();
+  svc.drain();
+  EXPECT_EQ(svc.submit(vco_request("late", "alice"), nullptr),
+            RejectReason::kDraining);
+}
+
+TEST(Service, ShutdownCancelsQueuedJobsWithOutcomes) {
+  ServiceOptions options = small_options();
+  LayoutService svc(t(), options);
+  svc.start();
+  // One slow job occupies the single worker; the rest queue behind it.
+  std::atomic<int> done_count{0};
+  std::atomic<int> cancelled_count{0};
+  std::vector<std::promise<RequestOutcome>> outcomes(4);
+  for (int i = 0; i < 4; ++i) {
+    ServiceRequest r = vco_request("s" + std::to_string(i), "alice");
+    if (i == 0) r.mode = circuits::FlowMode::kOptimize;  // slow head job
+    ASSERT_EQ(svc.submit(r,
+                         [&, i](const RequestOutcome& o) {
+                           ++done_count;
+                           if (o.error.find("cancelled") != std::string::npos) {
+                             ++cancelled_count;
+                           }
+                           outcomes[static_cast<std::size_t>(i)].set_value(o);
+                         }),
+              RejectReason::kNone);
+  }
+  svc.drain(/*cancel_inflight=*/true);
+  // Every submission got exactly one outcome: the in-flight head job was
+  // budget-cancelled (salvage), the queued tail was dropped as cancelled.
+  for (auto& p : outcomes) p.get_future().get();
+  EXPECT_EQ(done_count.load(), 4);
+  EXPECT_GE(cancelled_count.load(), 1);
+  EXPECT_EQ(svc.stats().completed, 4);
+}
+
+TEST(Service, EnvOverridesWinAtConstruction) {
+  ::setenv("OLP_SERVICE_WORKERS", "3", 1);
+  ::setenv("OLP_SERVICE_RETRIES", "7", 1);
+  ::setenv("OLP_SERVICE_QUEUE_DEPTH", "11", 1);
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_retries = 0;
+  options.queue.max_depth = 5;
+  LayoutService svc(t(), options);
+  ::unsetenv("OLP_SERVICE_WORKERS");
+  ::unsetenv("OLP_SERVICE_RETRIES");
+  ::unsetenv("OLP_SERVICE_QUEUE_DEPTH");
+  EXPECT_EQ(svc.options().workers, 3);
+  EXPECT_EQ(svc.options().max_retries, 7);
+  EXPECT_EQ(svc.options().queue.max_depth, 11u);
+  // Env restored AFTER construction: the captured values stick.
+  LayoutService later(t(), options);
+  EXPECT_EQ(later.options().workers, 1);
+}
+
+// --- snapshot warm restart --------------------------------------------------
+
+std::string temp_snapshot_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(ServiceSnapshot, WarmRestartServesRestoredEntries) {
+  const std::string path = temp_snapshot_path("olp_service_warm.bin");
+  std::remove(path.c_str());
+
+  ServiceRequest optimize = vco_request("opt", "alice");
+  optimize.mode = circuits::FlowMode::kOptimize;
+
+  {
+    ServiceOptions options = small_options();
+    options.snapshot_path = path;
+    LayoutService svc(t(), options);
+    svc.start();
+    std::promise<RequestOutcome> done;
+    auto future = done.get_future();
+    ASSERT_EQ(svc.submit(optimize, [&done](const RequestOutcome& o) {
+                done.set_value(o);
+              }),
+              RejectReason::kNone);
+    EXPECT_EQ(future.get().status, circuits::JobStatus::kSucceeded);
+    svc.drain();  // flushes the final snapshot
+    EXPECT_FALSE(svc.stats().snapshot_loaded);
+    EXPECT_GT(svc.stats().cache.entries, 0);
+  }
+
+  // "Restart": a fresh service on the same path must warm-load and serve
+  // the repeat request mostly from restored entries.
+  {
+    ServiceOptions options = small_options();
+    options.snapshot_path = path;
+    LayoutService svc(t(), options);
+    svc.start();
+    EXPECT_TRUE(svc.stats().snapshot_loaded);
+    EXPECT_GT(svc.stats().cache.entries, 0);
+    std::promise<RequestOutcome> done;
+    auto future = done.get_future();
+    ASSERT_EQ(svc.submit(optimize, [&done](const RequestOutcome& o) {
+                done.set_value(o);
+              }),
+              RejectReason::kNone);
+    EXPECT_EQ(future.get().status, circuits::JobStatus::kSucceeded);
+    svc.drain();
+    const ServiceStats stats = svc.stats();
+    EXPECT_GT(stats.cache.restored_hits, 0);  // the warm-start proof
+    EXPECT_EQ(stats.cache.misses, 0);  // same request, fully warm
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceSnapshot, CorruptSnapshotFallsBackToColdStart) {
+  const std::string path = temp_snapshot_path("olp_service_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage, not a snapshot";
+  }
+  ServiceOptions options = small_options();
+  options.snapshot_path = path;
+  LayoutService svc(t(), options);
+  svc.start();  // must not throw or abort
+  const ServiceStats stats = svc.stats();
+  EXPECT_FALSE(stats.snapshot_loaded);
+  EXPECT_FALSE(stats.snapshot_error.empty());
+  EXPECT_EQ(stats.cache.entries, 0);
+  // The service still works cold.
+  std::promise<RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(vco_request("cold", "alice"),
+                       [&done](const RequestOutcome& o) {
+                         done.set_value(o);
+                       }),
+            RejectReason::kNone);
+  EXPECT_EQ(future.get().status, circuits::JobStatus::kSucceeded);
+  svc.drain();
+  std::remove(path.c_str());
+}
+
+TEST(ServiceSnapshot, TruncatedSnapshotFallsBackToColdStart) {
+  const std::string path = temp_snapshot_path("olp_service_trunc.bin");
+  std::remove(path.c_str());
+  // Produce a valid snapshot first.
+  {
+    ServiceOptions options = small_options();
+    options.snapshot_path = path;
+    LayoutService svc(t(), options);
+    svc.start();
+    std::promise<RequestOutcome> done;
+    auto future = done.get_future();
+    ServiceRequest r = vco_request("seed", "alice");
+    r.mode = circuits::FlowMode::kOptimize;
+    ASSERT_EQ(svc.submit(r, [&done](const RequestOutcome& o) {
+                done.set_value(o);
+              }),
+              RejectReason::kNone);
+    future.get();
+    svc.drain();
+  }
+  // Truncate it (as a kill -9 mid-write on a non-atomic filesystem might).
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 16u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() / 3));
+  }
+  ServiceOptions options = small_options();
+  options.snapshot_path = path;
+  LayoutService svc(t(), options);
+  svc.start();
+  EXPECT_FALSE(svc.stats().snapshot_loaded);
+  EXPECT_FALSE(svc.stats().snapshot_error.empty());
+  EXPECT_EQ(svc.stats().cache.entries, 0);
+  svc.drain();
+  std::remove(path.c_str());
+}
+
+// --- serve loop -------------------------------------------------------------
+
+TEST(Serve, JsonlLoopHandlesMixedTraffic) {
+  std::istringstream in(
+      "{\"op\":\"ping\"}\n"
+      "this is not json\n"
+      "{\"op\":\"submit\",\"client\":\"alice\",\"circuit\":\"vco\","
+      "\"mode\":\"conventional\"}\n"
+      "{\"op\":\"submit\",\"client\":\"alice\",\"circuit\":\"warp_core\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"drain\"}\n");
+  std::ostringstream out;
+  LayoutService svc(t(), small_options());
+  svc.serve(in, out);
+  const std::string log = out.str();
+  EXPECT_NE(log.find("\"event\":\"pong\""), std::string::npos);
+  EXPECT_NE(log.find("\"reason\":\"parse_error\""), std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"accepted\""), std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"done\""), std::string::npos);
+  EXPECT_NE(log.find("\"status\":\"succeeded\""), std::string::npos);
+  EXPECT_NE(log.find("\"reason\":\"unknown_circuit\""), std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"stats\""), std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"drained\""), std::string::npos);
+  // Every response line is itself one complete JSON object per line.
+  std::istringstream lines(log);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+  }
+  EXPECT_GE(count, 7);
+  EXPECT_TRUE(svc.draining());
+}
+
+TEST(Serve, EofDrainsGracefully) {
+  std::istringstream in(
+      "{\"op\":\"submit\",\"client\":\"a\",\"circuit\":\"vco\","
+      "\"mode\":\"conventional\"}\n");
+  std::ostringstream out;
+  LayoutService svc(t(), small_options());
+  svc.serve(in, out);  // EOF after one submit: job still completes
+  EXPECT_NE(out.str().find("\"event\":\"done\""), std::string::npos);
+  EXPECT_EQ(svc.stats().completed, 1);
+}
+
+}  // namespace
+}  // namespace olp::service

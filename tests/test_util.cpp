@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "util/curvature.hpp"
 #include "util/diag.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/faults.hpp"
 #include "util/interval.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -342,6 +348,221 @@ TEST(Faults, SkipDrawsAndFireCap) {
   EXPECT_EQ(inj.fired(FaultSite::kOpNonConvergence), 2);
   EXPECT_EQ(inj.draws(FaultSite::kOpNonConvergence), 8);
   EXPECT_EQ(inj.total_fired(), 2);
+}
+
+// --- env edge cases ---------------------------------------------------------
+
+/// Sets an environment variable for one test body, restoring on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Env, IntegerStrictParse) {
+  {
+    ScopedEnv e("OLP_TEST_INT", "42");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 42);
+  }
+  {
+    ScopedEnv e("OLP_TEST_INT", "-3");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), -3);
+  }
+  // Unset falls back.
+  EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+}
+
+TEST(Env, IntegerRejectsMalformedAndEmpty) {
+  {
+    ScopedEnv e("OLP_TEST_INT", "");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+  {
+    ScopedEnv e("OLP_TEST_INT", "12abc");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+  {
+    ScopedEnv e("OLP_TEST_INT", "abc");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+  {
+    ScopedEnv e("OLP_TEST_INT", " ");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+}
+
+TEST(Env, IntegerRejectsOverflow) {
+  // strtol would saturate to LONG_MAX/LONG_MIN with errno=ERANGE; a
+  // saturated limit silently applied is worse than the fallback.
+  {
+    ScopedEnv e("OLP_TEST_INT", "99999999999999999999999");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+  {
+    ScopedEnv e("OLP_TEST_INT", "-99999999999999999999999");
+    EXPECT_EQ(env::integer("OLP_TEST_INT", 7), 7);
+  }
+}
+
+TEST(Env, NumberRejectsOverflowKeepsUnderflow) {
+  {
+    ScopedEnv e("OLP_TEST_NUM", "1e999");
+    EXPECT_EQ(env::number("OLP_TEST_NUM", 2.5), 2.5);
+  }
+  {
+    ScopedEnv e("OLP_TEST_NUM", "-1e999");
+    EXPECT_EQ(env::number("OLP_TEST_NUM", 2.5), 2.5);
+  }
+  {
+    // Underflow denormalizes toward zero — a usable value, not an error.
+    ScopedEnv e("OLP_TEST_NUM", "1e-999");
+    EXPECT_EQ(env::number("OLP_TEST_NUM", 2.5), 0.0);
+  }
+  {
+    ScopedEnv e("OLP_TEST_NUM", "0.125");
+    EXPECT_EQ(env::number("OLP_TEST_NUM", 2.5), 0.125);
+  }
+  {
+    ScopedEnv e("OLP_TEST_NUM", "nope");
+    EXPECT_EQ(env::number("OLP_TEST_NUM", 2.5), 2.5);
+  }
+}
+
+TEST(Env, FlagMalformedFallsBack) {
+  {
+    ScopedEnv e("OLP_TEST_FLAG", "1");
+    EXPECT_TRUE(env::flag("OLP_TEST_FLAG", false));
+  }
+  {
+    ScopedEnv e("OLP_TEST_FLAG", "0");
+    EXPECT_FALSE(env::flag("OLP_TEST_FLAG", true));
+  }
+  {
+    // Any nonempty value not starting with '0' reads as on.
+    ScopedEnv e("OLP_TEST_FLAG", "maybe");
+    EXPECT_TRUE(env::flag("OLP_TEST_FLAG", false));
+  }
+  {
+    // Empty reads as unset: the fallback wins.
+    ScopedEnv e("OLP_TEST_FLAG", "");
+    EXPECT_TRUE(env::flag("OLP_TEST_FLAG", true));
+    EXPECT_FALSE(env::flag("OLP_TEST_FLAG", false));
+  }
+}
+
+// --- jsonl ------------------------------------------------------------------
+
+TEST(Jsonl, EscapeSpecialCharacters) {
+  EXPECT_EQ(jsonl::escape("plain"), "plain");
+  EXPECT_EQ(jsonl::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonl::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonl::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonl::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonl::escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  // Non-ASCII UTF-8 passes through verbatim (valid inside JSON strings).
+  EXPECT_EQ(jsonl::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(Jsonl, EscapeUnescapeRoundTripsArbitraryBytes) {
+  const std::vector<std::string> cases = {
+      "",
+      "hello",
+      "quote \" backslash \\ newline \n tab \t return \r",
+      std::string("embedded\0nul", 12),
+      "caf\xc3\xa9 \xe6\x97\xa5\xe6\x9c\xac",  // é + CJK
+      "\x01\x02\x1f control codes",
+      "already \\u0041 escaped-looking text",
+  };
+  for (const std::string& raw : cases) {
+    std::string back;
+    ASSERT_TRUE(jsonl::unescape(jsonl::escape(raw), &back)) << raw;
+    EXPECT_EQ(back, raw);
+  }
+}
+
+TEST(Jsonl, UnescapeDecodesUnicodeEscapes) {
+  std::string out;
+  ASSERT_TRUE(jsonl::unescape("caf\\u00e9", &out));
+  EXPECT_EQ(out, "caf\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  ASSERT_TRUE(jsonl::unescape("\\ud83d\\ude00", &out));
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+}
+
+TEST(Jsonl, UnescapeRejectsMalformedEscapes) {
+  std::string out;
+  std::string error;
+  EXPECT_FALSE(jsonl::unescape("dangling\\", &out, &error));
+  EXPECT_FALSE(jsonl::unescape("\\q", &out, &error));
+  EXPECT_FALSE(jsonl::unescape("\\u12", &out, &error));
+  EXPECT_FALSE(jsonl::unescape("\\uzzzz", &out, &error));
+  // Unpaired high surrogate.
+  EXPECT_FALSE(jsonl::unescape("\\ud83d alone", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Jsonl, ParseObjectFlatScalars) {
+  jsonl::Object obj;
+  std::string error;
+  ASSERT_TRUE(jsonl::parse_object(
+      "  {\"s\":\"hi\",\"n\":-2.5,\"b\":true,\"z\":null}  ", &obj,
+      &error))
+      << error;
+  EXPECT_EQ(obj.size(), 4u);
+  EXPECT_TRUE(obj.at("s").is_string());
+  EXPECT_EQ(obj.at("s").string, "hi");
+  EXPECT_TRUE(obj.at("n").is_number());
+  EXPECT_EQ(obj.at("n").number, -2.5);
+  EXPECT_TRUE(obj.at("b").is_bool());
+  EXPECT_TRUE(obj.at("b").boolean);
+  EXPECT_EQ(obj.at("z").kind, jsonl::Value::Kind::kNull);
+}
+
+TEST(Jsonl, ParseObjectRejectsMalformed) {
+  jsonl::Object obj;
+  for (const char* bad : {
+           "",                       // no object
+           "{",                      // unterminated
+           "{\"a\":1",               // unterminated
+           "{\"a\":1} trailing",     // trailing garbage
+           "{\"a\":1,\"a\":2}",      // duplicate key
+           "{\"a\":{\"b\":1}}",      // nested object
+           "{\"a\":[1,2]}",          // array value
+           "{\"a\":bare}",           // bare word
+           "{a:1}",                  // unquoted key
+           "[1,2,3]",                // not an object
+       }) {
+    std::string error;
+    EXPECT_FALSE(jsonl::parse_object(bad, &obj, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_TRUE(obj.empty()) << bad;
+  }
+}
+
+TEST(Jsonl, ParseObjectRoundTripsEscapedStrings) {
+  const std::string nasty = "a\"b\\c\nd\te \xc3\xa9";
+  const std::string line = "{\"k\":\"" + jsonl::escape(nasty) + "\"}";
+  jsonl::Object obj;
+  ASSERT_TRUE(jsonl::parse_object(line, &obj, nullptr));
+  EXPECT_EQ(obj.at("k").string, nasty);
 }
 
 TEST(Faults, EnableRejectsBadRates) {
