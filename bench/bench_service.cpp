@@ -168,7 +168,14 @@ int main() {
   json += "," + phase_json("sustained", sustained);
   json += "," + phase_json("overload", overload);
   json += ",\"latency\":{\"p50_ms\":" + fixed(mid.p50_ms, 3);
-  json += ",\"p99_ms\":" + fixed(mid.p99_ms, 3) + "}";
+  json += ",\"p99_ms\":" + fixed(mid.p99_ms, 3);
+  json += ",\"p999_ms\":" + fixed(mid.p999_ms, 3);
+  json += ",\"histogram\":" + obs::histogram_json(final_stats.latency) + "}";
+  json += ",\"shed\":{\"queue_full\":" +
+          std::to_string(final_stats.shed_queue_full);
+  json += ",\"client_quota\":" + std::to_string(final_stats.shed_client_quota);
+  json += ",\"draining\":" + std::to_string(final_stats.shed_draining);
+  json += ",\"parse_error\":" + std::to_string(final_stats.parse_rejects) + "}";
   json += ",\"shed_rate\":" + fixed(shed_rate, 4);
   json += ",\"cache\":{\"hits\":" + std::to_string(final_stats.cache.hits);
   json += ",\"misses\":" + std::to_string(final_stats.cache.misses);
@@ -182,7 +189,7 @@ int main() {
             << fixed(sustained.wall_s, 2) << " s ("
             << fixed(sustained.req_per_s(), 1) << " req/s), p50 "
             << fixed(mid.p50_ms, 2) << " ms, p99 " << fixed(mid.p99_ms, 2)
-            << " ms\n";
+            << " ms, p99.9 " << fixed(mid.p999_ms, 2) << " ms\n";
   std::cout << "overload: " << overload.shed << "/" << overload.submitted
             << " shed (" << fixed(100.0 * shed_rate, 1) << "%), "
             << overload.succeeded << " accepted jobs still succeeded\n";

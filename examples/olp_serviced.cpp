@@ -19,7 +19,12 @@
 // Configuration is entirely environment-driven (see util/env.hpp):
 // OLP_SERVICE_WORKERS, OLP_SERVICE_QUEUE_DEPTH, OLP_SERVICE_CLIENT_QUEUE,
 // OLP_SERVICE_RETRIES, OLP_SERVICE_SNAPSHOT, OLP_SERVICE_SNAPSHOT_EVERY,
-// OLP_CACHE_MAX_ENTRIES, OLP_THREADS, OLP_OBS. When OLP_SERVICE_SOCKET
+// OLP_CACHE_MAX_ENTRIES, OLP_THREADS. Live metrics: OLP_OBS=1 turns on the
+// process-wide obs registry (lock-wait, pool queue-depth and busy/idle
+// families; the {"op":"metrics"} verb dumps them), and OLP_METRICS_PATH
+// appends a metrics JSONL line every OLP_METRICS_EVERY completed jobs and
+// at drain — each line closes its interval (the registry is rebased), so a
+// resident daemon's telemetry memory stays bounded. When OLP_SERVICE_SOCKET
 // names a path (POSIX only), the daemon ALSO accepts one connection at a
 // time on a unix-domain stream socket speaking the same protocol — stdin
 // remains the primary transport and EOF there still drains the daemon.

@@ -99,9 +99,28 @@ void finish_budget(const Budget& budget, FlowReport& report) {
   }
   if (s.exhausted) {
     obs::counter_add("budget.exhausted");
-    const std::string kind =
-        std::string("budget.tripped.") + budget_kind_name(s.tripped);
-    obs::counter_add(kind.c_str());
+    // The registry keys counter families by the name pointer and assumes it
+    // outlives the shard, so the kind must map to a string literal rather
+    // than a composed temporary.
+    switch (s.tripped) {
+      case BudgetKind::kDeadline:
+        obs::counter_add("budget.tripped.deadline");
+        break;
+      case BudgetKind::kTestbenches:
+        obs::counter_add("budget.tripped.testbenches");
+        break;
+      case BudgetKind::kChecks:
+        obs::counter_add("budget.tripped.checks");
+        break;
+      case BudgetKind::kCancelled:
+        obs::counter_add("budget.tripped.cancelled");
+        break;
+      case BudgetKind::kInjected:
+        obs::counter_add("budget.tripped.injected");
+        break;
+      case BudgetKind::kNone:
+        break;
+    }
   }
 }
 

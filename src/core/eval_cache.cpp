@@ -9,10 +9,16 @@
 
 #include "tech/technology.hpp"
 #include "util/faults.hpp"
+#include "util/obs.hpp"
 
 namespace olp::core {
 
 namespace {
+
+/// Contention attribution for the hot-path shard mutex acquisitions
+/// (obs::timed_lock): only a failed try-lock reads the clock or records.
+constexpr obs::LockSite kCacheLock{"obs.contention.eval_cache.contended",
+                                   "obs.contention.eval_cache.wait_us"};
 
 void append_double(std::string& out, double value) {
   char buf[40];
@@ -177,7 +183,7 @@ EvalCache::Shard& EvalCache::shard_for(const std::string& key) {
 bool EvalCache::lookup(const std::string& key, MetricValues* values,
                        int client) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto lock = obs::timed_lock(shard.mu, kCacheLock);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -238,7 +244,7 @@ void EvalCache::insert_locked(Shard& shard, const std::string& key,
 void EvalCache::insert(const std::string& key, const MetricValues& values,
                        int client) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto lock = obs::timed_lock(shard.mu, kCacheLock);
   insert_locked(shard, key, Entry{values, client, false, false});
 }
 

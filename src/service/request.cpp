@@ -60,6 +60,8 @@ const char* request_op_name(RequestOp op) {
       return "submit";
     case RequestOp::kStats:
       return "stats";
+    case RequestOp::kMetrics:
+      return "metrics";
     case RequestOp::kSnapshot:
       return "snapshot";
     case RequestOp::kDrain:
@@ -156,6 +158,8 @@ RejectReason parse_request(const std::string& line, ServiceRequest* request,
     req.op = RequestOp::kSubmit;
   } else if (op_name == "stats") {
     req.op = RequestOp::kStats;
+  } else if (op_name == "metrics") {
+    req.op = RequestOp::kMetrics;
   } else if (op_name == "snapshot") {
     req.op = RequestOp::kSnapshot;
   } else if (op_name == "drain") {

@@ -9,14 +9,17 @@
 //    "mode":"optimize","seed":3,"priority":1,"deadline_ms":500,
 //    "max_testbenches":200,"retries":2}
 //   {"op":"stats"}        health/metrics snapshot
+//   {"op":"metrics"}      full telemetry dump: latency histogram, obs
+//                         counter + histogram families (lock waits, pool
+//                         queue depth), shed breakdown
 //   {"op":"snapshot"}     force a cache checkpoint now
 //   {"op":"drain"}        stop admitting, finish in-flight, flush, exit
 //   {"op":"shutdown"}     drain, but cancel in-flight budgets (salvage fast)
 //   {"op":"ping"}         liveness probe
 //
 // Responses carry "event": "accepted", "rejected" (+ "reason"), "done"
-// (+ job status/latency/testbenches), "stats", "snapshot", "drained",
-// "pong". Submissions are answered twice: immediately with
+// (+ job status/latency/testbenches), "stats", "metrics", "snapshot",
+// "drained", "pong". Submissions are answered twice: immediately with
 // accepted/rejected, and — when accepted — again with "done" once the job
 // leaves a worker.
 //
@@ -36,6 +39,7 @@ namespace olp::service {
 enum class RequestOp {
   kSubmit,
   kStats,
+  kMetrics,
   kSnapshot,
   kDrain,
   kShutdown,

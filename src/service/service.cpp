@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <utility>
 
 #include "circuits/ota5t.hpp"
@@ -13,22 +14,11 @@
 #include "util/jsonl.hpp"
 #include "util/obs.hpp"
 #include "util/table.hpp"
+#include "util/trace_export.hpp"
 
 namespace olp::service {
 
 namespace {
-
-/// Percentile of a scratch copy (nearest-rank); 0 when empty.
-double percentile_ms(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  const std::size_t rank = std::min(
-      values.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(values.size())));
-  std::nth_element(values.begin(),
-                   values.begin() + static_cast<std::ptrdiff_t>(rank),
-                   values.end());
-  return values[rank];
-}
 
 long env_long(const char* name, long base) {
   const long v = env::integer(name, base);
@@ -59,8 +49,16 @@ std::string ServiceStats::to_json() const {
   out += ",\"shed_client_quota\":" + std::to_string(shed_client_quota);
   out += ",\"shed_draining\":" + std::to_string(shed_draining);
   out += ",\"parse_rejects\":" + std::to_string(parse_rejects);
+  // Per-RejectReason shed breakdown, nested so new reasons extend it
+  // without growing the flat namespace.
+  out += ",\"shed\":{\"queue_full\":" + std::to_string(shed_queue_full);
+  out += ",\"client_quota\":" + std::to_string(shed_client_quota);
+  out += ",\"draining\":" + std::to_string(shed_draining);
+  out += ",\"parse_error\":" + std::to_string(parse_rejects) + "}";
   out += ",\"p50_ms\":" + fixed(p50_ms, 3);
   out += ",\"p99_ms\":" + fixed(p99_ms, 3);
+  out += ",\"p999_ms\":" + fixed(p999_ms, 3);
+  out += ",\"latency_ms\":" + obs::histogram_json(latency);
   out += ",\"cache_hits\":" + std::to_string(cache.hits);
   out += ",\"cache_misses\":" + std::to_string(cache.misses);
   out += ",\"cache_entries\":" + std::to_string(cache.entries);
@@ -114,6 +112,9 @@ ServiceOptions resolve_options(ServiceOptions options) {
       env::str("OLP_SERVICE_SNAPSHOT", options.snapshot_path);
   options.snapshot_every =
       env_long("OLP_SERVICE_SNAPSHOT_EVERY", options.snapshot_every);
+  options.observability = env::flag("OLP_OBS", options.observability);
+  options.metrics_path = env::str("OLP_METRICS_PATH", options.metrics_path);
+  options.metrics_every = env_long("OLP_METRICS_EVERY", options.metrics_every);
   return options;
 }
 
@@ -136,6 +137,10 @@ void LayoutService::start() {
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) return;
 
+  // The service owns observability when asked to: live-metrics families
+  // (obs.pool.*, obs.contention.*) start collecting from here.
+  if (options_.observability) obs::Registry::global().enable();
+
   if (!options_.snapshot_path.empty()) {
     std::string error;
     if (caches_.load_snapshot(options_.snapshot_path, &error)) {
@@ -154,7 +159,7 @@ void LayoutService::start() {
   pool_ = std::make_unique<TaskPool>(options_.pool_threads);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -183,7 +188,8 @@ RejectReason LayoutService::submit(const ServiceRequest& request,
   return reason;
 }
 
-void LayoutService::worker_loop() {
+void LayoutService::worker_loop(int worker_index) {
+  obs::set_thread_name("service/worker-" + std::to_string(worker_index));
   QueuedJob job;
   while (queue_.take(&job)) run_one(std::move(job));
 }
@@ -294,11 +300,12 @@ void LayoutService::run_one(QueuedJob job) {
         ++failed_;
         break;
     }
-    latencies_ms_.push_back((outcome.queued_s + outcome.run_s) * 1000.0);
+    latency_hist_.record((outcome.queued_s + outcome.run_s) * 1000.0);
   }
   obs::counter_add("service.completed");
   if (done) done(outcome);
   maybe_periodic_snapshot();
+  maybe_periodic_metrics(/*force=*/false);
 }
 
 void LayoutService::maybe_periodic_snapshot() {
@@ -309,6 +316,33 @@ void LayoutService::maybe_periodic_snapshot() {
     due = completed_ % options_.snapshot_every == 0;
   }
   if (due) save_snapshot(nullptr);
+}
+
+void LayoutService::maybe_periodic_metrics(bool force) {
+  if (options_.metrics_path.empty()) return;
+  if (!force) {
+    if (options_.metrics_every <= 0) return;
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (completed_ == 0 || completed_ % options_.metrics_every != 0) return;
+  }
+  // Build the line before taking the append lock (metrics_json snapshots
+  // the registry); append failures are recorded, never fatal.
+  const std::string line = metrics_json();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.metrics_path, std::ios::app);
+    if (out) {
+      out << line << "\n";
+    } else {
+      obs::counter_add("service.metrics_write_failed");
+    }
+  }
+  // When the service owns the registry, each emitted line closes its
+  // interval: the rebase clears spans (bounding resident memory) and
+  // restarts the obs counter/histogram families, so successive lines are
+  // per-interval deltas. The service's own gauges (completed, latency
+  // histogram, shed counts) stay cumulative.
+  if (options_.observability) obs::Registry::global().rebase();
 }
 
 bool LayoutService::save_snapshot(std::string* error) {
@@ -443,6 +477,7 @@ void LayoutService::drain(bool cancel_inflight) {
   }
   workers_.clear();
   if (!options_.snapshot_path.empty()) save_snapshot(nullptr);
+  maybe_periodic_metrics(/*force=*/true);  // final metrics line
   obs::counter_add("service.drains");
 }
 
@@ -465,16 +500,66 @@ ServiceStats LayoutService::stats() const {
   s.failed = failed_;
   s.retries = retries_;
   s.parse_rejects = parse_rejects_;
-  s.p50_ms = percentile_ms(latencies_ms_, 0.50);
-  s.p99_ms = percentile_ms(latencies_ms_, 0.99);
+  s.latency = latency_hist_.stats();
+  s.p50_ms = s.latency.p50;
+  s.p99_ms = s.latency.p99;
+  s.p999_ms = s.latency.p999;
   s.snapshot_loaded = snapshot_loaded_;
   s.snapshot_error = snapshot_error_;
   s.snapshots_saved = snapshots_saved_;
   return s;
 }
 
+std::string LayoutService::metrics_json() const {
+  const ServiceStats s = stats();
+  std::string out = "{\"uptime_s\":" + fixed(s.uptime_s, 3);
+  out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  out += ",\"inflight\":" + std::to_string(s.inflight);
+  out += ",\"admitted\":" + std::to_string(s.admitted);
+  out += ",\"completed\":" + std::to_string(s.completed);
+  out += ",\"succeeded\":" + std::to_string(s.succeeded);
+  out += ",\"degraded\":" + std::to_string(s.degraded);
+  out += ",\"failed\":" + std::to_string(s.failed);
+  out += ",\"retries\":" + std::to_string(s.retries);
+  out += ",\"shed\":{\"queue_full\":" + std::to_string(s.shed_queue_full);
+  out += ",\"client_quota\":" + std::to_string(s.shed_client_quota);
+  out += ",\"draining\":" + std::to_string(s.shed_draining);
+  out += ",\"parse_error\":" + std::to_string(s.parse_rejects) + "}";
+  out += ",\"latency_ms\":" + obs::histogram_json(s.latency);
+  out += ",\"cache\":{\"hits\":" + std::to_string(s.cache.hits);
+  out += ",\"misses\":" + std::to_string(s.cache.misses);
+  out += ",\"entries\":" + std::to_string(s.cache.entries);
+  out += ",\"evictions\":" + std::to_string(s.cache.evictions) + "}";
+  // The obs families (one registry snapshot): lock-wait and pool metrics
+  // live here as obs.contention.* / obs.pool.* counters and histograms.
+  out += ",\"obs_enabled\":";
+  out += obs::enabled() ? "true" : "false";
+  out += ",\"counters\":{";
+  if (obs::enabled()) {
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + jsonl::escape(name) + "\":" + std::to_string(value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+      if (!first) out += ',';
+      first = false;
+      out += "\"" + jsonl::escape(name) + "\":" + obs::histogram_json(h);
+    }
+  } else {
+    out += "},\"histograms\":{";
+  }
+  out += "}}";
+  return out;
+}
+
 void LayoutService::serve(std::istream& in, std::ostream& out) {
   start();
+  obs::set_thread_name("service/intake");
   std::mutex out_mu;
   const auto emit = [&out, &out_mu](const std::string& line) {
     std::lock_guard<std::mutex> lock(out_mu);
@@ -538,6 +623,9 @@ void LayoutService::serve(std::istream& in, std::ostream& out) {
       }
       case RequestOp::kStats:
         emit("{\"event\":\"stats\",\"stats\":" + stats().to_json() + "}");
+        break;
+      case RequestOp::kMetrics:
+        emit("{\"event\":\"metrics\",\"metrics\":" + metrics_json() + "}");
         break;
       case RequestOp::kSnapshot: {
         std::string snap_error;

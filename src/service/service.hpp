@@ -51,6 +51,7 @@
 #include "service/queue.hpp"
 #include "service/request.hpp"
 #include "util/budget.hpp"
+#include "util/obs.hpp"
 #include "util/task_pool.hpp"
 
 namespace olp::service {
@@ -84,6 +85,19 @@ struct ServiceOptions {
   long snapshot_every = 16;
   /// Default deadline applied to requests that don't carry one (0 = none).
   double default_deadline_ms = 0.0;
+  /// Enable the process-wide obs registry at start() so the live-metrics
+  /// families (obs.pool.*, obs.contention.*) are collected. OLP_OBS
+  /// overrides. In a long-running service pair this with `metrics_path` —
+  /// the periodic emission rebases the registry, which both bounds span
+  /// memory and makes each JSONL line a per-interval delta.
+  bool observability = false;
+  /// Append a metrics_json() line to this JSONL file every `metrics_every`
+  /// completed jobs and at drain; empty disables. OLP_METRICS_PATH
+  /// overrides.
+  std::string metrics_path;
+  /// Completions between periodic metrics lines (0 = only at drain).
+  /// OLP_METRICS_EVERY overrides.
+  long metrics_every = 16;
 };
 
 /// Terminal report for one accepted request, delivered to the submitter's
@@ -117,8 +131,12 @@ struct ServiceStats {
   long shed_client_quota = 0;
   long shed_draining = 0;
   long parse_rejects = 0;  ///< malformed / injected-fault request lines
-  double p50_ms = 0.0;  ///< admission->done latency percentiles
-  double p99_ms = 0.0;
+  double p50_ms = 0.0;  ///< admission->done latency percentiles, from the
+  double p99_ms = 0.0;  ///< bounded histogram below (bucket-interpolated)
+  double p999_ms = 0.0;
+  /// Full admission->done latency histogram (milliseconds; bounded memory
+  /// regardless of how long the service has been up).
+  obs::HistogramStats latency;
   core::EvalCacheStats cache;
   std::size_t cache_scopes = 0;
   bool snapshot_loaded = false;   ///< start() warm-started from disk
@@ -165,6 +183,13 @@ class LayoutService {
 
   ServiceStats stats() const;
 
+  /// Full live-telemetry dump as one JSON object (the "metrics" verb's
+  /// payload and the OLP_METRICS_PATH line format): service gauges, the
+  /// latency histogram, the shed breakdown, and — when the obs registry is
+  /// enabled — every obs counter and histogram family (obs.pool.*,
+  /// obs.contention.*, ...).
+  std::string metrics_json() const;
+
   /// Checkpoints the cache pool now. False (with *error) on failure —
   /// the previous snapshot file, if any, survives.
   bool save_snapshot(std::string* error = nullptr);
@@ -183,9 +208,14 @@ class LayoutService {
  private:
   struct Inflight;  // budget registration of one running job
 
-  void worker_loop();
+  void worker_loop(int worker_index);
   void run_one(QueuedJob job);
   void maybe_periodic_snapshot();
+  /// Appends a metrics_json() line to options_.metrics_path every
+  /// `metrics_every` completions (and from drain); when the service owns
+  /// observability, each emission rebases the registry so lines are
+  /// per-interval deltas and span memory stays bounded.
+  void maybe_periodic_metrics(bool force);
   int client_id(const std::string& client);
   /// Resolves the named circuit's instances/nets, preparing it on first
   /// use. Returns false when preparation fails (job fails with the error).
@@ -213,7 +243,7 @@ class LayoutService {
            std::pair<std::vector<circuits::InstanceSpec>,
                      std::vector<std::string>>>
       circuits_;
-  std::vector<double> latencies_ms_;
+  obs::LatencyHistogram latency_hist_;  ///< admission->done, milliseconds
   long completed_ = 0;
   long succeeded_ = 0;
   long degraded_ = 0;
@@ -225,6 +255,7 @@ class LayoutService {
   std::string snapshot_error_;
 
   std::mutex snapshot_mu_;  ///< serializes snapshot writes to one path
+  std::mutex metrics_mu_;   ///< serializes metrics appends to one path
   std::mutex drain_mu_;     ///< serializes drain()
 };
 

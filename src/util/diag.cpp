@@ -35,7 +35,9 @@ void DiagnosticsSink::report(DiagSeverity severity, std::string stage,
   // Mirror into the logger at debug level so interactive runs can watch the
   // recovery ladder without changing default output.
   OLP_DEBUG << d.to_string();
-  std::lock_guard<std::mutex> lock(mu_);
+  static constexpr obs::LockSite kDiagLock{
+      "obs.contention.diag.contended", "obs.contention.diag.wait_us"};
+  const auto lock = obs::timed_lock(mu_, kDiagLock);
   records_.push_back(std::move(d));
 }
 

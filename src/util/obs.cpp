@@ -1,7 +1,6 @@
 #include "util/obs.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "util/budget.hpp"
@@ -27,25 +26,192 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(idx, n - 1)];
 }
 
+/// Lower edge of the histogram's geometric bucket ladder (bucket 0 holds
+/// everything at or below it).
+constexpr double kHistMin = 1e-3;
+
+/// Closed spans a shard may buffer before a span exit forces a central
+/// merge (and the lower bound applied when the open stack empties, so
+/// one-span worker tasks do not pay a central lock per task).
+constexpr std::size_t kFlushClosedBatch = 128;
+constexpr std::size_t kFlushIdleMin = 32;
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+double LatencyHistogram::bucket_upper(int i) { return std::ldexp(kHistMin, i); }
+
+int LatencyHistogram::bucket_index(double value) {
+  // NaN, negatives, zero and anything at or below the ladder floor land in
+  // bucket 0 (the comparison is written so NaN fails it).
+  if (!(value > kHistMin)) return 0;
+  const double ratio = value / kHistMin;
+  const int e = std::ilogb(ratio);  // floor(log2(ratio)); ratio > 1 => e >= 0
+  if (e >= kBuckets - 2) {
+    return (e == kBuckets - 2 && std::ldexp(1.0, e) >= ratio) ? e
+                                                              : kBuckets - 1;
+  }
+  // Bucket i covers (2^(i-1), 2^i] in ratio space; an exact power of two
+  // sits on its bucket's upper edge.
+  return std::ldexp(1.0, e) >= ratio ? e : e + 1;
+}
+
+void LatencyHistogram::record(double value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+HistogramStats LatencyHistogram::stats() const {
+  HistogramStats st;
+  st.count = count_;
+  if (count_ == 0) return st;
+  st.sum = sum_;
+  st.min = min_;
+  st.max = max_;
+  const auto quantile = [this](double q) {
+    // Nearest rank over bucket counts, linearly interpolated inside the
+    // selected bucket and clamped to the exact observed range.
+    long rank = static_cast<long>(std::ceil(q * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    long below = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const long in_bucket = buckets_[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;
+      if (below + in_bucket >= rank) {
+        const double lo = b == 0 ? 0.0 : bucket_upper(b - 1);
+        const double hi = b == kBuckets - 1 ? max_ : bucket_upper(b);
+        const double frac = static_cast<double>(rank - below) /
+                            static_cast<double>(in_bucket);
+        return std::min(std::max(lo + frac * (hi - lo), min_), max_);
+      }
+      below += in_bucket;
+    }
+    return max_;
+  };
+  st.p50 = quantile(0.50);
+  st.p95 = quantile(0.95);
+  st.p99 = quantile(0.99);
+  st.p999 = quantile(0.999);
+  for (int b = 0; b < kBuckets; ++b) {
+    const long in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket != 0) st.buckets.emplace_back(b, in_bucket);
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// One thread's private collection buffer. The owner takes `mu` on every
+/// write — uncontended in steady state, since the only other parties are
+/// enable()/snapshot()/flush walking the shard list. All central<->shard
+/// interplay locks Registry::mu_ *before* Shard::mu, never the reverse.
+struct Registry::Shard {
+  Registry* owner = nullptr;
+  mutable std::mutex mu;
+  std::uint64_t epoch = 0;  ///< registry epoch this shard's data belongs to
+  int tid = 0;              ///< stable per-thread id (1-based, registration order)
+  std::vector<SpanRecord> spans;    ///< open + not-yet-flushed closed spans
+  std::vector<std::size_t> stack;   ///< indices into `spans`; the open stack
+  std::size_t closed = 0;           ///< closed spans buffered in `spans`
+  std::unordered_map<const char*, long> counters;
+  std::unordered_map<const char*, std::vector<double>> samples;
+  std::unordered_map<const char*, LatencyHistogram> hists;
+  ThreadContext ambient;  ///< epoch-guarded separately; survives resets
+
+  ~Shard() {
+    if (owner != nullptr) owner->unregister_shard(this);
+  }
+};
 
 Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
 
-Registry::Tls& Registry::tls() {
-  static thread_local Tls state;
-  return state;
+Registry::Shard& Registry::shard() {
+  static thread_local Shard s;
+  if (s.owner == nullptr) global().register_shard(&s);
+  return s;
+}
+
+void Registry::register_shard(Shard* s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s->owner = this;
+  s->tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  shards_.push_back(s);
+}
+
+void Registry::unregister_shard(Shard* s) {
+  // Thread exit: fold whatever the dying thread buffered into the central
+  // state (its records must survive the shard), then drop it from the merge
+  // order. Its tid — and any name registered for it — stays valid in
+  // already-collected span records.
+  std::lock_guard<std::mutex> reg(mu_);
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->epoch == epoch_.load(std::memory_order_relaxed)) {
+    merge_shard_locked(*s);
+    // Spans still open at thread exit can never be closed; flush them as-is
+    // so the snapshot keeps showing them (open=true), matching the
+    // behaviour they had while the thread lived.
+    for (SpanRecord& rec : s->spans) spans_.push_back(std::move(rec));
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), s),
+                shards_.end());
+  s->owner = nullptr;
+}
+
+void Registry::reset_shard_locked(Shard& s, std::uint64_t epoch) {
+  s.spans.clear();
+  s.stack.clear();
+  s.closed = 0;
+  s.counters.clear();
+  s.samples.clear();
+  s.hists.clear();
+  s.epoch = epoch;
+  // s.ambient is deliberately kept: ThreadContext carries its own epoch tag
+  // and is ignored when stale.
+}
+
+void Registry::ensure_current_locked(Shard& s) const {
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  if (s.epoch != e) reset_shard_locked(s, e);
 }
 
 void Registry::enable() {
   std::lock_guard<std::mutex> lock(mu_);
-  epoch_.fetch_add(1, std::memory_order_relaxed);
-  t0_us_ = steady_now_us();
+  const std::uint64_t e =
+      epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  t0_us_.store(steady_now_us(), std::memory_order_relaxed);
+  next_span_id_.store(0, std::memory_order_relaxed);
   spans_.clear();
   counters_.clear();
   samples_.clear();
+  hists_.clear();
+  // Eagerly reset live shards so a snapshot taken right after enable() is
+  // empty even if some thread never touches the registry again; threads
+  // that do write re-validate lazily via the epoch stamp anyway.
+  for (Shard* s : shards_) {
+    std::lock_guard<std::mutex> shard_lock(s->mu);
+    reset_shard_locked(*s, e);
+  }
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -56,127 +222,220 @@ void Registry::rebase() {
 
 std::int64_t Registry::open_span(const char* name, std::string detail) {
   if (!enabled()) return -1;
-  std::lock_guard<std::mutex> lock(mu_);
-  Tls& t = tls();
-  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
-  if (t.epoch != epoch) {
-    // This thread's stack refers to a previous epoch's records; drop it.
-    t.stack.clear();
-    t.epoch = epoch;
-  }
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ensure_current_locked(s);
   SpanRecord rec;
-  rec.id = static_cast<std::uint64_t>(spans_.size()) + 1;
-  if (!t.stack.empty()) {
-    const SpanRecord& parent = spans_[t.stack.back()];
+  rec.id = next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec.tid = s.tid;
+  if (!s.stack.empty()) {
+    const SpanRecord& parent = s.spans[s.stack.back()];
     rec.parent = parent.id;
     rec.depth = parent.depth + 1;
-  } else if (t.ambient.epoch == epoch) {
+  } else if (s.ambient.epoch == s.epoch) {
     // Worker-thread root: parent under the submitting thread's span.
-    rec.parent = t.ambient.parent_id;
-    rec.depth = t.ambient.depth;
+    rec.parent = s.ambient.parent_id;
+    rec.depth = s.ambient.depth;
   }
   rec.name = name;
   rec.detail = std::move(detail);
-  rec.start_us = steady_now_us() - t0_us_;
+  rec.start_us = steady_now_us() - t0_us_.load(std::memory_order_relaxed);
   rec.open = true;
-  const std::int64_t token = static_cast<std::int64_t>(spans_.size());
-  spans_.push_back(std::move(rec));
-  t.stack.push_back(static_cast<std::size_t>(token));
+  const std::int64_t token = static_cast<std::int64_t>(rec.id);
+  s.stack.push_back(s.spans.size());
+  s.spans.push_back(std::move(rec));
   return token;
 }
 
 void Registry::close_span(std::int64_t token, std::uint64_t epoch) {
-  // The epoch guard orphans spans that straddle an enable()/rebase(): their
-  // record vector entry no longer exists (or belongs to another span), so
-  // closing must be a no-op rather than a write through a stale index.
+  // The epoch guard orphans spans that straddle an enable()/rebase(): the
+  // shard buffer they lived in has been reset, so closing must be a no-op.
   if (token < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
   if (epoch != epoch_.load(std::memory_order_relaxed)) return;
-  const std::size_t idx = static_cast<std::size_t>(token);
-  if (idx >= spans_.size() || !spans_[idx].open) return;
-  SpanRecord& rec = spans_[idx];
-  rec.dur_us = steady_now_us() - t0_us_ - rec.start_us;
-  rec.open = false;
-  // RAII spans close in LIFO order; erase from the top of this thread's
-  // open stack (a cross-thread close just marks the record closed).
-  Tls& t = tls();
-  if (t.epoch == epoch) {
-    while (!t.stack.empty() && !spans_[t.stack.back()].open) {
-      t.stack.pop_back();
+  Shard& s = shard();
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.epoch != epoch) return;
+    // RAII spans close LIFO, so the match is at (or near) the top of the
+    // open stack; fall back to a backward scan of the buffer for spans
+    // closed out of order.
+    const std::uint64_t id = static_cast<std::uint64_t>(token);
+    SpanRecord* rec = nullptr;
+    for (auto it = s.stack.rbegin(); it != s.stack.rend(); ++it) {
+      if (s.spans[*it].id == id) {
+        rec = &s.spans[*it];
+        break;
+      }
     }
+    if (rec == nullptr) {
+      for (auto it = s.spans.rbegin(); it != s.spans.rend(); ++it) {
+        if (it->id == id) {
+          rec = &*it;
+          break;
+        }
+      }
+    }
+    if (rec == nullptr || !rec->open) return;
+    rec->dur_us = steady_now_us() -
+                  t0_us_.load(std::memory_order_relaxed) - rec->start_us;
+    rec->open = false;
+    ++s.closed;
+    while (!s.stack.empty() && !s.spans[s.stack.back()].open) {
+      s.stack.pop_back();
+    }
+    flush = s.closed >= kFlushClosedBatch ||
+            (s.stack.empty() && s.closed >= kFlushIdleMin);
   }
+  if (flush) flush_shard(s);
 }
 
 void Registry::add(const char* name, long delta) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ensure_current_locked(s);
+  s.counters[name] += delta;
 }
 
 void Registry::record(const char* name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_[name].push_back(value);
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ensure_current_locked(s);
+  s.samples[name].push_back(value);
+}
+
+void Registry::record_hist(const char* name, double value) {
+  if (!enabled()) return;
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ensure_current_locked(s);
+  s.hists[name].record(value);
+}
+
+void Registry::merge_shard_locked(Shard& s) {
+  for (const auto& [name, value] : s.counters) counters_[name] += value;
+  s.counters.clear();
+  for (auto& [name, values] : s.samples) {
+    auto& central = samples_[name];
+    central.insert(central.end(), values.begin(), values.end());
+  }
+  s.samples.clear();
+  for (const auto& [name, hist] : s.hists) hists_[name].merge(hist);
+  s.hists.clear();
+  if (s.closed == 0) return;
+  // Move closed spans out; keep open spans (and any closed span still
+  // referenced by the stack — possible after an out-of-order close) local,
+  // remapping the stack's indices into the compacted buffer.
+  std::vector<char> in_stack(s.spans.size(), 0);
+  for (const std::size_t idx : s.stack) in_stack[idx] = 1;
+  std::vector<SpanRecord> kept;
+  std::vector<std::size_t> remap(s.spans.size(), 0);
+  std::size_t kept_closed = 0;
+  for (std::size_t i = 0; i < s.spans.size(); ++i) {
+    if (s.spans[i].open || in_stack[i] != 0) {
+      if (!s.spans[i].open) ++kept_closed;
+      remap[i] = kept.size();
+      kept.push_back(std::move(s.spans[i]));
+    } else {
+      spans_.push_back(std::move(s.spans[i]));
+    }
+  }
+  for (std::size_t& idx : s.stack) idx = remap[idx];
+  s.spans = std::move(kept);
+  s.closed = kept_closed;
+}
+
+void Registry::flush_shard(Shard& s) {
+  std::lock_guard<std::mutex> reg(mu_);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.epoch != epoch_.load(std::memory_order_relaxed)) return;
+  merge_shard_locked(s);
 }
 
 long Registry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg(mu_);
+  long total = 0;
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  if (it != counters_.end()) total = it->second;
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  for (Shard* s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->epoch != e) continue;
+    for (const auto& [key, value] : s->counters) {
+      if (name == key) total += value;
+    }
+  }
+  return total;
 }
 
 std::string Registry::span_path() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const Tls& t = tls();
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   std::string path;
-  if (t.ambient.epoch == epoch) path = t.ambient.path;
-  if (t.epoch != epoch) return path;
-  for (const std::size_t idx : t.stack) {
-    if (!spans_[idx].open) continue;
+  if (s.ambient.epoch == epoch) path = s.ambient.path;
+  if (s.epoch != epoch) return path;
+  for (const std::size_t idx : s.stack) {
+    if (!s.spans[idx].open) continue;
     if (!path.empty()) path += '/';
-    path += spans_[idx].name;
+    path += s.spans[idx].name;
   }
   return path;
 }
 
 ThreadContext Registry::capture_thread_context() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const Tls& t = tls();
-  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   ThreadContext ctx;
   if (!enabled()) return ctx;
-  if (t.epoch == epoch && !t.stack.empty()) {
-    const SpanRecord& top = spans_[t.stack.back()];
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (s.epoch == epoch && !s.stack.empty()) {
+    const SpanRecord& top = s.spans[s.stack.back()];
     ctx.epoch = epoch;
     ctx.parent_id = top.id;
     ctx.depth = top.depth + 1;
-  } else if (t.ambient.epoch == epoch) {
+  } else if (s.ambient.epoch == epoch) {
     // No local spans open (nested pools): forward the inherited context.
-    return t.ambient;
+    return s.ambient;
   } else {
     return ctx;
   }
-  // Rebuild the path inline (span_path() would re-lock).
+  // Rebuild the path inline (span_path() would re-lock the shard).
   std::string path;
-  if (t.ambient.epoch == epoch) path = t.ambient.path;
-  for (const std::size_t idx : t.stack) {
-    if (!spans_[idx].open) continue;
+  if (s.ambient.epoch == epoch) path = s.ambient.path;
+  for (const std::size_t idx : s.stack) {
+    if (!s.spans[idx].open) continue;
     if (!path.empty()) path += '/';
-    path += spans_[idx].name;
+    path += s.spans[idx].name;
   }
   ctx.path = std::move(path);
   return ctx;
 }
 
 void Registry::set_thread_context(const ThreadContext& context) {
-  tls().ambient = context;
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ambient = context;
 }
 
-void Registry::clear_thread_context() { tls().ambient = ThreadContext{}; }
+void Registry::clear_thread_context() {
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ambient = ThreadContext{};
+}
 
 ThreadContext Registry::ambient_thread_context() const {
-  return tls().ambient;
+  Shard& s = shard();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.ambient;
+}
+
+void Registry::set_thread_name(std::string name) {
+  const int tid = shard().tid;  // registered (and tid fixed) on first use
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::move(name);
 }
 
 ThreadContext ThreadContextScope::capture_ambient() {
@@ -186,17 +445,41 @@ ThreadContext ThreadContextScope::capture_ambient() {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> reg(mu_);
   Snapshot snap;
   snap.spans = spans_;
-  const std::int64_t now_us = steady_now_us() - t0_us_;
+  std::map<std::string, long> counters = counters_;
+  std::map<std::string, std::vector<double>> samples = samples_;
+  std::map<std::string, LatencyHistogram> hists = hists_;
+  const std::int64_t now_us =
+      steady_now_us() - t0_us_.load(std::memory_order_relaxed);
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  // Shards are read in registration order — and every family merge is
+  // order-independent anyway (counters/histograms add, distributions are
+  // computed over sorted samples, spans sort by id below), so the snapshot
+  // does not depend on merge timing.
+  for (Shard* s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->epoch != e) continue;
+    for (const auto& [name, value] : s->counters) counters[name] += value;
+    for (const auto& [name, values] : s->samples) {
+      auto& central = samples[name];
+      central.insert(central.end(), values.begin(), values.end());
+    }
+    for (const auto& [name, hist] : s->hists) hists[name].merge(hist);
+    for (const SpanRecord& rec : s->spans) snap.spans.push_back(rec);
+  }
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;
+            });
   for (SpanRecord& rec : snap.spans) {
     if (rec.open) rec.dur_us = now_us - rec.start_us;
   }
-  snap.counters = counters_;
-  for (const auto& [name, samples] : samples_) {
-    if (samples.empty()) continue;
-    std::vector<double> sorted = samples;
+  snap.counters = std::move(counters);
+  for (const auto& [name, raw] : samples) {
+    if (raw.empty()) continue;
+    std::vector<double> sorted = raw;
     std::sort(sorted.begin(), sorted.end());
     DistributionStats d;
     d.count = static_cast<long>(sorted.size());
@@ -209,6 +492,11 @@ Snapshot Registry::snapshot() const {
     d.p95 = percentile(sorted, 0.95);
     snap.distributions[name] = d;
   }
+  for (const auto& [name, hist] : hists) {
+    if (hist.count() == 0) continue;
+    snap.histograms[name] = hist.stats();
+  }
+  snap.thread_names = thread_names_;
   return snap;
 }
 

@@ -1,6 +1,6 @@
 #pragma once
-// Flow-wide observability: RAII scoped spans, monotonic counters and value
-// distributions in a process-wide registry.
+// Flow-wide observability: RAII scoped spans, monotonic counters, value
+// distributions and fixed-bucket histograms in a process-wide registry.
 //
 // The registry is disabled by default. Every instrumentation site pays one
 // relaxed-atomic load when disabled — no allocation, no clock read, no
@@ -18,23 +18,43 @@
 //   eval.testbench                                           (per evaluation)
 //   sim.op, sim.ac, sim.tran                                 (per analysis)
 //
-// The registry is process-global and thread-safe: counters, samples and
-// span records live behind one mutex, while each thread keeps its own open-
-// span stack (thread-local), so concurrently open spans never interleave in
-// one stack. TaskPool propagates a ThreadContext from the submitting thread
-// to its workers, making worker spans nest under the submitting span — each
-// worker gets a per-thread span root parented into the flow trace, and
-// diagnostics keep meaningful span paths. Counter merging is trivial: all
-// threads add into the same map under the mutex. The disabled fast path is
-// still one relaxed atomic load. Collected data stays readable after
-// disable(), until the next enable()/rebase().
+// Sharded, thread-local collection (the scalability model): every thread
+// owns one shard — counters, samples, histograms and span records are
+// written into the calling thread's shard under a per-shard mutex that the
+// owner takes uncontended (plain stores behind a thread-private lock; no
+// shared mutex anywhere on the hot path). Shards merge into the central
+// registry at span exit (when a thread's open-span stack empties, or its
+// closed-span buffer crosses a batch threshold) and at every snapshot
+// point, in deterministic order: shards merge in registration order,
+// counters/histograms are additive, distribution statistics are computed
+// over sorted samples, and span records are globally ordered by their
+// atomically-assigned open id — so the merged snapshot is independent of
+// merge timing. Span ids come from one atomic counter, which keeps parent
+// links valid across shards without any central lock at open time.
+//
+// TaskPool propagates a ThreadContext from the submitting thread to its
+// workers, making worker spans nest under the submitting span. Threads can
+// be named (set_thread_name) and every span carries its thread's tid, so
+// Chrome-trace exports show per-thread lanes with readable names.
+//
+// Contention instrumentation: timed_lock()/timed_relock() wrap a mutex
+// acquisition with a try-lock fast path; only a *contended* acquisition
+// reads the clock and records into the "obs.contention.<site>" counter
+// (contended acquisitions) and histogram (wait microseconds) families.
+//
+// The disabled fast path is still one relaxed atomic load. Collected data
+// stays readable after disable(), until the next enable()/rebase().
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -45,6 +65,7 @@ struct SpanRecord {
   std::uint64_t id = 0;      ///< 1-based, in open order
   std::uint64_t parent = 0;  ///< id of the enclosing span; 0 = root
   int depth = 0;             ///< nesting depth (0 = root)
+  int tid = 1;               ///< registry thread id (see set_thread_name)
   std::string name;          ///< taxonomy name, e.g. "sim.op"
   std::string detail;        ///< free-form context, e.g. the net name
   std::int64_t start_us = 0; ///< wall-clock start, relative to enable()
@@ -52,7 +73,8 @@ struct SpanRecord {
   bool open = false;         ///< still open when the snapshot was taken
 };
 
-/// Order statistics of one value distribution (nearest-rank percentiles).
+/// Order statistics of one value distribution (nearest-rank percentiles,
+/// exact — computed from the full sample set).
 struct DistributionStats {
   long count = 0;
   double min = 0.0;
@@ -62,11 +84,65 @@ struct DistributionStats {
   double p95 = 0.0;
 };
 
+/// Summary of one fixed-bucket histogram (see LatencyHistogram): exact
+/// count/sum/min/max, bucket-interpolated quantiles, and the nonzero
+/// buckets as (index, count) pairs.
+struct HistogramStats {
+  long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  std::vector<std::pair<int, long>> buckets;  ///< nonzero (index, count)
+};
+
+/// Bounded-memory value histogram with a fixed logarithmic bucket layout:
+/// bucket 0 holds values <= 1e-3 (including zero and negatives), buckets
+/// 1..62 are base-2 geometric — bucket i covers (1e-3 * 2^(i-1),
+/// 1e-3 * 2^i] — and bucket 63 is the overflow. The layout spans ~1e-3 to
+/// ~4.6e15 in whatever unit the caller records (the service records
+/// milliseconds, contention sites record microseconds), so quantile
+/// estimates carry at most one-bucket (2x) relative error, refined by
+/// linear interpolation within the bucket and clamped to the exact
+/// observed [min, max]. Merging is bucket-wise addition, so shard merges
+/// commute and the merged histogram is independent of merge order.
+///
+/// Not internally synchronized: callers hold their own lock (the registry
+/// keeps one per shard; ServiceStats aggregates under the service mutex).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double value);
+  void merge(const LatencyHistogram& other);
+  long count() const { return count_; }
+  double sum() const { return sum_; }
+
+  /// Upper bound of bucket `i` for i in [0, 62]; bucket 63 is unbounded.
+  static double bucket_upper(int i);
+  /// The bucket record() files `value` under.
+  static int bucket_index(double value);
+
+  HistogramStats stats() const;
+
+ private:
+  std::array<long, kBuckets> buckets_{};
+  long count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 /// A point-in-time copy of everything the registry collected.
 struct Snapshot {
-  std::vector<SpanRecord> spans;  ///< in span-open order
+  std::vector<SpanRecord> spans;  ///< ordered by span id (= open order)
   std::map<std::string, long> counters;
   std::map<std::string, DistributionStats> distributions;
+  std::map<std::string, HistogramStats> histograms;
+  std::map<int, std::string> thread_names;  ///< tid -> name (see set_thread_name)
 
   long counter(const std::string& name) const {
     const auto it = counters.find(name);
@@ -91,7 +167,8 @@ class Registry {
  public:
   static Registry& global();
 
-  /// Clears all collected state, restarts the clock and starts collecting.
+  /// Clears all collected state (central and every live shard), restarts
+  /// the clock and starts collecting.
   void enable();
   /// Stops collecting; collected data stays snapshotable until the next
   /// enable()/rebase().
@@ -107,22 +184,34 @@ class Registry {
   void rebase();
 
   // -- Instrumentation backend (call through the free functions below). --
-  /// Opens a span; returns its record index, or -1 when disabled.
+  /// Opens a span in the calling thread's shard; returns the span id as a
+  /// close token, or -1 when disabled.
   std::int64_t open_span(const char* name, std::string detail);
-  /// Closes the span if `epoch` still matches the open epoch.
+  /// Closes the span if `epoch` still matches the open epoch. Must run on
+  /// the opening thread (RAII spans always do); a mismatched thread or a
+  /// stale epoch makes it a safe no-op.
   void close_span(std::int64_t token, std::uint64_t epoch);
   void add(const char* name, long delta);
   void record(const char* name, double value);
+  /// Records into the named fixed-bucket histogram (bounded memory; use
+  /// for per-event latencies that would make record() vectors unbounded).
+  void record_hist(const char* name, double value);
 
   std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_relaxed);
   }
-  /// Current counter value (0 when absent).
+  /// Current counter value across central state and all shards (0 when
+  /// absent).
   long counter(const std::string& name) const;
   /// Slash-joined names of this thread's open span stack (prefixed by any
   /// applied ThreadContext path), e.g. "flow.optimize/routing/router.net";
-  /// empty when none or disabled.
+  /// empty when none. Touches only the calling thread's shard.
   std::string span_path() const;
+
+  /// Names the calling thread in exported traces (Chrome trace "M"
+  /// metadata records) — e.g. "pool/worker-3". Thread names are structural
+  /// and survive enable()/rebase().
+  void set_thread_name(std::string name);
 
   /// Captures this thread's span position for propagation to pool workers.
   ThreadContext capture_thread_context() const;
@@ -133,29 +222,48 @@ class Registry {
   /// The calling thread's raw ambient slot, as set (empty when none).
   ThreadContext ambient_thread_context() const;
 
-  /// Copies the collected state. Open spans are included with their
-  /// duration-so-far and open=true.
+  /// Merges every live shard (in registration order) with the central
+  /// state into one copy. Open spans are included with their
+  /// duration-so-far and open=true. Shards are read, not drained, so
+  /// snapshot() is safe to call at any time from any thread.
   Snapshot snapshot() const;
 
  private:
+  struct Shard;
+
   Registry() = default;
 
-  /// Per-thread open-span state; the stack holds indices into spans_ and is
-  /// invalidated lazily when its epoch falls behind the registry's.
-  struct Tls {
-    std::uint64_t epoch = 0;
-    std::vector<std::size_t> stack;
-    ThreadContext ambient;
-  };
-  static Tls& tls();
+  /// The calling thread's shard, registered with the global registry on
+  /// first use and merged+unregistered at thread exit.
+  static Shard& shard();
+
+  void register_shard(Shard* s);
+  void unregister_shard(Shard* s);
+  /// Clears a shard and stamps it with `epoch`. Caller holds s->mu.
+  static void reset_shard_locked(Shard& s, std::uint64_t epoch);
+  /// Drops stale-epoch shard state. Caller holds s.mu.
+  void ensure_current_locked(Shard& s) const;
+  /// Merges (and drains) a shard into the central maps. Caller holds BOTH
+  /// mu_ and s.mu, in that order.
+  void merge_shard_locked(Shard& s);
+  /// Lock-ordered flush of the calling thread's shard (mu_ then s.mu).
+  void flush_shard(Shard& s);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> epoch_{0};  ///< bumped by enable()/rebase()
-  mutable std::mutex mu_;     ///< guards everything below
-  std::int64_t t0_us_ = 0;    ///< steady-clock origin of the current epoch
-  std::vector<SpanRecord> spans_;
+  std::atomic<std::uint64_t> next_span_id_{0};  ///< reset by enable()/rebase()
+  std::atomic<std::int64_t> t0_us_{0};   ///< steady-clock origin of the epoch
+  std::atomic<int> next_tid_{0};
+
+  mutable std::mutex mu_;     ///< guards everything below (never held while
+                              ///< taking a shard lock's *owner* path; lock
+                              ///< order is always mu_ -> shard.mu)
+  std::vector<Shard*> shards_;           ///< live shards, registration order
+  std::vector<SpanRecord> spans_;        ///< flushed span records
   std::map<std::string, long> counters_;
   std::map<std::string, std::vector<double>> samples_;
+  std::map<std::string, LatencyHistogram> hists_;
+  std::map<int, std::string> thread_names_;
 };
 
 /// Fast-path enabled check (one relaxed atomic load).
@@ -167,9 +275,74 @@ inline void counter_add(const char* name, long delta = 1) {
   if (enabled()) Registry::global().add(name, delta);
 }
 
-/// Records one sample of a named value distribution.
+/// Records one sample of a named value distribution (exact percentiles,
+/// memory grows with the sample count — prefer histogram() for per-event
+/// latencies on long-lived processes).
 inline void record(const char* name, double value) {
   if (enabled()) Registry::global().record(name, value);
+}
+
+/// Records into a named fixed-bucket histogram (bounded memory).
+inline void histogram(const char* name, double value) {
+  if (enabled()) Registry::global().record_hist(name, value);
+}
+
+/// Names the calling thread in exported traces (no-op only in the sense
+/// that nothing is exported until the registry is enabled; the name itself
+/// is always registered).
+inline void set_thread_name(std::string name) {
+  Registry::global().set_thread_name(std::move(name));
+}
+
+/// One instrumented mutex site: the counter bumped per *contended*
+/// acquisition and the histogram of contended wait times in microseconds.
+/// Both names must be string literals (they key thread-local shard maps by
+/// pointer).
+struct LockSite {
+  const char* contended;  ///< counter, e.g. "obs.contention.pool.contended"
+  const char* wait_us;    ///< histogram, e.g. "obs.contention.pool.wait_us"
+};
+
+/// Locks `mu`, attributing contended waits to `site`. The fast path is one
+/// try_lock; only a failed try-lock (actual contention) reads the clock,
+/// and only while the registry is enabled does it record anything.
+inline std::unique_lock<std::mutex> timed_lock(std::mutex& mu,
+                                               const LockSite& site) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  if (!enabled()) {
+    lock.lock();
+    return lock;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  const double wait_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  Registry::global().add(site.contended, 1);
+  Registry::global().record_hist(site.wait_us, wait_us);
+  return lock;
+}
+
+/// Re-acquires an unlocked unique_lock with the same contention
+/// attribution as timed_lock (for worker loops that drop and retake one
+/// lock).
+inline void timed_relock(std::unique_lock<std::mutex>& lock,
+                         const LockSite& site) {
+  if (lock.try_lock()) return;
+  if (!enabled()) {
+    lock.lock();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  lock.lock();
+  const double wait_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  Registry::global().add(site.contended, 1);
+  Registry::global().record_hist(site.wait_us, wait_us);
 }
 
 /// RAII scoped span. Construction opens, destruction (or close()) closes.
@@ -177,6 +350,8 @@ inline void record(const char* name, double value) {
 /// for string literals; a std::string lvalue/temporary is still built by the
 /// caller) or a nullary callable returning one — use the callable form when
 /// building the detail would allocate, so disabled mode stays allocation-free.
+/// A Span must be destroyed on the thread that constructed it (RAII usage
+/// guarantees this); the record lives in that thread's shard.
 class Span {
  public:
   explicit Span(const char* name) {

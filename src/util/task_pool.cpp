@@ -21,6 +21,16 @@ void chaos_delay(std::size_t index) {
   std::this_thread::sleep_for(std::chrono::microseconds(100 + 100 * h));
 }
 
+/// The pool mutex's contention attribution (obs::timed_lock).
+constexpr obs::LockSite kPoolLock{"obs.contention.pool.contended",
+                                  "obs.contention.pool.wait_us"};
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 int resolve_num_threads(int requested) {
@@ -38,7 +48,10 @@ TaskPool::TaskPool(int threads) {
   const int total = threads < 1 ? 1 : threads;
   workers_.reserve(static_cast<std::size_t>(total - 1));
   for (int i = 1; i < total; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::set_thread_name("pool/worker-" + std::to_string(i - 1));
+      worker_loop();
+    });
   }
 }
 
@@ -84,11 +97,13 @@ void TaskPool::parallel_for(std::size_t n,
   batch.n = n;
   batch.context = obs::capture_thread_context();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = obs::timed_lock(mu_, kPoolLock);
   queue_.push_back(&batch);
+  obs::histogram("obs.pool.queue_depth",
+                 static_cast<double>(queue_.size()));
   lock.unlock();
   work_cv_.notify_all();
-  lock.lock();
+  obs::timed_relock(lock, kPoolLock);
 
   // The submitter works its own batch first (so progress never depends on a
   // free worker — nested submission cannot deadlock), then waits for
@@ -104,10 +119,16 @@ void TaskPool::parallel_for(std::size_t n,
 }
 
 void TaskPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = obs::timed_lock(mu_, kPoolLock);
   for (;;) {
+    // Idle time = waiting for claimable work; the clock is only read while
+    // the registry is enabled, so disabled runs pay nothing here.
+    const std::int64_t idle_t0 = obs::enabled() ? now_us() : 0;
     work_cv_.wait(lock,
                   [this] { return shutdown_ || front_claimable() != nullptr; });
+    if (idle_t0 != 0) {
+      obs::counter_add("obs.pool.idle_us", now_us() - idle_t0);
+    }
     if (shutdown_) return;
     Batch* batch = front_claimable();
     if (batch != nullptr) run_one(lock, *batch, /*is_worker=*/true);
@@ -124,6 +145,7 @@ void TaskPool::run_one(std::unique_lock<std::mutex>& lock, Batch& batch,
 
   bool keep_going = false;
   std::exception_ptr thrown;
+  const std::int64_t busy_t0 = obs::enabled() ? now_us() : 0;
   {
     // Workers adopt the submitting thread's span position so their spans
     // (and any diagnostics' span paths) nest inside the submitting span.
@@ -139,8 +161,11 @@ void TaskPool::run_one(std::unique_lock<std::mutex>& lock, Batch& batch,
     }
   }
   obs::counter_add("pool.tasks");
+  if (busy_t0 != 0 && is_worker) {
+    obs::counter_add("obs.pool.busy_us", now_us() - busy_t0);
+  }
 
-  lock.lock();
+  obs::timed_relock(lock, kPoolLock);
   --batch.in_flight;
   if (thrown != nullptr) {
     if (batch.error == nullptr || index < batch.error_index) {

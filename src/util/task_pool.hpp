@@ -38,8 +38,14 @@
 // scramble completion order adversarially without touching results.
 //
 // Telemetry (via util/obs): "pool.batches", "pool.tasks",
-// "pool.stopped_batches". Workers run under the submitting thread's obs
-// ThreadContext, so their spans nest inside the submitting span.
+// "pool.stopped_batches" count work; the contention families measure how
+// the pool scales — "obs.pool.queue_depth" (histogram of the batch-queue
+// depth at each submission), "obs.pool.busy_us"/"obs.pool.idle_us"
+// (cumulative worker task-execution vs. wait time), and
+// "obs.contention.pool.{contended,wait_us}" (pool-mutex lock waits, via
+// obs::timed_lock). Workers run under the submitting thread's obs
+// ThreadContext, so their spans nest inside the submitting span, and each
+// worker names itself "pool/worker-N" for Chrome-trace thread lanes.
 
 #include <condition_variable>
 #include <cstddef>

@@ -59,16 +59,43 @@ std::string num(double v) {
 
 }  // namespace
 
+std::string histogram_json(const HistogramStats& h) {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(h.count);
+  out += ",\"sum\":" + num(h.sum);
+  out += ",\"min\":" + num(h.min) + ",\"max\":" + num(h.max);
+  out += ",\"p50\":" + num(h.p50) + ",\"p95\":" + num(h.p95);
+  out += ",\"p99\":" + num(h.p99) + ",\"p999\":" + num(h.p999);
+  out += ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[';
+    out += std::to_string(h.buckets[i].first);
+    out += ',';
+    out += std::to_string(h.buckets[i].second);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
 std::string to_chrome_trace_json(const Snapshot& snapshot) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out +=
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
       "\"args\":{\"name\":\"olp flow\"}}";
+  // Name every thread that registered one (pool/worker-N, service threads)
+  // so the per-tid lanes below are readable in chrome://tracing / Perfetto.
+  for (const auto& [tid, name] : snapshot.thread_names) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + escape(name) +
+           "\"}}";
+  }
   for (const SpanRecord& s : snapshot.spans) {
     out += ",{\"name\":\"" + escape(s.name) + "\",\"cat\":\"olp\"";
     out += ",\"ph\":\"X\",\"ts\":" + std::to_string(s.start_us);
     out += ",\"dur\":" + std::to_string(s.dur_us < 0 ? 0 : s.dur_us);
-    out += ",\"pid\":1,\"tid\":1,\"args\":{";
+    out += ",\"pid\":1,\"tid\":" + std::to_string(s.tid) + ",\"args\":{";
     out += "\"id\":" + std::to_string(s.id);
     out += ",\"parent\":" + std::to_string(s.parent);
     out += ",\"depth\":" + std::to_string(s.depth);
@@ -197,6 +224,13 @@ std::string to_json(const FlowTelemetry& t) {
     out += ",\"mean\":" + num(d.mean);
     out += ",\"p50\":" + num(d.p50) + ",\"p95\":" + num(d.p95) + "}";
   }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : t.snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + escape(name) + "\":" + histogram_json(h);
+  }
   out += "},\"span_count\":" + std::to_string(t.snapshot.spans.size());
   out += "}";
   return out;
@@ -255,6 +289,17 @@ std::string summary_table(const FlowTelemetry& t) {
       table.add_row({name, std::to_string(d.count), fixed(d.min, 2),
                      fixed(d.mean, 2), fixed(d.p50, 2), fixed(d.p95, 2),
                      fixed(d.max, 2)});
+    }
+    out += '\n';
+    out += table.render();
+  }
+  if (!t.snapshot.histograms.empty()) {
+    TextTable table("Histograms");
+    table.set_header({"name", "n", "min", "p50", "p99", "p99.9", "max"});
+    for (const auto& [name, h] : t.snapshot.histograms) {
+      table.add_row({name, std::to_string(h.count), fixed(h.min, 2),
+                     fixed(h.p50, 2), fixed(h.p99, 2), fixed(h.p999, 2),
+                     fixed(h.max, 2)});
     }
     out += '\n';
     out += table.render();

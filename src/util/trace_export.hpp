@@ -23,9 +23,16 @@
 namespace olp::obs {
 
 /// The whole snapshot as Chrome trace-event JSON (timestamps/durations in
-/// microseconds, one process/thread). Always a valid JSON document, even for
-/// an empty snapshot.
+/// microseconds; one process, one lane per registry tid, named via "M"
+/// thread_name metadata records from Snapshot::thread_names). Always a
+/// valid JSON document, even for an empty snapshot.
 std::string to_chrome_trace_json(const Snapshot& snapshot);
+
+/// One HistogramStats as a JSON object: count/sum/min/max, interpolated
+/// p50/p95/p99/p999, and the nonzero buckets as [index,count] pairs (see
+/// LatencyHistogram for the bucket layout). Shared by FlowTelemetry JSON
+/// and the service's metrics op.
+std::string histogram_json(const HistogramStats& h);
 
 /// Aggregated wall-clock time of one flow stage (spans merged by name).
 struct StageTiming {

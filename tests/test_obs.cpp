@@ -6,11 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/flow.hpp"
@@ -201,6 +205,179 @@ TEST(Obs, RebaseWhileDisabledIsNoOp) {
   Registry::global().rebase();  // must not clear: registry is off
   EXPECT_EQ(Registry::global().counter("kept"), 1);
   Registry::global().enable();
+}
+
+TEST(LatencyHistogram, BucketLadderEdges) {
+  using H = LatencyHistogram;
+  // NaN, negatives, zero and the ladder floor itself all land in bucket 0.
+  EXPECT_EQ(H::bucket_index(std::nan("")), 0);
+  EXPECT_EQ(H::bucket_index(-1.0), 0);
+  EXPECT_EQ(H::bucket_index(0.0), 0);
+  EXPECT_EQ(H::bucket_index(1e-3), 0);
+  // Bucket i covers (upper(i-1), upper(i)]: the upper bound belongs to its
+  // own bucket, one ulp past moves up.
+  for (int i = 1; i <= H::kBuckets - 2; ++i) {
+    EXPECT_EQ(H::bucket_index(H::bucket_upper(i)), i) << i;
+    EXPECT_EQ(H::bucket_index(H::bucket_upper(i - 1) * 1.0001), i) << i;
+  }
+  // Beyond the top rung: overflow bucket.
+  EXPECT_EQ(H::bucket_index(H::bucket_upper(H::kBuckets - 2) * 2.0),
+            H::kBuckets - 1);
+  EXPECT_EQ(H::bucket_index(std::numeric_limits<double>::infinity()),
+            H::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 0; i < 500; ++i) {
+    const double va = 1e-3 * (1 + i % 97);
+    const double vb = 0.5 * (1 + i % 13);
+    a.record(va);
+    b.record(vb);
+    combined.record(va);
+    combined.record(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  const HistogramStats sa = a.stats();
+  const HistogramStats sc = combined.stats();
+  EXPECT_EQ(sa.buckets, sc.buckets);
+  EXPECT_DOUBLE_EQ(sa.min, sc.min);
+  EXPECT_DOUBLE_EQ(sa.max, sc.max);
+  EXPECT_DOUBLE_EQ(sa.p50, sc.p50);
+  EXPECT_DOUBLE_EQ(sa.p999, sc.p999);
+}
+
+TEST(LatencyHistogram, QuantilesClampedToObservedRange) {
+  LatencyHistogram h;
+  h.record(4.0);  // lone sample: every quantile must be exactly it
+  HistogramStats st = h.stats();
+  EXPECT_DOUBLE_EQ(st.p50, 4.0);
+  EXPECT_DOUBLE_EQ(st.p999, 4.0);
+  EXPECT_DOUBLE_EQ(st.min, 4.0);
+  EXPECT_DOUBLE_EQ(st.max, 4.0);
+
+  for (int i = 0; i < 999; ++i) h.record(4.0);
+  h.record(1e9);  // one outlier in the overflow bucket
+  st = h.stats();
+  EXPECT_DOUBLE_EQ(st.p50, 4.0);
+  EXPECT_LE(st.p999, 1e9);
+  EXPECT_GE(st.p999, 4.0);
+  EXPECT_DOUBLE_EQ(st.max, 1e9);
+  EXPECT_EQ(st.count, 1001);
+}
+
+TEST(Obs, ConcurrentCountersMergeExactlyToSerialTotals) {
+  // 8 threads hammer the same counter and histogram families through their
+  // own shards; the merged snapshot must equal the serial totals EXACTLY —
+  // sharded aggregation loses nothing and double-counts nothing.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  long serial_count = 0;
+  double serial_sum = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    ++serial_count;
+    serial_sum += static_cast<double>(i % 7);
+  }
+
+  ScopedObservability scope;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        counter_add("mt.count");
+        histogram("mt.wait", static_cast<double>(i % 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const Snapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.counter("mt.count"), kThreads * serial_count);
+  const auto it = snap.histograms.find("mt.wait");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, kThreads * serial_count);
+  EXPECT_DOUBLE_EQ(it->second.sum, kThreads * serial_sum);
+}
+
+TEST(Obs, SnapshotIsDeterministicRegardlessOfMergeTiming) {
+  // Concurrent span producers, then two snapshots back-to-back: the first
+  // merge pulls live shard state, the second re-reads after that merge.
+  // Both must render the identical, id-ordered view.
+  constexpr int kThreads = 6;
+  ScopedObservability scope;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 40; ++i) {
+        Span outer("mt.outer");
+        counter_add("mt.spans");
+        { Span inner(t % 2 == 0 ? "mt.even" : "mt.odd"); }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const Snapshot a = Registry::global().snapshot();
+  const Snapshot b = Registry::global().snapshot();
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  ASSERT_EQ(a.spans.size(), static_cast<std::size_t>(kThreads * 40 * 2));
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].id, b.spans[i].id);
+    EXPECT_EQ(a.spans[i].parent, b.spans[i].parent);
+    EXPECT_EQ(a.spans[i].name, b.spans[i].name);
+    EXPECT_EQ(a.spans[i].tid, b.spans[i].tid);
+    if (i > 0) EXPECT_LT(a.spans[i - 1].id, a.spans[i].id);
+  }
+  EXPECT_EQ(a.counters, b.counters);
+  // Every inner span is parented under an outer span from its own thread.
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : a.spans) by_id[s.id] = &s;
+  for (const SpanRecord& s : a.spans) {
+    if (s.name == "mt.outer") continue;
+    ASSERT_NE(by_id.count(s.parent), 0u);
+    EXPECT_EQ(by_id[s.parent]->name, "mt.outer");
+    EXPECT_EQ(by_id[s.parent]->tid, s.tid);
+  }
+}
+
+TEST(TraceExport, ThreadNameMetadataRecordsInChromeTrace) {
+  ScopedObservability scope;
+  set_thread_name("main-test-thread");
+  {
+    Span span("named.main");
+  }
+  std::thread helper([] {
+    set_thread_name("helper-0");
+    Span span("named.helper");
+  });
+  helper.join();
+
+  const Snapshot snap = Registry::global().snapshot();
+  ASSERT_GE(snap.thread_names.size(), 2u);
+  const std::string json = to_chrome_trace_json(snap);
+  std::string err;
+  ASSERT_TRUE(json_well_formed(json, &err)) << err;
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"main-test-thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"helper-0\""), std::string::npos);
+  // The helper's X event rides its own tid lane, not the main thread's.
+  int helper_tid = -1;
+  int main_tid = -1;
+  for (const auto& [tid, name] : snap.thread_names) {
+    if (name == "helper-0") helper_tid = tid;
+    if (name == "main-test-thread") main_tid = tid;
+  }
+  ASSERT_GE(helper_tid, 0);
+  ASSERT_GE(main_tid, 0);
+  EXPECT_NE(helper_tid, main_tid);
+  for (const SpanRecord& s : snap.spans) {
+    if (s.name == "named.helper") EXPECT_EQ(s.tid, helper_tid);
+    if (s.name == "named.main") EXPECT_EQ(s.tid, main_tid);
+  }
 }
 
 TEST(TraceExport, ChromeTraceJsonIsWellFormedAndComplete) {

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
@@ -21,6 +22,7 @@
 #include "service/request.hpp"
 #include "service/service.hpp"
 #include "util/logging.hpp"
+#include "util/trace_export.hpp"
 
 namespace olp::service {
 namespace {
@@ -462,6 +464,103 @@ TEST(Serve, EofDrainsGracefully) {
   svc.serve(in, out);  // EOF after one submit: job still completes
   EXPECT_NE(out.str().find("\"event\":\"done\""), std::string::npos);
   EXPECT_EQ(svc.stats().completed, 1);
+}
+
+TEST(Serve, MetricsOpRoundTripsFullTelemetry) {
+  // With observability on, the metrics verb must return one well-formed
+  // JSON line carrying the service gauges, the bounded latency histogram,
+  // the shed breakdown, and the live obs families (pool queue depth /
+  // busy-idle, lock-wait sites appear once contended).
+  ServiceOptions options = small_options();
+  options.workers = 2;
+  options.pool_threads = 2;
+  options.observability = true;
+  LayoutService svc(t(), options);
+  svc.start();
+  // Run one optimize-mode job to completion first — optimize is the mode
+  // whose inner stages go through the shared TaskPool, so the dump reflects
+  // real pool telemetry — then ask for metrics over the wire.
+  {
+    std::promise<RequestOutcome> done;
+    auto fut = done.get_future();
+    ServiceRequest request = vco_request("m0", "a");
+    request.mode = circuits::FlowMode::kOptimize;
+    ASSERT_EQ(svc.submit(request,
+                         [&done](const RequestOutcome& o) {
+                           done.set_value(o);
+                         }),
+              RejectReason::kNone);
+    fut.wait();
+  }
+  std::istringstream in("{\"op\":\"metrics\"}\n{\"op\":\"drain\"}\n");
+  std::ostringstream out;
+  svc.serve(in, out);
+
+  std::string metrics_line;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"event\":\"metrics\"") != std::string::npos) {
+      metrics_line = line;
+    }
+  }
+  ASSERT_FALSE(metrics_line.empty()) << out.str();
+  std::string err;
+  EXPECT_TRUE(obs::json_well_formed(metrics_line, &err)) << err;
+  for (const char* key :
+       {"\"queue_depth\"", "\"completed\"", "\"latency_ms\"", "\"buckets\"",
+        "\"p999\"", "\"shed\"", "\"queue_full\"", "\"client_quota\"",
+        "\"counters\"", "\"histograms\"", "\"obs_enabled\":true"}) {
+    EXPECT_NE(metrics_line.find(key), std::string::npos) << key;
+  }
+  // The inner pool ran parallel stages with obs on: its queue-depth
+  // histogram must have made it into the dump. (Busy/idle counters are not
+  // asserted — on a single-core host the submitting thread may legally run
+  // every task itself before a pool worker wakes.)
+  EXPECT_NE(metrics_line.find("obs.pool.queue_depth"), std::string::npos);
+  obs::Registry::global().disable();
+}
+
+TEST(Service, PeriodicMetricsFileIsAppendOnlyJsonl) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "olp_metrics_test.jsonl")
+          .string();
+  std::remove(path.c_str());
+  {
+    ServiceOptions options = small_options();
+    options.observability = true;
+    options.metrics_path = path;
+    options.metrics_every = 1;  // one line per completion, plus drain
+    LayoutService svc(t(), options);
+    svc.start();
+    for (int i = 0; i < 3; ++i) {
+      std::promise<RequestOutcome> done;
+      auto fut = done.get_future();
+      ASSERT_EQ(svc.submit(vco_request("m" + std::to_string(i), "a"),
+                           [&done](const RequestOutcome& o) {
+                             done.set_value(o);
+                           }),
+                RejectReason::kNone);
+      fut.wait();
+    }
+    svc.drain();
+  }
+  obs::Registry::global().disable();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open()) << path;
+  std::string line;
+  int lines = 0;
+  while (std::getline(file, line)) {
+    ++lines;
+    std::string err;
+    EXPECT_TRUE(obs::json_well_formed(line, &err)) << err << "\n" << line;
+    EXPECT_NE(line.find("\"completed\""), std::string::npos);
+    EXPECT_NE(line.find("\"latency_ms\""), std::string::npos);
+  }
+  // 3 periodic lines (every completion) + the forced line at drain.
+  EXPECT_GE(lines, 3);
+  std::remove(path.c_str());
 }
 
 }  // namespace
