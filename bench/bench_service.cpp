@@ -13,6 +13,10 @@
 //   overload  a burst far beyond queue depth, proving load shedding keeps
 //             the service responsive: sheds are counted, nothing blocks,
 //             accepted jobs still finish
+//   connections (POSIX) 8 concurrent loopback-TCP clients round-tripping
+//             frames through the poll-based transport supervisor into the
+//             live service — measures multiplexed dispatch throughput of
+//             the real network path, not just the in-process API
 //
 // Exits nonzero when the sustained phase sheds anything, when any accepted
 // job fails, or when the overload phase fails to shed (the bound would be
@@ -22,9 +26,18 @@
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <olp/olp.hpp>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define OLP_BENCH_POSIX_SOCKETS 1
+#endif
 
 namespace {
 
@@ -95,6 +108,115 @@ std::string phase_json(const char* name, const PhaseResult& r) {
   return out;
 }
 
+// Concurrent-connections phase: real loopback TCP through the poll-based
+// transport supervisor. Each client round-trips ping frames, so the number
+// measures the full multiplexed path: kernel socket -> LineFramer ->
+// dispatch -> service -> per-connection write queue -> kernel socket.
+struct ConnResult {
+  bool ran = false;
+  int clients = 0;
+  int frames = 0;
+  int errors = 0;
+  double wall_s = 0.0;
+  std::size_t max_active = 0;
+
+  double frames_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+};
+
+#if defined(OLP_BENCH_POSIX_SOCKETS)
+ConnResult drive_connections(service::LayoutService& svc, int clients,
+                             int frames_per_client) {
+  ConnResult r;
+  service::TransportOptions topts;
+  topts.tcp_port = 0;  // ephemeral
+  topts.read_timeout_ms = 0;
+  service::TransportSupervisor transport;
+  std::string error;
+  if (!transport.start(
+          topts,
+          [&svc](const std::string& identity, const std::string& line,
+                 const service::TransportSupervisor::Emit& emit) {
+            svc.handle_line(identity, line, emit);
+          },
+          &error)) {
+    std::cerr << "connections phase skipped: " << error << "\n";
+    return r;
+  }
+  const int port = transport.tcp_port();
+
+  std::vector<std::thread> threads;
+  std::vector<int> done(static_cast<std::size_t>(clients), 0);
+  std::vector<int> failed(static_cast<std::size_t>(clients), 0);
+  const MonotonicStopwatch watch;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([port, frames_per_client, c, &done, &failed] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        ++failed[static_cast<std::size_t>(c)];
+        return;
+      }
+      sockaddr_in addr = {};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ++failed[static_cast<std::size_t>(c)];
+        ::close(fd);
+        return;
+      }
+      const std::string ping = "{\"op\":\"ping\"}\n";
+      std::string buf;
+      char chunk[512];
+      for (int i = 0; i < frames_per_client; ++i) {
+        if (::send(fd, ping.data(), ping.size(), 0) !=
+            static_cast<ssize_t>(ping.size())) {
+          ++failed[static_cast<std::size_t>(c)];
+          break;
+        }
+        // Round-trip: wait for the newline-terminated pong before the next
+        // frame, so concurrency comes from the client count, not pipelining.
+        bool got = false;
+        while (!got) {
+          const std::size_t nl = buf.find('\n');
+          if (nl != std::string::npos) {
+            buf.erase(0, nl + 1);
+            got = true;
+            break;
+          }
+          const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+          if (n <= 0) break;
+          buf.append(chunk, static_cast<std::size_t>(n));
+        }
+        if (!got) {
+          ++failed[static_cast<std::size_t>(c)];
+          break;
+        }
+        ++done[static_cast<std::size_t>(c)];
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : threads) t.join();
+  r.wall_s = watch.seconds();
+  r.ran = true;
+  r.clients = clients;
+  for (int c = 0; c < clients; ++c) {
+    r.frames += done[static_cast<std::size_t>(c)];
+    r.errors += failed[static_cast<std::size_t>(c)];
+  }
+  r.max_active = transport.stats().max_active;
+  transport.stop();
+  return r;
+}
+#else
+ConnResult drive_connections(service::LayoutService&, int, int) {
+  return ConnResult{};
+}
+#endif
+
 }  // namespace
 
 int main() {
@@ -149,6 +271,11 @@ int main() {
   std::cout << "overload burst...\n";
   const PhaseResult overload = drive(svc, 192, 2, 9000, 0);
 
+  // Connections phase: 8 concurrent loopback clients through the real
+  // poll-based transport, round-tripping frames into the live service.
+  std::cout << "concurrent connections...\n";
+  const ConnResult connections = drive_connections(svc, 8, 250);
+
   svc.drain();
   const service::ServiceStats final_stats = svc.stats();
 
@@ -167,6 +294,14 @@ int main() {
   json += "}," + phase_json("warm", warm);
   json += "," + phase_json("sustained", sustained);
   json += "," + phase_json("overload", overload);
+  json += ",\"connections\":{\"ran\":" +
+          std::string(connections.ran ? "true" : "false");
+  json += ",\"clients\":" + std::to_string(connections.clients);
+  json += ",\"frames\":" + std::to_string(connections.frames);
+  json += ",\"errors\":" + std::to_string(connections.errors);
+  json += ",\"max_active\":" + std::to_string(connections.max_active);
+  json += ",\"wall_s\":" + fixed(connections.wall_s, 4);
+  json += ",\"frames_per_s\":" + fixed(connections.frames_per_s(), 2) + "}";
   json += ",\"latency\":{\"p50_ms\":" + fixed(mid.p50_ms, 3);
   json += ",\"p99_ms\":" + fixed(mid.p99_ms, 3);
   json += ",\"p999_ms\":" + fixed(mid.p999_ms, 3);
@@ -193,8 +328,27 @@ int main() {
   std::cout << "overload: " << overload.shed << "/" << overload.submitted
             << " shed (" << fixed(100.0 * shed_rate, 1) << "%), "
             << overload.succeeded << " accepted jobs still succeeded\n";
+  if (connections.ran) {
+    std::cout << "connections: " << connections.frames << " frames over "
+              << connections.clients << " concurrent clients in "
+              << fixed(connections.wall_s, 2) << " s ("
+              << fixed(connections.frames_per_s(), 1) << " frames/s, peak "
+              << connections.max_active << " active)\n";
+  }
 
   bool ok = true;
+  if (connections.ran) {
+    if (connections.errors != 0) {
+      std::cerr << "FAIL: connections phase had " << connections.errors
+                << " client errors\n";
+      ok = false;
+    }
+    if (connections.max_active < static_cast<std::size_t>(connections.clients)) {
+      std::cerr << "FAIL: transport never held all " << connections.clients
+                << " connections concurrently\n";
+      ok = false;
+    }
+  }
   if (warm.succeeded != warm.submitted) {
     std::cerr << "FAIL: warm phase had failures\n";
     ok = false;

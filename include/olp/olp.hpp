@@ -9,7 +9,13 @@
 //                         comparator, ring VCO) and common instance types
 //   service/service.hpp   LayoutService: the resident JSONL daemon core
 //                         (admission control, fair-share queue, warm-start
-//                         cache snapshots, graceful drain)
+//                         cache snapshots, durable request journal with
+//                         idempotency-key replay, hot reload, graceful
+//                         drain)
+//   service/transport.hpp TransportSupervisor: poll-based multi-client
+//                         unix/TCP stream transport with slow-loris and
+//                         oversized-frame shedding
+//   service/journal.hpp   RequestJournal: crash-safe accepted-work ledger
 //   core/optimizer.hpp    Algorithm 1 (PrimitiveOptimizer) and its
 //                         evaluator, for primitive-level use
 //   core/eval_cache.hpp   cross-run evaluation memoization
@@ -33,8 +39,10 @@
 #include "core/optimizer.hpp"
 #include "pcell/generator.hpp"
 #include "pcell/primitive.hpp"
+#include "service/journal.hpp"
 #include "service/request.hpp"
 #include "service/service.hpp"
+#include "service/transport.hpp"
 #include "tech/technology.hpp"
 #include "util/budget.hpp"
 #include "util/env.hpp"

@@ -1,0 +1,494 @@
+#include "service/journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/faults.hpp"
+
+namespace olp::service {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'O', 'L', 'P', 'J', 'N', 'L', '1', '\n'};
+
+constexpr std::uint32_t kRecAccepted = 1;
+constexpr std::uint32_t kRecCompleted = 2;
+constexpr std::uint32_t kRecKeyHistory = 3;
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool get_u64(std::uint64_t* v) {
+    if (pos + sizeof *v > size) return false;
+    std::memcpy(v, data + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  }
+
+  bool get_u32(std::uint32_t* v) {
+    if (pos + sizeof *v > size) return false;
+    std::memcpy(v, data + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  }
+
+  bool get_i64(std::int64_t* v) {
+    std::uint64_t raw = 0;
+    if (!get_u64(&raw)) return false;
+    *v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool get_double(double* v) {
+    std::uint64_t bits = 0;
+    if (!get_u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+
+  bool get_str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!get_u32(&n)) return false;
+    if (pos + n > size) return false;
+    s->assign(data + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+std::uint64_t fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void journal_fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string serialize_request(const ServiceRequest& r) {
+  std::string body;
+  put_str(body, r.id);
+  put_str(body, r.client);
+  put_str(body, r.identity);
+  put_str(body, r.circuit);
+  put_str(body, r.key);
+  put_u32(body, static_cast<std::uint32_t>(r.mode));
+  put_u64(body, r.seed);
+  put_i64(body, r.priority);
+  put_double(body, r.deadline_ms);
+  put_i64(body, r.max_testbenches);
+  put_i64(body, r.retries);
+  return body;
+}
+
+bool deserialize_request(Cursor& cur, ServiceRequest* r) {
+  std::uint32_t mode = 0;
+  std::int64_t priority = 0;
+  std::int64_t max_tb = 0;
+  std::int64_t retries = 0;
+  if (!cur.get_str(&r->id) || !cur.get_str(&r->client) ||
+      !cur.get_str(&r->identity) || !cur.get_str(&r->circuit) ||
+      !cur.get_str(&r->key) || !cur.get_u32(&mode) || !cur.get_u64(&r->seed) ||
+      !cur.get_i64(&priority) || !cur.get_double(&r->deadline_ms) ||
+      !cur.get_i64(&max_tb) || !cur.get_i64(&retries)) {
+    return false;
+  }
+  if (mode > static_cast<std::uint32_t>(circuits::FlowMode::kManualOracle)) {
+    return false;
+  }
+  r->op = RequestOp::kSubmit;
+  r->mode = static_cast<circuits::FlowMode>(mode);
+  r->priority = static_cast<int>(priority);
+  r->max_testbenches = static_cast<long>(max_tb);
+  r->retries = static_cast<int>(retries);
+  return true;
+}
+
+/// One framed record: u32 payload_len | payload | u64 checksum.
+std::string frame_record(const std::string& payload) {
+  std::string rec;
+  rec.reserve(payload.size() + 12);
+  put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  rec += payload;
+  put_u64(rec, fnv1a64(payload.data(), payload.size()));
+  return rec;
+}
+
+}  // namespace
+
+RequestJournal::RequestJournal(std::string path) : path_(std::move(path)) {}
+
+RequestJournal::~RequestJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+bool RequestJournal::open(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) {
+    journal_fail(error, "journal path is empty");
+    return false;
+  }
+  if (FaultInjector::global().enabled() &&
+      FaultInjector::global().should_fail(FaultSite::kJournalIo)) {
+    last_error_ = "injected journal open failure";
+    journal_fail(error, last_error_);
+    return false;
+  }
+
+  // Read whatever exists (a missing file is a fresh journal, not an error).
+  std::string doc;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      doc.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    }
+  }
+
+  std::size_t good_end = 0;
+  if (!doc.empty()) {
+    if (doc.size() < sizeof kJournalMagic ||
+        std::memcmp(doc.data(), kJournalMagic, sizeof kJournalMagic) != 0) {
+      // Not our file: refuse to append into it rather than corrupt it.
+      last_error_ = "journal magic/version mismatch: " + path_;
+      journal_fail(error, last_error_);
+      return false;
+    }
+    good_end = sizeof kJournalMagic;
+    Cursor cur{doc.data(), doc.size(), sizeof kJournalMagic};
+    while (cur.pos < cur.size) {
+      std::uint32_t len = 0;
+      if (!cur.get_u32(&len)) break;
+      if (cur.pos + len + sizeof(std::uint64_t) > cur.size) break;
+      const char* payload = cur.data + cur.pos;
+      cur.pos += len;
+      std::uint64_t stored = 0;
+      if (!cur.get_u64(&stored)) break;
+      if (fnv1a64(payload, len) != stored) break;  // torn/corrupt record
+
+      Cursor pc{payload, len, 0};
+      std::uint32_t type = 0;
+      std::uint64_t seq = 0;
+      if (!pc.get_u32(&type) || !pc.get_u64(&seq)) break;
+      bool ok = true;
+      if (type == kRecAccepted) {
+        ServiceRequest request;
+        if (deserialize_request(pc, &request)) {
+          if (live_.emplace(seq, std::move(request)).second) {
+            recovered_order_.push_back(seq);
+          }
+          if (seq >= next_seq_) next_seq_ = seq + 1;
+        } else {
+          ok = false;
+        }
+      } else if (type == kRecCompleted) {
+        // payload layout: u64 accepted_seq | u32 status | key (the seq
+        // field duplicates the accepted seq for integrity).
+        std::uint64_t ref = 0;
+        std::uint32_t status = 0;
+        std::string key;
+        if (pc.get_u64(&ref) && pc.get_u32(&status) && pc.get_str(&key) &&
+            status <= static_cast<std::uint32_t>(circuits::JobStatus::kFailed)) {
+          live_.erase(ref == 0 ? seq : ref);
+          if (!key.empty()) {
+            keys_[key] = {static_cast<circuits::JobStatus>(status),
+                          key_counter_++};
+          }
+        } else {
+          ok = false;
+        }
+      } else if (type == kRecKeyHistory) {
+        std::uint32_t status = 0;
+        std::string key;
+        if (pc.get_u32(&status) && pc.get_str(&key) && !key.empty() &&
+            status <= static_cast<std::uint32_t>(circuits::JobStatus::kFailed)) {
+          keys_[key] = {static_cast<circuits::JobStatus>(status),
+                        key_counter_++};
+        } else {
+          ok = false;
+        }
+      }
+      // Unknown record types are skipped (forward compatibility); malformed
+      // payloads of known types end the scan like a torn tail.
+      if (!ok) break;
+      ++records_scanned_;
+      good_end = cur.pos;
+    }
+    // Drop seqs whose requests were completed during the scan.
+    std::vector<std::uint64_t> still;
+    still.reserve(recovered_order_.size());
+    for (std::uint64_t seq : recovered_order_) {
+      if (live_.count(seq) != 0) still.push_back(seq);
+    }
+    recovered_order_ = std::move(still);
+  }
+
+  if (good_end == 0) {
+    // Fresh journal: write the header via tmp+rename so a concurrent reader
+    // never sees a magic-less file.
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out || !out.write(kJournalMagic, sizeof kJournalMagic)) {
+        last_error_ = "cannot write " + tmp;
+        journal_fail(error, last_error_);
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      last_error_ = "cannot rename " + tmp + " -> " + path_;
+      journal_fail(error, last_error_);
+      std::remove(tmp.c_str());
+      return false;
+    }
+  } else if (good_end < doc.size()) {
+    // Torn tail from a crash mid-append: truncate to the last intact record
+    // (rewrite-then-rename — no partial state under the real name).
+    torn_tail_recovered_ = true;
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out ||
+          !out.write(doc.data(), static_cast<std::streamsize>(good_end))) {
+        last_error_ = "cannot rewrite torn journal " + path_;
+        journal_fail(error, last_error_);
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      last_error_ = "cannot rename " + tmp + " -> " + path_;
+      journal_fail(error, last_error_);
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    last_error_ = "cannot open journal for append: " + path_;
+    journal_fail(error, last_error_);
+    return false;
+  }
+  file_ = f;
+  enabled_ = true;
+  return true;
+}
+
+std::vector<JournalEntry> RequestJournal::take_pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JournalEntry> out;
+  out.reserve(recovered_order_.size());
+  for (std::uint64_t seq : recovered_order_) {
+    auto it = live_.find(seq);
+    if (it == live_.end()) continue;
+    out.push_back(JournalEntry{seq, it->second});
+  }
+  recovered_order_.clear();
+  return out;
+}
+
+bool RequestJournal::completed_key(const std::string& key,
+                                   circuits::JobStatus* status) const {
+  if (key.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) return false;
+  if (status != nullptr) *status = it->second.first;
+  return true;
+}
+
+bool RequestJournal::append_record_locked(const std::string& payload,
+                                          std::string* error) {
+  if (!enabled_ || file_ == nullptr) {
+    ++append_failures_;
+    journal_fail(error, "journal not open");
+    return false;
+  }
+  if (FaultInjector::global().enabled() &&
+      FaultInjector::global().should_fail(FaultSite::kJournalIo)) {
+    ++append_failures_;
+    last_error_ = "injected journal append failure";
+    journal_fail(error, last_error_);
+    return false;
+  }
+  const std::string rec = frame_record(payload);
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  if (std::fwrite(rec.data(), 1, rec.size(), f) != rec.size() ||
+      std::fflush(f) != 0) {
+    ++append_failures_;
+    last_error_ = "journal append I/O failure: " + path_;
+    journal_fail(error, last_error_);
+    return false;
+  }
+  ++appended_;
+  return true;
+}
+
+std::uint64_t RequestJournal::append_accepted(const ServiceRequest& request,
+                                              std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = next_seq_;
+  std::string payload;
+  put_u32(payload, kRecAccepted);
+  put_u64(payload, seq);
+  payload += serialize_request(request);
+  if (!append_record_locked(payload, error)) return 0;
+  next_seq_ = seq + 1;
+  live_.emplace(seq, request);
+  return seq;
+}
+
+bool RequestJournal::append_completed(std::uint64_t seq, const std::string& key,
+                                      circuits::JobStatus status,
+                                      std::string* error) {
+  if (seq == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload;
+  put_u32(payload, kRecCompleted);
+  put_u64(payload, seq);
+  put_u64(payload, seq);  // accepted-seq ref (kept explicit in the payload)
+  put_u32(payload, static_cast<std::uint32_t>(status));
+  put_str(payload, key);
+  // Update in-memory state even when the append fails: the durability is
+  // degraded (counted), but the running process must still dedup correctly.
+  live_.erase(seq);
+  if (!key.empty()) {
+    keys_[key] = {status, key_counter_++};
+    while (keys_.size() > kKeyHistoryCap) {
+      // Evict the oldest insertion (linear scan; cap is small and eviction
+      // only happens past 4096 completed keyed jobs).
+      auto oldest = keys_.begin();
+      for (auto it = keys_.begin(); it != keys_.end(); ++it) {
+        if (it->second.second < oldest->second.second) oldest = it;
+      }
+      keys_.erase(oldest);
+    }
+  }
+  return append_record_locked(payload, error);
+}
+
+bool RequestJournal::compact(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    journal_fail(error, "journal not open");
+    return false;
+  }
+  if (FaultInjector::global().enabled() &&
+      FaultInjector::global().should_fail(FaultSite::kJournalIo)) {
+    last_error_ = "injected journal compact failure";
+    journal_fail(error, last_error_);
+    return false;
+  }
+
+  std::string doc(kJournalMagic, sizeof kJournalMagic);
+  for (const auto& [seq, request] : live_) {
+    std::string payload;
+    put_u32(payload, kRecAccepted);
+    put_u64(payload, seq);
+    payload += serialize_request(request);
+    doc += frame_record(payload);
+  }
+  for (const auto& [key, entry] : keys_) {
+    std::string payload;
+    put_u32(payload, kRecKeyHistory);
+    put_u64(payload, 0);  // key-history records carry no seq
+    put_u32(payload, static_cast<std::uint32_t>(entry.first));
+    put_str(payload, key);
+    doc += frame_record(payload);
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(doc.data(), static_cast<std::streamsize>(doc.size()))) {
+      last_error_ = "cannot write " + tmp;
+      journal_fail(error, last_error_);
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // Swap the append handle BEFORE rename so no append lands on the doomed
+  // inode: close, rename, reopen.
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    last_error_ = "cannot rename " + tmp + " -> " + path_;
+    journal_fail(error, last_error_);
+    std::remove(tmp.c_str());
+    // Best effort: reopen the old file so appends keep working.
+    file_ = std::fopen(path_.c_str(), "ab");
+    enabled_ = file_ != nullptr;
+    return false;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    last_error_ = "cannot reopen journal after compact: " + path_;
+    journal_fail(error, last_error_);
+    enabled_ = false;
+    return false;
+  }
+  file_ = f;
+  ++compactions_;
+  return true;
+}
+
+JournalStats RequestJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalStats s;
+  s.enabled = enabled_;
+  s.records_scanned = records_scanned_;
+  s.appended = appended_;
+  s.append_failures = append_failures_;
+  s.compactions = compactions_;
+  s.torn_tail_recovered = torn_tail_recovered_;
+  s.pending = live_.size();
+  s.key_history = keys_.size();
+  s.last_error = last_error_;
+  return s;
+}
+
+}  // namespace olp::service

@@ -1,0 +1,137 @@
+#pragma once
+// Durable request journal: the service's accepted-work ledger.
+//
+// Acceptance is a durable promise. Every accepted submit is appended here
+// (and flushed) BEFORE the {"event":"accepted"} line leaves the process;
+// every completion is appended when the job leaves a worker. After a hard
+// crash (kill -9), open() replays the ledger: records that were accepted
+// but never completed come back as pending entries the service re-enqueues,
+// so no accepted request is ever silently lost. Replay is at-least-once —
+// an UNKEYED job that crashed mid-run may execute twice; a job carrying a
+// client-supplied idempotency key never does, because keyed completions are
+// remembered (bounded history, survives compaction) and deduplicated at
+// admission.
+//
+// On-disk format (native-endian, like the cache snapshot):
+//
+//   header   8-byte magic "OLPJNL1\n"
+//   record   u32 payload_len | payload | u64 fnv1a64(payload)
+//   payload  u32 type | u64 seq | body
+//     type 1 accepted:   the full serialized ServiceRequest
+//     type 2 completed:  u64 accepted_seq | u32 status | key string
+//                        (empty key = voided entry, e.g. shed after append)
+//     type 3 key-history: u32 status | key string (written by compaction to
+//                        preserve idempotency dedup across rewrites)
+//
+// Appends go to the open file with an explicit flush — a kill -9 cannot
+// lose a flushed record (the bytes are in the page cache), only an OS crash
+// can. A record torn by the crash itself (partial length/payload/checksum
+// at the tail) is tolerated: open() replays up to the last intact record
+// and truncates the torn tail in place, exactly like a write-ahead log.
+// compact() rewrites only live state (pending entries + key history) via
+// the .tmp+rename idiom of the cache snapshot, so a crash mid-compaction
+// never clobbers the previous journal.
+//
+// Every operation draws at FaultSite::kJournalIo: an injected failure
+// reports false/0 with an error string — the SERVICE stays up and counts
+// the degradation; durability is the only thing that suffers.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "circuits/batch.hpp"
+#include "service/request.hpp"
+
+namespace olp::service {
+
+/// One accepted-but-unfinished record recovered by open().
+struct JournalEntry {
+  std::uint64_t seq = 0;
+  ServiceRequest request;
+};
+
+struct JournalStats {
+  bool enabled = false;        ///< open() succeeded on a configured path
+  long records_scanned = 0;    ///< records read back by open()
+  long appended = 0;           ///< records appended since open()
+  long append_failures = 0;    ///< injected or real append I/O failures
+  long compactions = 0;
+  bool torn_tail_recovered = false;  ///< open() truncated a torn tail
+  std::size_t pending = 0;     ///< accepted records awaiting completion
+  std::size_t key_history = 0; ///< completed idempotency keys remembered
+  std::string last_error;
+};
+
+class RequestJournal {
+ public:
+  /// Completed idempotency keys are remembered up to this many, oldest
+  /// evicted first — bounds journal memory and compacted-file size while
+  /// still deduplicating any realistic retry window.
+  static constexpr std::size_t kKeyHistoryCap = 4096;
+
+  explicit RequestJournal(std::string path);
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Opens (creating when missing), scans every intact record, truncates a
+  /// torn tail, and rebuilds pending/key state. False on I/O failure — the
+  /// journal stays disabled and every append reports a counted failure.
+  bool open(std::string* error = nullptr);
+
+  /// The accepted-but-unfinished entries recovered by open(), in original
+  /// acceptance order. The service re-enqueues these at start.
+  std::vector<JournalEntry> take_pending();
+
+  /// Completed-key lookup (replay dedup): true when `key` has a recorded
+  /// completion, with its terminal status in *status when non-null.
+  bool completed_key(const std::string& key,
+                     circuits::JobStatus* status = nullptr) const;
+
+  /// Appends an accepted record and flushes. Returns its seq (> 0), or 0 on
+  /// failure (error filled, failure counted — caller keeps going).
+  std::uint64_t append_accepted(const ServiceRequest& request,
+                                std::string* error = nullptr);
+
+  /// Appends a completion for `seq` and flushes. A nonempty key enters the
+  /// bounded key history; an empty key voids the entry without burning a
+  /// key (used when an already-journaled offer is shed).
+  bool append_completed(std::uint64_t seq, const std::string& key,
+                        circuits::JobStatus status,
+                        std::string* error = nullptr);
+
+  /// Rewrites the journal to only live state (pending + key history) via
+  /// .tmp+rename. The previous file survives any failure.
+  bool compact(std::string* error = nullptr);
+
+  JournalStats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  bool append_record_locked(const std::string& payload, std::string* error);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::uint64_t next_seq_ = 1;
+  /// Live accepted records (seq -> request): what compact() must preserve
+  /// and what take_pending() drains after open().
+  std::map<std::uint64_t, ServiceRequest> live_;
+  std::vector<std::uint64_t> recovered_order_;  ///< acceptance order of live_
+  /// Bounded completed-key history: key -> (status, insertion counter).
+  std::map<std::string, std::pair<circuits::JobStatus, std::uint64_t>> keys_;
+  std::uint64_t key_counter_ = 0;
+  long records_scanned_ = 0;
+  long appended_ = 0;
+  long append_failures_ = 0;
+  long compactions_ = 0;
+  bool torn_tail_recovered_ = false;
+  std::string last_error_;
+  void* file_ = nullptr;  ///< std::FILE* of the open journal (append mode)
+};
+
+}  // namespace olp::service

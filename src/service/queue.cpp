@@ -14,12 +14,12 @@ RejectReason AdmissionQueue::offer(QueuedJob job) {
   } else if (options_.max_depth > 0 && depth_ >= options_.max_depth) {
     reason = RejectReason::kQueueFull;
   } else {
-    auto& q = clients_[job.request.client];
+    auto& q = clients_[queue_key(job.request)];
     if (options_.max_per_client > 0 && q.size() >= options_.max_per_client) {
       reason = RejectReason::kClientQuota;
-      // Don't leave an empty per-client map entry behind: it would get a
+      // Don't leave an empty per-identity map entry behind: it would get a
       // useless round-robin turn forever.
-      if (q.empty()) clients_.erase(job.request.client);
+      if (q.empty()) clients_.erase(queue_key(job.request));
     } else {
       q.emplace(std::make_pair(-job.request.priority, job.ticket),
                 std::move(job));
@@ -34,14 +34,21 @@ RejectReason AdmissionQueue::offer(QueuedJob job) {
 }
 
 bool AdmissionQueue::take(QueuedJob* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
-  if (depth_ == 0) return false;  // closed and drained
+  return take(out, std::function<bool()>());
+}
 
-  // Fair share: resume AFTER the client served last time, wrapping around.
+bool AdmissionQueue::take(QueuedJob* out, const std::function<bool()>& stop) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return depth_ > 0 || closed_ || (stop && stop());
+  });
+  if (stop && stop()) return false;  // retired worker: exit without an item
+  if (depth_ == 0) return false;     // closed and drained
+
+  // Fair share: resume AFTER the identity served last time, wrapping around.
   auto it = clients_.upper_bound(cursor_);
   if (it == clients_.end()) it = clients_.begin();
-  // Every present client queue is nonempty (emptied queues are erased
+  // Every present per-identity queue is nonempty (emptied queues are erased
   // below), so the first stop is the pick.
   cursor_ = it->first;
   ClientQueue& q = it->second;
@@ -65,6 +72,21 @@ std::size_t AdmissionQueue::clear() {
   depth_ = 0;
   cv_.notify_all();
   return dropped;
+}
+
+void AdmissionQueue::wake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+void AdmissionQueue::set_options(QueueOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+}
+
+QueueOptions AdmissionQueue::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
 }
 
 std::size_t AdmissionQueue::depth() const {

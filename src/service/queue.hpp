@@ -4,23 +4,31 @@
 // Two bounds shed load BEFORE work is accepted (reject-with-reason, never
 // crash, never block the intake thread):
 //
-//   max_depth       total queued items across all clients — the service's
-//                   global backlog bound.
-//   max_per_client  queued items any single client may hold — one noisy
+//   max_depth       total queued items across all identities — the
+//                   service's global backlog bound.
+//   max_per_client  queued items any single identity may hold — one noisy
 //                   client fills its own quota and gets kClientQuota while
 //                   everyone else keeps being admitted.
 //
-// Scheduling is round-robin across clients: workers take one item from each
-// client in turn (clients ordered by name, cursor remembered across takes),
-// so a client submitting 100 jobs and a client submitting 1 interleave
-// 1:1 — wait time is proportional to YOUR backlog, not the queue's. Within
-// one client, higher `priority` first, then FIFO by admission ticket.
+// Both bounds key on the request's connection-stable IDENTITY (the peer
+// address a network transport stamps), falling back to the self-reported
+// client name only for trusted direct callers — so a client reconnecting
+// under fresh names cannot defeat its quota (see request.hpp). Scheduling
+// is round-robin across identities: workers take one item from each in
+// turn (ordered by key, cursor remembered across takes), so a client
+// submitting 100 jobs and a client submitting 1 interleave 1:1 — wait time
+// is proportional to YOUR backlog, not the queue's. Within one identity,
+// higher `priority` first, then FIFO by admission ticket.
+//
+// Bounds are hot-reloadable (set_options): new bounds apply to subsequent
+// offers; already-queued items are never retroactively shed.
 //
 // close() wakes every blocked take() (returns false); offer() after close
 // sheds with kDraining.
 
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -32,14 +40,21 @@ namespace olp::service {
 
 struct QueueOptions {
   std::size_t max_depth = 64;      ///< total queued items (0 = unbounded)
-  std::size_t max_per_client = 16; ///< per-client bound (0 = unbounded)
+  std::size_t max_per_client = 16; ///< per-identity bound (0 = unbounded)
 };
+
+/// The key quotas and fair-share scheduling group a request under: the
+/// transport-stamped identity when present, else the self-reported client.
+inline const std::string& queue_key(const ServiceRequest& request) {
+  return request.identity.empty() ? request.client : request.identity;
+}
 
 /// One queued submission (the request plus admission bookkeeping).
 struct QueuedJob {
   ServiceRequest request;
   std::uint64_t ticket = 0;  ///< admission order, for FIFO within priority
   double admitted_s = 0.0;   ///< service-clock time of admission
+  std::uint64_t journal_seq = 0;  ///< durable journal sequence (0 = none)
 };
 
 class AdmissionQueue {
@@ -58,6 +73,12 @@ class AdmissionQueue {
   /// items still queued lets workers drain them first.
   bool take(QueuedJob* out);
 
+  /// take() with a caller-supplied stop condition: additionally returns
+  /// false (without an item) as soon as `stop` evaluates true, even while
+  /// items remain — a worker being retired by a hot reload exits here.
+  /// Re-evaluated on every wake(); spurious wakes are harmless.
+  bool take(QueuedJob* out, const std::function<bool()>& stop);
+
   /// Stops admission (offers shed with kDraining) and wakes blocked takers.
   /// Already-queued items remain takeable; take() returns false only once
   /// the queue is empty.
@@ -67,6 +88,13 @@ class AdmissionQueue {
   /// dropped.
   std::size_t clear();
 
+  /// Wakes every blocked take() so stop conditions are re-evaluated.
+  void wake();
+
+  /// Replaces the admission bounds; applies to offers from now on.
+  void set_options(QueueOptions options);
+  QueueOptions options() const;
+
   std::size_t depth() const;
   bool closed() const;
   /// Total items ever admitted / shed (by reason) — monotone counters.
@@ -75,7 +103,7 @@ class AdmissionQueue {
   long shed_total() const;
 
  private:
-  /// Per-client queue ordered by (-priority, ticket): highest priority
+  /// Per-identity queue ordered by (-priority, ticket): highest priority
   /// first, FIFO within equal priority.
   using ClientQueue = std::map<std::pair<int, std::uint64_t>, QueuedJob>;
 
@@ -85,7 +113,7 @@ class AdmissionQueue {
   bool closed_ = false;
   std::size_t depth_ = 0;
   std::map<std::string, ClientQueue> clients_;
-  /// Name of the client AFTER which the round-robin cursor resumes.
+  /// Key of the identity AFTER which the round-robin cursor resumes.
   std::string cursor_;
   long admitted_ = 0;
   std::map<int, long> shed_;  ///< RejectReason -> count

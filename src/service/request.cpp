@@ -23,15 +23,17 @@ bool take_string(const jsonl::Object& obj, const char* key, std::string* out,
   return true;
 }
 
-/// Fetches a numeric member; rejects non-numbers and (when integral)
-/// fractional values, so "seed": "3" or "priority": 1.5 fail loudly instead
-/// of being silently coerced.
+/// Fetches a numeric member; rejects non-numbers and non-finite values, so
+/// "deadline_ms": "5" or an inf/nan smuggled past the tokenizer fail loudly
+/// instead of being silently coerced.
 bool take_number(const jsonl::Object& obj, const char* key, double* out,
                  std::string* error) {
   const auto it = obj.find(key);
   if (it == obj.end()) return true;
-  if (!it->second.is_number()) {
-    if (error != nullptr) *error = std::string(key) + " must be a number";
+  if (!it->second.is_number() || !std::isfinite(it->second.number)) {
+    if (error != nullptr) {
+      *error = std::string(key) + " must be a finite number";
+    }
     return false;
   }
   *out = it->second.number;
@@ -52,6 +54,29 @@ bool take_integer(const jsonl::Object& obj, const char* key, double lo,
   return true;
 }
 
+/// Member whitelist for non-reload requests. Anything else — including
+/// "identity", which only the transport may stamp — is a parse error, so a
+/// typo'd or adversarial field can never be silently ignored.
+constexpr const char* kKnownMembers[] = {
+    "op",       "id",          "client",          "circuit", "mode",
+    "seed",     "priority",    "deadline_ms",     "max_testbenches",
+    "retries",  "key",
+};
+
+/// Numeric overrides the reload verb accepts.
+constexpr const char* kReloadMembers[] = {
+    "queue_depth", "client_queue", "workers",        "snapshot_every",
+    "retries",     "metrics_every", "rate",          "burst",
+};
+
+bool is_known(const char* const* names, std::size_t n,
+              const std::string& key) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (key == names[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* request_op_name(RequestOp op) {
@@ -64,6 +89,8 @@ const char* request_op_name(RequestOp op) {
       return "metrics";
     case RequestOp::kSnapshot:
       return "snapshot";
+    case RequestOp::kReload:
+      return "reload";
     case RequestOp::kDrain:
       return "drain";
     case RequestOp::kShutdown:
@@ -92,6 +119,14 @@ const char* reject_reason_name(RejectReason reason) {
       return "client_quota";
     case RejectReason::kDraining:
       return "draining";
+    case RejectReason::kFrameTooLarge:
+      return "frame_too_large";
+    case RejectReason::kRateLimited:
+      return "rate_limited";
+    case RejectReason::kReadTimeout:
+      return "read_timeout";
+    case RejectReason::kDuplicate:
+      return "duplicate";
   }
   return "unknown";
 }
@@ -116,6 +151,15 @@ RejectReason parse_request(const std::string& line, ServiceRequest* request,
     return RejectReason::kParseError;
   }
 
+  if (line.size() > kMaxRequestLineBytes) {
+    if (error != nullptr) {
+      *error = "line of " + std::to_string(line.size()) +
+               " bytes exceeds the " + std::to_string(kMaxRequestLineBytes) +
+               "-byte frame bound";
+    }
+    return RejectReason::kFrameTooLarge;
+  }
+
   jsonl::Object obj;
   if (!jsonl::parse_object(line, &obj, error)) {
     return RejectReason::kParseError;
@@ -123,12 +167,70 @@ RejectReason parse_request(const std::string& line, ServiceRequest* request,
 
   ServiceRequest req;
   std::string op_name = "submit";
+  if (!take_string(obj, "op", &op_name, error)) {
+    return RejectReason::kParseError;
+  }
+
+  if (op_name == "submit") {
+    req.op = RequestOp::kSubmit;
+  } else if (op_name == "stats") {
+    req.op = RequestOp::kStats;
+  } else if (op_name == "metrics") {
+    req.op = RequestOp::kMetrics;
+  } else if (op_name == "snapshot") {
+    req.op = RequestOp::kSnapshot;
+  } else if (op_name == "reload") {
+    req.op = RequestOp::kReload;
+  } else if (op_name == "drain") {
+    req.op = RequestOp::kDrain;
+  } else if (op_name == "shutdown") {
+    req.op = RequestOp::kShutdown;
+  } else if (op_name == "ping") {
+    req.op = RequestOp::kPing;
+  } else {
+    if (error != nullptr) *error = "unknown op \"" + op_name + "\"";
+    return RejectReason::kUnknownOp;
+  }
+
+  if (req.op == RequestOp::kReload) {
+    // The reload verb carries only its own whitelist of numeric overrides.
+    for (const auto& [key, value] : obj) {
+      if (key == "op") continue;
+      if (!is_known(kReloadMembers,
+                    sizeof kReloadMembers / sizeof kReloadMembers[0], key)) {
+        if (error != nullptr) *error = "unknown reload field \"" + key + "\"";
+        return RejectReason::kParseError;
+      }
+      if (!value.is_number() || !std::isfinite(value.number) ||
+          value.number < 0.0) {
+        if (error != nullptr) {
+          *error = "reload field " + key + " must be a finite number >= 0";
+        }
+        return RejectReason::kParseError;
+      }
+      req.reload_values[key] = value.number;
+    }
+    *request = std::move(req);
+    return RejectReason::kNone;
+  }
+
+  // Strict member whitelist: an unknown field (including a client trying to
+  // stamp its own "identity") rejects the line instead of being ignored.
+  for (const auto& [key, value] : obj) {
+    (void)value;
+    if (!is_known(kKnownMembers,
+                  sizeof kKnownMembers / sizeof kKnownMembers[0], key)) {
+      if (error != nullptr) *error = "unknown field \"" + key + "\"";
+      return RejectReason::kParseError;
+    }
+  }
+
   std::string mode_name;
-  if (!take_string(obj, "op", &op_name, error) ||
-      !take_string(obj, "id", &req.id, error) ||
+  if (!take_string(obj, "id", &req.id, error) ||
       !take_string(obj, "client", &req.client, error) ||
       !take_string(obj, "circuit", &req.circuit, error) ||
-      !take_string(obj, "mode", &mode_name, error)) {
+      !take_string(obj, "mode", &mode_name, error) ||
+      !take_string(obj, "key", &req.key, error)) {
     return RejectReason::kParseError;
   }
 
@@ -153,25 +255,6 @@ RejectReason parse_request(const std::string& line, ServiceRequest* request,
   req.deadline_ms = deadline_ms;
   req.max_testbenches = static_cast<long>(max_tb);
   req.retries = static_cast<int>(retries);
-
-  if (op_name == "submit") {
-    req.op = RequestOp::kSubmit;
-  } else if (op_name == "stats") {
-    req.op = RequestOp::kStats;
-  } else if (op_name == "metrics") {
-    req.op = RequestOp::kMetrics;
-  } else if (op_name == "snapshot") {
-    req.op = RequestOp::kSnapshot;
-  } else if (op_name == "drain") {
-    req.op = RequestOp::kDrain;
-  } else if (op_name == "shutdown") {
-    req.op = RequestOp::kShutdown;
-  } else if (op_name == "ping") {
-    req.op = RequestOp::kPing;
-  } else {
-    if (error != nullptr) *error = "unknown op \"" + op_name + "\"";
-    return RejectReason::kUnknownOp;
-  }
 
   if (!mode_name.empty() && !flow_mode_from_name(mode_name, &req.mode)) {
     if (error != nullptr) *error = "unknown mode \"" + mode_name + "\"";

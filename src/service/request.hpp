@@ -7,40 +7,61 @@
 //
 //   {"op":"submit","id":"r1","client":"alice","circuit":"ota5t",
 //    "mode":"optimize","seed":3,"priority":1,"deadline_ms":500,
-//    "max_testbenches":200,"retries":2}
+//    "max_testbenches":200,"retries":2,"key":"alice/ota5t/3"}
 //   {"op":"stats"}        health/metrics snapshot
 //   {"op":"metrics"}      full telemetry dump: latency histogram, obs
 //                         counter + histogram families (lock waits, pool
 //                         queue depth), shed breakdown
 //   {"op":"snapshot"}     force a cache checkpoint now
+//   {"op":"reload"}       hot config reload; optional numeric fields
+//                         (queue_depth, client_queue, workers,
+//                         snapshot_every, retries, metrics_every, rate,
+//                         burst) override the current values in place
 //   {"op":"drain"}        stop admitting, finish in-flight, flush, exit
 //   {"op":"shutdown"}     drain, but cancel in-flight budgets (salvage fast)
 //   {"op":"ping"}         liveness probe
 //
-// Responses carry "event": "accepted", "rejected" (+ "reason"), "done"
-// (+ job status/latency/testbenches), "stats", "metrics", "snapshot",
-// "drained", "pong". Submissions are answered twice: immediately with
-// accepted/rejected, and — when accepted — again with "done" once the job
-// leaves a worker.
+// "key" is a client-supplied idempotency key. An accepted keyed submit is a
+// durable promise: it is journaled before "accepted" is flushed, replayed
+// after a crash, and never executed twice — a resubmission with the same
+// key (same connection, a reconnect, or a post-crash retry) is answered
+// with event "duplicate" carrying the previous/current status instead of
+// re-running the job.
 //
-// Parsing is strict: unknown ops, unknown circuits, non-flat JSON, or
-// wrong-typed fields reject the line with a reason instead of guessing.
-// FaultSite::kRequestParse lets chaos tests deterministically inject parse
-// failures on well-formed lines to prove the reject path never kills the
-// service.
+// Responses carry "event": "accepted", "rejected" (+ "reason"), "done"
+// (+ job status/latency/testbenches), "duplicate", "stats", "metrics",
+// "snapshot", "reloaded", "drained", "pong". Submissions are answered
+// twice: immediately with accepted/rejected, and — when accepted — again
+// with "done" once the job leaves a worker.
+//
+// Parsing is strict: unknown ops, unknown circuits, non-flat JSON,
+// duplicate keys, wrong-typed fields, non-finite/negative deadlines, or
+// oversized lines (> kMaxRequestLineBytes) reject the line with a reason
+// instead of guessing. FaultSite::kRequestParse lets chaos tests
+// deterministically inject parse failures on well-formed lines to prove
+// the reject path never kills the service.
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "circuits/flow.hpp"
 
 namespace olp::service {
 
+/// Hard bound on one request line. The transport sheds longer frames at
+/// the socket layer (kFrameTooLarge) before buffering them; parse_request
+/// enforces the same bound for transports that hand lines in directly
+/// (stdin, tests), so no path best-effort-parses a multi-megabyte line.
+inline constexpr std::size_t kMaxRequestLineBytes = 64 * 1024;
+
 enum class RequestOp {
   kSubmit,
   kStats,
   kMetrics,
   kSnapshot,
+  kReload,
   kDrain,
   kShutdown,
   kPing,
@@ -59,8 +80,12 @@ enum class RejectReason {
   kUnknownCircuit,  ///< "circuit" not in the service's library
   kUnknownMode,     ///< "mode" not a FlowMode name
   kQueueFull,       ///< admission queue at max depth (shed)
-  kClientQuota,     ///< this client's queued share is exhausted (shed)
+  kClientQuota,     ///< this identity's queued share is exhausted (shed)
   kDraining,        ///< service is draining; no new work admitted
+  kFrameTooLarge,   ///< line exceeded kMaxRequestLineBytes (shed)
+  kRateLimited,     ///< per-identity token bucket empty (shed)
+  kReadTimeout,     ///< partial frame older than the read deadline (shed)
+  kDuplicate,       ///< idempotency key already accepted or completed
 };
 
 /// Stable snake_case reason name ("parse_error", "queue_full", ...).
@@ -70,17 +95,31 @@ const char* reject_reason_name(RejectReason reason);
 struct ServiceRequest {
   RequestOp op = RequestOp::kSubmit;
   std::string id;      ///< client-chosen echo key; service assigns "r<N>" if empty
-  std::string client;  ///< fair-share identity; "anon" if empty
+  std::string client;  ///< self-reported display name; "anon" if empty
+  /// Connection-stable identity the transport stamps on every request it
+  /// relays (peer address for TCP, socket path for unix, "" for trusted
+  /// direct callers). Quotas, rate limits, and fair-share scheduling key on
+  /// this — a client reconnecting under a fresh self-reported name cannot
+  /// escape its bounds. Empty falls back to `client` (trusted transports).
+  /// Never parsed from the wire: a "identity" member is a parse error.
+  std::string identity;
   std::string circuit; ///< library name, e.g. "ota5t"
   circuits::FlowMode mode = circuits::FlowMode::kOptimize;
   std::uint64_t seed = 1;
-  /// Higher priority is served first WITHIN one client's queue; across
-  /// clients scheduling is round-robin fair share regardless of priority
+  /// Higher priority is served first WITHIN one identity's queue; across
+  /// identities scheduling is round-robin fair share regardless of priority
   /// (one client cannot starve another by shouting louder).
   int priority = 0;
   double deadline_ms = 0.0;    ///< per-request wall-clock budget; 0 = none
   long max_testbenches = -1;   ///< per-request testbench budget; -1 = none
   int retries = -1;            ///< max re-attempts on failure; -1 = service default
+  /// Client-supplied idempotency key; empty = unkeyed (at-least-once on
+  /// replay, duplicates allowed). See the file comment.
+  std::string key;
+  /// For op == kReload: the whitelisted numeric overrides present on the
+  /// line (queue_depth, client_queue, workers, snapshot_every, retries,
+  /// metrics_every, rate, burst). Absent keys keep their current values.
+  std::map<std::string, double> reload_values;
 };
 
 /// Parses one request line. Returns RejectReason::kNone and fills *request

@@ -25,6 +25,16 @@ long env_long(const char* name, long base) {
   return v >= 0 ? v : base;
 }
 
+/// How many completed idempotency keys the service remembers in memory
+/// (mirrors RequestJournal::kKeyHistoryCap for journal-less operation).
+constexpr std::size_t kKeyHistoryCap = RequestJournal::kKeyHistoryCap;
+
+/// Past this many distinct identities the token-bucket map is reset rather
+/// than grown — a deliberate coarse bound so an identity-churning client
+/// cannot leak memory (fresh buckets start full, so a reset only ever
+/// forgives, never over-penalizes).
+constexpr std::size_t kMaxBuckets = 4096;
+
 }  // namespace
 
 /// Budget registration of one running job, shared between the worker that
@@ -39,6 +49,8 @@ std::string ServiceStats::to_json() const {
   out += ",\"draining\":" + std::string(draining ? "true" : "false");
   out += ",\"queue_depth\":" + std::to_string(queue_depth);
   out += ",\"inflight\":" + std::to_string(inflight);
+  out += ",\"max_inflight\":" + std::to_string(max_inflight);
+  out += ",\"workers\":" + std::to_string(workers);
   out += ",\"admitted\":" + std::to_string(admitted);
   out += ",\"completed\":" + std::to_string(completed);
   out += ",\"succeeded\":" + std::to_string(succeeded);
@@ -49,11 +61,14 @@ std::string ServiceStats::to_json() const {
   out += ",\"shed_client_quota\":" + std::to_string(shed_client_quota);
   out += ",\"shed_draining\":" + std::to_string(shed_draining);
   out += ",\"parse_rejects\":" + std::to_string(parse_rejects);
+  out += ",\"reloads\":" + std::to_string(reloads);
   // Per-RejectReason shed breakdown, nested so new reasons extend it
   // without growing the flat namespace.
   out += ",\"shed\":{\"queue_full\":" + std::to_string(shed_queue_full);
   out += ",\"client_quota\":" + std::to_string(shed_client_quota);
   out += ",\"draining\":" + std::to_string(shed_draining);
+  out += ",\"rate_limited\":" + std::to_string(shed_rate_limited);
+  out += ",\"duplicate\":" + std::to_string(duplicates);
   out += ",\"parse_error\":" + std::to_string(parse_rejects) + "}";
   out += ",\"p50_ms\":" + fixed(p50_ms, 3);
   out += ",\"p99_ms\":" + fixed(p99_ms, 3);
@@ -73,6 +88,21 @@ std::string ServiceStats::to_json() const {
     out += ",\"snapshot_error\":\"" + jsonl::escape(snapshot_error) + "\"";
   }
   out += ",\"snapshots_saved\":" + std::to_string(snapshots_saved);
+  out += ",\"journal\":{\"enabled\":" +
+         std::string(journal.enabled ? "true" : "false");
+  out += ",\"pending\":" + std::to_string(journal.pending);
+  out += ",\"appended\":" + std::to_string(journal.appended);
+  out += ",\"append_failures\":" + std::to_string(journal.append_failures);
+  out += ",\"compactions\":" + std::to_string(journal.compactions);
+  out += ",\"torn_tail_recovered\":" +
+         std::string(journal.torn_tail_recovered ? "true" : "false");
+  out += ",\"key_history\":" + std::to_string(journal.key_history);
+  out += ",\"replayed\":" + std::to_string(journal_replayed);
+  out += ",\"deduped\":" + std::to_string(journal_deduped);
+  if (!journal.last_error.empty()) {
+    out += ",\"last_error\":\"" + jsonl::escape(journal.last_error) + "\"";
+  }
+  out += "}";
   if (obs::enabled()) {
     const obs::Snapshot snap = obs::Registry::global().snapshot();
     out += ",\"counters\":{";
@@ -112,6 +142,10 @@ ServiceOptions resolve_options(ServiceOptions options) {
       env::str("OLP_SERVICE_SNAPSHOT", options.snapshot_path);
   options.snapshot_every =
       env_long("OLP_SERVICE_SNAPSHOT_EVERY", options.snapshot_every);
+  options.journal_path = env::str("OLP_SERVICE_JOURNAL", options.journal_path);
+  options.rate_per_s = env::number("OLP_SERVICE_RATE", options.rate_per_s);
+  options.rate_burst =
+      env::number("OLP_SERVICE_RATE_BURST", options.rate_burst);
   options.observability = env::flag("OLP_OBS", options.observability);
   options.metrics_path = env::str("OLP_METRICS_PATH", options.metrics_path);
   options.metrics_every = env_long("OLP_METRICS_EVERY", options.metrics_every);
@@ -125,7 +159,14 @@ LayoutService::LayoutService(const tech::Technology& technology,
     : tech_(technology),
       options_(resolve_options(std::move(options))),
       queue_(options_.queue),
-      caches_(options_.cache_max_entries) {}
+      caches_(options_.cache_max_entries) {
+  snapshot_every_.store(options_.snapshot_every);
+  metrics_every_.store(options_.metrics_every);
+  max_retries_.store(options_.max_retries);
+  rate_per_s_.store(options_.rate_per_s);
+  rate_burst_.store(options_.rate_burst);
+  desired_workers_.store(options_.workers);
+}
 
 LayoutService::~LayoutService() { drain(/*cancel_inflight=*/true); }
 
@@ -156,11 +197,110 @@ void LayoutService::start() {
     }
   }
 
-  pool_ = std::make_unique<TaskPool>(options_.pool_threads);
-  workers_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  if (!options_.journal_path.empty()) {
+    journal_ = std::make_unique<RequestJournal>(options_.journal_path);
+    std::string error;
+    if (!journal_->open(&error)) {
+      // Durability degrades (counted in stats), the service stays up.
+      obs::counter_add("service.journal_open_failed");
+    }
   }
+
+  pool_ = std::make_unique<TaskPool>(options_.pool_threads);
+
+  // Replay BEFORE workers spawn: the queue is filled while nothing drains
+  // it, so recovered work keeps its original acceptance order.
+  replay_journal();
+
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  spawn_workers_locked(desired_workers_.load());
+}
+
+void LayoutService::spawn_workers_locked(int count) {
+  const std::uint64_t epoch = worker_epoch_.load();
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i, epoch] { worker_loop(i, epoch); });
+  }
+}
+
+void LayoutService::resize_workers(int target) {
+  if (target < 1) target = 1;
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (desired_workers_.load() == target && !workers_.empty()) return;
+  desired_workers_.store(target);
+  if (!started_.load()) return;  // start() will spawn the right count
+  // Retire the whole current fleet (each worker exits after its current
+  // job — briefly over-committed on grow, never abandoned) and spawn a
+  // fresh one under the new epoch. Retired threads join at drain.
+  worker_epoch_.fetch_add(1);
+  for (std::thread& t : workers_) retired_.push_back(std::move(t));
+  workers_.clear();
+  spawn_workers_locked(target);
+  queue_.wake();  // stale-epoch workers re-check their stop condition now
+  obs::counter_add("service.worker_resizes");
+}
+
+void LayoutService::replay_journal() {
+  if (!journal_) return;
+  std::vector<JournalEntry> pending = journal_->take_pending();
+  if (pending.empty()) return;
+
+  // This work was admitted once already — bounds were paid then. Lift them
+  // for the replay, restore afterwards.
+  const QueueOptions bounds = queue_.options();
+  queue_.set_options(QueueOptions{0, 0});
+
+  for (JournalEntry& entry : pending) {
+    circuits::JobStatus prior = circuits::JobStatus::kFailed;
+    if (!entry.request.key.empty() &&
+        journal_->completed_key(entry.request.key, &prior)) {
+      // The key finished in a previous life; void this entry so it never
+      // replays again, and never re-run it.
+      journal_->append_completed(entry.seq, "", prior);
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++journal_deduped_;
+      continue;
+    }
+    QueuedJob job;
+    job.request = std::move(entry.request);
+    job.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    job.admitted_s = clock_.seconds();
+    job.journal_seq = entry.seq;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (!job.request.key.empty()) active_keys_.insert(job.request.key);
+      // Replayed outcomes have no living submitter; account them so the
+      // stats (and the smoke test) can prove zero loss.
+      done_[job.ticket] = [](const RequestOutcome&) {};
+      ++journal_replayed_;
+    }
+    queue_.offer(std::move(job));
+  }
+  queue_.set_options(bounds);
+  obs::counter_add("service.journal_replayed");
+}
+
+bool LayoutService::take_token(const std::string& identity) {
+  const double rate = rate_per_s_.load();
+  if (rate <= 0.0) return true;
+  double burst = rate_burst_.load();
+  if (burst < 1.0) burst = std::max(rate, 1.0);
+  const double now = clock_.seconds();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (buckets_.size() >= kMaxBuckets && buckets_.count(identity) == 0) {
+    buckets_.clear();
+  }
+  Bucket& b = buckets_[identity];
+  if (b.tokens < 0.0) {
+    b.tokens = burst;  // fresh bucket starts full
+  } else {
+    b.tokens = std::min(burst, b.tokens + (now - b.last_s) * rate);
+  }
+  b.last_s = now;
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
 }
 
 RejectReason LayoutService::submit(const ServiceRequest& request,
@@ -169,10 +309,36 @@ RejectReason LayoutService::submit(const ServiceRequest& request,
   if (std::find(known.begin(), known.end(), request.circuit) == known.end()) {
     return RejectReason::kUnknownCircuit;
   }
+  // Token bucket in front of the queue, keyed by the connection-stable
+  // identity (self-reported client only for trusted direct callers).
+  if (!take_token(queue_key(request))) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++rate_limited_;
+    return RejectReason::kRateLimited;
+  }
+  // Idempotency: a key that is in flight or already completed is answered
+  // without re-running (duplicate_status() has the recorded outcome).
+  if (!request.key.empty()) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const bool known_key = active_keys_.count(request.key) != 0 ||
+                           completed_keys_.count(request.key) != 0 ||
+                           (journal_ && journal_->completed_key(request.key));
+    if (known_key) {
+      ++duplicates_;
+      return RejectReason::kDuplicate;
+    }
+    active_keys_.insert(request.key);
+  }
+
   QueuedJob job;
   job.request = request;
   job.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   job.admitted_s = clock_.seconds();
+  // Durability barrier: the journal record must be on disk before the
+  // caller is told "accepted" (submit returning kNone IS that promise).
+  if (journal_) {
+    job.journal_seq = journal_->append_accepted(request);
+  }
   // Register the callback BEFORE offering: a worker may pick the job up
   // and finish it before offer() even returns.
   {
@@ -180,18 +346,75 @@ RejectReason LayoutService::submit(const ServiceRequest& request,
     done_[job.ticket] = std::move(done);
   }
   const std::uint64_t ticket = job.ticket;
+  const std::uint64_t journal_seq = job.journal_seq;
   const RejectReason reason = queue_.offer(std::move(job));
   if (reason != RejectReason::kNone) {
     std::lock_guard<std::mutex> lock(state_mu_);
     done_.erase(ticket);
+    if (!request.key.empty()) active_keys_.erase(request.key);
+    // Already journaled but never admitted: void the entry (empty key —
+    // the idempotency key is NOT burned by a shed) so it cannot replay.
+    if (journal_ && journal_seq != 0) {
+      journal_->append_completed(journal_seq, "",
+                                 circuits::JobStatus::kFailed);
+    }
   }
   return reason;
 }
 
-void LayoutService::worker_loop(int worker_index) {
+bool LayoutService::duplicate_status(const std::string& key,
+                                     circuits::JobStatus* status) const {
+  if (key.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const auto it = completed_keys_.find(key);
+    if (it != completed_keys_.end()) {
+      if (status != nullptr) *status = it->second;
+      return true;
+    }
+  }
+  return journal_ && journal_->completed_key(key, status);
+}
+
+void LayoutService::reload(const std::map<std::string, double>& values) {
+  const auto get = [&values](const char* key, double* out) {
+    const auto it = values.find(key);
+    if (it == values.end()) return false;
+    *out = it->second;
+    return true;
+  };
+  double v = 0.0;
+  QueueOptions bounds = queue_.options();
+  bool bounds_changed = false;
+  if (get("queue_depth", &v)) {
+    bounds.max_depth = static_cast<std::size_t>(v);
+    bounds_changed = true;
+  }
+  if (get("client_queue", &v)) {
+    bounds.max_per_client = static_cast<std::size_t>(v);
+    bounds_changed = true;
+  }
+  if (bounds_changed) queue_.set_options(bounds);
+  if (get("workers", &v)) resize_workers(static_cast<int>(v));
+  if (get("snapshot_every", &v)) snapshot_every_.store(static_cast<long>(v));
+  if (get("retries", &v)) max_retries_.store(static_cast<int>(v));
+  if (get("metrics_every", &v)) metrics_every_.store(static_cast<long>(v));
+  if (get("rate", &v)) rate_per_s_.store(v);
+  if (get("burst", &v)) rate_burst_.store(v);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++reloads_;
+  }
+  obs::counter_add("service.reloads");
+}
+
+void LayoutService::worker_loop(int worker_index, std::uint64_t epoch) {
   obs::set_thread_name("service/worker-" + std::to_string(worker_index));
   QueuedJob job;
-  while (queue_.take(&job)) run_one(std::move(job));
+  const auto retired = [this, epoch] {
+    return worker_epoch_.load(std::memory_order_relaxed) != epoch;
+  };
+  while (queue_.take(&job, retired)) run_one(std::move(job));
 }
 
 void LayoutService::run_one(QueuedJob job) {
@@ -213,6 +436,9 @@ void LayoutService::run_one(QueuedJob job) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     inflight_[job.ticket] = inflight;
+    if (static_cast<long>(inflight_.size()) > max_inflight_) {
+      max_inflight_ = static_cast<long>(inflight_.size());
+    }
   }
 
   circuits::FlowJob flow_job;
@@ -227,7 +453,7 @@ void LayoutService::run_one(QueuedJob job) {
                    &flow_job.routed_nets, &circuit_error);
 
   const int retries =
-      job.request.retries >= 0 ? job.request.retries : options_.max_retries;
+      job.request.retries >= 0 ? job.request.retries : max_retries_.load();
   circuits::JobResult result;
   int attempts = 0;
   if (!circuit_ok) {
@@ -279,6 +505,13 @@ void LayoutService::run_one(QueuedJob job) {
   outcome.degraded = result.report.degraded;
   outcome.budget_exhausted = result.report.budget.exhausted;
 
+  // Completion is durable before it is visible: the journal record lands
+  // before the callback (and any "done" line) fires.
+  if (journal_ && job.journal_seq != 0) {
+    journal_->append_completed(job.journal_seq, job.request.key,
+                               outcome.status);
+  }
+
   OutcomeFn done;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -287,6 +520,16 @@ void LayoutService::run_one(QueuedJob job) {
     if (it != done_.end()) {
       done = std::move(it->second);
       done_.erase(it);
+    }
+    if (!job.request.key.empty()) {
+      active_keys_.erase(job.request.key);
+      if (completed_keys_.emplace(job.request.key, outcome.status).second) {
+        completed_key_order_.push_back(job.request.key);
+        if (completed_key_order_.size() > kKeyHistoryCap) {
+          completed_keys_.erase(completed_key_order_.front());
+          completed_key_order_.erase(completed_key_order_.begin());
+        }
+      }
     }
     ++completed_;
     switch (outcome.status) {
@@ -309,11 +552,12 @@ void LayoutService::run_one(QueuedJob job) {
 }
 
 void LayoutService::maybe_periodic_snapshot() {
-  if (options_.snapshot_path.empty() || options_.snapshot_every <= 0) return;
+  const long every = snapshot_every_.load();
+  if (options_.snapshot_path.empty() || every <= 0) return;
   bool due = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    due = completed_ % options_.snapshot_every == 0;
+    due = completed_ % every == 0;
   }
   if (due) save_snapshot(nullptr);
 }
@@ -321,9 +565,10 @@ void LayoutService::maybe_periodic_snapshot() {
 void LayoutService::maybe_periodic_metrics(bool force) {
   if (options_.metrics_path.empty()) return;
   if (!force) {
-    if (options_.metrics_every <= 0) return;
+    const long every = metrics_every_.load();
+    if (every <= 0) return;
     std::lock_guard<std::mutex> lock(state_mu_);
-    if (completed_ == 0 || completed_ % options_.metrics_every != 0) return;
+    if (completed_ == 0 || completed_ % every != 0) return;
   }
   // Build the line before taking the append lock (metrics_json snapshots
   // the registry); append failures are recorded, never fatal.
@@ -444,7 +689,9 @@ void LayoutService::drain(bool cancel_inflight) {
   queue_.close();
   if (cancel_inflight) {
     // Drop what never started, cancel what did. Dropped jobs still owe
-    // their submitters an outcome — deliver a cancelled failure.
+    // their submitters an outcome — deliver a cancelled failure. Their
+    // journal entries stay pending on purpose: accepted work that was
+    // cancelled by a fast shutdown replays on the next start.
     std::vector<OutcomeFn> cancelled;
     std::vector<RequestOutcome> outcomes;
     {
@@ -472,11 +719,19 @@ void LayoutService::drain(bool cancel_inflight) {
       if (cancelled[i]) cancelled[i](outcomes[i]);
     }
   }
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    for (std::thread& w : retired_) {
+      if (w.joinable()) w.join();
+    }
+    retired_.clear();
   }
-  workers_.clear();
   if (!options_.snapshot_path.empty()) save_snapshot(nullptr);
+  if (journal_) journal_->compact(nullptr);  // shrink to live state
   maybe_periodic_metrics(/*force=*/true);  // final metrics line
   obs::counter_add("service.drains");
 }
@@ -486,20 +741,28 @@ ServiceStats LayoutService::stats() const {
   s.uptime_s = clock_.seconds();
   s.draining = draining();
   s.queue_depth = queue_.depth();
+  s.workers = desired_workers_.load();
   s.admitted = queue_.admitted();
   s.shed_queue_full = queue_.shed(RejectReason::kQueueFull);
   s.shed_client_quota = queue_.shed(RejectReason::kClientQuota);
   s.shed_draining = queue_.shed(RejectReason::kDraining);
   s.cache = caches_.stats();
   s.cache_scopes = caches_.scopes();
+  if (journal_) s.journal = journal_->stats();
   std::lock_guard<std::mutex> lock(state_mu_);
   s.inflight = static_cast<long>(inflight_.size());
+  s.max_inflight = max_inflight_;
   s.completed = completed_;
   s.succeeded = succeeded_;
   s.degraded = degraded_;
   s.failed = failed_;
   s.retries = retries_;
   s.parse_rejects = parse_rejects_;
+  s.shed_rate_limited = rate_limited_;
+  s.duplicates = duplicates_;
+  s.reloads = reloads_;
+  s.journal_replayed = journal_replayed_;
+  s.journal_deduped = journal_deduped_;
   s.latency = latency_hist_.stats();
   s.p50_ms = s.latency.p50;
   s.p99_ms = s.latency.p99;
@@ -515,16 +778,27 @@ std::string LayoutService::metrics_json() const {
   std::string out = "{\"uptime_s\":" + fixed(s.uptime_s, 3);
   out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
   out += ",\"inflight\":" + std::to_string(s.inflight);
+  out += ",\"max_inflight\":" + std::to_string(s.max_inflight);
+  out += ",\"workers\":" + std::to_string(s.workers);
   out += ",\"admitted\":" + std::to_string(s.admitted);
   out += ",\"completed\":" + std::to_string(s.completed);
   out += ",\"succeeded\":" + std::to_string(s.succeeded);
   out += ",\"degraded\":" + std::to_string(s.degraded);
   out += ",\"failed\":" + std::to_string(s.failed);
   out += ",\"retries\":" + std::to_string(s.retries);
+  out += ",\"reloads\":" + std::to_string(s.reloads);
   out += ",\"shed\":{\"queue_full\":" + std::to_string(s.shed_queue_full);
   out += ",\"client_quota\":" + std::to_string(s.shed_client_quota);
   out += ",\"draining\":" + std::to_string(s.shed_draining);
+  out += ",\"rate_limited\":" + std::to_string(s.shed_rate_limited);
+  out += ",\"duplicate\":" + std::to_string(s.duplicates);
   out += ",\"parse_error\":" + std::to_string(s.parse_rejects) + "}";
+  out += ",\"journal\":{\"enabled\":" +
+         std::string(s.journal.enabled ? "true" : "false");
+  out += ",\"pending\":" + std::to_string(s.journal.pending);
+  out += ",\"append_failures\":" + std::to_string(s.journal.append_failures);
+  out += ",\"replayed\":" + std::to_string(s.journal_replayed);
+  out += ",\"deduped\":" + std::to_string(s.journal_deduped) + "}";
   out += ",\"latency_ms\":" + obs::histogram_json(s.latency);
   out += ",\"cache\":{\"hits\":" + std::to_string(s.cache.hits);
   out += ",\"misses\":" + std::to_string(s.cache.misses);
@@ -557,100 +831,153 @@ std::string LayoutService::metrics_json() const {
   return out;
 }
 
-void LayoutService::serve(std::istream& in, std::ostream& out) {
+bool LayoutService::handle_line(const std::string& identity,
+                                const std::string& line, const EmitFn& emit) {
+  if (line.empty()) return true;
+  ServiceRequest request;
+  std::string error;
+  const RejectReason parsed = parse_request(line, &request, &error);
+  if (parsed != RejectReason::kNone) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++parse_rejects_;
+    }
+    obs::counter_add("service.parse_rejects");
+    emit("{\"event\":\"rejected\",\"reason\":\"" +
+         std::string(reject_reason_name(parsed)) + "\",\"error\":\"" +
+         jsonl::escape(error) + "\"}");
+    return true;
+  }
+  // The transport's identity overrides anything the line could claim
+  // (parse_request rejects an "identity" member outright).
+  request.identity = identity;
+  switch (request.op) {
+    case RequestOp::kSubmit: {
+      if (request.id.empty()) {
+        request.id =
+            "r" + std::to_string(next_auto_id_.fetch_add(1,
+                                                         std::memory_order_relaxed) +
+                                 1);
+      }
+      const std::string id = request.id;
+      const RejectReason reason =
+          submit(request, [emit, id](const RequestOutcome& o) {
+            std::string msg = "{\"id\":\"" + jsonl::escape(id) + "\"";
+            msg += ",\"event\":\"done\",\"status\":\"" +
+                   std::string(circuits::job_status_name(o.status)) + "\"";
+            if (!o.error.empty()) {
+              msg += ",\"error\":\"" + jsonl::escape(o.error) + "\"";
+            }
+            msg += ",\"attempts\":" + std::to_string(o.attempts);
+            msg += ",\"queued_s\":" + fixed(o.queued_s, 4);
+            msg += ",\"run_s\":" + fixed(o.run_s, 4);
+            msg += ",\"testbenches\":" + std::to_string(o.testbenches);
+            msg += ",\"degraded\":" +
+                   std::string(o.degraded ? "true" : "false");
+            msg += ",\"budget_exhausted\":" +
+                   std::string(o.budget_exhausted ? "true" : "false");
+            msg += "}";
+            emit(msg);
+          });
+      if (reason == RejectReason::kNone) {
+        emit("{\"id\":\"" + jsonl::escape(id) +
+             "\",\"event\":\"accepted\",\"queue_depth\":" +
+             std::to_string(queue_.depth()) + "}");
+      } else if (reason == RejectReason::kDuplicate) {
+        // Answer with what the key already produced (or "pending" while the
+        // original is still running) — never run the job twice.
+        circuits::JobStatus prior = circuits::JobStatus::kFailed;
+        const bool completed = duplicate_status(request.key, &prior);
+        std::string msg = "{\"id\":\"" + jsonl::escape(id) +
+                          "\",\"event\":\"duplicate\",\"key\":\"" +
+                          jsonl::escape(request.key) + "\",\"status\":\"";
+        msg += completed ? circuits::job_status_name(prior) : "pending";
+        msg += "\"}";
+        emit(msg);
+      } else {
+        emit("{\"id\":\"" + jsonl::escape(id) +
+             "\",\"event\":\"rejected\",\"reason\":\"" +
+             std::string(reject_reason_name(reason)) + "\"}");
+      }
+      break;
+    }
+    case RequestOp::kStats:
+      emit("{\"event\":\"stats\",\"stats\":" + stats().to_json() + "}");
+      break;
+    case RequestOp::kMetrics:
+      emit("{\"event\":\"metrics\",\"metrics\":" + metrics_json() + "}");
+      break;
+    case RequestOp::kSnapshot: {
+      std::string snap_error;
+      const bool ok = save_snapshot(&snap_error);
+      std::string msg = "{\"event\":\"snapshot\",\"ok\":";
+      msg += ok ? "true" : "false";
+      if (!ok) msg += ",\"error\":\"" + jsonl::escape(snap_error) + "\"";
+      msg += "}";
+      emit(msg);
+      break;
+    }
+    case RequestOp::kReload: {
+      reload(request.reload_values);
+      const QueueOptions bounds = queue_.options();
+      std::string msg = "{\"event\":\"reloaded\",\"queue_depth\":" +
+                        std::to_string(bounds.max_depth);
+      msg += ",\"client_queue\":" + std::to_string(bounds.max_per_client);
+      msg += ",\"workers\":" + std::to_string(desired_workers_.load());
+      msg += ",\"snapshot_every\":" + std::to_string(snapshot_every_.load());
+      msg += ",\"retries\":" + std::to_string(max_retries_.load());
+      msg += ",\"metrics_every\":" + std::to_string(metrics_every_.load());
+      msg += ",\"rate\":" + fixed(rate_per_s_.load(), 3);
+      msg += ",\"burst\":" + fixed(rate_burst_.load(), 3);
+      msg += "}";
+      emit(msg);
+      break;
+    }
+    case RequestOp::kDrain:
+      drain(/*cancel_inflight=*/false);
+      emit("{\"event\":\"drained\",\"cancelled\":false}");
+      return false;
+    case RequestOp::kShutdown:
+      drain(/*cancel_inflight=*/true);
+      emit("{\"event\":\"drained\",\"cancelled\":true}");
+      return false;
+    case RequestOp::kPing:
+      emit("{\"event\":\"pong\"}");
+      break;
+  }
+  return true;
+}
+
+void LayoutService::serve(std::istream& in, std::ostream& out,
+                          const std::function<bool()>& on_interrupt) {
   start();
   obs::set_thread_name("service/intake");
-  std::mutex out_mu;
-  const auto emit = [&out, &out_mu](const std::string& line) {
-    std::lock_guard<std::mutex> lock(out_mu);
+  auto out_mu = std::make_shared<std::mutex>();
+  const EmitFn emit = [&out, out_mu](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*out_mu);
     out << line << "\n" << std::flush;
   };
 
-  std::uint64_t auto_id = 0;
   std::string line;
   bool stop = false;
-  while (!stop && std::getline(in, line)) {
-    if (line.empty()) continue;
-    ServiceRequest request;
-    std::string error;
-    const RejectReason parsed = parse_request(line, &request, &error);
-    if (parsed != RejectReason::kNone) {
-      {
-        std::lock_guard<std::mutex> lock(state_mu_);
-        ++parse_rejects_;
+  while (!stop) {
+    if (!std::getline(in, line)) {
+      // A signal without SA_RESTART (SIGHUP reload) interrupts the read;
+      // the hook decides whether to absorb it and keep serving. Do NOT
+      // gate on eof(): with stdio-synced streams an EINTR'd read is
+      // indistinguishable from end-of-file at this layer (both set
+      // eofbit), so the hook — which knows whether a signal actually
+      // arrived — is the only reliable discriminator. On true EOF it
+      // returns false and the loop falls through to the drain.
+      if (on_interrupt && on_interrupt()) {
+        in.clear();
+        continue;
       }
-      obs::counter_add("service.parse_rejects");
-      emit("{\"event\":\"rejected\",\"reason\":\"" +
-           std::string(reject_reason_name(parsed)) + "\",\"error\":\"" +
-           jsonl::escape(error) + "\"}");
-      continue;
+      break;
     }
-    switch (request.op) {
-      case RequestOp::kSubmit: {
-        if (request.id.empty()) {
-          request.id = "r" + std::to_string(++auto_id);
-        }
-        const std::string id = request.id;
-        const RejectReason reason =
-            submit(request, [emit, id](const RequestOutcome& o) {
-              std::string msg = "{\"id\":\"" + jsonl::escape(id) + "\"";
-              msg += ",\"event\":\"done\",\"status\":\"" +
-                     std::string(circuits::job_status_name(o.status)) + "\"";
-              if (!o.error.empty()) {
-                msg += ",\"error\":\"" + jsonl::escape(o.error) + "\"";
-              }
-              msg += ",\"attempts\":" + std::to_string(o.attempts);
-              msg += ",\"queued_s\":" + fixed(o.queued_s, 4);
-              msg += ",\"run_s\":" + fixed(o.run_s, 4);
-              msg += ",\"testbenches\":" + std::to_string(o.testbenches);
-              msg += ",\"degraded\":" +
-                     std::string(o.degraded ? "true" : "false");
-              msg += ",\"budget_exhausted\":" +
-                     std::string(o.budget_exhausted ? "true" : "false");
-              msg += "}";
-              emit(msg);
-            });
-        if (reason == RejectReason::kNone) {
-          emit("{\"id\":\"" + jsonl::escape(id) +
-               "\",\"event\":\"accepted\",\"queue_depth\":" +
-               std::to_string(queue_.depth()) + "}");
-        } else {
-          emit("{\"id\":\"" + jsonl::escape(id) +
-               "\",\"event\":\"rejected\",\"reason\":\"" +
-               std::string(reject_reason_name(reason)) + "\"}");
-        }
-        break;
-      }
-      case RequestOp::kStats:
-        emit("{\"event\":\"stats\",\"stats\":" + stats().to_json() + "}");
-        break;
-      case RequestOp::kMetrics:
-        emit("{\"event\":\"metrics\",\"metrics\":" + metrics_json() + "}");
-        break;
-      case RequestOp::kSnapshot: {
-        std::string snap_error;
-        const bool ok = save_snapshot(&snap_error);
-        std::string msg = "{\"event\":\"snapshot\",\"ok\":";
-        msg += ok ? "true" : "false";
-        if (!ok) msg += ",\"error\":\"" + jsonl::escape(snap_error) + "\"";
-        msg += "}";
-        emit(msg);
-        break;
-      }
-      case RequestOp::kDrain:
-        drain(/*cancel_inflight=*/false);
-        emit("{\"event\":\"drained\",\"cancelled\":false}");
-        stop = true;
-        break;
-      case RequestOp::kShutdown:
-        drain(/*cancel_inflight=*/true);
-        emit("{\"event\":\"drained\",\"cancelled\":true}");
-        stop = true;
-        break;
-      case RequestOp::kPing:
-        emit("{\"event\":\"pong\"}");
-        break;
-    }
+    // stdin is a trusted direct caller: no transport identity, quotas key
+    // on the self-reported client name (see request.hpp).
+    stop = !handle_line(std::string(), line, emit);
   }
   // EOF (or SIGTERM interrupting the read): graceful drain — finish queued
   // and in-flight work, flush the snapshot.

@@ -1,0 +1,150 @@
+#pragma once
+// Fault-tolerant multi-client stream transport for the resident service.
+//
+// A TransportSupervisor owns up to two listening sockets (a unix-domain
+// path and/or a loopback TCP port) and multiplexes EVERY accepted
+// connection on one poll()-driven thread — no thread-per-connection, no
+// head-of-line blocking between clients. Each connection gets:
+//
+//   * torn-frame-tolerant JSONL framing (util/jsonl LineFramer): requests
+//     may arrive byte-by-byte or many-per-read; a frame is dispatched only
+//     when its newline arrives, and a partial frame left by a disconnect is
+//     discarded, never half-parsed;
+//   * a hard per-frame size bound — an oversized line is discarded AS IT
+//     STREAMS IN (bounded memory per connection) and answered with one
+//     rejected/frame_too_large line once it ends;
+//   * a read deadline that only arms while a partial frame is pending —
+//     slow-loris clients dribbling a frame forever are shed with
+//     rejected/read_timeout and closed; idle keepalive connections are
+//     never penalized;
+//   * a connection-stable identity stamped on every dispatched line
+//     ("tcp:<peer-ip>", or "unix:pid:<pid>" via SO_PEERCRED where
+//     available) — quotas and rate limits downstream key on THIS, so a
+//     client reconnecting under a fresh self-reported name keeps its
+//     bounds (see request.hpp);
+//   * an output queue writable from any thread (workers complete jobs
+//     asynchronously): writes that would block are resumed under POLLOUT,
+//     and an injected FaultSite::kTransportPartialWrite flushes only a
+//     prefix to prove the resumption path — the byte stream is never
+//     corrupted, only delayed.
+//
+// FaultSite::kTransportDisconnect chaos-drops a connection during a read,
+// exercising the torn-frame discard path. A connection-count bound refuses
+// (with a reason line) rather than accepts-and-starves. Listener setup
+// failure is reported from start() so the daemon can exit non-zero when a
+// transport was explicitly requested but cannot serve.
+//
+// The supervisor is protocol-agnostic: it hands each complete frame to a
+// LineHandler along with a thread-safe per-connection emit callback, and
+// never parses JSON itself (except for the reject lines it originates).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace olp::service {
+
+struct TransportOptions {
+  /// Unix-domain listener path; empty = no unix listener.
+  std::string unix_path;
+  /// TCP listener port; -1 = no TCP listener, 0 = ephemeral (the bound port
+  /// is reported by tcp_port() and should be announced to clients).
+  int tcp_port = -1;
+  /// TCP bind address. Loopback by default: the service speaks a trusting
+  /// protocol and is not meant to face a hostile network.
+  std::string tcp_host = "127.0.0.1";
+  /// Per-frame byte bound (newline excluded); longer frames shed with
+  /// frame_too_large. 0 = unbounded (tests only).
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Slow-loris deadline: a connection holding a PARTIAL frame older than
+  /// this is shed with read_timeout and closed. 0 = no deadline. Idle
+  /// connections with no partial frame are never timed out.
+  long read_timeout_ms = 30000;
+  /// Concurrent-connection bound; excess accepts are answered with one
+  /// reject line and closed. 0 = unbounded.
+  std::size_t max_connections = 64;
+};
+
+struct TransportStats {
+  bool running = false;
+  int tcp_port = -1;               ///< actual bound port (-1 = no listener)
+  long accepted = 0;               ///< connections accepted over lifetime
+  long refused = 0;                ///< accepts shed by max_connections
+  std::size_t active = 0;          ///< currently open connections
+  std::size_t max_active = 0;      ///< high-water mark of `active`
+  long lines_dispatched = 0;       ///< complete frames handed to the handler
+  long frames_oversized = 0;       ///< sheds: frame_too_large
+  long read_timeouts = 0;          ///< sheds: slow-loris deadline
+  long torn_frames_discarded = 0;  ///< partial frames dropped on disconnect
+  long partial_writes = 0;         ///< flushes resumed under POLLOUT
+  long injected_disconnects = 0;   ///< chaos kTransportDisconnect fires
+  long write_errors = 0;           ///< connections lost on write
+};
+
+class TransportSupervisor {
+ public:
+  /// Thread-safe response sink for one connection. Appends one complete
+  /// JSONL line (newline added here) to the connection's output queue and
+  /// wakes the poll loop. Harmless after the connection closed.
+  using Emit = std::function<void(const std::string& line)>;
+
+  /// Called on the supervisor thread for every complete in-bound frame.
+  /// `identity` is the connection-stable peer identity (never
+  /// client-controlled). Oversized frames never reach the handler — the
+  /// supervisor sheds them itself with a frame_too_large reject line.
+  using LineHandler = std::function<void(
+      const std::string& identity, const std::string& line, const Emit& emit)>;
+
+  TransportSupervisor();
+  ~TransportSupervisor();
+
+  TransportSupervisor(const TransportSupervisor&) = delete;
+  TransportSupervisor& operator=(const TransportSupervisor&) = delete;
+
+  /// Creates the requested listeners and starts the poll thread. False
+  /// (with *error) when a requested listener cannot be created — the caller
+  /// decides whether that is fatal (olp_serviced exits non-zero when the
+  /// transport was explicitly requested). With no listeners requested,
+  /// start() succeeds as a no-op supervisor.
+  bool start(const TransportOptions& options, LineHandler handler,
+             std::string* error = nullptr);
+
+  /// Closes listeners and every connection, joins the poll thread.
+  /// Idempotent.
+  void stop();
+
+  /// Hot-reloads the shedding knobs. The read deadline and connection
+  /// bound apply from the next poll iteration; the frame bound applies to
+  /// connections accepted from now on (each connection's framer is sized
+  /// at accept). Open connections are never dropped by a reload.
+  void reload_limits(long read_timeout_ms, std::size_t max_connections,
+                     std::size_t max_line_bytes);
+
+  /// Actual TCP port after start() (ephemeral ports resolved); -1 when no
+  /// TCP listener is running.
+  int tcp_port() const;
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  TransportStats stats() const;
+
+ private:
+  struct Conn;
+  struct Impl;
+
+  void poll_loop();
+
+  /// shared_ptr so per-connection emit callbacks (held by in-flight job
+  /// completions) can hold a weak reference that outlives stop().
+  std::shared_ptr<Impl> impl_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace olp::service

@@ -43,6 +43,12 @@ const char* fault_site_name(FaultSite site) {
       return "request_parse";
     case FaultSite::kJobTransient:
       return "job_transient";
+    case FaultSite::kTransportPartialWrite:
+      return "partial_write";
+    case FaultSite::kTransportDisconnect:
+      return "disconnect";
+    case FaultSite::kJournalIo:
+      return "journal_io";
   }
   return "unknown";
 }
@@ -67,6 +73,12 @@ double FaultConfig::rate(FaultSite site) const {
       return request_parse_rate;
     case FaultSite::kJobTransient:
       return job_transient_rate;
+    case FaultSite::kTransportPartialWrite:
+      return partial_write_rate;
+    case FaultSite::kTransportDisconnect:
+      return disconnect_rate;
+    case FaultSite::kJournalIo:
+      return journal_io_rate;
   }
   return 0.0;
 }

@@ -249,15 +249,39 @@ struct Parser {
       pos += 4;
       return true;
     }
-    // Number: delegate validation to strtod on the longest plausible span.
+    // Number: validate against the strict JSON grammar first, THEN convert
+    // with strtod over exactly the validated span. strtod alone would also
+    // accept inf/nan/hex and leading zeros, which JSON forbids.
     if (c == '-' || (c >= '0' && c <= '9')) {
-      const char* begin = s.c_str() + pos;
-      char* end = nullptr;
-      const double value = std::strtod(begin, &end);
-      if (end == begin) return fail_here("malformed number");
+      std::size_t p = pos;
+      if (s[p] == '-') ++p;
+      if (p >= s.size() || s[p] < '0' || s[p] > '9') {
+        return fail_here("malformed number");
+      }
+      if (s[p] == '0') {
+        ++p;  // a leading zero must stand alone
+      } else {
+        while (p < s.size() && s[p] >= '0' && s[p] <= '9') ++p;
+      }
+      if (p < s.size() && s[p] == '.') {
+        ++p;
+        if (p >= s.size() || s[p] < '0' || s[p] > '9') {
+          return fail_here("malformed number (digits required after '.')");
+        }
+        while (p < s.size() && s[p] >= '0' && s[p] <= '9') ++p;
+      }
+      if (p < s.size() && (s[p] == 'e' || s[p] == 'E')) {
+        ++p;
+        if (p < s.size() && (s[p] == '+' || s[p] == '-')) ++p;
+        if (p >= s.size() || s[p] < '0' || s[p] > '9') {
+          return fail_here("malformed number (digits required in exponent)");
+        }
+        while (p < s.size() && s[p] >= '0' && s[p] <= '9') ++p;
+      }
+      const std::string token = s.substr(pos, p - pos);
       out->kind = Value::Kind::kNumber;
-      out->number = value;
-      pos += static_cast<std::size_t>(end - begin);
+      out->number = std::strtod(token.c_str(), nullptr);
+      pos = p;
       return true;
     }
     return fail_here("unexpected character");
@@ -314,6 +338,44 @@ bool parse_object(const std::string& line, Object* out, std::string* error) {
     return false;
   }
   return true;
+}
+
+void LineFramer::feed(const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (skipping_oversized_) {
+        // The offending frame ends here; surface ONE marker and resync.
+        skipping_oversized_ = false;
+        ready_.push_back(Frame{std::string(), true});
+      } else {
+        if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+        ready_.push_back(Frame{std::move(partial_), false});
+      }
+      partial_.clear();
+      continue;
+    }
+    if (skipping_oversized_) continue;
+    partial_ += c;
+    if (max_line_bytes_ > 0 && partial_.size() > max_line_bytes_) {
+      // Stop buffering an attacker-controlled frame; drop what we held and
+      // discard the rest of the line as it arrives.
+      partial_.clear();
+      skipping_oversized_ = true;
+    }
+  }
+}
+
+bool LineFramer::next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void LineFramer::discard_partial() {
+  partial_.clear();
+  skipping_oversized_ = false;
 }
 
 }  // namespace olp::jsonl

@@ -13,14 +13,25 @@
 //                   byte string (tests/test_util.cpp proves it).
 //   parse_object()  strict parser for one FLAT JSON object — string, number,
 //                   boolean and null members only, no nesting — which is
-//                   exactly the shape of a service request line. Malformed
-//                   input yields false plus a position-bearing error message,
+//                   exactly the shape of a service request line. Numbers
+//                   follow the strict JSON grammar (no inf/nan/hex, no
+//                   leading zeros, no bare trailing dot). Malformed input
+//                   yields false plus a position-bearing error message,
 //                   never an exception or a partial result.
+//   LineFramer      byte-stream -> newline-delimited frames with a hard
+//                   per-frame size bound. Tolerates torn frames (a partial
+//                   line is held until its newline arrives or the stream
+//                   ends) and sheds oversized ones: input past the bound is
+//                   discarded until the next newline, then surfaced as one
+//                   oversized marker frame so the transport can reject with
+//                   a reason instead of buffering without limit.
 //
 // The deliberately tiny value model keeps the service protocol honest: a
 // request is a flat bag of scalars, so misuse (nested payloads, duplicate
 // keys) is rejected at the door instead of half-understood.
 
+#include <cstddef>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -56,5 +67,44 @@ using Object = std::map<std::string, Value>;
 /// non-null) and leaves *out empty.
 bool parse_object(const std::string& line, Object* out,
                   std::string* error = nullptr);
+
+/// Incremental newline framing over an arbitrary byte stream (see file
+/// comment). Not thread-safe; one framer per connection.
+class LineFramer {
+ public:
+  /// One extracted frame. `oversized` frames carry no content: the line
+  /// exceeded the bound and its bytes were discarded (the stream itself
+  /// stays in sync — framing resumes after the offending newline).
+  struct Frame {
+    std::string line;
+    bool oversized = false;
+  };
+
+  /// `max_line_bytes` bounds one frame, newline excluded (0 = unbounded).
+  explicit LineFramer(std::size_t max_line_bytes = 0)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends raw bytes; complete frames become available via next().
+  /// A trailing '\r' (CRLF clients) is stripped from each frame.
+  void feed(const char* data, std::size_t n);
+
+  /// Pops the next complete frame; false when none is pending.
+  bool next(Frame* out);
+
+  /// Bytes of the current incomplete (torn) frame — nonzero exactly when a
+  /// line has started but its newline has not arrived. The transport uses
+  /// this for slow-loris deadlines and for discarding torn frames on
+  /// disconnect.
+  std::size_t partial_bytes() const { return partial_.size(); }
+
+  /// Drops the current partial frame (mid-frame disconnect).
+  void discard_partial();
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string partial_;
+  bool skipping_oversized_ = false;
+  std::deque<Frame> ready_;
+};
 
 }  // namespace olp::jsonl

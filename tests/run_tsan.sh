@@ -102,4 +102,66 @@ if grep -q "ThreadSanitizer" "${service_out}"; then
   exit 1
 fi
 
+# The network transport: three concurrent TCP clients race keyed submits
+# through the poll supervisor while stdin stays open — connection emits vs.
+# worker threads, journal appends under the accept path, a SIGHUP reload
+# against live traffic, and the cross-thread drain at the end.
+tcp_out="${tmp}/tcp_stdout.txt"
+mkfifo "${tmp}/tcp_in"
+OLP_SERVICE_WORKERS=4 OLP_SERVICE_TCP=0 \
+  OLP_SERVICE_JOURNAL="${tmp}/tsan_requests.journal" \
+  OLP_SERVICE_SNAPSHOT_EVERY=0 TSAN_OPTIONS="halt_on_error=1" \
+  "${build_dir}/examples/olp_serviced" < "${tmp}/tcp_in" > "${tcp_out}" 2>&1 &
+service_pid=$!
+exec 3> "${tmp}/tcp_in"
+
+deadline=$((SECONDS + 120))
+port=""
+while [[ -z "${port}" ]]; do
+  if ((SECONDS >= deadline)); then
+    echo "tsan smoke: sanitized service never announced a TCP port" >&2
+    cat "${tcp_out}" >&2
+    exit 1
+  fi
+  port="$(sed -n 's/.*"transport":"tcp","port":\([0-9][0-9]*\).*/\1/p' \
+    "${tcp_out}" 2>/dev/null | head -n1)"
+  [[ -n "${port}" ]] || sleep 0.2
+done
+
+tcp_client() {
+  local name=$1 seed=$2 i got=0 line
+  exec 9<>"/dev/tcp/127.0.0.1/${port}"
+  for i in 0 1 2; do
+    printf '{"op":"submit","id":"%s-%s","client":"%s","circuit":"vco","mode":"conventional","seed":%s,"key":"%s-%s"}\n' \
+      "${name}" "${i}" "${name}" "$((seed + i))" "${name}" "${i}" >&9
+  done
+  while ((got < 3)) && read -r -t 300 -u 9 line; do
+    case "${line}" in
+      *'"event":"done"'* | *'"event":"duplicate"'*) got=$((got + 1)) ;;
+    esac
+  done
+  exec 9>&-
+}
+tcp_client ta 100 & c1=$!
+tcp_client tb 200 & c2=$!
+tcp_client tc 300 & c3=$!
+kill -HUP "${service_pid}"  # reload races the in-flight traffic
+wait "${c1}" "${c2}" "${c3}"
+echo '{"op":"drain"}' >&3
+exec 3>&-
+rc=0
+wait "${service_pid}" || rc=$?
+if [[ "${rc}" -ne 0 ]]; then
+  echo "tsan smoke: sanitized service exited ${rc} after the TCP session" >&2
+  cat "${tcp_out}" >&2
+  exit 1
+fi
+echo "tsan smoke: sanitized transport served 3 concurrent clients cleanly"
+
+if grep -q "ThreadSanitizer" "${tcp_out}"; then
+  echo "tsan smoke: ThreadSanitizer reported a race in the transport" >&2
+  cat "${tcp_out}" >&2
+  exit 1
+fi
+
 echo "tsan smoke run passed"

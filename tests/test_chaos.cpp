@@ -6,14 +6,27 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/flow.hpp"
+#include "service/journal.hpp"
 #include "service/request.hpp"
 #include "service/service.hpp"
+#include "service/transport.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 #include "circuits/ota5t.hpp"
 #include "core/evaluator.hpp"
 #include "pcell/generator.hpp"
@@ -281,6 +294,10 @@ TEST(ChaosSites, NewSiteNamesAreStable) {
   EXPECT_STREQ(fault_site_name(FaultSite::kSnapshotIo), "snapshot_io");
   EXPECT_STREQ(fault_site_name(FaultSite::kRequestParse), "request_parse");
   EXPECT_STREQ(fault_site_name(FaultSite::kJobTransient), "job_transient");
+  EXPECT_STREQ(fault_site_name(FaultSite::kTransportPartialWrite),
+               "partial_write");
+  EXPECT_STREQ(fault_site_name(FaultSite::kTransportDisconnect), "disconnect");
+  EXPECT_STREQ(fault_site_name(FaultSite::kJournalIo), "journal_io");
 }
 
 TEST(ChaosRequestParse, InjectedFaultRejectsValidLine) {
@@ -402,6 +419,186 @@ TEST(ChaosJobTransient, ExhaustedRetriesFailWithoutCrashing) {
   EXPECT_EQ(stats.failed, 1);
   EXPECT_EQ(stats.completed, 1);
 }
+
+// --- journal I/O chaos ------------------------------------------------------
+
+TEST(ChaosJournalIo, AppendFailureDegradesDurabilityNotTheJournal) {
+  const std::string path = testing::TempDir() + "olp_chaos_journal.bin";
+  std::remove(path.c_str());
+  service::RequestJournal journal(path);
+  ASSERT_TRUE(journal.open());
+
+  service::ServiceRequest request;
+  request.id = "j";
+  request.client = "tester";
+  request.circuit = "vco";
+  {
+    FaultConfig config;
+    config.journal_io_rate = 1.0;
+    ScopedFaultInjection chaos(config);
+    std::string error;
+    EXPECT_EQ(journal.append_accepted(request, &error), 0u);
+    EXPECT_NE(error.find("injected"), std::string::npos);
+    EXPECT_FALSE(journal.compact(&error));
+  }
+  const service::JournalStats degraded = journal.stats();
+  EXPECT_GE(degraded.append_failures, 1l);
+  // With injection gone the SAME journal object appends again — the
+  // failure was counted, not sticky.
+  EXPECT_GT(journal.append_accepted(request), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosJournalIo, ServiceKeepsServingWhenTheJournalCannotOpen) {
+  const std::string path = testing::TempDir() + "olp_chaos_journal_open.bin";
+  std::remove(path.c_str());
+  service::ServiceOptions options;
+  options.workers = 1;
+  options.pool_threads = 1;
+  options.journal_path = path;
+  service::LayoutService svc(t(), options);
+  {
+    FaultConfig config;
+    config.journal_io_rate = 1.0;
+    ScopedFaultInjection chaos(config);
+    svc.start();  // journal open fails under injection; service must not
+  }
+  EXPECT_FALSE(svc.stats().journal.enabled);
+
+  // Submission and completion still work — acceptance just is not durable,
+  // and each failed append is counted.
+  service::ServiceRequest request;
+  request.id = "undurable";
+  request.client = "tester";
+  request.circuit = "vco";
+  request.mode = circuits::FlowMode::kConventional;
+  std::promise<service::RequestOutcome> done;
+  auto future = done.get_future();
+  ASSERT_EQ(svc.submit(request,
+                       [&done](const service::RequestOutcome& o) {
+                         done.set_value(o);
+                       }),
+            service::RejectReason::kNone);
+  EXPECT_EQ(future.get().status, circuits::JobStatus::kSucceeded);
+  svc.drain();
+  EXPECT_GE(svc.stats().journal.append_failures, 1l);
+  std::remove(path.c_str());
+}
+
+// --- transport chaos (real loopback sockets) --------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace transport_chaos {
+
+/// Minimal blocking loopback client (5 s receive timeout).
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool read_line(int fd, std::string* out) {
+  out->clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return false;
+    if (c == '\n') return true;
+    out->push_back(c);
+  }
+}
+
+}  // namespace transport_chaos
+
+TEST(ChaosTransport, PartialWritesDelayButNeverCorruptTheStream) {
+  service::TransportSupervisor transport;
+  service::TransportOptions options;
+  options.tcp_port = 0;
+  options.read_timeout_ms = 0;
+  // A response long enough that halving flushes take several rounds.
+  const std::string payload(512, 'p');
+  ASSERT_TRUE(transport.start(
+      options, [&payload](const std::string&, const std::string&,
+                          const service::TransportSupervisor::Emit& emit) {
+        emit("{\"payload\":\"" + payload + "\"}");
+      }));
+
+  FaultConfig config;
+  config.partial_write_rate = 1.0;  // EVERY flush writes only a prefix
+  ScopedFaultInjection chaos(config);
+
+  const int fd = transport_chaos::connect_loopback(transport.tcp_port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "{\"op\":\"ping\"}\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string line;
+  ASSERT_TRUE(transport_chaos::read_line(fd, &line));
+  // The full line arrived intact despite every flush being truncated.
+  EXPECT_EQ(line, "{\"payload\":\"" + payload + "\"}");
+  EXPECT_GE(transport.stats().partial_writes, 2l);
+  ::close(fd);
+  transport.stop();
+}
+
+TEST(ChaosTransport, InjectedDisconnectDropsTheConnectionCleanly) {
+  std::atomic<int> dispatched{0};
+  service::TransportSupervisor transport;
+  service::TransportOptions options;
+  options.tcp_port = 0;
+  options.read_timeout_ms = 0;
+  ASSERT_TRUE(transport.start(
+      options, [&dispatched](const std::string&, const std::string&,
+                             const service::TransportSupervisor::Emit&) {
+        ++dispatched;
+      }));
+
+  FaultConfig config;
+  config.disconnect_rate = 1.0;
+  ScopedFaultInjection chaos(config);
+
+  const int fd = transport_chaos::connect_loopback(transport.tcp_port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "{\"op\":\"ping\"}\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  // The injected disconnect closes the connection before the frame is
+  // dispatched; the client observes EOF, the supervisor stays up.
+  char c = 0;
+  EXPECT_EQ(::read(fd, &c, 1), 0);
+  ::close(fd);
+  const service::TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.injected_disconnects, 1l);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(dispatched.load(), 0);
+
+  // A post-chaos client is served normally by the same supervisor.
+  FaultInjector::global().disable();
+  const int fd2 = transport_chaos::connect_loopback(transport.tcp_port());
+  ASSERT_GE(fd2, 0);
+  ASSERT_EQ(::write(fd2, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  for (int i = 0; i < 500 && dispatched.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(dispatched.load(), 1);
+  ::close(fd2);
+  transport.stop();
+}
+
+#endif  // POSIX sockets
 
 }  // namespace
 }  // namespace olp
