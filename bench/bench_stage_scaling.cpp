@@ -1,0 +1,323 @@
+// Worker scaling with the parallel intra-job stages ON — the proof line for
+// "make worker scaling real". The OTA + StrongARM exploration batch runs at
+// 1/2/4/8 workers with the parallel-moves placer (K=4), dependency-
+// partitioned routing, and the shared cross-job eval cache, and two gates
+// are enforced (exit nonzero on failure):
+//
+//   1. Monotonic throughput: adding workers must never cost jobs/min —
+//      every worker count holds >= 90% of the 1-worker baseline
+//      (best-of-repeats per count; on a single-core container every count
+//      measures the same machine, so the band absorbs scheduler noise
+//      rather than real regressions, while still catching the cumulative
+//      oversubscription collapse the clamp exists to prevent).
+//   2. Cache read contention: at 8 workers, the lock-free RCU read path
+//      must cut "obs.contention.eval_cache" wait time at least 10x vs the
+//      mutex-striped baseline (BatchOptions::cache_locked_reads) — or be
+//      below an absolute floor (500 us) where a ratio against an equally
+//      tiny baseline would be noise, not signal. The A/B pair runs with
+//      the batch oversubscription guard DISABLED so 8 real threads fight
+//      over the cache even on small machines (the throughput rows keep
+//      the guard on — that clamp is the product behavior the monotonic
+//      gate certifies). The read site is zero BY CONSTRUCTION in RCU mode
+//      (no lock on the read path), so the floor arm is what fires there.
+//
+// Results land in BENCH_stage_scaling.json: per-worker rows (wall, jobs/min,
+// hit rate, per-site lock waits, pool busy/idle) plus the 8-worker
+// locked-vs-RCU A/B pair. CI uploads the JSON and fails on gate regression.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <olp/olp.hpp>
+
+namespace {
+
+using namespace olp;
+
+void exploration_profile(circuits::FlowOptions& options) {
+  options.bins = 4;
+  options.max_tuning_wires = 12;
+  options.placer_iterations = 2000;
+  options.combo_place_iterations = 300;
+  // The point of this bench: every job exercises the parallel stages.
+  options.placer_parallel_moves = 4;
+  options.partitioned_routing = true;
+}
+
+std::vector<circuits::FlowJob> make_jobs(
+    const circuits::Ota5T& ota, const circuits::StrongArmComparator& sa) {
+  std::vector<circuits::FlowJob> jobs;
+  const auto add = [&jobs](std::string name, circuits::FlowMode mode,
+                           const std::vector<circuits::InstanceSpec>& insts,
+                           const std::vector<std::string>& nets,
+                           std::uint64_t seed) {
+    circuits::FlowJob job;
+    job.name = std::move(name);
+    job.mode = mode;
+    job.instances = insts;
+    job.routed_nets = nets;
+    job.options.seed = seed;
+    exploration_profile(job.options);
+    jobs.push_back(std::move(job));
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    add("ota/opt/s" + std::to_string(seed), circuits::FlowMode::kOptimize,
+        ota.instances(), ota.routed_nets(), seed);
+    add("sa/opt/s" + std::to_string(seed), circuits::FlowMode::kOptimize,
+        sa.instances(), sa.routed_nets(), seed);
+  }
+  return jobs;
+}
+
+struct SiteWait {
+  long contended = 0;
+  double wait_us = 0.0;
+};
+
+struct Row {
+  int workers = 1;
+  double wall_ms = 0.0;      ///< best of repeats
+  double jobs_per_min = 0.0;
+  double hit_rate = 0.0;
+  long failed = 0;
+  std::map<std::string, SiteWait> sites;  ///< lock site -> waits [us]
+  double pool_busy_ms = 0.0;
+  double pool_idle_ms = 0.0;
+};
+
+/// Total "obs.contention.<site>.wait_us" per site from the last run's
+/// telemetry window (the runner rebases per run).
+std::map<std::string, SiteWait> read_sites(const obs::Snapshot& snap) {
+  std::map<std::string, SiteWait> sites;
+  const std::string prefix = "obs.contention.";
+  const std::string suffix = ".wait_us";
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const std::string site =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    sites[site].wait_us = hist.sum;
+    sites[site].contended = snap.counter(prefix + site + ".contended");
+  }
+  return sites;
+}
+
+double eval_cache_wait_us(const std::map<std::string, SiteWait>& sites) {
+  const auto it = sites.find("eval_cache");
+  return it == sites.end() ? 0.0 : it->second.wait_us;
+}
+
+std::string site_json(const std::map<std::string, SiteWait>& sites) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [site, sw] : sites) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + jsonl::escape(site) +
+           "\": {\"contended\": " + std::to_string(sw.contended) +
+           ", \"wait_us\": " + fixed(sw.wait_us, 1) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+/// One configuration under measurement, accumulated over repeats.
+struct Config {
+  int workers = 1;
+  bool locked_reads = false;
+  bool clamp = true;
+  Row row;
+};
+
+/// Runs `cfg` once and folds the result into cfg.row. Wall time keeps the
+/// best repeat (throughput wants the noise floor); lock waits and pool
+/// busy/idle are SUMMED over every repeat (contention wants the aggregate —
+/// keeping only the fastest run would report the least-contended repeat).
+/// Callers interleave repeats round-robin ACROSS configurations: repeats of
+/// one configuration back-to-back turn slow drift in the container's CPU
+/// share into a phantom per-worker-count regression, while round-robin
+/// spreads the drift over every row equally.
+void run_once(const tech::Technology& t,
+              const std::vector<circuits::FlowJob>& jobs, Config& cfg,
+              bool first_rep) {
+  Row& row = cfg.row;
+  row.workers = cfg.workers;
+  circuits::BatchOptions bopt;
+  bopt.workers = cfg.workers;
+  bopt.cache_locked_reads = cfg.locked_reads;
+  bopt.clamp_workers = cfg.clamp;
+  const circuits::BatchRunner runner(t, bopt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const circuits::BatchReport batch = runner.run(jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  for (const auto& [site, sw] : read_sites(snap)) {
+    row.sites[site].contended += sw.contended;
+    row.sites[site].wait_us += sw.wait_us;
+  }
+  row.pool_busy_ms +=
+      static_cast<double>(snap.counter("obs.pool.busy_us")) / 1000.0;
+  row.pool_idle_ms +=
+      static_cast<double>(snap.counter("obs.pool.idle_us")) / 1000.0;
+  if (!first_rep && ms >= row.wall_ms) return;
+  row.wall_ms = ms;
+  row.jobs_per_min = static_cast<double>(jobs.size()) / (ms / 60000.0);
+  const long probes = batch.cache_hits + batch.cache_misses;
+  row.hit_rate = probes > 0 ? static_cast<double>(batch.cache_hits) /
+                                  static_cast<double>(probes)
+                            : 0.0;
+  row.failed = 0;
+  for (const auto& j : batch.jobs) {
+    if (j.status == circuits::JobStatus::kFailed) ++row.failed;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace olp;
+  set_log_level(log_level_from_env("OLP_LOG_LEVEL", LogLevel::kError));
+  const tech::Technology t = tech::make_default_finfet_tech();
+
+  circuits::Ota5T ota(t);
+  circuits::StrongArmComparator sa(t);
+  if (!ota.prepare() || !sa.prepare()) {
+    std::cerr << "schematic preparation failed\n";
+    return 1;
+  }
+  const std::vector<circuits::FlowJob> jobs = make_jobs(ota, sa);
+
+  obs::Registry::global().enable();
+
+  // Throughput rows (clamp on — product behavior) plus the 8-worker
+  // contention A/B pair (clamp off — 8 real threads fight over the cache
+  // even on one core). Best-of-5, with repeats interleaved round-robin
+  // across ALL configurations so slow drift in the container's CPU share
+  // lands on every row equally instead of looking like a regression in
+  // whichever configuration happened to run last. Best-of-9: on this
+  // container best-of-5 still left ~10% spread between IDENTICAL clamped
+  // configurations.
+  const int kRepeats = 9;
+  std::vector<Config> configs;
+  for (const int workers : {1, 2, 4, 8}) {
+    configs.push_back({workers, /*locked_reads=*/false, /*clamp=*/true, {}});
+  }
+  const std::size_t locked_i = configs.size();
+  configs.push_back({8, /*locked_reads=*/true, /*clamp=*/false, {}});
+  const std::size_t rcu_i = configs.size();
+  configs.push_back({8, /*locked_reads=*/false, /*clamp=*/false, {}});
+
+  {
+    Config warmup{1, false, true, {}};
+    run_once(t, jobs, warmup, /*first_rep=*/true);
+  }
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (Config& cfg : configs) run_once(t, jobs, cfg, rep == 0);
+  }
+
+  std::vector<Row> rows;
+  bool jobs_ok = true;
+  for (std::size_t i = 0; i < locked_i; ++i) {
+    rows.push_back(configs[i].row);
+    jobs_ok = jobs_ok && rows.back().failed == 0;
+  }
+  const Row& locked = configs[locked_i].row;
+  const Row& rcu = configs[rcu_i].row;
+  jobs_ok = jobs_ok && locked.failed == 0 && rcu.failed == 0;
+  const double locked_wait_us = eval_cache_wait_us(locked.sites);
+  const double rcu_wait_us = eval_cache_wait_us(rcu.sites);
+  obs::Registry::global().disable();
+
+  TextTable table("Stage scaling: " + std::to_string(jobs.size()) +
+                  "-job batch, parallel placer (K=4) + partitioned routing "
+                  "+ shared cache");
+  table.set_header({"workers", "wall [ms]", "jobs/min", "hit rate",
+                    "cache wait [us]", "pool busy [ms]", "pool idle [ms]"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.workers), fixed(r.wall_ms, 1),
+                   fixed(r.jobs_per_min, 1),
+                   fixed(100.0 * r.hit_rate, 1) + " %",
+                   fixed(eval_cache_wait_us(r.sites), 1),
+                   fixed(r.pool_busy_ms, 1), fixed(r.pool_idle_ms, 1)});
+  }
+  std::cout << table << "\n";
+
+  // Gate 1: adding workers must never cost throughput — every row holds
+  // >= 90% of the 1-worker baseline's jobs/min. Compared against the
+  // baseline, not the adjacent row: best-of-5 on a single-core container
+  // still shows 5-9% run-to-run jitter between IDENTICAL clamped
+  // configurations, so adjacent steps gate on the scheduler — while the
+  // real failure this catches (pre-clamp oversubscription, measured -14%
+  // at 8 requested workers on one core) was three small adjacent dips
+  // that only the cumulative comparison sees.
+  const double kEpsilon = 0.90;
+  bool monotonic = true;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].jobs_per_min < rows[0].jobs_per_min * kEpsilon) {
+      monotonic = false;
+      std::cout << "Gate FAIL: " << rows[i].workers << "w ("
+                << fixed(rows[i].jobs_per_min, 1) << " jobs/min) regressed vs "
+                << rows[0].workers << "w ("
+                << fixed(rows[0].jobs_per_min, 1) << ")\n";
+    }
+  }
+
+  // Gate 2: RCU reads vs the mutex baseline at 8 workers — 10x less wait,
+  // or already under the absolute floor where the ratio is pure noise.
+  const double kFloorUs = 500.0;
+  const bool contention_ok =
+      rcu_wait_us <= kFloorUs || locked_wait_us >= 10.0 * rcu_wait_us;
+  std::cout << "Cache contention A/B at 8 workers: locked "
+            << fixed(locked_wait_us, 1) << " us vs RCU "
+            << fixed(rcu_wait_us, 1) << " us -> "
+            << (contention_ok ? "PASS" : "FAIL")
+            << " (need RCU <= " << fixed(kFloorUs, 0)
+            << " us or locked >= 10x RCU)\n";
+  std::cout << "Monotonic jobs/min 1->8 workers: "
+            << (monotonic ? "PASS" : "FAIL") << "\n";
+
+  const bool pass = monotonic && contention_ok && jobs_ok;
+
+  std::string json = "{\n";
+  json += "  \"jobs\": " + std::to_string(jobs.size()) + ",\n";
+  json += "  \"repeats\": " + std::to_string(kRepeats) + ",\n";
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += "    {\"workers\": " + std::to_string(r.workers) +
+            ", \"wall_ms\": " + fixed(r.wall_ms, 3) +
+            ", \"jobs_per_min\": " + fixed(r.jobs_per_min, 3) +
+            ", \"hit_rate\": " + fixed(r.hit_rate, 4) +
+            ", \"pool_busy_ms\": " + fixed(r.pool_busy_ms, 3) +
+            ", \"pool_idle_ms\": " + fixed(r.pool_idle_ms, 3) +
+            ",\n     \"contention\": " + site_json(r.sites) + "}" +
+            (i + 1 < rows.size() ? "," : "") + "\n";
+  }
+  json += "  ],\n";
+  json += "  \"cache_ab_8_workers\": {\"locked_wait_us\": " +
+          fixed(locked_wait_us, 1) +
+          ", \"rcu_wait_us\": " + fixed(rcu_wait_us, 1) + "},\n";
+  json += std::string("  \"gate_monotonic\": ") +
+          (monotonic ? "true" : "false") + ",\n";
+  json += std::string("  \"gate_cache_contention\": ") +
+          (contention_ok ? "true" : "false") + ",\n";
+  json += std::string("  \"pass\": ") + (pass ? "true" : "false") + "\n";
+  json += "}\n";
+  std::string err;
+  if (!obs::json_well_formed(json, &err)) {
+    std::cerr << "internal error: BENCH_stage_scaling.json malformed: " << err
+              << "\n";
+    return 1;
+  }
+  obs::write_text_file("BENCH_stage_scaling.json", json);
+  std::cout << "Wrote BENCH_stage_scaling.json\n";
+  return pass ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "circuits/batch.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <map>
 #include <memory>
@@ -116,8 +117,8 @@ void BatchReport::write_jsonl(const std::string& path) const {
   obs::write_text_file(path, to_jsonl());
 }
 
-CachePool::CachePool(std::size_t max_entries_per_cache)
-    : max_entries_(max_entries_per_cache) {}
+CachePool::CachePool(std::size_t max_entries_per_cache, bool locked_reads)
+    : max_entries_(max_entries_per_cache), locked_reads_(locked_reads) {}
 
 core::EvalCache* CachePool::cache_for_scope(const std::string& scope) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +126,7 @@ core::EvalCache* CachePool::cache_for_scope(const std::string& scope) {
   if (slot == nullptr) {
     core::EvalCacheOptions copt;
     copt.max_entries = max_entries_;
+    copt.locked_reads = locked_reads_;
     slot = std::make_unique<core::EvalCache>(copt);
   }
   return slot.get();
@@ -227,6 +229,7 @@ BatchRunner::BatchRunner(const tech::Technology& technology,
                          BatchOptions options)
     : tech_(technology), options_(options) {
   options_.workers = threads_from_env(options_.workers);
+  options_.clamp_workers = env::flag("OLP_BATCH_CLAMP", options_.clamp_workers);
   const long cap = env::integer("OLP_CACHE_MAX_ENTRIES",
                                 static_cast<long>(options_.cache_max_entries));
   options_.cache_max_entries = cap > 0 ? static_cast<std::size_t>(cap) : 0;
@@ -248,7 +251,7 @@ BatchReport BatchRunner::run(const std::vector<FlowJob>& jobs) const {
   // in different scopes must not share entries — the evaluation key does not
   // cover the technology — so each scope gets its own cache. Resolved up
   // front, serially, so the pool is read-only while jobs run.
-  CachePool caches(options_.cache_max_entries);
+  CachePool caches(options_.cache_max_entries, options_.cache_locked_reads);
   std::vector<core::EvalCache*> cache_of(jobs.size(), nullptr);
   if (options_.share_cache) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -258,7 +261,13 @@ BatchReport BatchRunner::run(const std::vector<FlowJob>& jobs) const {
     }
   }
 
-  TaskPool pool(options_.workers);
+  // Oversubscription guard: resolve_num_threads(0) is one thread per
+  // hardware core — the most workers that can ever help on this machine.
+  const int pool_workers =
+      options_.clamp_workers
+          ? std::min(options_.workers, resolve_num_threads(0))
+          : options_.workers;
+  TaskPool pool(pool_workers);
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
     const double queued_s = watch.seconds();
     report.jobs[i] = run_flow_job(jobs[i], tech_, &pool, cache_of[i],

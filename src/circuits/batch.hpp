@@ -86,12 +86,27 @@ struct BatchOptions {
   /// reference), 0 = one per hardware core. OLP_THREADS overrides at
   /// runner construction.
   int workers = 1;
+  /// Oversubscription guard (default on): the batch pool never spawns more
+  /// threads than hardware cores — worker counts beyond that cannot add
+  /// throughput, only context-switch and lock-handoff overhead (measured
+  /// -15% jobs/min at 8 requested workers on one core). Results are
+  /// bit-identical either way. OLP_BATCH_CLAMP=0/1 overrides at runner
+  /// construction; the TSan harness disables it so small machines still
+  /// exercise real cross-thread interleavings.
+  bool clamp_workers = true;
   /// Share one evaluation cache among same-scope jobs (see file comment).
   /// Off = every job runs with exactly its own FlowOptions cache settings.
   bool share_cache = true;
   /// Capacity bound per scope cache (0 = unbounded, the deterministic
   /// default). OLP_CACHE_MAX_ENTRIES overrides at runner construction.
   std::size_t cache_max_entries = 0;
+  /// Bench-only A/B switch: run every shared scope cache with the legacy
+  /// mutex-striped read path (core::EvalCacheOptions::locked_reads) instead
+  /// of the lock-free published-index reads. Results are bit-identical
+  /// either way; only the contention telemetry differs. Used by
+  /// bench/bench_stage_scaling.cpp to separate the cache-contention win
+  /// from the worker-scaling win.
+  bool cache_locked_reads = false;
 };
 
 /// The set of shared evaluation caches behind a batch or the resident
@@ -103,8 +118,10 @@ struct BatchOptions {
 class CachePool {
  public:
   /// Every cache created by this pool is bounded to `max_entries_per_cache`
-  /// entries (0 = unbounded).
-  explicit CachePool(std::size_t max_entries_per_cache = 0);
+  /// entries (0 = unbounded). `locked_reads` selects the legacy mutex-read
+  /// cache path for every cache created (bench A/B only, see BatchOptions).
+  explicit CachePool(std::size_t max_entries_per_cache = 0,
+                     bool locked_reads = false);
 
   CachePool(const CachePool&) = delete;
   CachePool& operator=(const CachePool&) = delete;
@@ -134,6 +151,7 @@ class CachePool {
 
  private:
   const std::size_t max_entries_;
+  const bool locked_reads_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<core::EvalCache>> caches_;
 };

@@ -8,6 +8,7 @@
 
 #include "core/eval_cache.hpp"
 #include "geom/svg.hpp"
+#include "route/parallel.hpp"
 #include "route/realize.hpp"
 #include "util/budget.hpp"
 #include "util/env.hpp"
@@ -234,6 +235,10 @@ FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
   options_.num_threads = threads_from_env(options_.num_threads);
   options_.eval_cache = env::flag("OLP_EVAL_CACHE", options_.eval_cache);
   options_.budget_limits = budget_options_from_env(options_.budget_limits);
+  options_.placer_parallel_moves = static_cast<int>(env::integer(
+      "OLP_PLACER_MOVES", options_.placer_parallel_moves));
+  options_.partitioned_routing =
+      env::flag("OLP_ROUTE_PARTITIONED", options_.partitioned_routing);
 }
 
 TaskPool* FlowEngine::pool() const {
@@ -341,6 +346,16 @@ void FlowEngine::place_and_route(
   popt.iterations = options_.placer_iterations;
   popt.seed = options_.seed;
   popt.budget = budget;
+  // The parallel stage modes apply to the REAL placement/routing only.
+  // Combo quick trials (recognizable by budget_obs == nullptr, see the
+  // header) keep the classic serial stages: their metric feeds a
+  // best-combination comparison, and the env overrides re-applied by the
+  // quick engine's constructor must not flip a trial into a different
+  // trajectory than the one the trial loop was tuned against.
+  if (budget_obs != nullptr && options_.placer_parallel_moves >= 2) {
+    popt.parallel_moves = options_.placer_parallel_moves;
+    popt.pool = pool();
+  }
   const place::AnnealingPlacer placer(popt);
   report.placement = placer.place(blocks, pnets, {});
   obs::counter_add("placer.runs");
@@ -372,17 +387,9 @@ void FlowEngine::place_and_route(
   route::GlobalRouter router(tech_, region, ropt);
   router.set_diagnostics(diag);
   router.set_budget(budget);
-  for (const place::PlacementNet& pn : pnets) {
-    // Budget-bounded routing: remaining nets are skipped (routed=false) and
-    // degrade to schematic-net parasitics downstream; nets routed before the
-    // trip are kept — the salvaged routed subset.
-    if (budget != nullptr && budget->check()) {
-      route::NetRoute skipped;
-      skipped.net = pn.name;
-      report.routes[pn.name] = std::move(skipped);
-      continue;
-    }
+  const auto pins_for = [&](const place::PlacementNet& pn) {
     std::vector<geom::Point> pins;
+    pins.reserve(pn.pins.size());
     for (const place::PlacementNet::PinRef& ref : pn.pins) {
       const place::PlacedBlock& pb =
           report.placement.blocks[static_cast<std::size_t>(ref.block)];
@@ -391,11 +398,44 @@ void FlowEngine::place_and_route(
       pins.push_back(geom::Point{geom::to_nm(pb.x + dx),
                                  geom::to_nm(pb.y + ref.dy)});
     }
-    route::NetRoute nr = router.route_with_fallback(pn.name, pins);
-    if (!nr.routed) {
-      OLP_WARN << "global routing failed for net " << pn.name;
+    return pins;
+  };
+  if (budget_obs != nullptr && options_.partitioned_routing) {
+    // Dependency-partitioned concurrent routing (route/parallel.hpp): its
+    // own trajectory with its own golden, gated the same way as the
+    // parallel placer above. Budget trips are honored inside each windowed
+    // search and each fallback retry, so exhaustion still yields the
+    // salvaged routed-so-far subset with routed=false leftovers.
+    std::vector<route::NetPins> nets;
+    nets.reserve(pnets.size());
+    for (const place::PlacementNet& pn : pnets) {
+      nets.push_back(route::NetPins{pn.name, pins_for(pn)});
     }
-    report.routes[pn.name] = std::move(nr);
+    std::vector<route::NetRoute> routes =
+        route::route_partitioned(router, nets, pool());
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (!routes[i].routed) {
+        OLP_WARN << "global routing failed for net " << nets[i].name;
+      }
+      report.routes[nets[i].name] = std::move(routes[i]);
+    }
+  } else {
+    for (const place::PlacementNet& pn : pnets) {
+      // Budget-bounded routing: remaining nets are skipped (routed=false)
+      // and degrade to schematic-net parasitics downstream; nets routed
+      // before the trip are kept — the salvaged routed subset.
+      if (budget != nullptr && budget->check()) {
+        route::NetRoute skipped;
+        skipped.net = pn.name;
+        report.routes[pn.name] = std::move(skipped);
+        continue;
+      }
+      route::NetRoute nr = router.route_with_fallback(pn.name, pins_for(pn));
+      if (!nr.routed) {
+        OLP_WARN << "global routing failed for net " << pn.name;
+      }
+      report.routes[pn.name] = std::move(nr);
+    }
   }
   routing_span.close();
   if (budget != nullptr && budget_obs != nullptr && diag != nullptr) {

@@ -111,6 +111,22 @@ struct FlowOptions {
   /// Concurrent runs (batch jobs) must set this false — the batch runner
   /// rebases once and attaches one pooled snapshot to the whole batch.
   bool own_telemetry = true;
+  /// Parallel-moves annealing for the FINAL placement: <= 1 (the default)
+  /// keeps the serial trajectory the default-mode goldens pin down; K >= 2
+  /// evaluates K candidate moves per temperature step on the worker pool,
+  /// accepting deterministically by (cost, move-index) — bit-identical at
+  /// every thread count, but a different anneal trajectory with its own
+  /// golden (tests/test_stage_parallel.cpp). OLP_PLACER_MOVES overrides at
+  /// engine construction. Combo-choice quick placements stay serial either
+  /// way (they run inside pooled sweeps already).
+  int placer_parallel_moves = 0;
+  /// Dependency-partitioned concurrent net routing (route/parallel.hpp):
+  /// nets with disjoint congestion windows route concurrently, batches are
+  /// barriers, leftovers retry serially in net order. Off by default (the
+  /// serial router is the default-mode golden); the partitioned trajectory
+  /// is bit-identical across thread counts and carries its own golden.
+  /// OLP_ROUTE_PARTITIONED=1/0 overrides at engine construction.
+  bool partitioned_routing = false;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.

@@ -15,10 +15,18 @@ namespace olp::core {
 
 namespace {
 
-/// Contention attribution for the hot-path shard mutex acquisitions
-/// (obs::timed_lock): only a failed try-lock reads the clock or records.
+/// Contention attribution for the shard mutex (obs::timed_lock): only a
+/// failed try-lock reads the clock or records. Two sites, so the scaling
+/// benchmarks can separate the READ path (taken only in locked_reads
+/// baseline mode — the RCU path takes no lock at all, which is the claim
+/// "obs.contention.eval_cache.wait_us" certifies) from the writer path
+/// (inserts/restores, which hold the mutex across the snapshot republish
+/// in every mode).
 constexpr obs::LockSite kCacheLock{"obs.contention.eval_cache.contended",
                                    "obs.contention.eval_cache.wait_us"};
+constexpr obs::LockSite kCacheWriteLock{
+    "obs.contention.eval_cache_insert.contended",
+    "obs.contention.eval_cache_insert.wait_us"};
 
 void append_double(std::string& out, double value) {
   char buf[40];
@@ -60,7 +68,8 @@ EvalCache::EvalCache(std::size_t shards)
 
 EvalCache::EvalCache(const EvalCacheOptions& options)
     : shards_(options.shards == 0 ? 1 : options.shards),
-      max_entries_(options.max_entries) {
+      max_entries_(options.max_entries),
+      locked_reads_(options.locked_reads) {
   if (max_entries_ > 0) {
     // Ceiling split so the shard caps sum to >= max_entries (never starving
     // a shard to zero); total occupancy may exceed max_entries by at most
@@ -180,41 +189,69 @@ EvalCache::Shard& EvalCache::shard_for(const std::string& key) {
   return shards_[h % shards_.size()];
 }
 
-bool EvalCache::lookup(const std::string& key, MetricValues* values,
-                       int client) {
-  Shard& shard = shard_for(key);
-  const auto lock = obs::timed_lock(shard.mu, kCacheLock);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
+void EvalCache::republish(Shard& shard) {
+  shard.published.store(std::make_shared<const Index>(shard.map),
+                        std::memory_order_release);
+}
+
+bool EvalCache::record_found(const Entry* entry, MetricValues* values,
+                             int client) {
+  if (entry == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
-  it->second.referenced = true;  // second chance against the next sweep
-  if (it->second.restored) {
+  entry->referenced.store(true,
+                          std::memory_order_relaxed);  // CLOCK second chance
+  if (entry->restored) {
     restored_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (client >= 0 && it->second.owner >= 0 && it->second.owner != client) {
+  if (client >= 0 && entry->owner >= 0 && entry->owner != client) {
     cross_client_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (values != nullptr) *values = it->second.values;
+  if (values != nullptr) *values = entry->values;
   return true;
 }
 
-void EvalCache::insert_locked(Shard& shard, const std::string& key,
-                              Entry entry) {
-  if (shard.map.count(key) != 0) return;  // first writer wins
+bool EvalCache::lookup(const std::string& key, MetricValues* values,
+                       int client) {
+  Shard& shard = shard_for(key);
+  if (locked_reads_) {
+    // Baseline mode: the historical mutex-striped read (kept measurable for
+    // the scaling benchmarks). Same results, different synchronization.
+    const auto lock = obs::timed_lock(shard.mu, kCacheLock);
+    const auto it = shard.map.find(std::string_view(key));
+    return record_found(it == shard.map.end() ? nullptr : it->second.get(),
+                        values, client);
+  }
+  // RCU read: load the published snapshot and search it. No mutex; the
+  // snapshot's shared_ptr keeps every entry it references alive even if a
+  // writer concurrently evicts and republishes.
+  const std::shared_ptr<const Index> index =
+      shard.published.load(std::memory_order_acquire);
+  const Entry* entry = nullptr;
+  if (index != nullptr) {
+    const auto it = index->find(std::string_view(key));
+    if (it != index->end()) entry = it->second.get();
+  }
+  return record_found(entry, values, client);
+}
+
+bool EvalCache::insert_locked(Shard& shard, EntryPtr entry) {
+  const std::string_view key(entry->key);
+  if (shard.map.count(key) != 0) return false;  // first writer wins
   if (per_shard_cap_ == 0) {
-    // Unbounded (the deterministic default): no ring bookkeeping, no key
-    // duplication — byte-for-byte the original behavior.
+    // Unbounded (the deterministic default): no ring bookkeeping.
     shard.map.emplace(key, std::move(entry));
-    return;
+    return true;
   }
   if (shard.map.size() >= per_shard_cap_) {
     // CLOCK second-chance sweep: entries hit since the hand last passed get
     // their bit cleared and survive one more lap; the first cold entry is
     // evicted and its ring slot reused. Terminates within two laps (after
-    // one full lap every bit is clear).
+    // one full lap every bit is clear). Erasing from the authoritative map
+    // does not free the entry while any published snapshot (or reader)
+    // still holds it — the shared_ptr refcount IS the retire protocol.
     while (true) {
       if (shard.hand >= shard.ring.size()) shard.hand = 0;
       const auto victim = shard.map.find(shard.ring[shard.hand]);
@@ -224,8 +261,8 @@ void EvalCache::insert_locked(Shard& shard, const std::string& key,
         ++shard.hand;
         break;
       }
-      if (victim->second.referenced) {
-        victim->second.referenced = false;
+      if (victim->second->referenced.load(std::memory_order_relaxed)) {
+        victim->second->referenced.store(false, std::memory_order_relaxed);
         ++shard.hand;
         continue;
       }
@@ -239,13 +276,18 @@ void EvalCache::insert_locked(Shard& shard, const std::string& key,
     shard.ring.push_back(key);
   }
   shard.map.emplace(key, std::move(entry));
+  return true;
 }
 
 void EvalCache::insert(const std::string& key, const MetricValues& values,
                        int client) {
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->values = values;
+  entry->owner = client;
   Shard& shard = shard_for(key);
-  const auto lock = obs::timed_lock(shard.mu, kCacheLock);
-  insert_locked(shard, key, Entry{values, client, false, false});
+  const auto lock = obs::timed_lock(shard.mu, kCacheWriteLock);
+  if (insert_locked(shard, std::move(entry))) republish(shard);
 }
 
 EvalCacheStats EvalCache::stats() const {
@@ -269,6 +311,7 @@ void EvalCache::clear() {
     shard.map.clear();
     shard.ring.clear();
     shard.hand = 0;
+    republish(shard);
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
@@ -345,9 +388,9 @@ std::string EvalCache::serialize_entries() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (const auto& [key, entry] : shard.map) {
       put_u32(body, static_cast<std::uint32_t>(key.size()));
-      body += key;
-      put_u32(body, static_cast<std::uint32_t>(entry.values.size()));
-      for (const auto& [kind, value] : entry.values) {
+      body.append(key.data(), key.size());
+      put_u32(body, static_cast<std::uint32_t>(entry->values.size()));
+      for (const auto& [kind, value] : entry->values) {
         put_u32(body, static_cast<std::uint32_t>(kind));
         std::uint64_t bits;
         static_assert(sizeof bits == sizeof value);
@@ -403,10 +446,25 @@ bool EvalCache::restore_entries(const std::string& payload,
     snapshot_fail(error, "cache payload has trailing bytes");
     return false;
   }
+  // Apply, republishing each shard once at the end rather than per entry (a
+  // warm restore of N entries would otherwise rebuild the snapshot N times).
+  std::vector<Shard*> dirty;
   for (auto& [key, values] : staged) {
-    Shard& shard = shard_for(key);
+    auto entry = std::make_shared<Entry>();
+    entry->key = std::move(key);
+    entry->values = std::move(values);
+    entry->owner = -1;
+    entry->restored = true;
+    Shard& shard = shard_for(entry->key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    insert_locked(shard, key, Entry{std::move(values), -1, false, true});
+    if (insert_locked(shard, std::move(entry)) &&
+        (dirty.empty() || dirty.back() != &shard)) {
+      dirty.push_back(&shard);
+    }
+  }
+  for (Shard* shard : dirty) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    republish(*shard);
   }
   return true;
 }

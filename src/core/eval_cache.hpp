@@ -19,10 +19,29 @@
 // key string is the map key; the hash only selects a shard, so hash
 // collisions are benign by construction.
 //
-// Sharded and mutex-striped: concurrent TaskPool workers hit different
-// shards most of the time. Entries are only inserted for evaluations with
-// no quarantined metric (the evaluator enforces this), so diagnostics and
-// quarantine accounting stay identical with the cache on or off.
+// Concurrency: sharded, with an RCU-style lock-free read path. Each shard
+// keeps an authoritative map guarded by its mutex (writers only) and
+// publishes an immutable snapshot index through an atomic shared_ptr.
+// lookup() loads the published snapshot and searches it — it NEVER takes
+// the shard mutex, so cache hits from concurrent TaskPool workers cost no
+// lock traffic at all. The "obs.contention.eval_cache.*" LockSite meters
+// the READ path exclusively (zero by construction in RCU mode; live in the
+// locked_reads baseline), while writer-side waits are attributed to
+// "obs.contention.eval_cache_insert.*" — bench_stage_scaling's contention
+// gate compares the read site across the two modes.
+// Writers insert into the authoritative map under the mutex, then publish
+// a fresh snapshot; readers holding an older snapshot keep every entry in
+// it alive through the shared_ptr refcounts, which is the entire retire
+// protocol — an evicted entry is freed when the last snapshot referencing
+// it drops. Entries are immutable after publication except for an atomic
+// CLOCK reference bit. Set EvalCacheOptions::locked_reads to restore the
+// historical mutex-striped read path (kept as the measurable baseline for
+// the scaling benchmarks — bench_stage_scaling proves the contended-wait
+// delta).
+//
+// Entries are only inserted for evaluations with no quarantined metric
+// (the evaluator enforces this), so diagnostics and quarantine accounting
+// stay identical with the cache on or off.
 //
 // Cross-job sharing (circuits/batch): one cache may serve many concurrent
 // flow runs. The key does NOT cover the Technology (layer stack, parasitic
@@ -39,8 +58,10 @@
 #include <atomic>
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -72,6 +93,11 @@ struct EvalCacheOptions {
   /// resident service always sets a bound: an unbounded warm cache is a slow
   /// memory leak under sustained traffic.
   std::size_t max_entries = 0;
+  /// true = route lookups through the shard mutex like the pre-RCU cache.
+  /// Hit/miss results and values are identical either way; this exists so
+  /// the scaling benchmarks can measure the read-path contention the
+  /// snapshot index removed (see bench/bench_stage_scaling.cpp).
+  bool locked_reads = false;
 };
 
 class EvalCache {
@@ -99,7 +125,8 @@ class EvalCache {
 
   /// Copies the cached metrics into *values and returns true on a hit.
   /// Counts a hit/miss either way; a hit on another client's entry also
-  /// counts toward cross_client_hits when both ids are >= 0.
+  /// counts toward cross_client_hits when both ids are >= 0. Lock-free
+  /// unless the cache was built with locked_reads.
   bool lookup(const std::string& key, MetricValues* values, int client = -1);
 
   /// Inserts (first writer wins; a racing duplicate insert is a no-op —
@@ -126,28 +153,53 @@ class EvalCache {
                        std::string* error = nullptr);
 
  private:
+  /// One cached evaluation. Heap-allocated and immutable after it is
+  /// published (the CLOCK bit is the one atomic exception), so readers can
+  /// use it without synchronization; the owning shared_ptr — held by the
+  /// authoritative map, every published snapshot index, and any in-flight
+  /// reader — is what retires it safely after eviction.
   struct Entry {
+    std::string key;  ///< owns the bytes every index string_view points at
     MetricValues values;
     int owner = -1;        ///< client id of the inserting run
-    bool referenced = false;  ///< CLOCK second-chance bit, set on hit
-    bool restored = false;    ///< entry came from restore_entries()
+    bool restored = false;  ///< entry came from restore_entries()
+    mutable std::atomic<bool> referenced{false};  ///< CLOCK bit, set on hit
   };
+  using EntryPtr = std::shared_ptr<const Entry>;
+  /// Snapshot index: keys view into their entry's own key string.
+  using Index = std::unordered_map<std::string_view, EntryPtr>;
+
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;
-    /// Keys in insertion order; the CLOCK ring evictions sweep. Slots are
-    /// reused in place when their key is evicted.
-    std::vector<std::string> ring;
+    mutable std::mutex mu;  ///< writers, stats, snapshot serialization
+    Index map;              ///< authoritative state (guarded by mu)
+    /// Immutable copy of `map` for lock-free readers; replaced wholesale
+    /// after every mutation. Null until the first publish (== empty).
+    /// NOTE: libstdc++'s std::atomic<shared_ptr> (_Sp_atomic) trips a
+    /// ThreadSanitizer false positive — its reader side unlocks the
+    /// embedded spinlock bit with a relaxed RMW, which is correct on
+    /// hardware but invisible to happens-before analysis (GCC PR 104602).
+    /// tests/run_tsan.sh suppresses `race:_Sp_atomic` for exactly this.
+    std::atomic<std::shared_ptr<const Index>> published;
+    /// Keys in insertion order; the CLOCK ring evictions sweep. Slots view
+    /// into live entries' keys and are reused in place on eviction.
+    std::vector<std::string_view> ring;
     std::size_t hand = 0;  ///< next ring slot the sweep examines
   };
   Shard& shard_for(const std::string& key);
   /// Inserts into `shard` (mutex held by caller), evicting via second
-  /// chance when the shard is at capacity.
-  void insert_locked(Shard& shard, const std::string& key, Entry entry);
+  /// chance when the shard is at capacity. Returns false when the key was
+  /// already present (first writer wins). Does NOT republish.
+  bool insert_locked(Shard& shard, EntryPtr entry);
+  /// Rebuilds and publishes the read snapshot from the authoritative map.
+  /// Requires shard.mu held.
+  static void republish(Shard& shard);
+  /// Shared hit bookkeeping for both read paths.
+  bool record_found(const Entry* entry, MetricValues* values, int client);
 
   std::vector<Shard> shards_;
   std::size_t per_shard_cap_ = 0;  ///< 0 = unbounded
   std::size_t max_entries_ = 0;
+  bool locked_reads_ = false;
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
   std::atomic<long> cross_client_hits_{0};

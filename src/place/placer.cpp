@@ -6,6 +6,7 @@
 
 #include "util/budget.hpp"
 #include "util/error.hpp"
+#include "util/task_pool.hpp"
 
 namespace olp::place {
 
@@ -141,6 +142,47 @@ void snap_symmetry(const std::vector<Block>& blocks,
   }
 }
 
+/// One candidate annealing move, fully described by values drawn from the
+/// shared RNG stream — drawing is separated from applying so the
+/// parallel-moves mode can draw K moves serially (thread-count independent)
+/// and evaluate them concurrently.
+struct Move {
+  int kind = 0;  ///< 0 = swap pos, 1 = swap both, 2 = mirror flip
+  int i = 0;
+  int j = 0;
+};
+
+Move draw_move(Rng& rng, std::size_t n) {
+  Move m;
+  m.kind = rng.uniform_int(0, 2);
+  m.i = rng.uniform_int(0, static_cast<int>(n) - 1);
+  m.j = rng.uniform_int(0, static_cast<int>(n) - 1);
+  if (m.j == m.i) m.j = (m.j + 1) % static_cast<int>(n);
+  return m;
+}
+
+void apply_move(const Move& m, std::vector<int>& pos, std::vector<int>& neg,
+                std::vector<bool>& mirrored) {
+  switch (m.kind) {
+    case 0:
+      std::swap(pos[static_cast<std::size_t>(m.i)],
+                pos[static_cast<std::size_t>(m.j)]);
+      break;
+    case 1:
+      std::swap(pos[static_cast<std::size_t>(m.i)],
+                pos[static_cast<std::size_t>(m.j)]);
+      std::swap(neg[static_cast<std::size_t>(m.i)],
+                neg[static_cast<std::size_t>(m.j)]);
+      break;
+    case 2:
+      mirrored[static_cast<std::size_t>(m.i)] =
+          !mirrored[static_cast<std::size_t>(m.i)];
+      break;
+    default:
+      break;
+  }
+}
+
 bool overlaps(const std::vector<Block>& blocks,
               const std::vector<PlacedBlock>& placed) {
   for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -190,51 +232,80 @@ PlacementResult AnnealingPlacer::place(
 
   double temp = options_.initial_temp *
                 std::max(current.cost, 1e-18);
-  for (int it = 0; it < options_.iterations; ++it) {
-    // Budget-bounded annealing: stop early with the best placement so far
-    // (the initial packing was evaluated before the loop, so `best` is
-    // always a complete, packable candidate).
-    if (options_.budget != nullptr && options_.budget->check()) break;
-    std::vector<int> new_pos = pos, new_neg = neg;
-    std::vector<bool> new_mirror = mirrored;
-    const int move = rng.uniform_int(0, 2);
-    const int i = rng.uniform_int(0, static_cast<int>(n) - 1);
-    int j = rng.uniform_int(0, static_cast<int>(n) - 1);
-    if (j == i) j = (j + 1) % static_cast<int>(n);
-    switch (move) {
-      case 0:
-        std::swap(new_pos[static_cast<std::size_t>(i)],
-                  new_pos[static_cast<std::size_t>(j)]);
-        break;
-      case 1:
-        std::swap(new_pos[static_cast<std::size_t>(i)],
-                  new_pos[static_cast<std::size_t>(j)]);
-        std::swap(new_neg[static_cast<std::size_t>(i)],
-                  new_neg[static_cast<std::size_t>(j)]);
-        break;
-      case 2:
-        new_mirror[static_cast<std::size_t>(i)] =
-            !new_mirror[static_cast<std::size_t>(i)];
-        break;
-      default:
-        break;
-    }
-    const Candidate cand = evaluate(blocks, nets, symmetry, new_pos, new_neg,
-                                    new_mirror, options_);
-    const double delta = cand.cost - current.cost;
-    if (delta <= 0 || rng.uniform() < std::exp(-delta / std::max(temp, 1e-30))) {
-      pos = std::move(new_pos);
-      neg = std::move(new_neg);
-      mirrored = std::move(new_mirror);
-      current = cand;
-      if (current.cost < best.cost) {
-        best = current;
-        best_pos = pos;
-        best_neg = neg;
-        best_mirror = mirrored;
+  if (options_.parallel_moves >= 2) {
+    // Parallel-moves annealing: per temperature step, draw K independent
+    // candidate moves SERIALLY from the single RNG stream (so the move
+    // sequence is a pure function of the seed), evaluate them concurrently
+    // via the index-addressed slots, and pick the winner deterministically
+    // by (cost, move-index). Acceptance spends exactly one more uniform
+    // draw per step. Nothing here depends on completion order or thread
+    // count — only on (seed, K) — which is the property the
+    // test_stage_parallel golden pins down.
+    const int k_moves = options_.parallel_moves;
+    const int steps = (options_.iterations + k_moves - 1) / k_moves;
+    std::vector<Move> moves(static_cast<std::size_t>(k_moves));
+    std::vector<Candidate> cands(static_cast<std::size_t>(k_moves));
+    for (int step = 0; step < steps; ++step) {
+      // Budget probes stay on the submitting thread (once per step), so a
+      // budget-bounded parallel run truncates at a step boundary instead of
+      // a scheduling-dependent point.
+      if (options_.budget != nullptr && options_.budget->check()) break;
+      for (Move& m : moves) m = draw_move(rng, n);
+      run_indexed(options_.pool, static_cast<std::size_t>(k_moves),
+                  [&](std::size_t mi) {
+                    std::vector<int> new_pos = pos, new_neg = neg;
+                    std::vector<bool> new_mirror = mirrored;
+                    apply_move(moves[mi], new_pos, new_neg, new_mirror);
+                    cands[mi] = evaluate(blocks, nets, symmetry, new_pos,
+                                         new_neg, new_mirror, options_);
+                    return true;
+                  });
+      std::size_t winner = 0;
+      for (std::size_t mi = 1; mi < cands.size(); ++mi) {
+        if (cands[mi].cost < cands[winner].cost) winner = mi;
       }
+      const double delta = cands[winner].cost - current.cost;
+      if (delta <= 0 ||
+          rng.uniform() < std::exp(-delta / std::max(temp, 1e-30))) {
+        apply_move(moves[winner], pos, neg, mirrored);
+        current = cands[winner];
+        if (current.cost < best.cost) {
+          best = current;
+          best_pos = pos;
+          best_neg = neg;
+          best_mirror = mirrored;
+        }
+      }
+      temp *= options_.cooling;
     }
-    temp *= options_.cooling;
+  } else {
+    for (int it = 0; it < options_.iterations; ++it) {
+      // Budget-bounded annealing: stop early with the best placement so far
+      // (the initial packing was evaluated before the loop, so `best` is
+      // always a complete, packable candidate).
+      if (options_.budget != nullptr && options_.budget->check()) break;
+      std::vector<int> new_pos = pos, new_neg = neg;
+      std::vector<bool> new_mirror = mirrored;
+      const Move move = draw_move(rng, n);
+      apply_move(move, new_pos, new_neg, new_mirror);
+      const Candidate cand = evaluate(blocks, nets, symmetry, new_pos,
+                                      new_neg, new_mirror, options_);
+      const double delta = cand.cost - current.cost;
+      if (delta <= 0 ||
+          rng.uniform() < std::exp(-delta / std::max(temp, 1e-30))) {
+        pos = std::move(new_pos);
+        neg = std::move(new_neg);
+        mirrored = std::move(new_mirror);
+        current = cand;
+        if (current.cost < best.cost) {
+          best = current;
+          best_pos = pos;
+          best_neg = neg;
+          best_mirror = mirrored;
+        }
+      }
+      temp *= options_.cooling;
+    }
   }
 
   PlacementResult result;

@@ -76,8 +76,41 @@ void GlobalRouter::set_budget(Budget* budget) {
   if (fallback_) fallback_->set_budget(budget);
 }
 
+std::pair<int, int> GlobalRouter::snap(geom::Point p) const {
+  int gx = static_cast<int>(
+      std::llround(geom::to_meters(p.x - region_.x_lo) / opt_.gcell_size));
+  int gy = static_cast<int>(
+      std::llround(geom::to_meters(p.y - region_.y_lo) / opt_.gcell_size));
+  gx = std::clamp(gx, 0, nx_ - 1);
+  gy = std::clamp(gy, 0, ny_ - 1);
+  return {gx, gy};
+}
+
+GlobalRouter::GridWindow GlobalRouter::window_for(
+    const std::vector<geom::Point>& pins, int margin_cells) const {
+  GridWindow w{nx_ - 1, ny_ - 1, 0, 0};
+  for (const geom::Point& p : pins) {
+    const auto [gx, gy] = snap(p);
+    w.x_lo = std::min(w.x_lo, gx);
+    w.y_lo = std::min(w.y_lo, gy);
+    w.x_hi = std::max(w.x_hi, gx);
+    w.y_hi = std::max(w.y_hi, gy);
+  }
+  w.x_lo = std::max(0, w.x_lo - margin_cells);
+  w.y_lo = std::max(0, w.y_lo - margin_cells);
+  w.x_hi = std::min(nx_ - 1, w.x_hi + margin_cells);
+  w.y_hi = std::min(ny_ - 1, w.y_hi + margin_cells);
+  return w;
+}
+
 NetRoute GlobalRouter::route(const std::string& net_name,
                              const std::vector<geom::Point>& pins) {
+  return route_in_window(net_name, pins, full_window());
+}
+
+NetRoute GlobalRouter::route_in_window(const std::string& net_name,
+                                       const std::vector<geom::Point>& pins,
+                                       const GridWindow& win) {
   NetRoute result;
   result.net = net_name;
   OLP_CHECK(pins.size() >= 2, "routing needs at least two pins");
@@ -91,13 +124,12 @@ NetRoute GlobalRouter::route(const std::string& net_name,
     return result;
   }
 
-  auto snap = [&](geom::Point p) {
-    int gx = static_cast<int>(
-        std::llround(geom::to_meters(p.x - region_.x_lo) / opt_.gcell_size));
-    int gy = static_cast<int>(
-        std::llround(geom::to_meters(p.y - region_.y_lo) / opt_.gcell_size));
-    gx = std::clamp(gx, 0, nx_ - 1);
-    gy = std::clamp(gy, 0, ny_ - 1);
+  // Snap into the window: with the full window this is the plain grid snap
+  // (the clamps are no-ops), keeping the default path bit-identical.
+  auto snap_in = [&](geom::Point p) {
+    auto [gx, gy] = snap(p);
+    gx = std::clamp(gx, win.x_lo, win.x_hi);
+    gy = std::clamp(gy, win.y_lo, win.y_hi);
     return std::pair<int, int>{gx, gy};
   };
   auto unsnap = [&](int gx, int gy) {
@@ -113,7 +145,7 @@ NetRoute GlobalRouter::route(const std::string& net_name,
   // Seed the tree with the first pin on every allowed layer at its gcell
   // (pins are block ports reachable through a via stack).
   {
-    const auto [gx, gy] = snap(pins[0]);
+    const auto [gx, gy] = snap_in(pins[0]);
     for (int l = opt_.min_layer; l <= opt_.max_layer; ++l) {
       in_tree[static_cast<std::size_t>(index(gx, gy, l))] = 1;
     }
@@ -139,7 +171,7 @@ NetRoute GlobalRouter::route(const std::string& net_name,
       result.routed = false;
       return result;
     }
-    const auto [sx, sy] = snap(pins[p]);
+    const auto [sx, sy] = snap_in(pins[p]);
     // Dijkstra from the pin to any tree node.
     std::vector<double> dist(static_cast<std::size_t>(total_nodes),
                              std::numeric_limits<double>::infinity());
@@ -180,14 +212,14 @@ NetRoute GlobalRouter::route(const std::string& net_name,
       const double layer_bias = 0.02 * l;
       // Wire moves in the preferred direction of the layer.
       if (layer_horizontal(l)) {
-        if (x + 1 < nx_) {
+        if (x + 1 <= win.x_hi) {
           const int over = std::max(
               0, usage_x_[static_cast<std::size_t>(top.node)] + 1 -
                      opt_.edge_capacity);
           relax(index(x + 1, y, l),
                 1.0 + layer_bias + opt_.congestion_cost * over);
         }
-        if (x > 0) {
+        if (x > win.x_lo) {
           const int from = index(x - 1, y, l);
           const int over = std::max(
               0, usage_x_[static_cast<std::size_t>(from)] + 1 -
@@ -195,14 +227,14 @@ NetRoute GlobalRouter::route(const std::string& net_name,
           relax(from, 1.0 + layer_bias + opt_.congestion_cost * over);
         }
       } else {
-        if (y + 1 < ny_) {
+        if (y + 1 <= win.y_hi) {
           const int over = std::max(
               0, usage_y_[static_cast<std::size_t>(top.node)] + 1 -
                      opt_.edge_capacity);
           relax(index(x, y + 1, l),
                 1.0 + layer_bias + opt_.congestion_cost * over);
         }
-        if (y > 0) {
+        if (y > win.y_lo) {
           const int from = index(x, y - 1, l);
           const int over = std::max(
               0, usage_y_[static_cast<std::size_t>(from)] + 1 -

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/geometry.hpp"
@@ -70,10 +71,44 @@ class GlobalRouter {
   GlobalRouter(const tech::Technology& technology, geom::Rect region,
                RouterOptions options = {});
 
+  /// An inclusive gcell rectangle restricting where a search may expand —
+  /// the unit of independence for dependency-partitioned concurrent routing
+  /// (route/parallel.hpp): two nets whose windows are disjoint read and
+  /// write disjoint congestion edges, because every edge a windowed search
+  /// touches has BOTH endpoints inside the window.
+  struct GridWindow {
+    int x_lo = 0, y_lo = 0, x_hi = 0, y_hi = 0;
+
+    bool overlaps(const GridWindow& o) const {
+      return x_lo <= o.x_hi && o.x_lo <= x_hi && y_lo <= o.y_hi &&
+             o.y_lo <= y_hi;
+    }
+  };
+
+  /// The whole grid as a window.
+  GridWindow full_window() const { return {0, 0, nx_ - 1, ny_ - 1}; }
+
+  /// Bounding window of the snapped pin gcells, expanded by `margin_cells`
+  /// on every side (clamped to the grid). The margin is detour headroom: a
+  /// windowed search can still step around congestion without leaving its
+  /// partition.
+  GridWindow window_for(const std::vector<geom::Point>& pins,
+                        int margin_cells) const;
+
   /// Routes a net over the given pin locations (nm). Updates congestion so
   /// later nets avoid used edges. Pins are snapped to the nearest gcell.
   NetRoute route(const std::string& net_name,
                  const std::vector<geom::Point>& pins);
+
+  /// route() with the search confined to `window` (pins are clamped into
+  /// it). With full_window() this is exactly route(). Confined calls on
+  /// DISJOINT windows may run concurrently: each search allocates its own
+  /// scratch state and only touches congestion edges inside its window.
+  /// A net that cannot be routed inside its window is returned with
+  /// routed=false (callers retry it unconfined, in order).
+  NetRoute route_in_window(const std::string& net_name,
+                           const std::vector<geom::Point>& pins,
+                           const GridWindow& window);
 
   /// route() plus one bounded retry: when the primary attempt fails and the
   /// layer window is not already maximal, retries once on a fallback grid
@@ -104,6 +139,7 @@ class GlobalRouter {
   };
   int index(int x, int y, int l) const { return (l * ny_ + y) * nx_ + x; }
   bool layer_horizontal(int l) const;
+  std::pair<int, int> snap(geom::Point p) const;
 
   const tech::Technology& tech_;
   RouterOptions opt_;

@@ -1,0 +1,74 @@
+#include "route/parallel.hpp"
+
+#include "util/obs.hpp"
+#include "util/task_pool.hpp"
+
+namespace olp::route {
+
+PartitionPlan partition_nets(const GlobalRouter& router,
+                             const std::vector<NetPins>& nets,
+                             int margin_cells) {
+  PartitionPlan plan;
+  plan.windows.reserve(nets.size());
+  for (const NetPins& net : nets) {
+    plan.windows.push_back(router.window_for(net.pins, margin_cells));
+  }
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    bool placed = false;
+    for (std::vector<std::size_t>& batch : plan.batches) {
+      bool disjoint = true;
+      for (const std::size_t j : batch) {
+        if (plan.windows[i].overlaps(plan.windows[j])) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        batch.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) plan.batches.push_back({i});
+  }
+  return plan;
+}
+
+std::vector<NetRoute> route_partitioned(GlobalRouter& router,
+                                        const std::vector<NetPins>& nets,
+                                        TaskPool* pool, int margin_cells) {
+  const PartitionPlan plan = partition_nets(router, nets, margin_cells);
+  std::vector<NetRoute> routes(nets.size());
+
+  for (const std::vector<std::size_t>& batch : plan.batches) {
+    obs::counter_add("router.partition_batches");
+    // Same-batch windows are pairwise disjoint, so these searches read and
+    // write disjoint slices of the congestion grid: safe to run
+    // concurrently, and scheduling-independent — the grid state at the
+    // barrier is the same whichever order they finished in.
+    run_indexed(pool, batch.size(), [&](std::size_t bi) {
+      const std::size_t ni = batch[bi];
+      obs::Span span("router.net", [&] { return nets[ni].name; });
+      routes[ni] = router.route_in_window(nets[ni].name, nets[ni].pins,
+                                          plan.windows[ni]);
+      if (routes[ni].routed) {
+        obs::counter_add("router.nets");
+        obs::record("router.net_length_um", routes[ni].total_length() * 1e6);
+      }
+      return true;
+    });
+  }
+
+  // Serial cleanup pass, in net order: anything a window couldn't route
+  // (detour needed past the margin, real congestion, a budget trip) gets
+  // the full-grid router plus its widened-layer retry. route_with_fallback
+  // does its own router.nets/unrouted accounting.
+  for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+    if (routes[ni].routed) continue;
+    obs::counter_add("router.partition_retries");
+    routes[ni] = router.route_with_fallback(nets[ni].name, nets[ni].pins);
+  }
+  return routes;
+}
+
+}  // namespace olp::route

@@ -1,0 +1,76 @@
+#pragma once
+// Dependency-partitioned concurrent net routing.
+//
+// The serial router routes nets one after another because every net reads
+// (congestion costs) and writes (traceback usage) the shared gcell edge
+// grid. But most analog nets are LOCAL: their pins span a small part of the
+// placement, and nets whose neighborhoods don't touch cannot interact
+// through congestion at all. This module exploits that:
+//
+//   1. Every net gets a GridWindow — the bounding box of its snapped pin
+//      gcells expanded by a detour margin (GlobalRouter::window_for).
+//   2. Nets are greedily colored IN NET ORDER into batches whose windows
+//      are pairwise disjoint (first batch that fits; else a new batch).
+//   3. Batches run sequentially; the nets inside a batch route
+//      concurrently via GlobalRouter::route_in_window. A windowed search
+//      only touches edges with both endpoints inside its window, so
+//      same-batch nets are data-race free by construction — no locks, no
+//      atomics on the usage grid.
+//   4. Nets a window could not accommodate (margin too tight, congestion,
+//      budget) are retried serially, in net order, through
+//      route_with_fallback on the full grid.
+//
+// Determinism: the batch assignment is a pure function of the net list and
+// the margin; batches are barriers; and same-batch nets touch disjoint
+// state, so the usage grid after each batch — and therefore every routed
+// segment — is bit-identical at every thread count (pool == null included).
+// The trajectory DIFFERS from the serial router (same-batch nets no longer
+// see each other's usage, and windowed searches cannot detour outside
+// their window), which is why the partitioned mode is gated behind a flow
+// option with its own golden (tests/test_stage_parallel.cpp) instead of
+// replacing the default path.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "route/global_router.hpp"
+
+namespace olp {
+class TaskPool;
+}
+
+namespace olp::route {
+
+/// One net to route: name + pin locations (nm), in net order.
+struct NetPins {
+  std::string name;
+  std::vector<geom::Point> pins;
+};
+
+/// The batch structure partition_nets computed: windows[i] belongs to
+/// nets[i]; batches hold net indices, every batch's windows pairwise
+/// disjoint. Exposed for tests and telemetry.
+struct PartitionPlan {
+  std::vector<GlobalRouter::GridWindow> windows;
+  std::vector<std::vector<std::size_t>> batches;
+};
+
+/// Greedy window coloring in net order (deterministic; O(N^2) window
+/// overlap tests, fine for the tens-of-nets scale of these flows).
+PartitionPlan partition_nets(const GlobalRouter& router,
+                             const std::vector<NetPins>& nets,
+                             int margin_cells);
+
+/// Routes `nets` through `router` batch-by-batch as described above and
+/// returns one NetRoute per net, in net order. `pool` may be null (the
+/// batches then run inline, producing bit-identical results — that IS the
+/// golden for this mode). Telemetry: "router.partition_batches" counts
+/// barriers, "router.partition_retries" the nets that fell back to the
+/// serial pass.
+std::vector<NetRoute> route_partitioned(GlobalRouter& router,
+                                        const std::vector<NetPins>& nets,
+                                        TaskPool* pool,
+                                        int margin_cells = 6);
+
+}  // namespace olp::route

@@ -17,10 +17,18 @@
 //   OLP_THREADS           worker threads incl. caller; 0 or negative = one
 //                         per hardware core            (util/task_pool)
 //   OLP_EVAL_CACHE        "0"/empty = off, else on     (circuits/flow)
+//   OLP_PLACER_MOVES      parallel candidate moves per anneal step for the
+//                         final placement; <= 1 = classic serial trajectory
+//                                                      (circuits/flow)
+//   OLP_ROUTE_PARTITIONED "0"/empty = off, else dependency-partitioned
+//                         concurrent net routing       (circuits/flow)
 //   OLP_DEADLINE_MS       wall-clock deadline [ms]     (util/budget)
 //   OLP_TESTBENCH_BUDGET  max testbench evaluations    (util/budget)
 //   OLP_LOG_LEVEL         debug|info|warn|error|off    (util/logging)
 //   OLP_TRACE_DIR         trace/artifact output dir    (examples, batch)
+//   OLP_BATCH_CLAMP       "0" disables the batch oversubscription guard
+//                         (pool clamped to hardware cores)
+//                                                      (circuits/batch)
 //   OLP_CACHE_MAX_ENTRIES eval-cache capacity bound; 0 or negative =
 //                         unbounded                    (service, daemon)
 //   OLP_SERVICE_WORKERS   service worker threads       (service daemon)

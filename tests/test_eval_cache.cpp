@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -14,6 +15,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "circuits/common.hpp"
 #include "core/eval_cache.hpp"
@@ -487,6 +490,94 @@ TEST(EvalCacheSnapshot, InjectedIoFaultFailsSaveAndLoad) {
   std::map<std::string, std::string> payloads;
   EXPECT_TRUE(load_cache_snapshot(path, &payloads, &error)) << error;
   std::remove(path.c_str());
+}
+
+TEST(EvalCache, ConcurrentReadersAndWritersReconcileExactly) {
+  // The gtest twin of tests/eval_cache_stress.cpp (which run_tsan.sh runs
+  // standalone inside the sanitizer tree): 8 readers on the lock-free path,
+  // 2 writers publishing snapshots, and every per-thread hit/miss tally
+  // reconciled EXACTLY against the cache's own stats afterwards — a lookup
+  // counts once, as a hit or a miss, under any interleaving.
+  constexpr int kKeys = 300;
+  constexpr int kReaders = 8;
+  constexpr int kWriters = 2;
+  constexpr int kRounds = 20;
+  auto value_of = [](int i) {
+    MetricValues v;
+    v[MetricKind::kGm] = static_cast<double>(i) * 1.25 + 0.5;
+    return v;
+  };
+
+  EvalCache cache;
+  std::atomic<long> hits{0}, misses{0}, bad_values{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      const int lo = w * (kKeys / kWriters);
+      for (int i = lo; i < lo + kKeys / kWriters; ++i) {
+        cache.insert("k" + std::to_string(i), value_of(i), w);
+      }
+      // Contended tail: first-writer-wins on identical values.
+      for (int i = kKeys - 40; i < kKeys; ++i) {
+        cache.insert("k" + std::to_string(i), value_of(i), w);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      long my_hits = 0, my_misses = 0, my_bad = 0;
+      MetricValues v;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          if (cache.lookup("k" + std::to_string(i), &v, /*client=*/100)) {
+            ++my_hits;
+            const double want = static_cast<double>(i) * 1.25 + 0.5;
+            const double got = v.at(MetricKind::kGm);
+            if (std::memcmp(&got, &want, sizeof(double)) != 0) ++my_bad;
+          } else {
+            ++my_misses;
+          }
+        }
+      }
+      hits.fetch_add(my_hits);
+      misses.fetch_add(my_misses);
+      bad_values.fetch_add(my_bad);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(hits.load() + misses.load(),
+            static_cast<long>(kReaders) * kRounds * kKeys);
+  EXPECT_EQ(stats.hits, hits.load());
+  EXPECT_EQ(stats.misses, misses.load());
+  EXPECT_EQ(bad_values.load(), 0);
+  EXPECT_EQ(stats.entries, kKeys);
+  // Serial replay: the steady state is a hit on every key, bit-exact.
+  for (int i = 0; i < kKeys; ++i) {
+    MetricValues v;
+    ASSERT_TRUE(cache.lookup("k" + std::to_string(i), &v)) << i;
+    const double want = static_cast<double>(i) * 1.25 + 0.5;
+    const double got = v.at(MetricKind::kGm);
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof(double)), 0) << i;
+  }
+}
+
+TEST(EvalCache, LockedReadsBaselineReconcilesIdentically) {
+  // The bench A/B switch shares all bookkeeping with the lock-free path;
+  // a quick two-sided check that it produces the same ledger.
+  EvalCacheOptions opt;
+  opt.locked_reads = true;
+  EvalCache cache(opt);
+  MetricValues v;
+  v[MetricKind::kGm] = 2.5;
+  cache.insert("a", v);
+  MetricValues out;
+  EXPECT_TRUE(cache.lookup("a", &out));
+  EXPECT_FALSE(cache.lookup("b", &out));
+  EXPECT_EQ(out.at(MetricKind::kGm), 2.5);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
 }
 
 }  // namespace
