@@ -160,7 +160,7 @@ void BM_GlobalRoute(benchmark::State& state) {
                                    geom::to_nm(rng.uniform(0, 20e-6))});
       }
       const route::NetRoute nr =
-          router.route("n" + std::to_string(n), pins);
+          router.route("n" + std::to_string(n), pins, {});
       benchmark::DoNotOptimize(nr.segments.size());
     }
   }

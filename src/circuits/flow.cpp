@@ -239,6 +239,19 @@ FlowEngine::FlowEngine(const tech::Technology& technology, FlowOptions options)
       "OLP_PLACER_MOVES", options_.placer_parallel_moves));
   options_.partitioned_routing =
       env::flag("OLP_ROUTE_PARTITIONED", options_.partitioned_routing);
+  if (env::has("OLP_ROUTER")) {
+    const std::string name = env::str("OLP_ROUTER");
+    if (const auto backend = route::parse_router_backend(name)) {
+      options_.router = *backend;
+    } else if (!name.empty()) {
+      OLP_WARN << "OLP_ROUTER=" << name
+               << " is not a router backend (classic|fast|partitioned|"
+                  "negotiated); keeping "
+               << route::router_backend_name(options_.router);
+    }
+  }
+  options_.router_negotiation_iterations = static_cast<int>(env::integer(
+      "OLP_ROUTER_ITERS", options_.router_negotiation_iterations));
 }
 
 TaskPool* FlowEngine::pool() const {
@@ -400,42 +413,35 @@ void FlowEngine::place_and_route(
     }
     return pins;
   };
-  if (budget_obs != nullptr && options_.partitioned_routing) {
-    // Dependency-partitioned concurrent routing (route/parallel.hpp): its
-    // own trajectory with its own golden, gated the same way as the
-    // parallel placer above. Budget trips are honored inside each windowed
-    // search and each fallback retry, so exhaustion still yields the
-    // salvaged routed-so-far subset with routed=false leftovers.
-    std::vector<route::NetPins> nets;
-    nets.reserve(pnets.size());
-    for (const place::PlacementNet& pn : pnets) {
-      nets.push_back(route::NetPins{pn.name, pins_for(pn)});
+  std::vector<route::NetPins> nets;
+  nets.reserve(pnets.size());
+  for (const place::PlacementNet& pn : pnets) {
+    nets.push_back(route::NetPins{pn.name, pins_for(pn)});
+  }
+  // Backend selection (route/router_engine.hpp). The classic engine
+  // reproduces the historic serial loop exactly — budget check before each
+  // net, skipped nets routed=false, widened-layer fallback per net — so
+  // the default stays byte-identical to the pre-engine router. The opt-in
+  // backends are gated the same way as the parallel placer above: combo
+  // quick trials (budget_obs == nullptr) always route classic.
+  route::RouterBackend backend = options_.router;
+  if (backend == route::RouterBackend::kClassic &&
+      options_.partitioned_routing) {
+    backend = route::RouterBackend::kPartitioned;
+  }
+  if (budget_obs == nullptr) backend = route::RouterBackend::kClassic;
+  route::RouterEngineOptions eopt;
+  eopt.backend = backend;
+  if (backend == route::RouterBackend::kPartitioned) eopt.pool = pool();
+  eopt.negotiation_iterations = options_.router_negotiation_iterations;
+  const std::unique_ptr<route::RouterEngine> engine =
+      route::make_router_engine(router, eopt);
+  std::vector<route::NetRoute> routes = engine->route_nets(nets);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (!routes[i].routed) {
+      OLP_WARN << "global routing failed for net " << nets[i].name;
     }
-    std::vector<route::NetRoute> routes =
-        route::route_partitioned(router, nets, pool());
-    for (std::size_t i = 0; i < nets.size(); ++i) {
-      if (!routes[i].routed) {
-        OLP_WARN << "global routing failed for net " << nets[i].name;
-      }
-      report.routes[nets[i].name] = std::move(routes[i]);
-    }
-  } else {
-    for (const place::PlacementNet& pn : pnets) {
-      // Budget-bounded routing: remaining nets are skipped (routed=false)
-      // and degrade to schematic-net parasitics downstream; nets routed
-      // before the trip are kept — the salvaged routed subset.
-      if (budget != nullptr && budget->check()) {
-        route::NetRoute skipped;
-        skipped.net = pn.name;
-        report.routes[pn.name] = std::move(skipped);
-        continue;
-      }
-      route::NetRoute nr = router.route_with_fallback(pn.name, pins_for(pn));
-      if (!nr.routed) {
-        OLP_WARN << "global routing failed for net " << pn.name;
-      }
-      report.routes[pn.name] = std::move(nr);
-    }
+    report.routes[nets[i].name] = std::move(routes[i]);
   }
   routing_span.close();
   if (budget != nullptr && budget_obs != nullptr && diag != nullptr) {

@@ -34,6 +34,7 @@
 #include "core/port_optimizer.hpp"
 #include "place/placer.hpp"
 #include "route/global_router.hpp"
+#include "route/router_engine.hpp"
 #include "util/budget.hpp"
 #include "util/diag.hpp"
 #include "util/task_pool.hpp"
@@ -127,6 +128,20 @@ struct FlowOptions {
   /// is bit-identical across thread counts and carries its own golden.
   /// OLP_ROUTE_PARTITIONED=1/0 overrides at engine construction.
   bool partitioned_routing = false;
+  /// Routing backend for the REAL routing stage (route/router_engine.hpp):
+  /// kClassic (the default) is the serial router the default-mode goldens
+  /// pin byte for byte; kFast, kPartitioned, and kNegotiated are opt-in
+  /// trajectories with their own goldens (tests/test_stage_parallel.cpp).
+  /// OLP_ROUTER=classic|fast|partitioned|negotiated overrides at engine
+  /// construction; for backward compatibility, partitioned_routing=true
+  /// (or OLP_ROUTE_PARTITIONED=1) maps kClassic to kPartitioned. Combo
+  /// quick trials always route classic, like the other parallel stage
+  /// modes above.
+  route::RouterBackend router = route::RouterBackend::kClassic;
+  /// Max rip-up-and-reroute passes for the negotiated backend (after the
+  /// initial greedy pass; the loop exits early at zero overflow).
+  /// OLP_ROUTER_ITERS overrides at engine construction.
+  int router_negotiation_iterations = 16;
 };
 
 /// Everything the flow decided, for reporting and the paper's tables.

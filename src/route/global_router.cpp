@@ -62,8 +62,17 @@ GlobalRouter::GlobalRouter(const tech::Technology& technology,
   usage_y_.assign(static_cast<std::size_t>(nx_ * ny_ * nl_), 0);
 }
 
+
 bool GlobalRouter::layer_horizontal(int l) const {
   return tech_.metals[static_cast<std::size_t>(l)].horizontal;
+}
+
+int GlobalRouter::layer_index(tech::Layer layer) const {
+  for (int l = 0; l < nl_; ++l) {
+    if (tech::metal_layer(l) == layer) return l;
+  }
+  OLP_CHECK(false, "segment on a non-routing layer");
+  return 0;
 }
 
 void GlobalRouter::set_diagnostics(DiagnosticsSink* sink) {
@@ -86,8 +95,8 @@ std::pair<int, int> GlobalRouter::snap(geom::Point p) const {
   return {gx, gy};
 }
 
-GlobalRouter::GridWindow GlobalRouter::window_for(
-    const std::vector<geom::Point>& pins, int margin_cells) const {
+GridWindow GlobalRouter::window_for(const std::vector<geom::Point>& pins,
+                                    int margin_cells) const {
   GridWindow w{nx_ - 1, ny_ - 1, 0, 0};
   for (const geom::Point& p : pins) {
     const auto [gx, gy] = snap(p);
@@ -104,13 +113,84 @@ GlobalRouter::GridWindow GlobalRouter::window_for(
 }
 
 NetRoute GlobalRouter::route(const std::string& net_name,
-                             const std::vector<geom::Point>& pins) {
-  return route_in_window(net_name, pins, full_window());
+                             const std::vector<geom::Point>& pins,
+                             const RouteRequest& request) {
+  if (!request.with_fallback) return route_core(net_name, pins, request);
+
+  // Full-service entry: instrumentation envelope + widened-layer retry.
+  obs::Span span("router.net", [&] { return net_name; });
+  obs::counter_add("router.nets");
+  RouteRequest primary_req = request;
+  primary_req.with_fallback = false;
+  NetRoute primary = route_core(net_name, pins, primary_req);
+  if (primary.routed) {
+    obs::record("router.net_length_um", primary.total_length() * 1e6);
+    return primary;
+  }
+
+  const bool window_maximal =
+      opt_.min_layer == 0 && opt_.max_layer == tech::kNumRoutingLayers - 1;
+  if (window_maximal) {
+    obs::counter_add("router.unrouted");
+    if (diag_) {
+      diag_->report(DiagSeverity::kError, "router", net_name,
+                    "unrouted and layer window already maximal; giving up");
+    }
+    return primary;
+  }
+  // Budget-bounded retry: exhaustion skips the widened-layer fallback; the
+  // net stays unrouted and the flow degrades it downstream.
+  if (budget_ != nullptr && budget_->check()) {
+    obs::counter_add("router.unrouted");
+    obs::counter_add("budget.truncations");
+    if (diag_) {
+      diag_->report(DiagSeverity::kWarning, "router", net_name,
+                    budget_->description() +
+                        "; skipping widened-layer retry, net stays unrouted");
+    }
+    return primary;
+  }
+  obs::counter_add("router.fallback_retries");
+
+  if (!fallback_) {
+    RouterOptions widened = opt_;
+    widened.min_layer = 0;
+    widened.max_layer = tech::kNumRoutingLayers - 1;
+    // Built from the pre-halo region so the fallback grid covers the same
+    // area (the ctor re-applies the halo).
+    fallback_ = std::make_unique<GlobalRouter>(tech_, input_region_, widened);
+    fallback_->set_diagnostics(diag_);
+  }
+  if (diag_) {
+    diag_->report(DiagSeverity::kWarning, "router", net_name,
+                  "unrouted in layers [" + std::to_string(opt_.min_layer) +
+                      ", " + std::to_string(opt_.max_layer) +
+                      "]; retrying with widened layer window [0, " +
+                      std::to_string(tech::kNumRoutingLayers - 1) + "]");
+  }
+  OLP_WARN << "router: net " << net_name
+           << " unrouted; retrying with widened layer window";
+  // The retry runs on the fallback grid, so the caller's window and
+  // negotiation arrays (sized for THIS grid) do not transfer.
+  RouteRequest retry = primary_req;
+  retry.window.reset();
+  retry.negotiation = nullptr;
+  NetRoute widened = fallback_->route_core(net_name, pins, retry);
+  if (!widened.routed) {
+    obs::counter_add("router.unrouted");
+    if (diag_) {
+      diag_->report(DiagSeverity::kError, "router", net_name,
+                    "unrouted even with widened layer window; giving up");
+    }
+  } else {
+    obs::record("router.net_length_um", widened.total_length() * 1e6);
+  }
+  return widened;
 }
 
-NetRoute GlobalRouter::route_in_window(const std::string& net_name,
-                                       const std::vector<geom::Point>& pins,
-                                       const GridWindow& win) {
+NetRoute GlobalRouter::route_core(const std::string& net_name,
+                                  const std::vector<geom::Point>& pins,
+                                  const RouteRequest& request) {
   NetRoute result;
   result.net = net_name;
   OLP_CHECK(pins.size() >= 2, "routing needs at least two pins");
@@ -123,6 +203,16 @@ NetRoute GlobalRouter::route_in_window(const std::string& net_name,
     result.routed = false;
     return result;
   }
+  const GridWindow win = request.window ? *request.window : full_window();
+  if (request.fast) return route_fast(net_name, pins, win, request);
+  return route_classic(net_name, pins, win);
+}
+
+NetRoute GlobalRouter::route_classic(const std::string& net_name,
+                                     const std::vector<geom::Point>& pins,
+                                     const GridWindow& win) {
+  NetRoute result;
+  result.net = net_name;
 
   // Snap into the window: with the full window this is the plain grid snap
   // (the clamps are no-ops), keeping the default path bit-identical.
@@ -299,69 +389,50 @@ NetRoute GlobalRouter::route_in_window(const std::string& net_name,
   return result;
 }
 
-NetRoute GlobalRouter::route_with_fallback(const std::string& net_name,
-                                           const std::vector<geom::Point>& pins) {
-  obs::Span span("router.net", [&] { return net_name; });
-  obs::counter_add("router.nets");
-  NetRoute primary = route(net_name, pins);
-  if (primary.routed) {
-    obs::record("router.net_length_um", primary.total_length() * 1e6);
-    return primary;
+void GlobalRouter::apply_usage(const NetRoute& route, int delta) {
+  for (const RouteSegment& s : route.segments) {
+    const int l = layer_index(s.layer);
+    const auto [x1, y1] = snap(s.a);
+    const auto [x2, y2] = snap(s.b);
+    if (y1 == y2 && x1 != x2) {
+      // Segment endpoints sit on gcell centers (unsnap points), so walking
+      // the gcells between them recovers the exact edges the search marked,
+      // whether the segment is one step (classic) or a whole leg (pattern).
+      for (int x = std::min(x1, x2); x < std::max(x1, x2); ++x) {
+        usage_x_[static_cast<std::size_t>(index(x, y1, l))] += delta;
+      }
+    } else if (x1 == x2 && y1 != y2) {
+      for (int y = std::min(y1, y2); y < std::max(y1, y2); ++y) {
+        usage_y_[static_cast<std::size_t>(index(x1, y, l))] += delta;
+      }
+    }
   }
+}
 
-  const bool window_maximal =
-      opt_.min_layer == 0 && opt_.max_layer == tech::kNumRoutingLayers - 1;
-  if (window_maximal) {
-    obs::counter_add("router.unrouted");
-    if (diag_) {
-      diag_->report(DiagSeverity::kError, "router", net_name,
-                    "unrouted and layer window already maximal; giving up");
-    }
-    return primary;
-  }
-  // Budget-bounded retry: exhaustion skips the widened-layer fallback; the
-  // net stays unrouted and the flow degrades it downstream.
-  if (budget_ != nullptr && budget_->check()) {
-    obs::counter_add("router.unrouted");
-    obs::counter_add("budget.truncations");
-    if (diag_) {
-      diag_->report(DiagSeverity::kWarning, "router", net_name,
-                    budget_->description() +
-                        "; skipping widened-layer retry, net stays unrouted");
-    }
-    return primary;
-  }
-  obs::counter_add("router.fallback_retries");
+void GlobalRouter::rip_up(const NetRoute& route) { apply_usage(route, -1); }
 
-  if (!fallback_) {
-    RouterOptions widened = opt_;
-    widened.min_layer = 0;
-    widened.max_layer = tech::kNumRoutingLayers - 1;
-    // Built from the pre-halo region so the fallback grid covers the same
-    // area (the ctor re-applies the halo).
-    fallback_ = std::make_unique<GlobalRouter>(tech_, input_region_, widened);
-    fallback_->set_diagnostics(diag_);
+void GlobalRouter::commit(const NetRoute& route) { apply_usage(route, +1); }
+
+void GlobalRouter::accumulate_history(NegotiationCosts& costs,
+                                      long long units) const {
+  OLP_CHECK(costs.history_x.size() == usage_x_.size() &&
+                costs.history_y.size() == usage_y_.size(),
+            "negotiation arrays do not match this router's grid");
+  for (std::size_t i = 0; i < usage_x_.size(); ++i) {
+    const int over = usage_x_[i] - opt_.edge_capacity;
+    if (over > 0) costs.history_x[i] += units * over;
   }
-  if (diag_) {
-    diag_->report(DiagSeverity::kWarning, "router", net_name,
-                  "unrouted in layers [" + std::to_string(opt_.min_layer) +
-                      ", " + std::to_string(opt_.max_layer) +
-                      "]; retrying with widened layer window [0, " +
-                      std::to_string(tech::kNumRoutingLayers - 1) + "]");
+  for (std::size_t i = 0; i < usage_y_.size(); ++i) {
+    const int over = usage_y_[i] - opt_.edge_capacity;
+    if (over > 0) costs.history_y[i] += units * over;
   }
-  OLP_WARN << "router: net " << net_name
-           << " unrouted; retrying with widened layer window";
-  NetRoute widened = fallback_->route(net_name, pins);
-  if (!widened.routed) {
-    obs::counter_add("router.unrouted");
-    if (diag_) {
-      diag_->report(DiagSeverity::kError, "router", net_name,
-                    "unrouted even with widened layer window; giving up");
-    }
-  } else {
-    obs::record("router.net_length_um", widened.total_length() * 1e6);
-  }
-  return widened;
+}
+
+long GlobalRouter::total_overflow() const {
+  long over = 0;
+  for (int v : usage_x_) over += std::max(0, v - opt_.edge_capacity);
+  for (int v : usage_y_) over += std::max(0, v - opt_.edge_capacity);
+  return over;
 }
 
 double GlobalRouter::congestion_ratio() const {

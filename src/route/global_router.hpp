@@ -4,16 +4,27 @@
 // The router works on a 3D grid (x, y, metal layer) with per-layer preferred
 // directions, via costs, and soft congestion penalties. Multi-pin nets are
 // routed incrementally: each additional pin is connected to the partial tree
-// by a Dijkstra search whose target is the entire tree (so Steiner points
-// emerge naturally — paper Sec. III-B1 requires Steiner-aware routes).
+// by a search whose target is the entire tree (so Steiner points emerge
+// naturally — paper Sec. III-B1 requires Steiner-aware routes).
 //
 // Output per net: the wire segments (layer + endpoints), total length per
 // layer and via count — exactly the information primitive port optimization
 // consumes ("distance, layer and via information provided by the global
 // router").
+//
+// Entry point: ONE call, route(net, pins, RouteRequest). The request selects
+// the search confinement window, the widened-layer fallback retry, the
+// search core (classic Dijkstra vs. the pattern + A*/bidirectional fast
+// core), and optional negotiated-congestion cost shaping. The historic
+// route() / route_in_window() / route_with_fallback() signatures remain as
+// [[deprecated]] inline wrappers that forward verbatim (PR 5 convention);
+// in-repo call sites use the request form. Backend-level orchestration
+// (net order, rip-up-and-reroute, partitioned batches) lives one level up
+// in route/router_engine.hpp.
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,27 +74,83 @@ struct RouterOptions {
   int edge_capacity = 8;       ///< tracks per gcell edge per layer
 };
 
+/// An inclusive gcell rectangle restricting where a search may expand —
+/// the unit of independence for dependency-partitioned concurrent routing
+/// (route/parallel.hpp): two nets whose windows are disjoint read and
+/// write disjoint congestion edges, because every edge a windowed search
+/// touches has BOTH endpoints inside the window.
+struct GridWindow {
+  int x_lo = 0, y_lo = 0, x_hi = 0, y_hi = 0;
+
+  bool overlaps(const GridWindow& o) const {
+    return x_lo <= o.x_hi && o.x_lo <= x_hi && y_lo <= o.y_hi &&
+           o.y_lo <= y_hi;
+  }
+};
+
+/// The detour headroom, in gcells, that window-confined routing adds around
+/// the snapped pin bounding box. Shared by GlobalRouter::detour_window and
+/// the batch coloring in route/parallel.cpp so the two can never drift
+/// (historically both hard-coded 6).
+inline constexpr int kDetourMarginCells = 6;
+
+/// Per-edge negotiated-congestion state (PathFinder-style), owned by the
+/// negotiated router engine and consulted by the fast search core. Arrays
+/// are indexed exactly like the router's usage grids (one slot per node per
+/// direction); costs are in quantized search units (see search.cpp).
+struct NegotiationCosts {
+  std::vector<long long> history_x;  ///< accumulated past-overflow cost, +x edges
+  std::vector<long long> history_y;  ///< accumulated past-overflow cost, +y edges
+  /// Multiplies the present congestion term: grows every negotiation
+  /// iteration so persistent overflow becomes unaffordable.
+  double present_factor = 1.0;
+};
+
+/// Everything one route(...) call needs beyond the net and its pins. The
+/// defaults reproduce the historic bare route(): full grid, classic search,
+/// no retry, no instrumentation envelope.
+struct RouteRequest {
+  /// Confine the search to this gcell window (pins are clamped into it);
+  /// empty = the full grid. Confined calls on DISJOINT windows may run
+  /// concurrently: each search allocates its own scratch state and only
+  /// touches congestion edges inside its window. A net that cannot be
+  /// routed inside its window is returned with routed=false.
+  std::optional<GridWindow> window;
+  /// Full-service per-net entry (the historic route_with_fallback): wraps
+  /// the attempt in the "router.net" span + router.* counters and, when the
+  /// primary attempt fails and the layer window is not already maximal,
+  /// retries once on a fallback grid widened to every routing layer. A net
+  /// that still fails carries an error diagnostic. Budget exhaustion skips
+  /// the retry.
+  bool with_fallback = false;
+  /// Use the fast search core: L/Z pattern candidates first (see
+  /// `patterns`), then goal-directed A* — bidirectional Dijkstra for
+  /// small-tree connections — on a bucket (Dial) priority queue with
+  /// integer-quantized costs. A different (still deterministic) trajectory
+  /// than the classic heap Dijkstra; backends using it carry their own
+  /// goldens. false = the byte-identical classic search.
+  bool fast = false;
+  /// (fast only) Try straight/L/Z pattern candidates before full search for
+  /// short connections; a pattern is accepted only when congestion-free and
+  /// within a provable-optimality slack, so quality never degrades below
+  /// the search result by more than the documented bound.
+  bool patterns = true;
+  /// (fast only) Negotiated-congestion cost shaping: history + present-cost
+  /// terms added to every edge. Not owned, may be null; arrays must match
+  /// this router's grid (GlobalRouter::edge_array_size).
+  const NegotiationCosts* negotiation = nullptr;
+};
+
 /// Grid-based global router for a fixed region.
 class GlobalRouter {
  public:
+  using GridWindow = route::GridWindow;
+
   /// `region` is the placement bounding box in nm (expanded internally by
   /// one gcell of halo).
   GlobalRouter(const tech::Technology& technology, geom::Rect region,
                RouterOptions options = {});
-
-  /// An inclusive gcell rectangle restricting where a search may expand —
-  /// the unit of independence for dependency-partitioned concurrent routing
-  /// (route/parallel.hpp): two nets whose windows are disjoint read and
-  /// write disjoint congestion edges, because every edge a windowed search
-  /// touches has BOTH endpoints inside the window.
-  struct GridWindow {
-    int x_lo = 0, y_lo = 0, x_hi = 0, y_hi = 0;
-
-    bool overlaps(const GridWindow& o) const {
-      return x_lo <= o.x_hi && o.x_lo <= x_hi && y_lo <= o.y_hi &&
-             o.y_lo <= y_hi;
-    }
-  };
+  ~GlobalRouter();
 
   /// The whole grid as a window.
   GridWindow full_window() const { return {0, 0, nx_ - 1, ny_ - 1}; }
@@ -95,27 +162,43 @@ class GlobalRouter {
   GridWindow window_for(const std::vector<geom::Point>& pins,
                         int margin_cells) const;
 
-  /// Routes a net over the given pin locations (nm). Updates congestion so
-  /// later nets avoid used edges. Pins are snapped to the nearest gcell.
-  NetRoute route(const std::string& net_name,
-                 const std::vector<geom::Point>& pins);
+  /// window_for with the canonical detour margin (kDetourMarginCells) —
+  /// the one helper both window-confined routing and the partition coloring
+  /// use, so their notion of a net's neighborhood cannot drift.
+  GridWindow detour_window(const std::vector<geom::Point>& pins) const {
+    return window_for(pins, kDetourMarginCells);
+  }
 
-  /// route() with the search confined to `window` (pins are clamped into
-  /// it). With full_window() this is exactly route(). Confined calls on
-  /// DISJOINT windows may run concurrently: each search allocates its own
-  /// scratch state and only touches congestion edges inside its window.
-  /// A net that cannot be routed inside its window is returned with
-  /// routed=false (callers retry it unconfined, in order).
+  /// THE routing entry point. Routes a net over the given pin locations
+  /// (nm) as described by `request`; updates congestion so later nets avoid
+  /// used edges. Pins are snapped to the nearest gcell (and clamped into
+  /// the request window when one is set).
+  NetRoute route(const std::string& net_name,
+                 const std::vector<geom::Point>& pins,
+                 const RouteRequest& request);
+
+  [[deprecated("use route(net, pins, RouteRequest{})")]]
+  NetRoute route(const std::string& net_name,
+                 const std::vector<geom::Point>& pins) {
+    return route(net_name, pins, RouteRequest{});
+  }
+
+  [[deprecated("use route(net, pins, RouteRequest{.window = ...})")]]
   NetRoute route_in_window(const std::string& net_name,
                            const std::vector<geom::Point>& pins,
-                           const GridWindow& window);
+                           const GridWindow& window) {
+    RouteRequest request;
+    request.window = window;
+    return route(net_name, pins, request);
+  }
 
-  /// route() plus one bounded retry: when the primary attempt fails and the
-  /// layer window is not already maximal, retries once on a fallback grid
-  /// widened to every routing layer (with a warning diagnostic). A net that
-  /// still fails is returned with routed=false and an error diagnostic.
+  [[deprecated("use route(net, pins, RouteRequest{.with_fallback = true})")]]
   NetRoute route_with_fallback(const std::string& net_name,
-                               const std::vector<geom::Point>& pins);
+                               const std::vector<geom::Point>& pins) {
+    RouteRequest request;
+    request.with_fallback = true;
+    return route(net_name, pins, request);
+  }
 
   /// Attaches a diagnostics sink (may be null to detach); the sink must
   /// outlive the router.
@@ -126,20 +209,68 @@ class GlobalRouter {
   /// widened-layer fallback retry.
   void set_budget(Budget* budget);
 
+  /// The attached sink/budget (may be null) — router engines orchestrating
+  /// many route() calls share them instead of carrying their own.
+  DiagnosticsSink* diagnostics() const { return diag_; }
+  Budget* budget() const { return budget_; }
+
+  /// Removes a previously routed net's wire usage from the congestion grid
+  /// (negotiated rip-up). Only routes produced by THIS router may be ripped
+  /// up; segments are walked gcell by gcell, so both per-step (classic) and
+  /// per-leg (pattern) segment granularities work.
+  void rip_up(const NetRoute& route);
+
+  /// Re-applies a route's wire usage (restoring a salvaged best-so-far
+  /// solution after negotiation).
+  void commit(const NetRoute& route);
+
+  /// Sum over all edges of max(0, usage - capacity): the negotiation
+  /// objective. Zero means every edge fits its tracks.
+  long total_overflow() const;
+
+  /// PathFinder history accumulation: adds `units` x overflow to the
+  /// history of every currently overflowing edge. `costs` arrays must be
+  /// sized edge_array_size().
+  void accumulate_history(NegotiationCosts& costs, long long units) const;
+
   /// Fraction of edges at or above capacity.
   double congestion_ratio() const;
+
+  /// Size of the per-direction edge arrays (for NegotiationCosts sizing).
+  std::size_t edge_array_size() const { return usage_x_.size(); }
 
   int width() const { return nx_; }
   int height() const { return ny_; }
   int layers() const { return nl_; }
+  const RouterOptions& options() const { return opt_; }
 
  private:
-  struct NodeId3 {
-    int x = 0, y = 0, l = 0;
+  struct FastScratch;  // search.cpp: stamped dist/prev arrays + bucket queues
+  struct FastScratchDeleter {
+    // Out of line (search.cpp) so FastScratch can stay incomplete here.
+    void operator()(FastScratch* scratch) const;
   };
+
   int index(int x, int y, int l) const { return (l * ny_ + y) * nx_ + x; }
   bool layer_horizontal(int l) const;
   std::pair<int, int> snap(geom::Point p) const;
+  /// Layer index of a metal layer (inverse of tech::metal_layer).
+  int layer_index(tech::Layer layer) const;
+
+  /// Shared preamble (chaos draw, pin count check) + core dispatch.
+  NetRoute route_core(const std::string& net_name,
+                      const std::vector<geom::Point>& pins,
+                      const RouteRequest& request);
+  /// The classic per-net heap Dijkstra (byte-identical to the seed router).
+  NetRoute route_classic(const std::string& net_name,
+                         const std::vector<geom::Point>& pins,
+                         const GridWindow& win);
+  /// The fast core (search.cpp): patterns + A*/bidirectional on buckets.
+  NetRoute route_fast(const std::string& net_name,
+                      const std::vector<geom::Point>& pins,
+                      const GridWindow& win, const RouteRequest& request);
+  /// Walks a route's segments applying `delta` to the traversed edges.
+  void apply_usage(const NetRoute& route, int delta);
 
   const tech::Technology& tech_;
   RouterOptions opt_;
@@ -154,8 +285,12 @@ class GlobalRouter {
   std::vector<int> usage_y_;
   DiagnosticsSink* diag_ = nullptr;
   Budget* budget_ = nullptr;
-  /// Lazily created widened-layer-window router for route_with_fallback.
+  /// Lazily created widened-layer-window router for the fallback retry.
   std::unique_ptr<GlobalRouter> fallback_;
+  /// Lazily created fast-core scratch (search.cpp); never shared between
+  /// concurrent windowed calls — the fast core is only used by the serial
+  /// backends, and windowed partitioned calls use the classic core.
+  std::unique_ptr<FastScratch, FastScratchDeleter> fast_;
 };
 
 }  // namespace olp::route

@@ -49,8 +49,9 @@ std::vector<NetRoute> route_partitioned(GlobalRouter& router,
     run_indexed(pool, batch.size(), [&](std::size_t bi) {
       const std::size_t ni = batch[bi];
       obs::Span span("router.net", [&] { return nets[ni].name; });
-      routes[ni] = router.route_in_window(nets[ni].name, nets[ni].pins,
-                                          plan.windows[ni]);
+      RouteRequest request;
+      request.window = plan.windows[ni];
+      routes[ni] = router.route(nets[ni].name, nets[ni].pins, request);
       if (routes[ni].routed) {
         obs::counter_add("router.nets");
         obs::record("router.net_length_um", routes[ni].total_length() * 1e6);
@@ -66,7 +67,9 @@ std::vector<NetRoute> route_partitioned(GlobalRouter& router,
   for (std::size_t ni = 0; ni < nets.size(); ++ni) {
     if (routes[ni].routed) continue;
     obs::counter_add("router.partition_retries");
-    routes[ni] = router.route_with_fallback(nets[ni].name, nets[ni].pins);
+    RouteRequest request;
+    request.with_fallback = true;
+    routes[ni] = router.route(nets[ni].name, nets[ni].pins, request);
   }
   return routes;
 }

@@ -52,15 +52,18 @@ struct NetPins {
 /// nets[i]; batches hold net indices, every batch's windows pairwise
 /// disjoint. Exposed for tests and telemetry.
 struct PartitionPlan {
-  std::vector<GlobalRouter::GridWindow> windows;
+  std::vector<GridWindow> windows;
   std::vector<std::vector<std::size_t>> batches;
 };
 
 /// Greedy window coloring in net order (deterministic; O(N^2) window
-/// overlap tests, fine for the tens-of-nets scale of these flows).
+/// overlap tests, fine for the tens-of-nets scale of these flows). The
+/// margin defaults to the router's canonical detour margin — the SAME
+/// constant window-confined routing uses, so a batch's independence claim
+/// and its nets' search freedom can never drift apart.
 PartitionPlan partition_nets(const GlobalRouter& router,
                              const std::vector<NetPins>& nets,
-                             int margin_cells);
+                             int margin_cells = kDetourMarginCells);
 
 /// Routes `nets` through `router` batch-by-batch as described above and
 /// returns one NetRoute per net, in net order. `pool` may be null (the
@@ -71,6 +74,6 @@ PartitionPlan partition_nets(const GlobalRouter& router,
 std::vector<NetRoute> route_partitioned(GlobalRouter& router,
                                         const std::vector<NetPins>& nets,
                                         TaskPool* pool,
-                                        int margin_cells = 6);
+                                        int margin_cells = kDetourMarginCells);
 
 }  // namespace olp::route

@@ -120,7 +120,8 @@ TEST(FailureInjection, RouterWithUnreachableLayerRangeStillRoutes) {
   route::GlobalRouter router(
       t(), geom::Rect{0, 0, geom::to_nm(5e-6), geom::to_nm(5e-6)}, opt);
   const route::NetRoute nr = router.route(
-      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}});
+      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}},
+      route::RouteRequest{});
   // A vertical connection on a horizontal-only layer cannot route.
   EXPECT_FALSE(nr.routed);
 }
@@ -286,8 +287,10 @@ TEST(FailureInjection, RouterWidenedWindowRetryRecoversVerticalNet) {
       t(), geom::Rect{0, 0, geom::to_nm(5e-6), geom::to_nm(5e-6)}, opt);
   DiagnosticsSink sink;
   router.set_diagnostics(&sink);
-  const route::NetRoute nr = router.route_with_fallback(
-      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}});
+  route::RouteRequest request;
+  request.with_fallback = true;
+  const route::NetRoute nr = router.route(
+      "n", {geom::Point{0, 0}, geom::Point{0, geom::to_nm(4e-6)}}, request);
   set_log_level(LogLevel::kWarn);
   EXPECT_TRUE(nr.routed);
   // Primary failure notice plus the widened-window retry notice.
@@ -309,8 +312,11 @@ TEST(FailureInjection, InjectedRouteFailureRecoversViaFallback) {
   route::NetRoute nr;
   {
     ScopedFaultInjection chaos(config);
-    nr = router.route_with_fallback(
-        "net", {geom::Point{0, 0}, geom::Point{geom::to_nm(4e-6), 0}});
+    route::RouteRequest request;
+    request.with_fallback = true;
+    nr = router.route(
+        "net", {geom::Point{0, 0}, geom::Point{geom::to_nm(4e-6), 0}},
+        request);
   }
   set_log_level(LogLevel::kWarn);
   EXPECT_TRUE(nr.routed);

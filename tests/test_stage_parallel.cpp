@@ -251,6 +251,8 @@ class StageParallelFlow : public ::testing::Test {
     unsetenv("OLP_TESTBENCH_BUDGET");
     unsetenv("OLP_PLACER_MOVES");
     unsetenv("OLP_ROUTE_PARTITIONED");
+    unsetenv("OLP_ROUTER");
+    unsetenv("OLP_ROUTER_ITERS");
     ota_ = new flows::Ota5T(t());
     ASSERT_TRUE(ota_->prepare());
     golden_real_ = new flows::Realization(run(1, &golden_report_));
@@ -316,6 +318,99 @@ TEST_F(StageParallelFlow, EnvOverridesSelectTheSameTrajectory) {
       flows::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(),
       &report);
   expect_same_flow_result(report, golden_report_, real, *golden_real_);
+}
+
+// ---------------------------------------------------------------------------
+// Router-backend flow goldens: each opt-in backend (fast, negotiated) is its
+// own deterministic trajectory — bit-identical at every thread count, chaos
+// pool delays included. The classic default's golden lives in
+// test_determinism.cpp and must stay byte-identical to the pre-backend
+// router; these pin the new siblings the same way.
+
+class RouterBackendFlow : public StageParallelFlow {
+ protected:
+  static flows::Realization run_backend(route::RouterBackend backend,
+                                        int num_threads,
+                                        flows::FlowReport* report) {
+    flows::FlowOptions opts;
+    opts.num_threads = num_threads;
+    opts.router = backend;
+    flows::FlowEngine engine(t(), opts);
+    return engine.run(flows::FlowMode::kOptimize, ota_->instances(),
+                      ota_->routed_nets(), report);
+  }
+
+  static void expect_backend_stable(route::RouterBackend backend) {
+    flows::FlowReport golden_report;
+    const flows::Realization golden =
+        run_backend(backend, 1, &golden_report);
+    for (const int threads : {2, 8}) {
+      flows::FlowReport report;
+      const flows::Realization real =
+          run_backend(backend, threads, &report);
+      expect_same_flow_result(report, golden_report, real, golden);
+    }
+    FaultConfig config;
+    config.seed = 19;
+    config.pool_delay_rate = 1.0;
+    ScopedFaultInjection chaos(config);
+    flows::FlowReport report;
+    const flows::Realization real = run_backend(backend, 8, &report);
+    expect_same_flow_result(report, golden_report, real, golden);
+  }
+};
+
+TEST_F(RouterBackendFlow, FastBackendBitIdenticalAcrossThreadCounts) {
+  expect_backend_stable(route::RouterBackend::kFast);
+}
+
+TEST_F(RouterBackendFlow, NegotiatedBackendBitIdenticalAcrossThreadCounts) {
+  expect_backend_stable(route::RouterBackend::kNegotiated);
+}
+
+TEST_F(RouterBackendFlow, PartitionedBackendBitIdenticalAcrossThreadCounts) {
+  expect_backend_stable(route::RouterBackend::kPartitioned);
+}
+
+TEST_F(RouterBackendFlow, EnvSelectedBackendMatchesProgrammaticOption) {
+  flows::FlowReport want_report;
+  const flows::Realization want =
+      run_backend(route::RouterBackend::kFast, 2, &want_report);
+
+  setenv("OLP_ROUTER", "fast", 1);
+  flows::FlowOptions opts;
+  opts.num_threads = 2;
+  flows::FlowEngine engine(t(), opts);
+  unsetenv("OLP_ROUTER");
+  flows::FlowReport report;
+  const flows::Realization real = engine.run(
+      flows::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(),
+      &report);
+  expect_same_flow_result(report, want_report, real, want);
+}
+
+TEST_F(RouterBackendFlow, UnknownEnvBackendKeepsConfiguredDefault) {
+  setenv("OLP_ROUTER", "bogus", 1);
+  flows::FlowOptions opts;
+  opts.num_threads = 1;
+  set_log_level(LogLevel::kOff);  // silence the expected warning
+  flows::FlowEngine engine(t(), opts);
+  set_log_level(LogLevel::kError);
+  unsetenv("OLP_ROUTER");
+  flows::FlowReport report;
+  const flows::Realization real = engine.run(
+      flows::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(),
+      &report);
+  // "bogus" must fall back to the configured classic default: the run is
+  // the classic serial trajectory, not an error.
+  flows::FlowOptions classic;
+  classic.num_threads = 1;
+  flows::FlowEngine classic_engine(t(), classic);
+  flows::FlowReport classic_report;
+  const flows::Realization classic_real = classic_engine.run(
+      flows::FlowMode::kOptimize, ota_->instances(), ota_->routed_nets(),
+      &classic_report);
+  expect_same_flow_result(report, classic_report, real, classic_real);
 }
 
 // ---------------------------------------------------------------------------
